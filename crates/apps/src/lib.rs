@@ -1,0 +1,27 @@
+//! # sfs-apps — applications and adversarial scenarios on simulated
+//! fail-stop
+//!
+//! The downstream-user layer of the Sabel & Marzullo (1994) reproduction:
+//! protocols written against the fail-stop abstraction, run on the sFS
+//! detector, plus the adversarial executions from the paper's proofs.
+//!
+//! * [`election`] — the §1 leader-election example, instrumented to count
+//!   *FS-impossible observations* (none occur under sFS; they do under
+//!   unilateral detection);
+//! * [`last_to_fail`] — Skeen's problem (§6): recovery after total
+//!   failure, which works iff failed-before is acyclic (sFS2b);
+//! * [`membership`] — a view-based group membership service whose
+//!   survivor views converge under fail-stop semantics;
+//! * [`scenarios`] — the Appendix A.3 witness-violation attack showing
+//!   the Theorem 7 quorum bound is tight;
+//! * [`workpool`] — fault-tolerant work distribution with coordinator
+//!   failover, the style of protocol the paper's introduction motivates.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod election;
+pub mod last_to_fail;
+pub mod membership;
+pub mod scenarios;
+pub mod workpool;

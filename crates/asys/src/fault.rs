@@ -1,0 +1,95 @@
+//! Fault and stimulus injection.
+//!
+//! A [`FaultPlan`] scripts the environment: crash a process at a chosen
+//! virtual time, or deliver an *external* stimulus to a process (the hook
+//! the simulated-fail-stop protocol uses for "process `i` suspects the
+//! failure of `j`, e.g. due to a timeout at a lower level"). Injections are
+//! part of the run's deterministic schedule.
+
+use crate::id::ProcessId;
+use crate::time::VirtualTime;
+
+/// One scripted environment action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Injection<M> {
+    /// Halt the process permanently at the scheduled time.
+    Crash,
+    /// Invoke the process's `on_external` hook with the payload.
+    External(M),
+}
+
+/// A scripted schedule of environment actions for one run.
+///
+/// # Examples
+///
+/// ```
+/// use sfs_asys::{FaultPlan, ProcessId, VirtualTime};
+///
+/// let plan: FaultPlan<String> = FaultPlan::new()
+///     .crash_at(ProcessId::new(2), VirtualTime::from_ticks(50))
+///     .external_at(ProcessId::new(0), VirtualTime::from_ticks(10), "suspect p2".into());
+/// assert_eq!(plan.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan<M> {
+    items: Vec<(VirtualTime, ProcessId, Injection<M>)>,
+}
+
+impl<M> FaultPlan<M> {
+    /// An empty plan: no environment interference.
+    pub fn new() -> Self {
+        FaultPlan { items: Vec::new() }
+    }
+
+    /// Schedules a crash of `pid` at `time`.
+    pub fn crash_at(mut self, pid: ProcessId, time: VirtualTime) -> Self {
+        self.items.push((time, pid, Injection::Crash));
+        self
+    }
+
+    /// Schedules an external stimulus for `pid` at `time`.
+    pub fn external_at(mut self, pid: ProcessId, time: VirtualTime, payload: M) -> Self {
+        self.items.push((time, pid, Injection::External(payload)));
+        self
+    }
+
+    /// Number of scheduled injections.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Consumes the plan, yielding the scheduled items (unsorted; the
+    /// engine orders them into its event queue).
+    pub fn into_items(self) -> Vec<(VirtualTime, ProcessId, Injection<M>)> {
+        self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_accumulates_in_insertion_order() {
+        let plan: FaultPlan<u8> = FaultPlan::new()
+            .crash_at(ProcessId::new(1), VirtualTime::from_ticks(5))
+            .external_at(ProcessId::new(0), VirtualTime::from_ticks(2), 42);
+        let items = plan.into_items();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].0, VirtualTime::from_ticks(5));
+        assert!(matches!(items[0].2, Injection::Crash));
+        assert!(matches!(items[1].2, Injection::External(42)));
+    }
+
+    #[test]
+    fn empty_plan_reports_empty() {
+        let plan: FaultPlan<u8> = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! # sfs-asys — asynchronous distributed system substrate
+//!
+//! This crate is the execution substrate for the reproduction of Sabel &
+//! Marzullo, *Simulating Fail-Stop in Asynchronous Distributed Systems*
+//! (1994). It provides the paper's system model (§2) as runnable
+//! infrastructure:
+//!
+//! * [`ProcessId`], [`MsgId`] — processes `P = {1..n}` and unique messages;
+//! * [`Process`] / [`Context`] — deterministic reactive process automata;
+//! * [`Sim`] — a deterministic discrete-event simulator with reliable,
+//!   unbounded-delay FIFO channels between every ordered pair of processes;
+//! * [`LatencyModel`] implementations — the explicit asynchrony adversary,
+//!   from benign random delay to the scripted "delayed indefinitely"
+//!   constructions of Appendix A.3;
+//! * [`FaultPlan`] — crash and stimulus injection;
+//! * [`Trace`] — the total order of observed events, consumed by the
+//!   `sfs-history` and `sfs-tlogic` crates;
+//! * [`net`] — a threaded runtime driving the same [`Process`] automata
+//!   over real OS threads and crossbeam channels.
+//!
+//! # Examples
+//!
+//! A two-process ping/pong run:
+//!
+//! ```
+//! use sfs_asys::{Context, Process, ProcessId, Sim};
+//!
+//! #[derive(Clone, Debug)]
+//! enum Msg { Ping, Pong }
+//!
+//! struct Pinger;
+//! impl Process<Msg> for Pinger {
+//!     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+//!         ctx.send(ProcessId::new(1), Msg::Ping);
+//!     }
+//!     fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: ProcessId, _msg: Msg) {}
+//! }
+//!
+//! struct Ponger;
+//! impl Process<Msg> for Ponger {
+//!     fn on_start(&mut self, _ctx: &mut Context<'_, Msg>) {}
+//!     fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: ProcessId, _msg: Msg) {
+//!         ctx.send(from, Msg::Pong);
+//!     }
+//! }
+//!
+//! let sim = Sim::<Msg>::builder(2).seed(1).build(|pid| {
+//!     if pid.index() == 0 { Box::new(Pinger) } else { Box::new(Ponger) }
+//! });
+//! let trace = sim.run();
+//! assert_eq!(trace.stats().messages_delivered, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod fault;
+mod id;
+mod latency;
+mod note;
+mod process;
+mod sim;
+mod time;
+mod trace;
+
+pub mod net;
+
+pub use fault::{FaultPlan, Injection};
+pub use id::{MsgId, ProcessId, TimerId};
+pub use latency::{FixedLatency, FnLatency, LatencyModel, OverrideLatency, UniformLatency, NEVER};
+pub use note::{Note, NOTE_LEADER, NOTE_QUORUM};
+pub use process::{Action, Context, Process, ReceiveFilter};
+pub use sim::{CrashRegistry, Sim, SimBuilder, SimConfig};
+pub use time::VirtualTime;
+pub use trace::{SimStats, StopReason, Trace, TraceEvent, TraceEventKind};

@@ -1,0 +1,44 @@
+//! Threaded runtime: the same [`Process`](crate::Process) automata over
+//! real OS threads.
+//!
+//! The simulator in [`Sim`](crate::Sim) explores adversarial schedules
+//! deterministically; this module runs the *identical* protocol code on
+//! real concurrency — one thread per process, crossbeam channels as the
+//! FIFO links, wall-clock timers — so the examples can demonstrate the
+//! protocol outside the simulator. A central router thread serializes all
+//! effects, which both preserves per-channel FIFO order (the property the
+//! paper's sFS2d argument depends on) and lets the runtime record a single
+//! coherent [`Trace`](crate::Trace).
+//!
+//! The repro substitutes threads + crossbeam for the async-executor
+//! plumbing a modern implementation might use (tokio is outside the
+//! allowed dependency set); the protocol only needs reliable FIFO
+//! point-to-point channels and timers, which this provides.
+//!
+//! # Examples
+//!
+//! ```
+//! use sfs_asys::net::{Runtime, RuntimeConfig};
+//! use sfs_asys::{Context, Process, ProcessId};
+//! use std::time::Duration;
+//!
+//! #[derive(Clone, Debug)]
+//! struct Hello;
+//!
+//! struct Greeter;
+//! impl Process<Hello> for Greeter {
+//!     fn on_start(&mut self, ctx: &mut Context<'_, Hello>) {
+//!         ctx.broadcast(Hello, false);
+//!     }
+//!     fn on_message(&mut self, _: &mut Context<'_, Hello>, _: ProcessId, _: Hello) {}
+//! }
+//!
+//! let rt = Runtime::spawn(3, RuntimeConfig::default(), |_| Box::new(Greeter));
+//! rt.run_for(Duration::from_millis(50));
+//! let trace = rt.shutdown();
+//! assert_eq!(trace.stats().messages_sent, 6);
+//! ```
+
+mod router;
+
+pub use router::{Runtime, RuntimeConfig};

@@ -1,0 +1,648 @@
+//! The router-serialized threaded runtime.
+
+use crate::id::{MsgId, ProcessId, TimerId};
+use crate::process::{Action, Context, Process, ReceiveFilter};
+use crate::time::VirtualTime;
+use crate::trace::{SimStats, StopReason, Trace, TraceEvent, TraceEventKind};
+use crossbeam::channel::{self, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration for the threaded runtime.
+pub struct RuntimeConfig<M = ()> {
+    /// Seed feeding each node's deterministic rng (node `i` uses
+    /// `seed + i`). Scheduling itself is real-concurrency nondeterminism.
+    pub seed: u64,
+    /// Optional artificial per-link delay applied by the router before
+    /// forwarding a message, modelling a slow asynchronous network.
+    pub delay: Option<Box<dyn Fn(ProcessId, ProcessId) -> Duration + Send>>,
+    /// Whether to record payload `Debug` text in the trace.
+    pub record_payloads: bool,
+    /// Optional classifier marking payloads as infrastructure (`true`)
+    /// vs model-level application messages; see `SimBuilder::classify`.
+    pub classify: Option<Box<dyn Fn(&M) -> bool + Send>>,
+}
+
+impl<M> Default for RuntimeConfig<M> {
+    fn default() -> Self {
+        RuntimeConfig { seed: 0, delay: None, record_payloads: false, classify: None }
+    }
+}
+
+impl<M> fmt::Debug for RuntimeConfig<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RuntimeConfig")
+            .field("seed", &self.seed)
+            .field("has_delay", &self.delay.is_some())
+            .field("record_payloads", &self.record_payloads)
+            .finish()
+    }
+}
+
+enum NodeEvent<M> {
+    Message { from: ProcessId, msg: M },
+    Timer { id: TimerId },
+    External { payload: M },
+    Halt,
+}
+
+enum ToRouter<M> {
+    Actions { from: ProcessId, actions: Vec<Action<M>>, payload_reprs: Vec<Option<String>> },
+    InjectExternal { pid: ProcessId, payload: M, repr: Option<String> },
+    InjectCrash { pid: ProcessId },
+    Shutdown,
+}
+
+enum Due<M> {
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+        msg: MsgId,
+        payload: M,
+        repr: Option<String>,
+        infra: bool,
+    },
+    Fire { pid: ProcessId, id: TimerId },
+}
+
+struct HeapItem<M> {
+    at: Instant,
+    order: u64,
+    due: Due<M>,
+}
+
+impl<M> PartialEq for HeapItem<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.order == other.order
+    }
+}
+impl<M> Eq for HeapItem<M> {}
+impl<M> PartialOrd for HeapItem<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for HeapItem<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.order).cmp(&(other.at, other.order))
+    }
+}
+
+/// A running system of `n` process threads plus a router thread.
+///
+/// Construct with [`Runtime::spawn`]; drive with [`Runtime::run_for`],
+/// [`Runtime::inject_external`], and [`Runtime::crash`]; finish with
+/// [`Runtime::shutdown`], which returns the recorded [`Trace`].
+pub struct Runtime<M> {
+    n: usize,
+    to_router: Sender<ToRouter<M>>,
+    router: Option<JoinHandle<Trace>>,
+    nodes: Vec<JoinHandle<()>>,
+}
+
+impl<M> fmt::Debug for Runtime<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime").field("n", &self.n).finish_non_exhaustive()
+    }
+}
+
+impl<M: Clone + fmt::Debug + Send + 'static> Runtime<M> {
+    /// Spawns `n` process threads (built by `make`) and the router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn spawn<F>(n: usize, config: RuntimeConfig<M>, mut make: F) -> Self
+    where
+        F: FnMut(ProcessId) -> Box<dyn Process<M> + Send>,
+    {
+        assert!(n > 0, "a system needs at least one process");
+        let (to_router, router_rx) = channel::unbounded::<ToRouter<M>>();
+        let mut node_txs = Vec::with_capacity(n);
+        let mut nodes = Vec::with_capacity(n);
+        let record_payloads = config.record_payloads;
+        for pid in ProcessId::all(n) {
+            let (tx, rx) = channel::unbounded::<NodeEvent<M>>();
+            node_txs.push(tx);
+            let process = make(pid);
+            let to_router = to_router.clone();
+            let seed = config.seed.wrapping_add(pid.index() as u64);
+            nodes.push(
+                std::thread::Builder::new()
+                    .name(format!("node-{}", pid.index()))
+                    .spawn(move || {
+                        node_main(pid, n, process, rx, to_router, seed, record_payloads)
+                    })
+                    .expect("spawn node thread"),
+            );
+        }
+        let router = std::thread::Builder::new()
+            .name("router".to_owned())
+            .spawn(move || router_main(n, config, router_rx, node_txs))
+            .expect("spawn router thread");
+        Runtime { n, to_router, router: Some(router), nodes }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Delivers an external stimulus to `pid` (e.g. a forced suspicion).
+    pub fn inject_external(&self, pid: ProcessId, payload: M) {
+        let repr = Some(format!("{payload:?}"));
+        let _ = self.to_router.send(ToRouter::InjectExternal { pid, payload, repr });
+    }
+
+    /// Crashes `pid` permanently.
+    pub fn crash(&self, pid: ProcessId) {
+        let _ = self.to_router.send(ToRouter::InjectCrash { pid });
+    }
+
+    /// Lets the system run for the given wall-clock duration.
+    pub fn run_for(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+
+    /// Stops all threads and returns the recorded trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router thread panicked.
+    pub fn shutdown(mut self) -> Trace {
+        let _ = self.to_router.send(ToRouter::Shutdown);
+        let trace =
+            self.router.take().expect("router already joined").join().expect("router panicked");
+        for node in self.nodes.drain(..) {
+            let _ = node.join();
+        }
+        trace
+    }
+}
+
+fn node_main<M: Clone + fmt::Debug + Send + 'static>(
+    pid: ProcessId,
+    n: usize,
+    mut process: Box<dyn Process<M> + Send>,
+    rx: Receiver<NodeEvent<M>>,
+    to_router: Sender<ToRouter<M>>,
+    seed: u64,
+    record_payloads: bool,
+) {
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Namespace timer ids by process so they are globally unique.
+    let mut next_timer: u64 = (pid.index() as u64) << 40;
+    let dispatch = |process: &mut Box<dyn Process<M> + Send>,
+                        rng: &mut StdRng,
+                        next_timer: &mut u64,
+                        event: NodeEvent<M>|
+     -> bool {
+        let now = VirtualTime::from_ticks(start.elapsed().as_millis() as u64);
+        let mut ctx = Context::new(pid, n, now, rng, next_timer);
+        match event {
+            NodeEvent::Message { from, msg } => process.on_message(&mut ctx, from, msg),
+            NodeEvent::Timer { id } => process.on_timer(&mut ctx, id),
+            NodeEvent::External { payload } => process.on_external(&mut ctx, payload),
+            NodeEvent::Halt => return false,
+        }
+        let actions = ctx.take_actions();
+        let payload_reprs = actions
+            .iter()
+            .map(|a| match a {
+                Action::Send { msg, .. } if record_payloads => Some(format!("{msg:?}")),
+                _ => None,
+            })
+            .collect();
+        let _ = to_router.send(ToRouter::Actions { from: pid, actions, payload_reprs });
+        true
+    };
+
+    // on_start
+    {
+        let now = VirtualTime::ZERO;
+        let mut ctx = Context::new(pid, n, now, &mut rng, &mut next_timer);
+        process.on_start(&mut ctx);
+        let actions = ctx.take_actions();
+        let payload_reprs = actions
+            .iter()
+            .map(|a| match a {
+                Action::Send { msg, .. } if record_payloads => Some(format!("{msg:?}")),
+                _ => None,
+            })
+            .collect();
+        let _ = to_router.send(ToRouter::Actions { from: pid, actions, payload_reprs });
+    }
+
+    while let Ok(event) = rx.recv() {
+        if !dispatch(&mut process, &mut rng, &mut next_timer, event) {
+            break;
+        }
+    }
+}
+
+struct Parked<M> {
+    from: ProcessId,
+    msg: MsgId,
+    payload: M,
+    repr: Option<String>,
+    infra: bool,
+}
+
+struct RouterState<M> {
+    n: usize,
+    start: Instant,
+    crashed: Vec<bool>,
+    failed_flags: Vec<bool>,
+    cancelled: HashSet<TimerId>,
+    heap: BinaryHeap<Reverse<HeapItem<M>>>,
+    order: u64,
+    msg_seq: Vec<u64>,
+    events: Vec<TraceEvent>,
+    stats: SimStats,
+    node_txs: Vec<Sender<NodeEvent<M>>>,
+    delay: Option<Box<dyn Fn(ProcessId, ProcessId) -> Duration + Send>>,
+    classify: Option<Box<dyn Fn(&M) -> bool + Send>>,
+    filters: Vec<Option<ReceiveFilter<M>>>,
+    /// Per-channel FIFO queues of messages the receiver's filter refused,
+    /// indexed `from * n + to`.
+    parked: std::collections::HashMap<usize, std::collections::VecDeque<Parked<M>>>,
+}
+
+impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
+    fn now(&self) -> VirtualTime {
+        VirtualTime::from_ticks(self.start.elapsed().as_millis() as u64)
+    }
+
+    fn record(&mut self, kind: TraceEventKind) {
+        let seq = self.events.len();
+        let time = self.now();
+        self.events.push(TraceEvent { seq, time, kind });
+    }
+
+    fn push(&mut self, at: Instant, due: Due<M>) {
+        let order = self.order;
+        self.order += 1;
+        self.heap.push(Reverse(HeapItem { at, order, due }));
+    }
+
+    fn crash(&mut self, pid: ProcessId) {
+        if self.crashed[pid.index()] {
+            return;
+        }
+        self.crashed[pid.index()] = true;
+        self.record(TraceEventKind::Crash { pid });
+        self.stats.crashes += 1;
+        let _ = self.node_txs[pid.index()].send(NodeEvent::Halt);
+    }
+
+    fn handle_actions(
+        &mut self,
+        from: ProcessId,
+        actions: Vec<Action<M>>,
+        reprs: Vec<Option<String>>,
+    ) {
+        for (action, repr) in actions.into_iter().zip(reprs) {
+            if self.crashed[from.index()] {
+                break;
+            }
+            match action {
+                Action::Send { to, msg } => {
+                    let seq = self.msg_seq[from.index()];
+                    self.msg_seq[from.index()] += 1;
+                    let id = MsgId::new(from, seq);
+                    let infra = self.classify.as_ref().is_some_and(|f| f(&msg));
+                    self.record(TraceEventKind::Send {
+                        from,
+                        to,
+                        msg: id,
+                        infra,
+                        payload: repr.clone(),
+                    });
+                    self.stats.messages_sent += 1;
+                    let delay =
+                        self.delay.as_ref().map(|f| f(from, to)).unwrap_or(Duration::ZERO);
+                    let at = Instant::now() + delay;
+                    self.push(at, Due::Deliver { from, to, msg: id, payload: msg, repr, infra });
+                }
+                Action::SetTimer { id, delay } => {
+                    let at = Instant::now() + Duration::from_millis(delay);
+                    self.push(at, Due::Fire { pid: from, id });
+                }
+                Action::CancelTimer { id } => {
+                    self.cancelled.insert(id);
+                }
+                Action::CrashSelf => self.crash(from),
+                Action::DeclareFailed { of } => {
+                    let flag = from.index() * self.n + of.index();
+                    if !self.failed_flags[flag] {
+                        self.failed_flags[flag] = true;
+                        self.record(TraceEventKind::Failed { by: from, of });
+                        self.stats.detections += 1;
+                    }
+                }
+                Action::Annotate(note) => self.record(TraceEventKind::Note { pid: from, note }),
+                Action::SetReceiveFilter(filter) => {
+                    self.filters[from.index()] = filter;
+                    self.drain_parked_to(from);
+                }
+            }
+        }
+    }
+
+    /// Whether `to`'s filter currently refuses `payload`.
+    fn refused(&self, to: ProcessId, payload: &M) -> bool {
+        self.filters[to.index()].as_ref().is_some_and(|f| !f.accepts(payload))
+    }
+
+    /// After `to`'s filter changed, re-deliver parked messages in FIFO
+    /// order per channel, stopping at the first message still refused.
+    fn drain_parked_to(&mut self, to: ProcessId) {
+        for from in ProcessId::all(self.n) {
+            let ch = from.index() * self.n + to.index();
+            loop {
+                let Some(queue) = self.parked.get_mut(&ch) else { break };
+                let Some(head) = queue.front() else { break };
+                if self.crashed[to.index()] {
+                    break;
+                }
+                if self.filters[to.index()].as_ref().is_some_and(|f| !f.accepts(&head.payload)) {
+                    break;
+                }
+                let p = self.parked.get_mut(&ch).expect("queue present").pop_front().expect("head");
+                self.record(TraceEventKind::Recv {
+                    by: to,
+                    from: p.from,
+                    msg: p.msg,
+                    infra: p.infra,
+                    payload: p.repr,
+                });
+                self.stats.messages_delivered += 1;
+                let _ =
+                    self.node_txs[to.index()].send(NodeEvent::Message { from: p.from, msg: p.payload });
+            }
+        }
+    }
+
+    fn fire_due(&mut self, due: Due<M>) {
+        match due {
+            Due::Deliver { from, to, msg, payload, repr, infra } => {
+                if self.crashed[to.index()] {
+                    self.stats.messages_to_crashed += 1;
+                    return;
+                }
+                let ch = from.index() * self.n + to.index();
+                let channel_blocked =
+                    self.parked.get(&ch).is_some_and(|q| !q.is_empty());
+                if channel_blocked || self.refused(to, &payload) {
+                    // FIFO: once anything on the channel is parked, later
+                    // messages queue behind it regardless of the filter.
+                    self.parked
+                        .entry(ch)
+                        .or_default()
+                        .push_back(Parked { from, msg, payload, repr, infra });
+                    return;
+                }
+                self.record(TraceEventKind::Recv { by: to, from, msg, infra, payload: repr });
+                self.stats.messages_delivered += 1;
+                let _ = self.node_txs[to.index()].send(NodeEvent::Message { from, msg: payload });
+            }
+            Due::Fire { pid, id } => {
+                if self.cancelled.remove(&id) || self.crashed[pid.index()] {
+                    return;
+                }
+                self.record(TraceEventKind::TimerFired { pid, timer: id });
+                self.stats.timers_fired += 1;
+                let _ = self.node_txs[pid.index()].send(NodeEvent::Timer { id });
+            }
+        }
+    }
+}
+
+fn router_main<M: Clone + fmt::Debug + Send + 'static>(
+    n: usize,
+    config: RuntimeConfig<M>,
+    rx: Receiver<ToRouter<M>>,
+    node_txs: Vec<Sender<NodeEvent<M>>>,
+) -> Trace {
+    let mut state = RouterState {
+        n,
+        start: Instant::now(),
+        crashed: vec![false; n],
+        failed_flags: vec![false; n * n],
+        cancelled: HashSet::new(),
+        heap: BinaryHeap::new(),
+        order: 0,
+        msg_seq: vec![0; n],
+        events: Vec::new(),
+        stats: SimStats::default(),
+        node_txs,
+        delay: config.delay,
+        classify: config.classify,
+        filters: (0..n).map(|_| None).collect(),
+        parked: std::collections::HashMap::new(),
+    };
+    loop {
+        // Fire everything due.
+        while let Some(Reverse(top)) = state.heap.peek() {
+            if top.at <= Instant::now() {
+                let Reverse(item) = state.heap.pop().expect("peeked");
+                state.fire_due(item.due);
+            } else {
+                break;
+            }
+        }
+        let wait = state
+            .heap
+            .peek()
+            .map(|Reverse(item)| item.at.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(wait.min(Duration::from_millis(50))) {
+            Ok(ToRouter::Actions { from, actions, payload_reprs }) => {
+                state.handle_actions(from, actions, payload_reprs);
+            }
+            Ok(ToRouter::InjectExternal { pid, payload, repr }) => {
+                if !state.crashed[pid.index()] {
+                    state.record(TraceEventKind::External { pid, payload: repr });
+                    let _ = state.node_txs[pid.index()].send(NodeEvent::External { payload });
+                }
+            }
+            Ok(ToRouter::InjectCrash { pid }) => state.crash(pid),
+            Ok(ToRouter::Shutdown) => break,
+            Err(channel::RecvTimeoutError::Timeout) => {}
+            Err(channel::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    for tx in &state.node_txs {
+        let _ = tx.send(NodeEvent::Halt);
+    }
+    let end = state.now();
+    let all_crashed = state.crashed.iter().all(|&c| c);
+    let stop = if all_crashed { StopReason::AllCrashed } else { StopReason::MaxTime };
+    Trace::from_parts(n, state.events, stop, end, state.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::Process;
+
+    #[derive(Clone, Debug)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+
+    struct PingPong {
+        is_pinger: bool,
+        rounds: u32,
+    }
+
+    impl Process<Msg> for PingPong {
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            if self.is_pinger {
+                ctx.send(ProcessId::new(1), Msg::Ping);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: ProcessId, msg: Msg) {
+            match msg {
+                Msg::Ping => ctx.send(from, Msg::Pong),
+                Msg::Pong => {
+                    self.rounds += 1;
+                    if self.rounds < 5 {
+                        ctx.send(from, Msg::Ping);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_round_trips() {
+        let rt = Runtime::spawn(2, RuntimeConfig::default(), |pid| {
+            Box::new(PingPong { is_pinger: pid.index() == 0, rounds: 0 })
+        });
+        rt.run_for(Duration::from_millis(200));
+        let trace = rt.shutdown();
+        // 5 pings and 5 pongs.
+        assert_eq!(trace.stats().messages_sent, 10, "{}", trace.to_pretty_string());
+        assert_eq!(trace.stats().messages_delivered, 10);
+    }
+
+    #[test]
+    fn crash_stops_deliveries() {
+        struct Chatter;
+        impl Process<Msg> for Chatter {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.set_timer(10);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: ProcessId, _: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: TimerId) {
+                ctx.broadcast(Msg::Ping, false);
+                ctx.set_timer(10);
+            }
+        }
+        let rt = Runtime::spawn(2, RuntimeConfig::default(), |_| Box::new(Chatter));
+        rt.run_for(Duration::from_millis(50));
+        rt.crash(ProcessId::new(1));
+        rt.run_for(Duration::from_millis(100));
+        let trace = rt.shutdown();
+        let crash_seq = trace
+            .events()
+            .iter()
+            .find_map(|e| match e.kind {
+                TraceEventKind::Crash { pid } if pid == ProcessId::new(1) => Some(e.seq),
+                _ => None,
+            })
+            .expect("crash recorded");
+        for e in trace.events() {
+            if e.seq > crash_seq {
+                if let TraceEventKind::Recv { by, .. } = e.kind {
+                    assert_ne!(by, ProcessId::new(1), "delivery to crashed process");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn receive_filter_parks_and_drains_in_fifo_order() {
+        use crate::process::ReceiveFilter;
+
+        // p1 refuses odd payloads until it sees 100 from p2; p0's odd
+        // message parks its whole channel (FIFO), and everything drains in
+        // order once the filter lifts.
+        struct Sender(u32);
+        impl Process<u32> for Sender {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                if self.0 == 0 {
+                    ctx.send(ProcessId::new(1), 2);
+                    ctx.send(ProcessId::new(1), 3); // parked
+                    ctx.send(ProcessId::new(1), 6); // queues behind 3
+                } else if self.0 == 2 {
+                    ctx.set_timer(150); // fires long after p0's sends
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, u32>, _: TimerId) {
+                ctx.send(ProcessId::new(1), 100);
+            }
+        }
+        struct Picky;
+        impl Process<u32> for Picky {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_receive_filter(Some(ReceiveFilter::new(|m: &u32| m % 2 == 0)));
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, u32>, _: ProcessId, msg: u32) {
+                if msg == 100 {
+                    ctx.set_receive_filter(None);
+                }
+            }
+        }
+        let rt = Runtime::spawn(3, RuntimeConfig::default(), |pid| {
+            if pid.index() == 1 {
+                Box::new(Picky) as Box<dyn Process<u32> + Send>
+            } else {
+                Box::new(Sender(pid.index() as u32))
+            }
+        });
+        rt.run_for(Duration::from_millis(400));
+        let trace = rt.shutdown();
+        // All four messages delivered; p0's arrive at p1 in FIFO order.
+        assert_eq!(trace.stats().messages_delivered, 4, "{}", trace.to_pretty_string());
+        let from_p0: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Recv { by, from, msg, .. }
+                    if by == ProcessId::new(1) && from == ProcessId::new(0) =>
+                {
+                    Some(msg.seq())
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(from_p0, vec![0, 1, 2], "FIFO preserved through router parking");
+    }
+
+    #[test]
+    fn external_injection_reaches_process() {
+        struct Reactor;
+        impl Process<Msg> for Reactor {
+            fn on_start(&mut self, _: &mut Context<'_, Msg>) {}
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: ProcessId, _: Msg) {}
+            fn on_external(&mut self, ctx: &mut Context<'_, Msg>, _: Msg) {
+                ctx.declare_failed(ProcessId::new(1));
+            }
+        }
+        let rt = Runtime::spawn(2, RuntimeConfig::default(), |_| Box::new(Reactor));
+        rt.inject_external(ProcessId::new(0), Msg::Ping);
+        rt.run_for(Duration::from_millis(100));
+        let trace = rt.shutdown();
+        assert_eq!(trace.detections(), vec![(ProcessId::new(0), ProcessId::new(1))]);
+    }
+}

@@ -1,0 +1,327 @@
+//! The process abstraction shared by the simulator and the threaded runtime.
+//!
+//! A [`Process`] is a deterministic reactive automaton: the engine invokes
+//! its callbacks one at a time, and the process responds by queuing
+//! [`Action`]s on the provided [`Context`]. All effects are applied by the
+//! engine *after* the callback returns, which keeps callbacks pure state
+//! transitions over (local state, received event) — exactly the paper's
+//! model where an event changes the state of one process and at most one
+//! incident channel.
+
+use crate::id::{ProcessId, TimerId};
+use crate::note::Note;
+use rand::rngs::StdRng;
+use rand::RngCore;
+use std::fmt;
+use std::sync::Arc;
+
+/// A predicate deciding which incoming messages a process is currently
+/// willing to *receive* (remove from the channel).
+///
+/// In the paper's model, receiving is an action of the process: a message
+/// stays at the head of its FIFO channel until the receiver executes the
+/// receive event. The simulated-fail-stop protocol relies on this —
+/// property sFS2d requires that "process k does not receive m until either
+/// crash_k or failed_k(j) is executed", i.e. the process defers application
+/// messages while a detection round is open. Rejected messages are *not*
+/// lost: they stay queued in FIFO order and are delivered once the filter
+/// accepts them again.
+#[derive(Clone)]
+pub struct ReceiveFilter<M>(Arc<dyn Fn(&M) -> bool + Send + Sync>);
+
+impl<M> ReceiveFilter<M> {
+    /// Creates a filter from a predicate; `true` means "willing to receive
+    /// this message now".
+    pub fn new(pred: impl Fn(&M) -> bool + Send + Sync + 'static) -> Self {
+        ReceiveFilter(Arc::new(pred))
+    }
+
+    /// Whether the filter accepts the message.
+    pub fn accepts(&self, msg: &M) -> bool {
+        (self.0)(msg)
+    }
+}
+
+impl<M> fmt::Debug for ReceiveFilter<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReceiveFilter").finish_non_exhaustive()
+    }
+}
+
+/// An effect requested by a process callback, applied by the engine after
+/// the callback returns.
+#[derive(Debug, Clone)]
+pub enum Action<M> {
+    /// Append `msg` to channel `C_{self,to}` (self-sends are allowed and
+    /// FIFO like any other channel, as the paper's protocol requires —
+    /// process `i` sends "j failed" to all processes *including itself*).
+    Send {
+        /// Destination process.
+        to: ProcessId,
+        /// Payload.
+        msg: M,
+    },
+    /// Arm a timer that fires after `delay` ticks of virtual time.
+    SetTimer {
+        /// Timer identity (allocated by [`Context::set_timer`]).
+        id: TimerId,
+        /// Delay in ticks from now.
+        delay: u64,
+    },
+    /// Cancel a previously armed timer; harmless if already fired.
+    CancelTimer {
+        /// The timer to cancel.
+        id: TimerId,
+    },
+    /// Halt this process permanently (`crash_i` in the paper). All later
+    /// deliveries to it are discarded; it executes no further events.
+    CrashSelf,
+    /// Record `failed_self(of)` — this process has detected (perhaps
+    /// erroneously) the failure of `of`.
+    DeclareFailed {
+        /// The detected process.
+        of: ProcessId,
+    },
+    /// Attach an annotation to the trace.
+    Annotate(Note),
+    /// Replace the process's receive filter. `None` accepts everything
+    /// (the default).
+    SetReceiveFilter(Option<ReceiveFilter<M>>),
+}
+
+/// Callback context: identity, time, and an action queue.
+///
+/// # Examples
+///
+/// ```no_run
+/// use sfs_asys::{Context, Process, ProcessId};
+///
+/// struct Echo;
+/// impl Process<String> for Echo {
+///     fn on_start(&mut self, _ctx: &mut Context<'_, String>) {}
+///     fn on_message(&mut self, ctx: &mut Context<'_, String>, from: ProcessId, msg: String) {
+///         ctx.send(from, msg); // echo back
+///     }
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    id: ProcessId,
+    n: usize,
+    now: crate::time::VirtualTime,
+    actions: Vec<Action<M>>,
+    rng: &'a mut StdRng,
+    next_timer: &'a mut u64,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Creates a context. Used by engines; processes only consume contexts.
+    pub fn new(
+        id: ProcessId,
+        n: usize,
+        now: crate::time::VirtualTime,
+        rng: &'a mut StdRng,
+        next_timer: &'a mut u64,
+    ) -> Self {
+        Context { id, n, now, actions: Vec::new(), rng, next_timer }
+    }
+
+    /// This process's identity.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current virtual time. Processes may use this only for timeouts (the
+    /// FS1 mechanism); it carries no synchrony guarantee.
+    pub fn now(&self) -> crate::time::VirtualTime {
+        self.now
+    }
+
+    /// All process ids in the system.
+    pub fn peers(&self) -> impl Iterator<Item = ProcessId> + Clone {
+        ProcessId::all(self.n)
+    }
+
+    /// Queues a message send to `to` (may be `self.id()`).
+    pub fn send(&mut self, to: ProcessId, msg: M)
+    where
+        M: Clone,
+    {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Queues a send to every process. `include_self` selects whether the
+    /// sender also gets a copy — the paper's one-round protocol broadcasts
+    /// "j failed" to all processes including the sender itself.
+    pub fn broadcast(&mut self, msg: M, include_self: bool)
+    where
+        M: Clone,
+    {
+        for p in ProcessId::all(self.n) {
+            if include_self || p != self.id {
+                self.actions.push(Action::Send { to: p, msg: msg.clone() });
+            }
+        }
+    }
+
+    /// Arms a fresh timer firing `delay` ticks from now and returns its id.
+    pub fn set_timer(&mut self, delay: u64) -> TimerId {
+        let id = TimerId::new(*self.next_timer);
+        *self.next_timer += 1;
+        self.actions.push(Action::SetTimer { id, delay });
+        id
+    }
+
+    /// Cancels a timer. Cancelling an already-fired or unknown timer is a
+    /// no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer { id });
+    }
+
+    /// Queues a permanent halt of this process (`crash_self`).
+    pub fn crash_self(&mut self) {
+        self.actions.push(Action::CrashSelf);
+    }
+
+    /// Records the detection `failed_self(of)`.
+    pub fn declare_failed(&mut self, of: ProcessId) {
+        self.actions.push(Action::DeclareFailed { of });
+    }
+
+    /// Attaches an annotation to the trace.
+    pub fn annotate(&mut self, note: Note) {
+        self.actions.push(Action::Annotate(note));
+    }
+
+    /// Replaces this process's receive filter: messages the predicate
+    /// rejects stay queued (unreceived) in their FIFO channel until a
+    /// later filter accepts them. Pass `None` to accept everything.
+    pub fn set_receive_filter(&mut self, filter: Option<ReceiveFilter<M>>) {
+        self.actions.push(Action::SetReceiveFilter(filter));
+    }
+
+    /// Deterministic per-run randomness for protocol-level choices.
+    pub fn rng(&mut self) -> &mut impl RngCore {
+        &mut *self.rng
+    }
+
+    /// Drains the queued actions. Used by engines.
+    pub fn take_actions(&mut self) -> Vec<Action<M>> {
+        std::mem::take(&mut self.actions)
+    }
+}
+
+/// A deterministic reactive process.
+///
+/// `M` is the message alphabet of the protocol. Determinism is required for
+/// the isomorphism arguments of the paper: a process's behaviour must be a
+/// function of its state and the events delivered to it. Use
+/// [`Context::rng`] if randomized behaviour is needed — it is seeded per
+/// run, so runs remain reproducible.
+pub trait Process<M> {
+    /// Invoked once, before any delivery, at virtual time zero.
+    fn on_start(&mut self, ctx: &mut Context<'_, M>);
+
+    /// Invoked when a message from `from` reaches the head of channel
+    /// `C_{from,self}` and is delivered.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: ProcessId, msg: M);
+
+    /// Invoked when a timer armed via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, M>, timer: TimerId) {
+        let _ = (ctx, timer);
+    }
+
+    /// Invoked for environment injections (see `FaultPlan`): the hook by
+    /// which the test harness models the paper's lower-level suspicion
+    /// mechanism ("e.g., due to a timeout at a lower level").
+    fn on_external(&mut self, ctx: &mut Context<'_, M>, payload: M) {
+        let _ = (ctx, payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn context_queues_actions_in_order() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut next_timer = 0;
+        let mut ctx: Context<'_, u32> = Context::new(
+            ProcessId::new(0),
+            3,
+            crate::time::VirtualTime::ZERO,
+            &mut rng,
+            &mut next_timer,
+        );
+        ctx.send(ProcessId::new(1), 7);
+        let t = ctx.set_timer(5);
+        ctx.cancel_timer(t);
+        ctx.declare_failed(ProcessId::new(2));
+        ctx.crash_self();
+        let actions = ctx.take_actions();
+        assert_eq!(actions.len(), 5);
+        assert!(matches!(actions[0], Action::Send { to, msg: 7 } if to == ProcessId::new(1)));
+        assert!(matches!(actions[1], Action::SetTimer { id, delay: 5 } if id == t));
+        assert!(matches!(actions[2], Action::CancelTimer { id } if id == t));
+        assert!(matches!(actions[3], Action::DeclareFailed { of } if of == ProcessId::new(2)));
+        assert!(matches!(actions[4], Action::CrashSelf));
+        assert!(ctx.take_actions().is_empty());
+    }
+
+    #[test]
+    fn broadcast_includes_or_excludes_self() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut next_timer = 0;
+        let mut ctx: Context<'_, u32> = Context::new(
+            ProcessId::new(1),
+            3,
+            crate::time::VirtualTime::ZERO,
+            &mut rng,
+            &mut next_timer,
+        );
+        ctx.broadcast(9, true);
+        assert_eq!(ctx.take_actions().len(), 3);
+        ctx.broadcast(9, false);
+        let acts = ctx.take_actions();
+        assert_eq!(acts.len(), 2);
+        for a in acts {
+            if let Action::Send { to, .. } = a {
+                assert_ne!(to, ProcessId::new(1));
+            }
+        }
+    }
+
+    #[test]
+    fn timer_ids_are_unique_across_contexts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut next_timer = 0;
+        let t1 = {
+            let mut ctx: Context<'_, u32> = Context::new(
+                ProcessId::new(0),
+                2,
+                crate::time::VirtualTime::ZERO,
+                &mut rng,
+                &mut next_timer,
+            );
+            ctx.set_timer(1)
+        };
+        let t2 = {
+            let mut ctx: Context<'_, u32> = Context::new(
+                ProcessId::new(1),
+                2,
+                crate::time::VirtualTime::ZERO,
+                &mut rng,
+                &mut next_timer,
+            );
+            ctx.set_timer(1)
+        };
+        assert_ne!(t1, t2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Virtual time for the deterministic simulator.
+//!
+//! The paper's system is asynchronous: there are no physical clocks and
+//! message delay is unbounded. Virtual time is *not* visible to processes in
+//! any way that would violate asynchrony — it only sequences simulator
+//! events (delivery and timer firings). Timeouts expressed in virtual time
+//! model the paper's "mechanism provided by the underlying system" for FS1;
+//! they may be arbitrarily wrong relative to actual delays, which is exactly
+//! the source of erroneous detections the paper studies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, measured in abstract ticks.
+///
+/// # Examples
+///
+/// ```
+/// use sfs_asys::VirtualTime;
+///
+/// let t = VirtualTime::ZERO + 5;
+/// assert_eq!(t.ticks(), 5);
+/// assert!(t > VirtualTime::ZERO);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct VirtualTime(u64);
+
+impl VirtualTime {
+    /// The origin of virtual time.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// The maximum representable virtual time; used as an "effectively
+    /// never" delivery horizon by adversarial latency models.
+    pub const MAX: VirtualTime = VirtualTime(u64::MAX);
+
+    /// Creates a time from raw ticks.
+    pub const fn from_ticks(ticks: u64) -> Self {
+        VirtualTime(ticks)
+    }
+
+    /// Raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a tick delta.
+    pub const fn saturating_add(self, delta: u64) -> Self {
+        VirtualTime(self.0.saturating_add(delta))
+    }
+
+    /// Ticks elapsed since `earlier`, or zero if `earlier` is later.
+    pub const fn since(self, earlier: VirtualTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for VirtualTime {
+    type Output = VirtualTime;
+
+    fn add(self, delta: u64) -> VirtualTime {
+        VirtualTime(self.0.saturating_add(delta))
+    }
+}
+
+impl AddAssign<u64> for VirtualTime {
+    fn add_assign(&mut self, delta: u64) {
+        self.0 = self.0.saturating_add(delta);
+    }
+}
+
+impl Sub<VirtualTime> for VirtualTime {
+    type Output = u64;
+
+    fn sub(self, rhs: VirtualTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl From<u64> for VirtualTime {
+    fn from(ticks: u64) -> Self {
+        VirtualTime(ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(VirtualTime::MAX + 1, VirtualTime::MAX);
+        assert_eq!(VirtualTime::ZERO.since(VirtualTime::from_ticks(5)), 0);
+        assert_eq!(VirtualTime::from_ticks(7) - VirtualTime::from_ticks(3), 4);
+        assert_eq!(VirtualTime::from_ticks(3) - VirtualTime::from_ticks(7), 0);
+    }
+
+    #[test]
+    fn ordering_follows_ticks() {
+        assert!(VirtualTime::from_ticks(1) < VirtualTime::from_ticks(2));
+        assert_eq!(VirtualTime::from_ticks(4), VirtualTime::ZERO + 4);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(VirtualTime::from_ticks(12).to_string(), "@12");
+    }
+}

@@ -1,0 +1,57 @@
+//! B3/B4 — formal-analysis microbenchmarks: happens-before construction,
+//! the two Theorem 5 rearrangement engines, and the property-checker
+//! suite, as a function of history length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfs_bench::{random_sfs_run, E1Variant};
+use sfs_history::{rearrange_by_swaps, rearrange_to_fs, HappensBefore, History};
+use sfs_tlogic::properties;
+use std::hint::black_box;
+
+/// Histories of growing size from real protocol runs.
+fn histories() -> Vec<(usize, History)> {
+    [(5usize, 2usize), (10, 3), (17, 4), (26, 5)]
+        .iter()
+        .map(|&(n, t)| {
+            let trace = random_sfs_run(n, t, E1Variant::Standard, 7);
+            let h = History::from_trace(&trace).complete_missing_crashes();
+            (h.len(), h)
+        })
+        .collect()
+}
+
+fn bench_happens_before(c: &mut Criterion) {
+    let mut group = c.benchmark_group("happens_before");
+    for (len, h) in histories() {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &h, |b, h| {
+            b.iter(|| black_box(HappensBefore::compute(h)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rearrange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rearrange");
+    for (len, h) in histories() {
+        group.bench_with_input(BenchmarkId::new("topological", len), &h, |b, h| {
+            b.iter(|| black_box(rearrange_to_fs(h).expect("sFS run")))
+        });
+        group.bench_with_input(BenchmarkId::new("paper_swaps", len), &h, |b, h| {
+            b.iter(|| black_box(rearrange_by_swaps(h, None).expect("sFS run")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_property_suite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("property_suite");
+    for (len, h) in histories() {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &h, |b, h| {
+            b.iter(|| black_box(properties::check_sfs_suite(h, true)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_happens_before, bench_rearrange, bench_property_suite);
+criterion_main!(benches);

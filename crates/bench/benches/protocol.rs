@@ -1,0 +1,65 @@
+//! B1/B2 — protocol-level microbenchmarks: the cost of one simulated
+//! detection round as the system grows, and the two quorum policies
+//! side by side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfs::{ClusterSpec, QuorumPolicy};
+use sfs_asys::ProcessId;
+use std::hint::black_box;
+
+/// One full simulated run: a single erroneous suspicion, detection by all
+/// survivors, quiescence.
+fn one_round(n: usize, t: usize, policy: QuorumPolicy, seed: u64) -> u64 {
+    let trace = ClusterSpec::new(n, t)
+        .quorum(policy)
+        .seed(seed)
+        .suspect(ProcessId::new(1), ProcessId::new(0), 10)
+        .run();
+    trace.stats().messages_sent
+}
+
+fn bench_detection_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detection_round");
+    for &(n, t) in &[(5usize, 2usize), (10, 3), (17, 4), (26, 5), (37, 6)] {
+        group.bench_with_input(BenchmarkId::new("fixed_min", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(one_round(n, t, QuorumPolicy::FixedMinimum, seed))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("wait_for_all", n), &n, |b, &n| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(one_round(n, t, QuorumPolicy::WaitForAll, seed))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_concurrent_suspicions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_suspicions");
+    for &victims in &[1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(victims), &victims, |b, &victims| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut spec = ClusterSpec::new(26, 5).seed(seed);
+                for v in 0..victims {
+                    spec = spec.suspect(
+                        ProcessId::new(victims + v),
+                        ProcessId::new(v),
+                        10 + v as u64,
+                    );
+                }
+                black_box(spec.run().stats().detections)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection_round, bench_concurrent_suspicions);
+criterion_main!(benches);

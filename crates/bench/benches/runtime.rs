@@ -1,0 +1,37 @@
+//! B5 — threaded-runtime benchmark: wall-clock round-trip of the same
+//! protocol code over real threads and crossbeam channels.
+//!
+//! This group is intentionally tiny (threads plus real sleeps are slow);
+//! it exists to keep the threaded path covered by `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfs::{NullApp, SfsConfig, SfsProcess};
+use sfs_asys::net::{Runtime, RuntimeConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_threaded_spawn_detect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_runtime");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("spawn_inject_detect_n4", |b| {
+        b.iter(|| {
+            let n = 4;
+            let rt = Runtime::spawn(n, RuntimeConfig::default(), |_| {
+                let config = SfsConfig::new(n, 1).heartbeat(None);
+                Box::new(SfsProcess::new(config, NullApp).expect("feasible"))
+            });
+            rt.inject_external(
+                sfs_asys::ProcessId::new(1),
+                sfs::SfsMsg::Control(sfs::Control::Suspect { suspect: sfs_asys::ProcessId::new(0) }),
+            );
+            rt.run_for(Duration::from_millis(30));
+            let trace = rt.shutdown();
+            black_box(trace.stats().detections)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_threaded_spawn_detect);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! E1 — sFS property satisfaction and Theorem 5 rearrangement.
+fn main() {
+    sfs_bench::run_e1(sfs_bench::seeds_arg(100)).print();
+}

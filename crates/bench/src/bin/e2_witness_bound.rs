@@ -1,0 +1,4 @@
+//! E2 — tightness of the Theorem 7 quorum bound.
+fn main() {
+    sfs_bench::run_e2().print();
+}

@@ -1,0 +1,4 @@
+//! E3 — the Corollary 8 replication frontier.
+fn main() {
+    sfs_bench::run_e3().print();
+}

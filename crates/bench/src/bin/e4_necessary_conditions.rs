@@ -1,0 +1,4 @@
+//! E4 — necessity (Thm 2) and insufficiency (Thm 3) of Conditions 1-3.
+fn main() {
+    sfs_bench::run_e4(sfs_bench::seeds_arg(100)).print();
+}

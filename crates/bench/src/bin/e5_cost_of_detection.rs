@@ -1,0 +1,4 @@
+//! E5 — cost of detection: wait-for-all vs fixed quorum.
+fn main() {
+    sfs_bench::run_e5(sfs_bench::seeds_arg(50)).print();
+}

@@ -1,0 +1,4 @@
+//! E6 — last-process-to-fail recovery by detector.
+fn main() {
+    sfs_bench::run_e6(sfs_bench::seeds_arg(100)).print();
+}

@@ -1,0 +1,4 @@
+//! E7 — election safety by detector.
+fn main() {
+    sfs_bench::run_e7(sfs_bench::seeds_arg(200)).print();
+}

@@ -1,0 +1,4 @@
+//! E8 — (non-)transitivity of the failed-before relation (§6 discussion).
+fn main() {
+    sfs_bench::run_e8(sfs_bench::seeds_arg(200)).print();
+}

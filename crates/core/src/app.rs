@@ -1,0 +1,152 @@
+//! The fail-stop programming interface for applications.
+//!
+//! An [`Application`] is written against the fail-stop abstraction: it
+//! sends and receives its own messages, and it is told — via
+//! [`Application::on_failure`] — when a peer has failed. Under the sFS
+//! protocol the application cannot tell that it is *not* running on true
+//! fail-stop (Theorem 5); that is the entire point of the paper.
+
+use crate::msg::SfsMsg;
+use sfs_asys::{Context, Note, ProcessId, TimerId, VirtualTime};
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
+
+/// Capability handle passed to application callbacks.
+///
+/// Wraps the raw engine [`Context`] so that applications can only perform
+/// fail-stop-safe operations: application sends (which the protocol
+/// transports and gates), timers, annotations, and queries of the local
+/// failure view.
+pub struct AppApi<'a, 'b, M> {
+    ctx: &'a mut Context<'b, SfsMsg<M>>,
+    failed: &'a BTreeSet<ProcessId>,
+    app_timers: &'a mut HashSet<TimerId>,
+}
+
+impl<M> fmt::Debug for AppApi<'_, '_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AppApi").field("id", &self.ctx.id()).finish_non_exhaustive()
+    }
+}
+
+impl<'a, 'b, M: Clone + fmt::Debug> AppApi<'a, 'b, M> {
+    pub(crate) fn new(
+        ctx: &'a mut Context<'b, SfsMsg<M>>,
+        failed: &'a BTreeSet<ProcessId>,
+        app_timers: &'a mut HashSet<TimerId>,
+    ) -> Self {
+        AppApi { ctx, failed, app_timers }
+    }
+
+    /// This process's identity.
+    pub fn id(&self) -> ProcessId {
+        self.ctx.id()
+    }
+
+    /// Number of processes in the system.
+    pub fn n(&self) -> usize {
+        self.ctx.n()
+    }
+
+    /// Current virtual time (for timeouts only; carries no synchrony).
+    pub fn now(&self) -> VirtualTime {
+        self.ctx.now()
+    }
+
+    /// Sends an application message to `to`. The protocol tags the
+    /// message with this process's current detected-failed set so the
+    /// receiver can honour sFS2d.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        let knows: Vec<ProcessId> = self.failed.iter().copied().collect();
+        self.ctx.send(to, SfsMsg::App { payload: msg, knows });
+    }
+
+    /// Sends an application message to every other process.
+    pub fn broadcast(&mut self, msg: M) {
+        let knows: Vec<ProcessId> = self.failed.iter().copied().collect();
+        self.ctx.broadcast(SfsMsg::App { payload: msg, knows }, false);
+    }
+
+    /// Arms an application timer; the id is reported back via
+    /// [`Application::on_timer`].
+    pub fn set_timer(&mut self, delay: u64) -> TimerId {
+        let id = self.ctx.set_timer(delay);
+        self.app_timers.insert(id);
+        id
+    }
+
+    /// Cancels an application timer.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.app_timers.remove(&id);
+        self.ctx.cancel_timer(id);
+    }
+
+    /// Attaches an annotation to the trace (e.g. a leadership claim).
+    pub fn annotate(&mut self, note: Note) {
+        self.ctx.annotate(note);
+    }
+
+    /// Whether this process has detected the failure of `j`
+    /// (the paper's `failed_self(j)` variable).
+    pub fn is_failed(&self, j: ProcessId) -> bool {
+        self.failed.contains(&j)
+    }
+
+    /// The processes this process has detected as failed, ascending.
+    pub fn failed(&self) -> Vec<ProcessId> {
+        self.failed.iter().copied().collect()
+    }
+
+    /// The processes *not* locally detected as failed (including self),
+    /// ascending. Under fail-stop semantics this is the live membership
+    /// as far as this process can ever know.
+    pub fn alive(&self) -> Vec<ProcessId> {
+        ProcessId::all(self.n()).filter(|p| !self.failed.contains(p)).collect()
+    }
+
+    /// Deterministic per-run randomness.
+    pub fn rng(&mut self) -> &mut impl rand::RngCore {
+        self.ctx.rng()
+    }
+}
+
+/// A deterministic application automaton running on top of the fail-stop
+/// abstraction.
+///
+/// `Msg` is the application's own message alphabet; the protocol wraps it
+/// on the wire. All callbacks receive an [`AppApi`] capability handle.
+pub trait Application: 'static {
+    /// The application's message type.
+    type Msg: Clone + fmt::Debug + 'static;
+
+    /// Invoked once at startup.
+    fn on_start(&mut self, api: &mut AppApi<'_, '_, Self::Msg>) {
+        let _ = api;
+    }
+
+    /// Invoked on receipt of an application message.
+    fn on_message(&mut self, api: &mut AppApi<'_, '_, Self::Msg>, from: ProcessId, msg: Self::Msg);
+
+    /// Invoked when the detector declares `failed` to have crashed. Under
+    /// sFS this may be an erroneous detection, but the application can
+    /// never find out (the process will crash before contradicting it).
+    fn on_failure(&mut self, api: &mut AppApi<'_, '_, Self::Msg>, failed: ProcessId) {
+        let _ = (api, failed);
+    }
+
+    /// Invoked when a timer armed via [`AppApi::set_timer`] fires.
+    fn on_timer(&mut self, api: &mut AppApi<'_, '_, Self::Msg>, timer: TimerId) {
+        let _ = (api, timer);
+    }
+}
+
+/// The trivial application: no messages, no reactions. Used for
+/// pure-detector experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullApp;
+
+impl Application for NullApp {
+    type Msg = ();
+
+    fn on_message(&mut self, _: &mut AppApi<'_, '_, ()>, _: ProcessId, _: ()) {}
+}

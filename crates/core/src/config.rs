@@ -1,0 +1,163 @@
+//! Configuration for the detection protocol and its ablations.
+
+use crate::quorum::{QuorumError, QuorumPolicy};
+use sfs_asys::CrashRegistry;
+
+/// Which failure-detection algorithm a process runs.
+#[derive(Debug, Clone, Default)]
+pub enum DetectionMode {
+    /// The paper's §5 one-round protocol: broadcast the obituary, gather a
+    /// quorum of matching obituaries, crash on your own obituary, gate
+    /// application receives while a round is open. Satisfies FS1 and
+    /// sFS2a–d.
+    #[default]
+    SfsOneRound,
+    /// Baseline: declare `failed_i(j)` unilaterally on suspicion, telling
+    /// no one. Violates sFS2a/2b/2d — the "what goes wrong" comparator.
+    Unilateral,
+    /// The cheaper model sketched in §6: broadcast the obituary, then
+    /// detect immediately without waiting for a quorum. Satisfies sFS2a,
+    /// sFS2c, sFS2d but **not** sFS2b (cyclic detections possible).
+    CheapBroadcast,
+    /// A perfect failure detector backed by the simulator's crash oracle.
+    /// Impossible to implement in a real asynchronous system (Theorem 1);
+    /// used to produce reference fail-stop runs.
+    Oracle(CrashRegistry),
+}
+
+/// Heartbeat parameters implementing FS1's "mechanism provided by the
+/// underlying system".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatConfig {
+    /// Ticks between heartbeat broadcasts.
+    pub interval: u64,
+    /// Silence (in ticks) after which a peer is suspected.
+    pub timeout: u64,
+    /// Ticks between timeout scans.
+    pub check_every: u64,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig { interval: 20, timeout: 100, check_every: 25 }
+    }
+}
+
+/// Full protocol configuration for one process (normally identical across
+/// the system).
+#[derive(Debug, Clone)]
+pub struct SfsConfig {
+    /// Number of processes `n`.
+    pub n: usize,
+    /// Failure bound `t` (crashes plus erroneous suspicions per run).
+    pub t: usize,
+    /// Detection algorithm.
+    pub mode: DetectionMode,
+    /// Vote threshold policy for [`DetectionMode::SfsOneRound`].
+    pub quorum: QuorumPolicy,
+    /// Heartbeats; `None` disables the built-in FS1 mechanism (suspicions
+    /// then only arise from injected `Control::Suspect` stimuli or
+    /// received obituaries).
+    pub heartbeat: Option<HeartbeatConfig>,
+    /// Ablation: gate application receives while a detection round is open
+    /// (the sFS2d mechanism). Default `true`; switching it off lets E1
+    /// demonstrate sFS2d violations.
+    pub gate_app_messages: bool,
+    /// Ablation: crash upon receiving one's own obituary (the sFS2a/2c
+    /// mechanism). Default `true`.
+    pub crash_on_own_obituary: bool,
+}
+
+impl SfsConfig {
+    /// A standard configuration for `n` processes tolerating `t` failures
+    /// with the one-round protocol and default heartbeats.
+    pub fn new(n: usize, t: usize) -> Self {
+        SfsConfig {
+            n,
+            t,
+            mode: DetectionMode::SfsOneRound,
+            quorum: QuorumPolicy::FixedMinimum,
+            heartbeat: Some(HeartbeatConfig::default()),
+            gate_app_messages: true,
+            crash_on_own_obituary: true,
+        }
+    }
+
+    /// Sets the detection mode.
+    pub fn mode(mut self, mode: DetectionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the quorum policy.
+    pub fn quorum(mut self, quorum: QuorumPolicy) -> Self {
+        self.quorum = quorum;
+        self
+    }
+
+    /// Sets or disables heartbeats.
+    pub fn heartbeat(mut self, hb: Option<HeartbeatConfig>) -> Self {
+        self.heartbeat = hb;
+        self
+    }
+
+    /// Ablation switch for sFS2d receive gating.
+    pub fn gate_app_messages(mut self, on: bool) -> Self {
+        self.gate_app_messages = on;
+        self
+    }
+
+    /// Ablation switch for crash-on-own-obituary.
+    pub fn crash_on_own_obituary(mut self, on: bool) -> Self {
+        self.crash_on_own_obituary = on;
+        self
+    }
+
+    /// Validates the configuration against the paper's bounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QuorumError`] when the quorum policy cannot make
+    /// progress for `(n, t)` under [`DetectionMode::SfsOneRound`].
+    pub fn validated(self) -> Result<Self, QuorumError> {
+        if self.n == 0 {
+            return Err(QuorumError::NoProcesses);
+        }
+        if matches!(self.mode, DetectionMode::SfsOneRound) {
+            self.quorum.validated(self.n, self.t)?;
+        }
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates_when_feasible() {
+        assert!(SfsConfig::new(10, 3).validated().is_ok());
+        assert!(SfsConfig::new(9, 3).validated().is_err());
+        // WaitForAll tolerates t up to n-1.
+        assert!(SfsConfig::new(9, 3).quorum(QuorumPolicy::WaitForAll).validated().is_ok());
+    }
+
+    #[test]
+    fn non_sfs_modes_skip_quorum_validation() {
+        let cfg = SfsConfig::new(9, 3).mode(DetectionMode::Unilateral);
+        assert!(cfg.validated().is_ok());
+        let cfg = SfsConfig::new(9, 3).mode(DetectionMode::CheapBroadcast);
+        assert!(cfg.validated().is_ok());
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let cfg = SfsConfig::new(5, 2)
+            .gate_app_messages(false)
+            .crash_on_own_obituary(false)
+            .heartbeat(None);
+        assert!(!cfg.gate_app_messages);
+        assert!(!cfg.crash_on_own_obituary);
+        assert!(cfg.heartbeat.is_none());
+    }
+}

@@ -1,0 +1,333 @@
+//! One-call construction of simulated sFS clusters.
+//!
+//! Experiments, tests, and examples all need the same shape of run: `n`
+//! processes under some [`DetectionMode`], a latency model, a fault plan
+//! (crashes and forced suspicions), and a trace out. [`ClusterSpec`]
+//! packages that.
+
+use crate::app::{Application, NullApp};
+use crate::config::{HeartbeatConfig, SfsConfig};
+use crate::msg::{Control, SfsMsg};
+use crate::protocol::SfsProcess;
+use crate::quorum::QuorumPolicy;
+use sfs_asys::{
+    FaultPlan, LatencyModel, ProcessId, Sim, Trace, UniformLatency, VirtualTime,
+};
+
+/// Which detector the cluster runs (the harness-level mirror of
+/// [`DetectionMode`](crate::DetectionMode), without the oracle's registry
+/// plumbing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModeSpec {
+    /// The paper's §5 one-round protocol.
+    #[default]
+    SfsOneRound,
+    /// Unilateral timeout detection (baseline).
+    Unilateral,
+    /// The §6 broadcast-then-detect model (no sFS2b).
+    CheapBroadcast,
+    /// Perfect detection via the simulator's crash oracle (reference FS
+    /// runs; unimplementable for real, Theorem 1).
+    Oracle,
+}
+
+/// Declarative description of one simulated cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of processes.
+    pub n: usize,
+    /// Failure bound `t`.
+    pub t: usize,
+    /// Detector selection.
+    pub mode: ModeSpec,
+    /// Quorum policy for the one-round protocol.
+    pub quorum: QuorumPolicy,
+    /// Heartbeats (`None` = suspicions only from injection/obituaries;
+    /// such runs reach quiescence, which the liveness checkers prefer).
+    pub heartbeat: Option<HeartbeatConfig>,
+    /// sFS2d receive gating (ablation switch).
+    pub gate_app_messages: bool,
+    /// Crash-on-own-obituary (ablation switch).
+    pub crash_on_own_obituary: bool,
+    /// Scheduler seed.
+    pub seed: u64,
+    /// Uniform latency bounds `[min, max]` in ticks.
+    pub latency: (u64, u64),
+    /// Virtual-time horizon.
+    pub max_time: VirtualTime,
+    /// Event budget.
+    pub max_events: usize,
+    /// Scripted crashes `(victim, at)`.
+    pub crashes: Vec<(ProcessId, u64)>,
+    /// Scripted erroneous suspicions `(suspector, suspect, at)` — the
+    /// paper's "spontaneous" suspicions.
+    pub suspicions: Vec<(ProcessId, ProcessId, u64)>,
+}
+
+impl ClusterSpec {
+    /// A quiescence-friendly spec: no heartbeats, moderate random latency.
+    pub fn new(n: usize, t: usize) -> Self {
+        ClusterSpec {
+            n,
+            t,
+            mode: ModeSpec::SfsOneRound,
+            quorum: QuorumPolicy::FixedMinimum,
+            heartbeat: None,
+            gate_app_messages: true,
+            crash_on_own_obituary: true,
+            seed: 0,
+            latency: (1, 10),
+            max_time: VirtualTime::from_ticks(1_000_000),
+            max_events: 1_000_000,
+            crashes: Vec::new(),
+            suspicions: Vec::new(),
+        }
+    }
+
+    /// Sets the detector.
+    pub fn mode(mut self, mode: ModeSpec) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the quorum policy.
+    pub fn quorum(mut self, quorum: QuorumPolicy) -> Self {
+        self.quorum = quorum;
+        self
+    }
+
+    /// Enables heartbeats.
+    pub fn heartbeat(mut self, hb: HeartbeatConfig) -> Self {
+        self.heartbeat = Some(hb);
+        self
+    }
+
+    /// Sets the scheduler seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets uniform latency bounds.
+    pub fn latency(mut self, min: u64, max: u64) -> Self {
+        self.latency = (min, max);
+        self
+    }
+
+    /// Sets the virtual-time horizon.
+    pub fn max_time(mut self, t: u64) -> Self {
+        self.max_time = VirtualTime::from_ticks(t);
+        self
+    }
+
+    /// Schedules a crash.
+    pub fn crash(mut self, victim: ProcessId, at: u64) -> Self {
+        self.crashes.push((victim, at));
+        self
+    }
+
+    /// Schedules an erroneous suspicion.
+    pub fn suspect(mut self, suspector: ProcessId, suspect: ProcessId, at: u64) -> Self {
+        self.suspicions.push((suspector, suspect, at));
+        self
+    }
+
+    /// Ablation: disable sFS2d receive gating.
+    pub fn without_gating(mut self) -> Self {
+        self.gate_app_messages = false;
+        self
+    }
+
+    /// Ablation: survive one's own obituary.
+    pub fn without_self_crash(mut self) -> Self {
+        self.crash_on_own_obituary = false;
+        self
+    }
+
+    fn fault_plan<M: Clone>(&self) -> FaultPlan<SfsMsg<M>> {
+        let mut plan = FaultPlan::new();
+        for &(victim, at) in &self.crashes {
+            plan = plan.crash_at(victim, VirtualTime::from_ticks(at));
+        }
+        for &(by, suspect, at) in &self.suspicions {
+            plan = plan.external_at(
+                by,
+                VirtualTime::from_ticks(at),
+                SfsMsg::Control(Control::Suspect { suspect }),
+            );
+        }
+        plan
+    }
+
+    /// Runs the cluster with [`NullApp`] on every process and the spec's
+    /// uniform latency model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is infeasible (use
+    /// [`QuorumPolicy::validated`](crate::quorum::QuorumPolicy::validated)
+    /// beforehand to handle that case gracefully).
+    pub fn run(self) -> Trace {
+        let (min, max) = self.latency;
+        self.run_with_latency(UniformLatency::new(min, max), |_| NullApp)
+    }
+
+    /// Runs the cluster with an application per process.
+    ///
+    /// # Panics
+    ///
+    /// Panics on infeasible configurations.
+    pub fn run_apps<A, F>(self, make_app: F) -> Trace
+    where
+        A: Application,
+        F: FnMut(ProcessId) -> A,
+    {
+        let (min, max) = self.latency;
+        self.run_with_latency(UniformLatency::new(min, max), make_app)
+    }
+
+    /// Runs the cluster with a custom latency model (e.g. the adversarial
+    /// [`OverrideLatency`](sfs_asys::OverrideLatency) used by the Theorem 6
+    /// experiment).
+    ///
+    /// # Panics
+    ///
+    /// Panics on infeasible configurations.
+    pub fn run_with_latency<A, F>(self, latency: impl LatencyModel + 'static, mut make_app: F) -> Trace
+    where
+        A: Application,
+        F: FnMut(ProcessId) -> A,
+    {
+        let builder = Sim::<SfsMsg<A::Msg>>::builder(self.n)
+            .seed(self.seed)
+            .max_time(self.max_time)
+            .max_events(self.max_events)
+            .latency(latency)
+            // Obituaries and heartbeats are the detector's own mechanism,
+            // beneath the paper's formal model; only App messages are
+            // model-level events.
+            .classify(|m: &SfsMsg<A::Msg>| !m.is_app())
+            .faults(self.fault_plan());
+        let registry = builder.crash_registry();
+        let config_of = |spec: &ClusterSpec| {
+            let mode = match spec.mode {
+                ModeSpec::SfsOneRound => crate::config::DetectionMode::SfsOneRound,
+                ModeSpec::Unilateral => crate::config::DetectionMode::Unilateral,
+                ModeSpec::CheapBroadcast => crate::config::DetectionMode::CheapBroadcast,
+                ModeSpec::Oracle => crate::config::DetectionMode::Oracle(registry.clone()),
+            };
+            SfsConfig::new(spec.n, spec.t)
+                .mode(mode)
+                .quorum(spec.quorum)
+                .heartbeat(spec.heartbeat)
+                .gate_app_messages(spec.gate_app_messages)
+                .crash_on_own_obituary(spec.crash_on_own_obituary)
+        };
+        let sim = builder.build(|pid| {
+            let config = config_of(&self);
+            let process = SfsProcess::new(config, make_app(pid))
+                .expect("infeasible cluster configuration");
+            Box::new(process)
+        });
+        sim.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_asys::StopReason;
+    use sfs_history::History;
+    use sfs_tlogic::{properties, Verdict};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn injected_suspicion_detects_and_kills_the_victim() {
+        // p1 erroneously suspects p0; the protocol must (a) eventually make
+        // every live process detect p0, and (b) crash p0 (sFS2a).
+        let trace = ClusterSpec::new(5, 2).seed(3).suspect(p(1), p(0), 10).run();
+        assert_eq!(trace.stop_reason(), StopReason::Quiescent);
+        assert_eq!(trace.crashed(), vec![p(0)]);
+        let h = History::from_trace(&trace);
+        let reports = properties::check_sfs_suite(&h, true);
+        for r in &reports {
+            assert!(r.is_ok(), "{r}\n{}", trace.to_pretty_string());
+        }
+        // All four survivors detected p0.
+        let detectors: std::collections::BTreeSet<_> =
+            trace.detections().into_iter().map(|(by, _)| by).collect();
+        assert_eq!(detectors.len(), 4);
+    }
+
+    #[test]
+    fn real_crash_with_heartbeats_is_detected_by_all() {
+        let trace = ClusterSpec::new(4, 1)
+            .heartbeat(HeartbeatConfig::default())
+            .crash(p(2), 50)
+            .max_time(2_000)
+            .seed(7)
+            .run();
+        let h = History::from_trace(&trace);
+        assert_eq!(properties::check_fs2(&h).verdict, Verdict::Holds, "true crash: FS2 holds");
+        let detectors: std::collections::BTreeSet<_> =
+            trace.detections().into_iter().map(|(by, of)| {
+                assert_eq!(of, p(2));
+                by
+            }).collect();
+        assert_eq!(detectors.len(), 3, "{}", trace.to_pretty_string());
+    }
+
+    #[test]
+    fn oracle_mode_produces_fs_runs() {
+        let trace = ClusterSpec::new(4, 1)
+            .mode(ModeSpec::Oracle)
+            .heartbeat(HeartbeatConfig::default())
+            .crash(p(1), 40)
+            .max_time(1_000)
+            .seed(5)
+            .run();
+        let h = History::from_trace(&trace);
+        assert_eq!(properties::check_fs2(&h).verdict, Verdict::Holds);
+        assert_eq!(properties::check_fs1(&h, false).verdict, Verdict::Holds);
+    }
+
+    #[test]
+    fn unilateral_mode_detects_without_killing() {
+        // Unilateral detection does not propagate an obituary, so the
+        // victim survives — an sFS2a violation on a complete run.
+        let trace = ClusterSpec::new(3, 1).mode(ModeSpec::Unilateral).suspect(p(1), p(0), 10).run();
+        assert_eq!(trace.crashed(), vec![]);
+        let h = History::from_trace(&trace);
+        assert_eq!(properties::check_sfs2a(&h, true).verdict, Verdict::Violated);
+    }
+
+    #[test]
+    fn cheap_broadcast_kills_but_skips_quorum() {
+        let trace =
+            ClusterSpec::new(5, 2).mode(ModeSpec::CheapBroadcast).suspect(p(1), p(0), 10).run();
+        assert_eq!(trace.crashed(), vec![p(0)]);
+        let h = History::from_trace(&trace);
+        assert_eq!(properties::check_sfs2a(&h, true).verdict, Verdict::Holds);
+        assert_eq!(properties::check_sfs2c(&h).verdict, Verdict::Holds);
+        assert_eq!(properties::check_sfs2d(&h).verdict, Verdict::Holds);
+    }
+
+    #[test]
+    fn concurrent_mutual_suspicion_does_not_cycle() {
+        // p0 suspects p1 and p1 suspects p0 at the same instant. sFS2b must
+        // hold: at most one of failed_*(p0)/failed_*(p1) directions wins.
+        for seed in 0..30 {
+            let trace = ClusterSpec::new(5, 2)
+                .seed(seed)
+                .suspect(p(0), p(1), 10)
+                .suspect(p(1), p(0), 10)
+                .run();
+            let h = History::from_trace(&trace);
+            let r = properties::check_sfs2b(&h);
+            assert!(r.is_ok(), "seed {seed}: {r}\n{}", trace.to_pretty_string());
+        }
+    }
+}

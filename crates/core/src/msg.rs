@@ -1,0 +1,95 @@
+//! The wire alphabet of the simulated-fail-stop protocol.
+
+use serde::{Deserialize, Serialize};
+use sfs_asys::ProcessId;
+use std::fmt;
+
+/// A message of the sFS protocol, generic over the application payload
+/// type `M` it transports.
+///
+/// In the paper's §5 protocol, `SUSP_{i,j}` and `ACK.SUSP_{i,j}` are the
+/// *same* message, the obituary `"j failed"`; [`SfsMsg::Susp`] is that
+/// message. Heartbeats implement the FS1 mechanism the paper assumes from
+/// the underlying system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SfsMsg<M> {
+    /// Periodic liveness beacon (the FS1 timeout mechanism).
+    Heartbeat,
+    /// The obituary `"suspect failed"` — both the suspicion announcement
+    /// and its acknowledgement.
+    Susp {
+        /// The process declared failed.
+        suspect: ProcessId,
+    },
+    /// An application-level message, subject to sFS2d receive gating.
+    App {
+        /// The wrapped application payload.
+        payload: M,
+        /// The sender's detected-failed set at send time, ascending. The
+        /// receiver defers the *receive event* until it has detected every
+        /// process listed here — the exact obligation of sFS2d. FIFO
+        /// guarantees the corresponding obituaries travel ahead of this
+        /// message on the same channel, so the deferral always resolves.
+        knows: Vec<ProcessId>,
+    },
+    /// Environment control, delivered via injection (never sent on a
+    /// channel by the protocol itself).
+    Control(Control),
+}
+
+/// Environment stimuli for fault-injection experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Control {
+    /// Force the receiving process to suspect `suspect`, modelling the
+    /// paper's "process i suspects the failure of process j (e.g., due to
+    /// a timeout at a lower level)".
+    Suspect {
+        /// The process to suspect.
+        suspect: ProcessId,
+    },
+}
+
+impl<M> SfsMsg<M> {
+    /// Whether this is an application payload (the class gated by sFS2d).
+    pub fn is_app(&self) -> bool {
+        matches!(self, SfsMsg::App { .. })
+    }
+}
+
+impl<M: fmt::Debug> fmt::Display for SfsMsg<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SfsMsg::Heartbeat => write!(f, "heartbeat"),
+            SfsMsg::Susp { suspect } => write!(f, "\"{suspect} failed\""),
+            SfsMsg::App { payload, knows } => {
+                write!(f, "app({payload:?}")?;
+                if !knows.is_empty() {
+                    write!(f, "; knows")?;
+                    for k in knows {
+                        write!(f, " {k}")?;
+                    }
+                }
+                write!(f, ")")
+            }
+            SfsMsg::Control(Control::Suspect { suspect }) => write!(f, "ctl-suspect({suspect})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_app_classifies() {
+        assert!(SfsMsg::App { payload: 7u32, knows: vec![] }.is_app());
+        assert!(!SfsMsg::<u32>::Heartbeat.is_app());
+        assert!(!SfsMsg::<u32>::Susp { suspect: ProcessId::new(1) }.is_app());
+    }
+
+    #[test]
+    fn display_matches_paper_phrasing() {
+        let m: SfsMsg<u32> = SfsMsg::Susp { suspect: ProcessId::new(2) };
+        assert_eq!(m.to_string(), "\"p2 failed\"");
+    }
+}

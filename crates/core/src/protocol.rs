@@ -1,0 +1,357 @@
+//! The simulated-fail-stop process automaton (§5 of the paper).
+//!
+//! One [`SfsProcess`] wraps one [`Application`] and implements the paper's
+//! one-round failure-detection protocol around it:
+//!
+//! 1. When process `i` suspects the failure of `j` (heartbeat timeout,
+//!    injected stimulus, or receipt of an obituary), it broadcasts the
+//!    obituary `"j failed"` to **all** processes, including itself.
+//! 2. Application messages carry the sender's detected-failed set; a
+//!    receiver defers the *receive event* of such a message until it has
+//!    detected everything in the tag — this is what makes sFS2d hold.
+//!    (FIFO channels make the deferral deadlock-free: the needed
+//!    obituaries always travel ahead of the message they gate.)
+//! 3. When `i` has received `"j failed"` from more than `n(t-1)/t`
+//!    processes (including itself), it executes `failed_i(j)` and tells
+//!    the application.
+//! 4. When `x` receives `"x failed"`, it crashes — this is what makes
+//!    sFS2a (and, with rule 1, sFS2c) hold even for erroneous suspicions.
+//!
+//! The same type also implements the paper's comparators (unilateral
+//! detection, the §6 cheap-broadcast model, and an oracle-backed perfect
+//! detector) selected by [`DetectionMode`], so experiments hold everything
+//! else constant.
+
+use crate::app::{AppApi, Application};
+use crate::config::{DetectionMode, SfsConfig};
+use crate::msg::{Control, SfsMsg};
+use crate::quorum::{QuorumError, QuorumPolicy};
+use sfs_asys::{Context, Note, Process, ProcessId, ReceiveFilter, TimerId, VirtualTime, NOTE_QUORUM};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::fmt;
+
+/// A process running the simulated-fail-stop protocol around application
+/// `A`.
+pub struct SfsProcess<A: Application> {
+    app: A,
+    config: SfsConfig,
+    /// Open detection rounds: suspect → set of processes whose obituary
+    /// for that suspect we have received (the vote set).
+    rounds: BTreeMap<ProcessId, BTreeSet<ProcessId>>,
+    /// Locally detected processes (`failed_self(·)` variables).
+    failed: BTreeSet<ProcessId>,
+    /// Last time each peer was heard from (any message).
+    last_heard: Vec<VirtualTime>,
+    hb_timer: Option<TimerId>,
+    check_timer: Option<TimerId>,
+    app_timers: HashSet<TimerId>,
+}
+
+impl<A: Application> fmt::Debug for SfsProcess<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SfsProcess")
+            .field("rounds", &self.rounds)
+            .field("failed", &self.failed)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<A: Application> SfsProcess<A> {
+    /// Creates a process with the given configuration and application.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuorumError`] if the configuration cannot make progress
+    /// (e.g. a fixed quorum with `n ≤ t²`, Corollary 8).
+    pub fn new(config: SfsConfig, app: A) -> Result<Self, QuorumError> {
+        let config = config.validated()?;
+        let n = config.n;
+        Ok(SfsProcess {
+            app,
+            config,
+            rounds: BTreeMap::new(),
+            failed: BTreeSet::new(),
+            last_heard: vec![VirtualTime::ZERO; n],
+            hb_timer: None,
+            check_timer: None,
+            app_timers: HashSet::new(),
+        })
+    }
+
+    /// The processes this process has detected as failed so far.
+    pub fn failed(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.failed.iter().copied()
+    }
+
+    /// Read access to the wrapped application (e.g. to inspect final state
+    /// after a simulation).
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    fn check_interval(&self) -> u64 {
+        self.config.heartbeat.map(|hb| hb.check_every).unwrap_or(25)
+    }
+
+    // ---- application callbacks -------------------------------------------
+
+    fn app_start(&mut self, ctx: &mut Context<'_, SfsMsg<A::Msg>>) {
+        let mut api = AppApi::new(ctx, &self.failed, &mut self.app_timers);
+        self.app.on_start(&mut api);
+    }
+
+    fn app_message(
+        &mut self,
+        ctx: &mut Context<'_, SfsMsg<A::Msg>>,
+        from: ProcessId,
+        msg: A::Msg,
+    ) {
+        let mut api = AppApi::new(ctx, &self.failed, &mut self.app_timers);
+        self.app.on_message(&mut api, from, msg);
+    }
+
+    fn app_failure(&mut self, ctx: &mut Context<'_, SfsMsg<A::Msg>>, j: ProcessId) {
+        let mut api = AppApi::new(ctx, &self.failed, &mut self.app_timers);
+        self.app.on_failure(&mut api, j);
+    }
+
+    fn app_timer(&mut self, ctx: &mut Context<'_, SfsMsg<A::Msg>>, t: TimerId) {
+        let mut api = AppApi::new(ctx, &self.failed, &mut self.app_timers);
+        self.app.on_timer(&mut api, t);
+    }
+
+    // ---- protocol core ----------------------------------------------------
+
+    /// Entry point for a new suspicion of `suspect` (timeout, stimulus, or
+    /// first obituary).
+    fn begin_suspicion(&mut self, ctx: &mut Context<'_, SfsMsg<A::Msg>>, suspect: ProcessId) {
+        if suspect == ctx.id()
+            || self.failed.contains(&suspect)
+            || self.rounds.contains_key(&suspect)
+        {
+            return;
+        }
+        match self.config.mode {
+            DetectionMode::SfsOneRound => {
+                self.rounds.insert(suspect, BTreeSet::new());
+                // Broadcast the obituary to ALL processes, including self:
+                // the self-copy is this process's own vote, and the copy to
+                // the suspect is what guarantees sFS2a.
+                ctx.broadcast(SfsMsg::Susp { suspect }, true);
+            }
+            DetectionMode::CheapBroadcast => {
+                // §6: broadcast the obituary, then detect unilaterally.
+                ctx.broadcast(SfsMsg::Susp { suspect }, false);
+                let me = ctx.id();
+                self.detect(ctx, suspect, Some([me].into_iter().collect()));
+            }
+            DetectionMode::Unilateral => {
+                self.detect(ctx, suspect, None);
+            }
+            DetectionMode::Oracle(_) => {
+                // The oracle path detects directly from the registry scan;
+                // external suspicions are ignored (a perfect detector is
+                // never wrong, so it takes no hints).
+            }
+        }
+    }
+
+    /// Handles receipt of the obituary `"suspect failed"` from `from`.
+    fn handle_obituary(
+        &mut self,
+        ctx: &mut Context<'_, SfsMsg<A::Msg>>,
+        from: ProcessId,
+        suspect: ProcessId,
+    ) {
+        if suspect == ctx.id() {
+            // "When process x receives a message of the form 'x failed',
+            // x executes crash_x."
+            if self.config.crash_on_own_obituary {
+                ctx.crash_self();
+            }
+            return;
+        }
+        if self.failed.contains(&suspect) {
+            return;
+        }
+        match self.config.mode {
+            DetectionMode::SfsOneRound => {
+                // Receiving an obituary is itself a suspicion trigger:
+                // "When process x receives a message of the form
+                // 'y failed', x suspects the failure of y."
+                self.begin_suspicion(ctx, suspect);
+                if let Some(votes) = self.rounds.get_mut(&suspect) {
+                    votes.insert(from);
+                }
+                self.check_quorum(ctx, suspect);
+            }
+            DetectionMode::CheapBroadcast | DetectionMode::Unilateral => {
+                self.begin_suspicion(ctx, suspect);
+            }
+            DetectionMode::Oracle(_) => {}
+        }
+    }
+
+    /// Declares `failed_self(suspect)` if the vote set satisfies the
+    /// quorum policy.
+    fn check_quorum(&mut self, ctx: &mut Context<'_, SfsMsg<A::Msg>>, suspect: ProcessId) {
+        let Some(votes) = self.rounds.get(&suspect) else { return };
+        let met = match self.config.quorum {
+            QuorumPolicy::WaitForAll => {
+                // Every process that is neither suspected nor already
+                // detected must have voted (this includes self).
+                ProcessId::all(self.config.n).all(|p| {
+                    votes.contains(&p)
+                        || self.rounds.contains_key(&p) && p != suspect
+                        || p == suspect
+                        || self.failed.contains(&p)
+                })
+            }
+            policy => {
+                let threshold = policy
+                    .fixed_threshold(self.config.n, self.config.t)
+                    .expect("fixed policy has threshold");
+                votes.len() >= threshold
+            }
+        };
+        if met {
+            let votes = self.rounds.remove(&suspect).expect("round open");
+            self.detect(ctx, suspect, Some(votes));
+            // Removing a suspect can complete OTHER pending rounds under
+            // WaitForAll (the required vote set shrank).
+            if matches!(self.config.quorum, QuorumPolicy::WaitForAll) {
+                let pending: Vec<ProcessId> = self.rounds.keys().copied().collect();
+                for other in pending {
+                    self.check_quorum(ctx, other);
+                }
+            }
+        }
+    }
+
+    /// Executes `failed_self(suspect)`: records the quorum, declares the
+    /// detection, notifies the application, and refreshes the sFS2d
+    /// receive filter (the set of app messages we may now accept grew).
+    fn detect(
+        &mut self,
+        ctx: &mut Context<'_, SfsMsg<A::Msg>>,
+        suspect: ProcessId,
+        quorum: Option<BTreeSet<ProcessId>>,
+    ) {
+        if !self.failed.insert(suspect) {
+            return;
+        }
+        self.rounds.remove(&suspect);
+        if let Some(q) = quorum {
+            ctx.annotate(Note::process_set(NOTE_QUORUM, Some(suspect), q.into_iter().collect()));
+        }
+        ctx.declare_failed(suspect);
+        self.update_gate(ctx);
+        self.app_failure(ctx, suspect);
+    }
+
+    /// Installs the sFS2d receive filter: an application message tagged
+    /// with the sender's detected-failed set is *received* only once this
+    /// process has detected every process in that set. Protocol messages
+    /// always pass.
+    ///
+    /// FIFO makes this deadlock-free: the sender broadcast the obituary of
+    /// every process in the tag before sending the message, so on each
+    /// channel the votes needed to complete this process's corresponding
+    /// rounds are ahead of any message waiting on them.
+    fn update_gate(&mut self, ctx: &mut Context<'_, SfsMsg<A::Msg>>) {
+        if !self.config.gate_app_messages || !matches!(self.config.mode, DetectionMode::SfsOneRound)
+        {
+            return;
+        }
+        let failed = self.failed.clone();
+        ctx.set_receive_filter(Some(ReceiveFilter::new(move |m: &SfsMsg<A::Msg>| match m {
+            SfsMsg::App { knows, .. } => knows.iter().all(|j| failed.contains(j)),
+            _ => true,
+        })));
+    }
+
+    /// Periodic scan: heartbeat timeouts or oracle poll.
+    fn run_checks(&mut self, ctx: &mut Context<'_, SfsMsg<A::Msg>>) {
+        let me = ctx.id();
+        match &self.config.mode {
+            DetectionMode::Oracle(registry) => {
+                let registry = registry.clone();
+                for j in ProcessId::all(self.config.n) {
+                    if j != me && !self.failed.contains(&j) && registry.is_crashed(j) {
+                        self.detect(ctx, j, None);
+                    }
+                }
+            }
+            _ => {
+                if let Some(hb) = self.config.heartbeat {
+                    let now = ctx.now();
+                    let stale: Vec<ProcessId> = ProcessId::all(self.config.n)
+                        .filter(|&j| {
+                            j != me
+                                && !self.failed.contains(&j)
+                                && !self.rounds.contains_key(&j)
+                                && now.since(self.last_heard[j.index()]) > hb.timeout
+                        })
+                        .collect();
+                    for j in stale {
+                        self.begin_suspicion(ctx, j);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<A: Application> Process<SfsMsg<A::Msg>> for SfsProcess<A> {
+    fn on_start(&mut self, ctx: &mut Context<'_, SfsMsg<A::Msg>>) {
+        let now = ctx.now();
+        self.last_heard = vec![now; self.config.n];
+        if let Some(hb) = self.config.heartbeat {
+            ctx.broadcast(SfsMsg::Heartbeat, false);
+            self.hb_timer = Some(ctx.set_timer(hb.interval));
+        }
+        if self.config.heartbeat.is_some() || matches!(self.config.mode, DetectionMode::Oracle(_))
+        {
+            self.check_timer = Some(ctx.set_timer(self.check_interval()));
+        }
+        self.update_gate(ctx);
+        self.app_start(ctx);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, SfsMsg<A::Msg>>,
+        from: ProcessId,
+        msg: SfsMsg<A::Msg>,
+    ) {
+        self.last_heard[from.index()] = ctx.now();
+        match msg {
+            SfsMsg::Heartbeat => {}
+            SfsMsg::Susp { suspect } => self.handle_obituary(ctx, from, suspect),
+            SfsMsg::App { payload, .. } => self.app_message(ctx, from, payload),
+            SfsMsg::Control(_) => {
+                // Control stimuli arrive via injection, not channels.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, SfsMsg<A::Msg>>, timer: TimerId) {
+        if Some(timer) == self.hb_timer {
+            ctx.broadcast(SfsMsg::Heartbeat, false);
+            if let Some(hb) = self.config.heartbeat {
+                self.hb_timer = Some(ctx.set_timer(hb.interval));
+            }
+        } else if Some(timer) == self.check_timer {
+            self.run_checks(ctx);
+            self.check_timer = Some(ctx.set_timer(self.check_interval()));
+        } else if self.app_timers.remove(&timer) {
+            self.app_timer(ctx, timer);
+        }
+    }
+
+    fn on_external(&mut self, ctx: &mut Context<'_, SfsMsg<A::Msg>>, payload: SfsMsg<A::Msg>) {
+        if let SfsMsg::Control(Control::Suspect { suspect }) = payload {
+            self.begin_suspicion(ctx, suspect);
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Quorum arithmetic from §4 of the paper (Theorems 6–7, Corollary 8).
+//!
+//! For one-round detection protocols, the Witness property W — all
+//! detection quorums share a common member — is necessary for sFS2b
+//! (Theorem 6). With fixed, equal-size quorums, W against `t` possible
+//! failures forces each quorum to be **strictly greater than
+//! `n(t-1)/t`** (Theorem 7), and protocol progress then requires
+//! **`n > t²`** (Corollary 8).
+
+use std::fmt;
+
+/// Error returned for parameter combinations the theory rules out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumError {
+    /// `n` must be at least 1.
+    NoProcesses,
+    /// With a fixed quorum, progress requires `n > t²` (Corollary 8); more
+    /// precisely `n - t` live processes must be able to form a quorum.
+    Infeasible {
+        /// System size.
+        n: usize,
+        /// Failure bound.
+        t: usize,
+        /// The quorum size that could not be met by the survivors.
+        required: usize,
+    },
+}
+
+impl fmt::Display for QuorumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            QuorumError::NoProcesses => write!(f, "a system needs at least one process"),
+            QuorumError::Infeasible { n, t, required } => write!(
+                f,
+                "n={n}, t={t} cannot make progress: quorum {required} exceeds the {} \
+                 guaranteed survivors (corollary 8 requires n > t²)",
+                n - t
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QuorumError {}
+
+/// The minimum fixed quorum size tolerating `t` failures among `n`
+/// processes: the least integer **strictly greater** than `n(t-1)/t`
+/// (Theorem 7). The count includes the detecting process itself.
+///
+/// For `t = 0` (no failures possible) and `t = 1` the bound degenerates to
+/// 1: a single "vote" (the detector's own) suffices, because a
+/// failed-before cycle needs at least two failures.
+///
+/// # Examples
+///
+/// ```
+/// use sfs::quorum::min_quorum;
+///
+/// assert_eq!(min_quorum(10, 2), 6);  // > 10·(1/2) = 5
+/// assert_eq!(min_quorum(10, 3), 7);  // > 10·(2/3) = 6.67
+/// assert_eq!(min_quorum(9, 3), 7);   // > 9·(2/3) = 6 exactly → 7
+/// assert_eq!(min_quorum(10, 1), 1);  // > 0
+/// ```
+pub fn min_quorum(n: usize, t: usize) -> usize {
+    if t <= 1 {
+        return 1;
+    }
+    n * (t - 1) / t + 1
+}
+
+/// Whether a fixed-quorum deployment of size `n` tolerating `t` failures
+/// can always make progress: at least [`min_quorum`] processes survive any
+/// `t` failures.
+///
+/// # Examples
+///
+/// ```
+/// use sfs::quorum::is_feasible;
+///
+/// assert!(is_feasible(10, 3));   // 10 > 9
+/// assert!(!is_feasible(9, 3));   // 9 = 3², not > 3²
+/// ```
+pub fn is_feasible(n: usize, t: usize) -> bool {
+    n >= 1 && n - t.min(n) >= min_quorum(n, t)
+}
+
+/// The largest `t` for which an `n`-process fixed-quorum deployment is
+/// feasible; by Corollary 8 this is `⌈√n⌉ - 1`-ish, computed exactly
+/// against [`is_feasible`].
+///
+/// # Examples
+///
+/// ```
+/// use sfs::quorum::max_tolerable;
+///
+/// assert_eq!(max_tolerable(10), 3);  // 10 > 3²
+/// assert_eq!(max_tolerable(9), 2);   // 9 = 3² is infeasible for t=3
+/// assert_eq!(max_tolerable(2), 1);
+/// ```
+pub fn max_tolerable(n: usize) -> usize {
+    let mut t = 0;
+    while t + 1 <= n && is_feasible(n, t + 1) {
+        t += 1;
+    }
+    t
+}
+
+/// How many supporting "j failed" votes (including the detector's own) a
+/// detection must gather before `failed_i(j)` may execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum QuorumPolicy {
+    /// Wait for a vote from **every** process not itself suspected (§4:
+    /// "require a process to wait for responses from every other process,
+    /// except for those that are suspected to have failed"). Only needs
+    /// `t < n`, but each detection waits for many messages.
+    WaitForAll,
+    /// Wait for a fixed quorum of `⌊n(t-1)/t⌋ + 1` votes (Theorem 7's
+    /// minimum). Fast, but requires `n > t²` (Corollary 8).
+    #[default]
+    FixedMinimum,
+    /// Wait for an explicit vote count, for experiments *below* the
+    /// Theorem 7 bound (the E2 experiment shows such quorums admit
+    /// failed-before cycles).
+    FixedCount(usize),
+}
+
+impl QuorumPolicy {
+    /// Validates the policy against `(n, t)` and returns it.
+    ///
+    /// # Errors
+    ///
+    /// [`QuorumError::NoProcesses`] if `n == 0`;
+    /// [`QuorumError::Infeasible`] for a fixed policy whose quorum cannot
+    /// survive `t` failures.
+    pub fn validated(self, n: usize, t: usize) -> Result<Self, QuorumError> {
+        if n == 0 {
+            return Err(QuorumError::NoProcesses);
+        }
+        let required = match self {
+            QuorumPolicy::WaitForAll => {
+                // Progress needs at least one process outside any failure
+                // set, i.e. t < n.
+                return if t < n {
+                    Ok(self)
+                } else {
+                    Err(QuorumError::Infeasible { n, t, required: 1 })
+                };
+            }
+            QuorumPolicy::FixedMinimum => min_quorum(n, t),
+            QuorumPolicy::FixedCount(q) => q,
+        };
+        if n - t.min(n) >= required {
+            Ok(self)
+        } else {
+            Err(QuorumError::Infeasible { n, t, required })
+        }
+    }
+
+    /// The vote threshold for a fixed policy, or `None` for
+    /// [`QuorumPolicy::WaitForAll`] (whose requirement depends on the
+    /// detector's current suspicion set).
+    pub fn fixed_threshold(self, n: usize, t: usize) -> Option<usize> {
+        match self {
+            QuorumPolicy::WaitForAll => None,
+            QuorumPolicy::FixedMinimum => Some(min_quorum(n, t)),
+            QuorumPolicy::FixedCount(q) => Some(q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_quorum_is_strictly_greater_than_bound() {
+        for n in 1..=64 {
+            for t in 2..=8 {
+                let q = min_quorum(n, t);
+                // q > n(t-1)/t  ⇔  q·t > n·(t-1)
+                assert!(q * t > n * (t - 1), "q={q} not > {n}({t}-1)/{t}");
+                // Minimality: q-1 fails the bound.
+                assert!((q - 1) * t <= n * (t - 1), "q={q} not minimal for n={n}, t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn corollary8_frontier_is_t_squared() {
+        // Feasibility with the minimum quorum ⇔ n > t².
+        for t in 1..=8 {
+            for n in t.max(1)..=(t * t + 10) {
+                let feasible = is_feasible(n, t);
+                assert_eq!(
+                    feasible,
+                    n > t * t,
+                    "n={n}, t={t}: is_feasible={feasible} but n>t² is {}",
+                    n > t * t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_tolerable_matches_frontier() {
+        assert_eq!(max_tolerable(1), 0);
+        assert_eq!(max_tolerable(2), 1);
+        assert_eq!(max_tolerable(4), 1);
+        assert_eq!(max_tolerable(5), 2);
+        assert_eq!(max_tolerable(9), 2);
+        assert_eq!(max_tolerable(10), 3);
+        assert_eq!(max_tolerable(16), 3);
+        assert_eq!(max_tolerable(17), 4);
+        for n in 1..200 {
+            let t = max_tolerable(n);
+            assert!(n > t * t);
+            assert!(n <= (t + 1) * (t + 1));
+        }
+    }
+
+    #[test]
+    fn policy_validation() {
+        assert!(QuorumPolicy::FixedMinimum.validated(10, 3).is_ok());
+        assert_eq!(
+            QuorumPolicy::FixedMinimum.validated(9, 3),
+            Err(QuorumError::Infeasible { n: 9, t: 3, required: 7 })
+        );
+        assert!(QuorumPolicy::WaitForAll.validated(9, 3).is_ok());
+        assert!(QuorumPolicy::WaitForAll.validated(9, 8).is_ok());
+        assert_eq!(
+            QuorumPolicy::WaitForAll.validated(9, 9),
+            Err(QuorumError::Infeasible { n: 9, t: 9, required: 1 })
+        );
+        assert!(QuorumPolicy::FixedCount(3).validated(10, 3).is_ok());
+        assert!(QuorumPolicy::FixedCount(8).validated(10, 3).is_err());
+        assert_eq!(QuorumPolicy::FixedMinimum.validated(0, 0), Err(QuorumError::NoProcesses));
+    }
+
+    #[test]
+    fn fixed_threshold_values() {
+        assert_eq!(QuorumPolicy::WaitForAll.fixed_threshold(10, 3), None);
+        assert_eq!(QuorumPolicy::FixedMinimum.fixed_threshold(10, 3), Some(7));
+        assert_eq!(QuorumPolicy::FixedCount(4).fixed_threshold(10, 3), Some(4));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = QuorumError::Infeasible { n: 9, t: 3, required: 7 };
+        let s = e.to_string();
+        assert!(s.contains("n=9"));
+        assert!(s.contains("n > t²"));
+    }
+}

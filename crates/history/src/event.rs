@@ -1,0 +1,142 @@
+//! The paper's event alphabet (§2, Appendix A.1).
+//!
+//! An event changes the local state of exactly one process and at most one
+//! incident channel. The four named event kinds of the paper are
+//! `send_i(j, m)`, `recv_i(j, m)`, `crash_i`, and `failed_i(j)`; we add an
+//! `internal` kind for state changes that touch no channel (timer firings
+//! and the like), which behaves like any other single-process event under
+//! happens-before.
+
+use serde::{Deserialize, Serialize};
+use sfs_asys::{MsgId, ProcessId};
+use std::fmt;
+
+/// One event of a run, in the paper's alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Event {
+    /// `send_from(to, msg)`: `from` appends `msg` to channel `C_{from,to}`.
+    Send {
+        /// The sending process (whose state changes).
+        from: ProcessId,
+        /// The destination process.
+        to: ProcessId,
+        /// The unique message.
+        msg: MsgId,
+    },
+    /// `recv_by(from, msg)`: `by` removes `msg` from the head of
+    /// `C_{from,by}`.
+    Recv {
+        /// The receiving process (whose state changes).
+        by: ProcessId,
+        /// The original sender.
+        from: ProcessId,
+        /// The unique message.
+        msg: MsgId,
+    },
+    /// `crash_pid`: the variable `crash_pid` becomes true; the process
+    /// executes no further events.
+    Crash {
+        /// The crashing process.
+        pid: ProcessId,
+    },
+    /// `failed_by(of)`: the variable `failed_by(of)` becomes true.
+    Failed {
+        /// The detecting process (whose state changes).
+        by: ProcessId,
+        /// The process detected as failed.
+        of: ProcessId,
+    },
+    /// A local state change touching no channel.
+    Internal {
+        /// The process whose state changes.
+        pid: ProcessId,
+        /// Discriminator so distinct internal events compare unequal.
+        tag: u64,
+    },
+}
+
+impl Event {
+    /// The process whose local state this event changes.
+    pub fn process(&self) -> ProcessId {
+        match *self {
+            Event::Send { from, .. } => from,
+            Event::Recv { by, .. } => by,
+            Event::Crash { pid } => pid,
+            Event::Failed { by, .. } => by,
+            Event::Internal { pid, .. } => pid,
+        }
+    }
+
+    /// Convenience constructor for `send_from(to, msg)`.
+    pub fn send(from: ProcessId, to: ProcessId, msg: MsgId) -> Self {
+        Event::Send { from, to, msg }
+    }
+
+    /// Convenience constructor for `recv_by(from, msg)`.
+    pub fn recv(by: ProcessId, from: ProcessId, msg: MsgId) -> Self {
+        Event::Recv { by, from, msg }
+    }
+
+    /// Convenience constructor for `crash_pid`.
+    pub fn crash(pid: ProcessId) -> Self {
+        Event::Crash { pid }
+    }
+
+    /// Convenience constructor for `failed_by(of)`.
+    pub fn failed(by: ProcessId, of: ProcessId) -> Self {
+        Event::Failed { by, of }
+    }
+
+    /// Whether this is a crash event of `pid`.
+    pub fn is_crash_of(&self, p: ProcessId) -> bool {
+        matches!(*self, Event::Crash { pid } if pid == p)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Event::Send { from, to, msg } => write!(f, "send_{from}({to},{msg})"),
+            Event::Recv { by, from, msg } => write!(f, "recv_{by}({from},{msg})"),
+            Event::Crash { pid } => write!(f, "crash_{pid}"),
+            Event::Failed { by, of } => write!(f, "failed_{by}({of})"),
+            Event::Internal { pid, tag } => write!(f, "internal_{pid}#{tag}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_attribution() {
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        let m = MsgId::new(p0, 0);
+        assert_eq!(Event::send(p0, p1, m).process(), p0);
+        assert_eq!(Event::recv(p1, p0, m).process(), p1);
+        assert_eq!(Event::crash(p1).process(), p1);
+        assert_eq!(Event::failed(p0, p1).process(), p0);
+        assert_eq!(Event::Internal { pid: p1, tag: 3 }.process(), p1);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        let m = MsgId::new(p0, 2);
+        assert_eq!(Event::send(p0, p1, m).to_string(), "send_p0(p1,m0.2)");
+        assert_eq!(Event::failed(p1, p0).to_string(), "failed_p1(p0)");
+        assert_eq!(Event::crash(p0).to_string(), "crash_p0");
+    }
+
+    #[test]
+    fn is_crash_of_distinguishes_processes() {
+        let e = Event::crash(ProcessId::new(2));
+        assert!(e.is_crash_of(ProcessId::new(2)));
+        assert!(!e.is_crash_of(ProcessId::new(1)));
+        assert!(!Event::failed(ProcessId::new(2), ProcessId::new(1))
+            .is_crash_of(ProcessId::new(2)));
+    }
+}

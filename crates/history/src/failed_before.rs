@@ -1,0 +1,303 @@
+//! The failed-before relation (Definition 3) and its acyclicity.
+//!
+//! "If `r ⊨ ◇FAILED_j(i)` in some run `r`, we say that `i` failed before
+//! `j` in `r`." Acyclicity of this relation is sFS2b, the property that
+//! costs the paper its replication lower bounds (Theorems 6–7) and that
+//! protocols such as last-process-to-fail recovery depend on (§6).
+
+use crate::history::History;
+use sfs_asys::ProcessId;
+
+/// The failed-before relation extracted from one history.
+///
+/// # Examples
+///
+/// ```
+/// use sfs_asys::ProcessId;
+/// use sfs_history::{Event, FailedBefore, History};
+///
+/// let p0 = ProcessId::new(0);
+/// let p1 = ProcessId::new(1);
+/// let h = History::new(2, vec![Event::failed(p1, p0)]); // p1 detects p0
+/// let fb = FailedBefore::from_history(&h);
+/// assert!(fb.failed_before(p0, p1)); // p0 failed before p1
+/// assert!(fb.find_cycle().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FailedBefore {
+    n: usize,
+    /// `edges[i][j]` = true iff `i` failed before `j` (i.e. `failed_j(i)`
+    /// occurs).
+    edges: Vec<bool>,
+}
+
+impl FailedBefore {
+    /// Extracts the relation from a history.
+    pub fn from_history(h: &History) -> Self {
+        let n = h.n();
+        let mut edges = vec![false; n * n];
+        for (_, by, of) in h.detections() {
+            edges[of.index() * n + by.index()] = true;
+        }
+        FailedBefore { n, edges }
+    }
+
+    /// Builds the relation directly from `(detector, detected)` pairs.
+    pub fn from_detections(n: usize, detections: &[(ProcessId, ProcessId)]) -> Self {
+        let mut edges = vec![false; n * n];
+        for &(by, of) in detections {
+            edges[of.index() * n + by.index()] = true;
+        }
+        FailedBefore { n, edges }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether `i` failed before `j` (i.e. `failed_j(i)` occurred).
+    pub fn failed_before(&self, i: ProcessId, j: ProcessId) -> bool {
+        self.edges[i.index() * self.n + j.index()]
+    }
+
+    /// Returns a cycle `x1 → x2 → ... → xk → x1` in the relation if one
+    /// exists (a violation of sFS2b / Condition 2), else `None`.
+    ///
+    /// The returned vector lists the processes along the cycle without
+    /// repeating the starting process at the end.
+    pub fn find_cycle(&self) -> Option<Vec<ProcessId>> {
+        // Iterative DFS with colors: 0 = white, 1 = on stack, 2 = done.
+        let n = self.n;
+        let mut color = vec![0u8; n];
+        let mut parent = vec![usize::MAX; n];
+        for start in 0..n {
+            if color[start] != 0 {
+                continue;
+            }
+            // stack of (node, next-neighbor-to-try)
+            let mut stack = vec![(start, 0usize)];
+            color[start] = 1;
+            while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+                let mut advanced = false;
+                while *next < n {
+                    let v = *next;
+                    *next += 1;
+                    if !self.edges[u * n + v] {
+                        continue;
+                    }
+                    match color[v] {
+                        0 => {
+                            parent[v] = u;
+                            color[v] = 1;
+                            stack.push((v, 0));
+                            advanced = true;
+                            break;
+                        }
+                        1 => {
+                            // Found a back edge u -> v: unwind the cycle.
+                            let mut cycle = vec![ProcessId::new(u)];
+                            let mut w = u;
+                            while w != v {
+                                w = parent[w];
+                                cycle.push(ProcessId::new(w));
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        _ => {}
+                    }
+                }
+                if !advanced {
+                    color[u] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the relation is acyclic (sFS2b / Condition 2 holds).
+    pub fn is_acyclic(&self) -> bool {
+        self.find_cycle().is_none()
+    }
+
+    /// Whether the relation is transitive: `i fb j ∧ j fb k ⇒ i fb k`.
+    ///
+    /// The paper (§6) notes that the failed-before relation of sFS is
+    /// *not* transitive, and that a hypothetical stronger model with a
+    /// transitive relation would let last-to-fail recovery conclude as
+    /// soon as the last processes recover. This predicate lets
+    /// experiments measure how often sFS runs happen to be transitive
+    /// anyway.
+    pub fn is_transitive(&self) -> bool {
+        let n = self.n;
+        for i in 0..n {
+            for j in 0..n {
+                if !self.edges[i * n + j] {
+                    continue;
+                }
+                for k in 0..n {
+                    if self.edges[j * n + k] && !self.edges[i * n + k] {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The transitive closure of the relation — the strengthened
+    /// "stronger version of fail-stop" the paper's §6 sketches. On an
+    /// acyclic relation the closure is still acyclic and has the same
+    /// sinks; recovery over the closure can rank *chains* of failures
+    /// rather than only immediate predecessors.
+    pub fn transitive_closure(&self) -> FailedBefore {
+        let n = self.n;
+        let mut edges = self.edges.clone();
+        // Floyd–Warshall style closure.
+        for k in 0..n {
+            for i in 0..n {
+                if !edges[i * n + k] {
+                    continue;
+                }
+                for j in 0..n {
+                    if edges[k * n + j] {
+                        edges[i * n + j] = true;
+                    }
+                }
+            }
+        }
+        FailedBefore { n, edges }
+    }
+
+    /// Processes with no outgoing failed-before edge among `candidates`:
+    /// no process in `candidates` recorded them as failed. For an acyclic
+    /// relation over a totally failed system these are the *last to fail*
+    /// candidates of \[Ske85\].
+    pub fn sinks_among(&self, candidates: &[ProcessId]) -> Vec<ProcessId> {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&i| {
+                candidates.iter().all(|&j| i == j || !self.failed_before(i, j))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn empty_relation_is_acyclic() {
+        let fb = FailedBefore::from_detections(4, &[]);
+        assert!(fb.is_acyclic());
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        // failed_0(1) and failed_1(0): 1 failed before 0 and 0 before 1.
+        let fb = FailedBefore::from_detections(2, &[(p(0), p(1)), (p(1), p(0))]);
+        let cycle = fb.find_cycle().expect("cycle");
+        assert_eq!(cycle.len(), 2);
+    }
+
+    #[test]
+    fn three_cycle_detected() {
+        // 0 before 1, 1 before 2, 2 before 0.
+        let fb = FailedBefore::from_detections(
+            3,
+            &[(p(1), p(0)), (p(2), p(1)), (p(0), p(2))],
+        );
+        let cycle = fb.find_cycle().expect("cycle");
+        assert_eq!(cycle.len(), 3);
+        // Verify the cycle is real: consecutive failed-before edges.
+        for (k, &x) in cycle.iter().enumerate() {
+            let y = cycle[(k + 1) % cycle.len()];
+            assert!(fb.failed_before(x, y), "{x} should have failed before {y}");
+        }
+    }
+
+    #[test]
+    fn chain_is_acyclic() {
+        let fb = FailedBefore::from_detections(4, &[(p(1), p(0)), (p(2), p(1)), (p(3), p(2))]);
+        assert!(fb.is_acyclic());
+        assert!(fb.failed_before(p(0), p(1)));
+        assert!(!fb.failed_before(p(1), p(0)));
+    }
+
+    #[test]
+    fn relation_reads_from_history_events() {
+        let h = History::new(3, vec![Event::failed(p(2), p(0)), Event::crash(p(0))]);
+        let fb = FailedBefore::from_history(&h);
+        assert!(fb.failed_before(p(0), p(2)));
+        assert!(!fb.failed_before(p(2), p(0)));
+    }
+
+    #[test]
+    fn sinks_identify_last_to_fail() {
+        // 0 failed before 1, 1 failed before 2 => 2 is the unique sink.
+        let fb = FailedBefore::from_detections(3, &[(p(1), p(0)), (p(2), p(1))]);
+        let all = [p(0), p(1), p(2)];
+        assert_eq!(fb.sinks_among(&all), vec![p(2)]);
+    }
+
+    #[test]
+    fn cyclic_relation_has_no_sink() {
+        let fb = FailedBefore::from_detections(2, &[(p(0), p(1)), (p(1), p(0))]);
+        let all = [p(0), p(1)];
+        assert!(fb.sinks_among(&all).is_empty());
+    }
+
+    #[test]
+    fn transitivity_detection_and_closure() {
+        // 0 fb 1, 1 fb 2, missing 0 fb 2: not transitive.
+        let fb = FailedBefore::from_detections(3, &[(p(1), p(0)), (p(2), p(1))]);
+        assert!(!fb.is_transitive());
+        let closed = fb.transitive_closure();
+        assert!(closed.is_transitive());
+        assert!(closed.failed_before(p(0), p(2)), "closure adds the chain edge");
+        // Closure of an acyclic relation stays acyclic with the same sinks.
+        assert!(closed.is_acyclic());
+        let all = [p(0), p(1), p(2)];
+        assert_eq!(fb.sinks_among(&all), closed.sinks_among(&all));
+    }
+
+    #[test]
+    fn closure_of_transitive_relation_is_identity() {
+        let fb = FailedBefore::from_detections(
+            3,
+            &[(p(1), p(0)), (p(2), p(1)), (p(2), p(0))],
+        );
+        assert!(fb.is_transitive());
+        let closed = fb.transitive_closure();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(
+                    fb.failed_before(p(i), p(j)),
+                    closed.failed_before(p(i), p(j))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_relation_is_trivially_transitive() {
+        assert!(FailedBefore::from_detections(4, &[]).is_transitive());
+    }
+
+    #[test]
+    fn self_loops_are_cycles() {
+        // failed_0(0): 0 failed before 0 — violates sFS2c and forms a cycle.
+        let fb = FailedBefore::from_detections(2, &[(p(0), p(0))]);
+        let cycle = fb.find_cycle().expect("self-loop cycle");
+        assert_eq!(cycle, vec![p(0)]);
+    }
+}

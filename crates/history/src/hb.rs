@@ -1,0 +1,207 @@
+//! The happens-before relation of [Lam78], reflexive as in the paper.
+//!
+//! The paper defines `e1 → e2` if (1) both are events of the same process
+//! and `e1 = e2` or `e1` precedes `e2`; (2) `e1 = send_i(j, m)` and
+//! `e2 = recv_j(i, m)`; or (3) transitivity. We compute vector clocks in
+//! one pass; `e1 → e2` is then a constant-time comparison.
+//!
+//! Crucially, happens-before depends only on per-process event order and
+//! send/receive matching — *not* on how events of different processes are
+//! interleaved. The relation is therefore invariant under the reorderings
+//! performed by the Theorem 5 rearrangement engine, which is what makes
+//! "swap adjacent events unless related" a sound rewriting rule.
+
+use crate::event::Event;
+use crate::history::History;
+use sfs_asys::MsgId;
+use std::collections::HashMap;
+
+/// Precomputed happens-before over the events of one history, queried by
+/// event index.
+///
+/// # Examples
+///
+/// ```
+/// use sfs_asys::{MsgId, ProcessId};
+/// use sfs_history::{Event, HappensBefore, History};
+///
+/// let p0 = ProcessId::new(0);
+/// let p1 = ProcessId::new(1);
+/// let m = MsgId::new(p0, 0);
+/// let h = History::new(2, vec![Event::send(p0, p1, m), Event::recv(p1, p0, m)]);
+/// let hb = HappensBefore::compute(&h);
+/// assert!(hb.leq(0, 1)); // send → recv
+/// assert!(!hb.leq(1, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HappensBefore {
+    /// Vector clock per event, indexed by event position in the history.
+    clocks: Vec<Vec<u32>>,
+    /// Owning process index per event.
+    owner: Vec<usize>,
+}
+
+impl HappensBefore {
+    /// Computes vector clocks for every event of `h` in `O(len · n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a receive has no matching prior send (run
+    /// [`History::validate`] first to get a proper error).
+    pub fn compute(h: &History) -> Self {
+        let n = h.n();
+        let mut current: Vec<Vec<u32>> = vec![vec![0; n]; n];
+        let mut send_clock: HashMap<MsgId, Vec<u32>> = HashMap::new();
+        let mut clocks = Vec::with_capacity(h.len());
+        let mut owner = Vec::with_capacity(h.len());
+        for e in h.events() {
+            let p = e.process().index();
+            if let Event::Recv { msg, .. } = e {
+                let sender = send_clock
+                    .get(msg)
+                    .unwrap_or_else(|| panic!("receive of unsent message {msg}"));
+                for (c, s) in current[p].iter_mut().zip(sender) {
+                    *c = (*c).max(*s);
+                }
+            }
+            current[p][p] += 1;
+            if let Event::Send { msg, .. } = e {
+                send_clock.insert(*msg, current[p].clone());
+            }
+            clocks.push(current[p].clone());
+            owner.push(p);
+        }
+        HappensBefore { clocks, owner }
+    }
+
+    /// Whether event `a` happens-before event `b` (reflexively): `a → b`.
+    ///
+    /// Indices refer to positions in the history the relation was computed
+    /// from.
+    pub fn leq(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return true;
+        }
+        let pa = self.owner[a];
+        // b has seen a iff b's knowledge of pa's local clock is at least
+        // a's own component.
+        self.clocks[b][pa] >= self.clocks[a][pa]
+    }
+
+    /// Whether `a` and `b` are concurrent (neither happens before the
+    /// other).
+    pub fn concurrent(&self, a: usize, b: usize) -> bool {
+        !self.leq(a, b) && !self.leq(b, a)
+    }
+
+    /// Number of events covered.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// Whether the relation covers no events.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_asys::ProcessId;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn m(src: usize, seq: u64) -> MsgId {
+        MsgId::new(p(src), seq)
+    }
+
+    /// p0: send m0 to p1; p1: recv m0, send m1 to p2; p2: recv m1.
+    /// Also p2 has an earlier independent internal event.
+    fn chain() -> History {
+        History::new(
+            3,
+            vec![
+                Event::Internal { pid: p(2), tag: 0 }, // 0: concurrent with all of p0/p1
+                Event::send(p(0), p(1), m(0, 0)),      // 1
+                Event::recv(p(1), p(0), m(0, 0)),      // 2
+                Event::send(p(1), p(2), m(1, 0)),      // 3
+                Event::recv(p(2), p(1), m(1, 0)),      // 4
+            ],
+        )
+    }
+
+    #[test]
+    fn message_chains_are_transitive() {
+        let h = chain();
+        let hb = HappensBefore::compute(&h);
+        assert!(hb.leq(1, 2));
+        assert!(hb.leq(2, 3));
+        assert!(hb.leq(1, 4), "transitive through the chain");
+        assert!(!hb.leq(4, 1));
+    }
+
+    #[test]
+    fn relation_is_reflexive() {
+        let h = chain();
+        let hb = HappensBefore::compute(&h);
+        for i in 0..h.len() {
+            assert!(hb.leq(i, i));
+        }
+    }
+
+    #[test]
+    fn independent_events_are_concurrent() {
+        let h = chain();
+        let hb = HappensBefore::compute(&h);
+        assert!(hb.concurrent(0, 1));
+        assert!(hb.concurrent(0, 3));
+        // ...but the internal event precedes p2's receive (same process).
+        assert!(hb.leq(0, 4));
+    }
+
+    #[test]
+    fn program_order_within_one_process() {
+        let h = History::new(
+            1,
+            vec![Event::Internal { pid: p(0), tag: 0 }, Event::Internal { pid: p(0), tag: 1 }],
+        );
+        let hb = HappensBefore::compute(&h);
+        assert!(hb.leq(0, 1));
+        assert!(!hb.leq(1, 0));
+    }
+
+    #[test]
+    fn hb_is_invariant_under_valid_interleaving_changes() {
+        // Same event set, different interleaving of concurrent events.
+        let a = History::new(
+            2,
+            vec![
+                Event::Internal { pid: p(0), tag: 0 },
+                Event::Internal { pid: p(1), tag: 0 },
+            ],
+        );
+        let b = History::new(
+            2,
+            vec![
+                Event::Internal { pid: p(1), tag: 0 },
+                Event::Internal { pid: p(0), tag: 0 },
+            ],
+        );
+        let hb_a = HappensBefore::compute(&a);
+        let hb_b = HappensBefore::compute(&b);
+        // In `a`, event 0 is p0's internal; in `b`, event 1 is. Both report
+        // the pair as concurrent.
+        assert!(hb_a.concurrent(0, 1));
+        assert!(hb_b.concurrent(0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsent message")]
+    fn compute_panics_on_unmatched_recv() {
+        let h = History::new(2, vec![Event::recv(p(1), p(0), m(0, 0))]);
+        let _ = HappensBefore::compute(&h);
+    }
+}

@@ -1,0 +1,505 @@
+//! Finite histories of runs and their validity conditions.
+//!
+//! A paper run is an infinite sequence of global states; its history is the
+//! corresponding event sequence. We work with finite prefixes, which is
+//! sound for all safety properties and, for runs that reach quiescence,
+//! also decides the eventually-properties (nothing further can happen).
+
+use crate::event::Event;
+use serde::{Deserialize, Serialize};
+use sfs_asys::{MsgId, ProcessId, Trace, TraceEventKind};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Why a history fails to be (a prefix of) a valid run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidityError {
+    /// An event names a process outside `0..n`.
+    UnknownProcess {
+        /// Position of the offending event.
+        at: usize,
+    },
+    /// A receive with no matching prior send on the same channel.
+    RecvWithoutSend {
+        /// Position of the receive.
+        at: usize,
+        /// The unmatched message.
+        msg: MsgId,
+    },
+    /// The same message was received twice.
+    DuplicateRecv {
+        /// Position of the second receive.
+        at: usize,
+        /// The duplicated message.
+        msg: MsgId,
+    },
+    /// Receives on a channel are out of FIFO order.
+    FifoViolation {
+        /// Position of the out-of-order receive.
+        at: usize,
+        /// The message received out of order.
+        msg: MsgId,
+        /// The message that should have been received instead.
+        expected: MsgId,
+    },
+    /// A process executed an event after its crash.
+    EventAfterCrash {
+        /// Position of the offending event.
+        at: usize,
+        /// The crashed process.
+        pid: ProcessId,
+    },
+    /// A second crash event for the same process.
+    DuplicateCrash {
+        /// Position of the second crash.
+        at: usize,
+        /// The process.
+        pid: ProcessId,
+    },
+    /// `failed_i(j)` appears twice for the same `(i, j)`; the variable is
+    /// stable and becomes true only once.
+    DuplicateFailed {
+        /// Position of the second detection event.
+        at: usize,
+        /// Detecting process.
+        by: ProcessId,
+        /// Detected process.
+        of: ProcessId,
+    },
+}
+
+impl fmt::Display for ValidityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidityError::UnknownProcess { at } => write!(f, "unknown process at event {at}"),
+            ValidityError::RecvWithoutSend { at, msg } => {
+                write!(f, "receive of unsent message {msg} at event {at}")
+            }
+            ValidityError::DuplicateRecv { at, msg } => {
+                write!(f, "second receive of message {msg} at event {at}")
+            }
+            ValidityError::FifoViolation { at, msg, expected } => {
+                write!(f, "fifo violation at event {at}: got {msg}, expected {expected}")
+            }
+            ValidityError::EventAfterCrash { at, pid } => {
+                write!(f, "event of crashed process {pid} at event {at}")
+            }
+            ValidityError::DuplicateCrash { at, pid } => {
+                write!(f, "second crash of {pid} at event {at}")
+            }
+            ValidityError::DuplicateFailed { at, by, of } => {
+                write!(f, "second failed_{by}({of}) at event {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidityError {}
+
+/// A finite history: the event sequence of a run prefix over `n` processes.
+///
+/// # Examples
+///
+/// ```
+/// use sfs_history::{Event, History};
+/// use sfs_asys::{MsgId, ProcessId};
+///
+/// let p0 = ProcessId::new(0);
+/// let p1 = ProcessId::new(1);
+/// let m = MsgId::new(p0, 0);
+/// let h = History::new(2, vec![
+///     Event::send(p0, p1, m),
+///     Event::recv(p1, p0, m),
+/// ]);
+/// assert!(h.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct History {
+    n: usize,
+    events: Vec<Event>,
+}
+
+impl History {
+    /// Creates a history over `n` processes from an event sequence.
+    /// Validity is *not* checked here; call [`History::validate`].
+    pub fn new(n: usize, events: Vec<Event>) -> Self {
+        History { n, events }
+    }
+
+    /// Projects a recorded [`Trace`] onto the paper's **model-level**
+    /// event alphabet: application sends/receives plus `crash` and
+    /// `failed` events. Messages marked as *infrastructure* at trace time
+    /// (the failure detector's own obituaries and heartbeats — the
+    /// "mechanism provided by the underlying system" in the paper's
+    /// words) are below the model and are dropped, exactly as the paper's
+    /// formal runs abstract the detector's implementation. Traces with no
+    /// infrastructure marking project in full.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let events = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Send { from, to, msg, infra: false, .. } => {
+                    Some(Event::send(from, to, msg))
+                }
+                TraceEventKind::Recv { by, from, msg, infra: false, .. } => {
+                    Some(Event::recv(by, from, msg))
+                }
+                TraceEventKind::Crash { pid } => Some(Event::crash(pid)),
+                TraceEventKind::Failed { by, of } => Some(Event::failed(by, of)),
+                _ => None,
+            })
+            .collect();
+        History { n: trace.n(), events }
+    }
+
+    /// Projects a trace onto the event alphabet *including* infrastructure
+    /// messages — useful for debugging the detector itself (e.g. checking
+    /// engine-level FIFO validity of protocol traffic).
+    pub fn from_trace_full(trace: &Trace) -> Self {
+        let events = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Send { from, to, msg, .. } => Some(Event::send(from, to, msg)),
+                TraceEventKind::Recv { by, from, msg, .. } => Some(Event::recv(by, from, msg)),
+                TraceEventKind::Crash { pid } => Some(Event::crash(pid)),
+                TraceEventKind::Failed { by, of } => Some(Event::failed(by, of)),
+                _ => None,
+            })
+            .collect();
+        History { n: trace.n(), events }
+    }
+
+    /// Number of processes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The event sequence.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the history has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Checks that this history is a prefix of a valid run: receives match
+    /// sends in FIFO order, messages are received at most once, crashed
+    /// processes execute nothing further, and the stable variables
+    /// `crash_i` / `failed_i(j)` flip at most once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidityError`] encountered, scanning in order.
+    pub fn validate(&self) -> Result<(), ValidityError> {
+        let mut sent: HashMap<(ProcessId, ProcessId), Vec<MsgId>> = HashMap::new();
+        let mut next_recv: HashMap<(ProcessId, ProcessId), usize> = HashMap::new();
+        let mut received: HashSet<MsgId> = HashSet::new();
+        let mut crashed: HashSet<ProcessId> = HashSet::new();
+        let mut failed: HashSet<(ProcessId, ProcessId)> = HashSet::new();
+        for (at, e) in self.events.iter().enumerate() {
+            let pid = e.process();
+            if pid.index() >= self.n {
+                return Err(ValidityError::UnknownProcess { at });
+            }
+            if crashed.contains(&pid) {
+                return Err(ValidityError::EventAfterCrash { at, pid });
+            }
+            match *e {
+                Event::Send { from, to, msg } => {
+                    if to.index() >= self.n {
+                        return Err(ValidityError::UnknownProcess { at });
+                    }
+                    sent.entry((from, to)).or_default().push(msg);
+                }
+                Event::Recv { by, from, msg } => {
+                    if from.index() >= self.n {
+                        return Err(ValidityError::UnknownProcess { at });
+                    }
+                    if !received.insert(msg) {
+                        return Err(ValidityError::DuplicateRecv { at, msg });
+                    }
+                    let channel = (from, by);
+                    let queue = sent.get(&channel).map(Vec::as_slice).unwrap_or(&[]);
+                    let cursor = next_recv.entry(channel).or_insert(0);
+                    match queue.get(*cursor) {
+                        None => return Err(ValidityError::RecvWithoutSend { at, msg }),
+                        Some(&expected) if expected != msg => {
+                            // Either out of FIFO order or never sent at all.
+                            if queue.iter().any(|&m| m == msg) {
+                                return Err(ValidityError::FifoViolation { at, msg, expected });
+                            }
+                            return Err(ValidityError::RecvWithoutSend { at, msg });
+                        }
+                        Some(_) => *cursor += 1,
+                    }
+                }
+                Event::Crash { pid } => {
+                    // EventAfterCrash above already rejects a second crash of
+                    // a crashed process, but keep the dedicated error for
+                    // clarity if events were reordered oddly.
+                    if !crashed.insert(pid) {
+                        return Err(ValidityError::DuplicateCrash { at, pid });
+                    }
+                }
+                Event::Failed { by, of } => {
+                    if of.index() >= self.n {
+                        return Err(ValidityError::UnknownProcess { at });
+                    }
+                    if !failed.insert((by, of)) {
+                        return Err(ValidityError::DuplicateFailed { at, by, of });
+                    }
+                }
+                Event::Internal { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// The events of process `pid`, in order — the paper's `r_i`
+    /// projection used to define isomorphism of runs.
+    pub fn projection(&self, pid: ProcessId) -> Vec<Event> {
+        self.events.iter().copied().filter(|e| e.process() == pid).collect()
+    }
+
+    /// Whether `self` and `other` are isomorphic with respect to every
+    /// process in `q` (the paper's `x =_Q y`): each process executes the
+    /// same events in the same order in both.
+    pub fn isomorphic_wrt<I>(&self, other: &History, q: I) -> bool
+    where
+        I: IntoIterator<Item = ProcessId>,
+    {
+        q.into_iter().all(|pid| self.projection(pid) == other.projection(pid))
+    }
+
+    /// Whether `self` and `other` are isomorphic with respect to all of
+    /// `P` (the paper's `x =_P y`): indistinguishable to every process.
+    pub fn isomorphic(&self, other: &History) -> bool {
+        self.n == other.n && self.isomorphic_wrt(other, ProcessId::all(self.n))
+    }
+
+    /// Index of the crash event of `pid`, if present.
+    pub fn crash_index(&self, pid: ProcessId) -> Option<usize> {
+        self.events.iter().position(|e| e.is_crash_of(pid))
+    }
+
+    /// All `(index, by, of)` detection events, in order.
+    pub fn detections(&self) -> Vec<(usize, ProcessId, ProcessId)> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| match *e {
+                Event::Failed { by, of } => Some((i, by, of)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Processes whose crash event appears in the history.
+    pub fn crashed(&self) -> Vec<ProcessId> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                Event::Crash { pid } => Some(pid),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether every detection `failed_j(i)` is preceded by `crash_i` —
+    /// i.e. the history is ordered as a fail-stop (FS2-satisfying) run.
+    pub fn is_fs_ordered(&self) -> bool {
+        let mut crashed: HashSet<ProcessId> = HashSet::new();
+        for e in &self.events {
+            match *e {
+                Event::Crash { pid } => {
+                    crashed.insert(pid);
+                }
+                Event::Failed { of, .. } => {
+                    if !crashed.contains(&of) {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        true
+    }
+
+    /// Appends crash events (at the end, in id order) for every process
+    /// that was detected as failed but whose crash is missing from this
+    /// finite prefix.
+    ///
+    /// Under sFS2a every detected process does eventually crash; this
+    /// helper takes the longer prefix of the same run in which those
+    /// crashes have occurred, which is what the Theorem 5 rearrangement
+    /// needs as input.
+    pub fn complete_missing_crashes(&self) -> History {
+        let crashed: HashSet<ProcessId> = self.crashed().into_iter().collect();
+        let mut detected: Vec<ProcessId> = self
+            .detections()
+            .into_iter()
+            .map(|(_, _, of)| of)
+            .filter(|of| !crashed.contains(of))
+            .collect();
+        detected.sort_unstable();
+        detected.dedup();
+        let mut events = self.events.clone();
+        events.extend(detected.into_iter().map(Event::crash));
+        History { n: self.n, events }
+    }
+
+    /// Renders one event per line, for debugging and test failures.
+    pub fn to_pretty_string(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (i, e) in self.events.iter().enumerate() {
+            let _ = writeln!(s, "{i:>4}: {e}");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn m(src: usize, seq: u64) -> MsgId {
+        MsgId::new(p(src), seq)
+    }
+
+    #[test]
+    fn valid_send_recv_pair() {
+        let h = History::new(2, vec![Event::send(p(0), p(1), m(0, 0)), Event::recv(p(1), p(0), m(0, 0))]);
+        assert!(h.validate().is_ok());
+    }
+
+    #[test]
+    fn recv_without_send_is_invalid() {
+        let h = History::new(2, vec![Event::recv(p(1), p(0), m(0, 0))]);
+        assert_eq!(h.validate(), Err(ValidityError::RecvWithoutSend { at: 0, msg: m(0, 0) }));
+    }
+
+    #[test]
+    fn fifo_violation_detected() {
+        let h = History::new(
+            2,
+            vec![
+                Event::send(p(0), p(1), m(0, 0)),
+                Event::send(p(0), p(1), m(0, 1)),
+                Event::recv(p(1), p(0), m(0, 1)),
+            ],
+        );
+        assert_eq!(
+            h.validate(),
+            Err(ValidityError::FifoViolation { at: 2, msg: m(0, 1), expected: m(0, 0) })
+        );
+    }
+
+    #[test]
+    fn duplicate_recv_detected() {
+        let h = History::new(
+            2,
+            vec![
+                Event::send(p(0), p(1), m(0, 0)),
+                Event::recv(p(1), p(0), m(0, 0)),
+                Event::recv(p(1), p(0), m(0, 0)),
+            ],
+        );
+        assert_eq!(h.validate(), Err(ValidityError::DuplicateRecv { at: 2, msg: m(0, 0) }));
+    }
+
+    #[test]
+    fn event_after_crash_detected() {
+        let h = History::new(2, vec![Event::crash(p(0)), Event::send(p(0), p(1), m(0, 0))]);
+        assert_eq!(h.validate(), Err(ValidityError::EventAfterCrash { at: 1, pid: p(0) }));
+    }
+
+    #[test]
+    fn duplicate_failed_detected() {
+        let h = History::new(2, vec![Event::failed(p(0), p(1)), Event::failed(p(0), p(1))]);
+        assert_eq!(
+            h.validate(),
+            Err(ValidityError::DuplicateFailed { at: 1, by: p(0), of: p(1) })
+        );
+    }
+
+    #[test]
+    fn unknown_process_detected() {
+        let h = History::new(2, vec![Event::crash(p(5))]);
+        assert_eq!(h.validate(), Err(ValidityError::UnknownProcess { at: 0 }));
+    }
+
+    #[test]
+    fn isomorphism_ignores_interleaving_of_other_processes() {
+        // Two histories that differ only in the relative order of events of
+        // different processes are isomorphic w.r.t. every process.
+        let a = History::new(2, vec![Event::crash(p(0)), Event::failed(p(1), p(0))]);
+        let b = History::new(2, vec![Event::failed(p(1), p(0)), Event::crash(p(0))]);
+        assert!(a.isomorphic(&b));
+        assert!(a.isomorphic_wrt(&b, [p(0)]));
+        assert!(a.isomorphic_wrt(&b, [p(1)]));
+    }
+
+    #[test]
+    fn isomorphism_detects_differing_local_order() {
+        let a = History::new(
+            2,
+            vec![Event::send(p(0), p(1), m(0, 0)), Event::send(p(0), p(1), m(0, 1))],
+        );
+        let b = History::new(
+            2,
+            vec![Event::send(p(0), p(1), m(0, 1)), Event::send(p(0), p(1), m(0, 0))],
+        );
+        assert!(!a.isomorphic(&b));
+        assert!(a.isomorphic_wrt(&b, [p(1)])); // p1 has no events in either
+    }
+
+    #[test]
+    fn fs_ordering_check() {
+        let fs = History::new(2, vec![Event::crash(p(0)), Event::failed(p(1), p(0))]);
+        assert!(fs.is_fs_ordered());
+        let not_fs = History::new(2, vec![Event::failed(p(1), p(0)), Event::crash(p(0))]);
+        assert!(!not_fs.is_fs_ordered());
+    }
+
+    #[test]
+    fn complete_missing_crashes_appends_once_per_process() {
+        let h = History::new(
+            3,
+            vec![Event::failed(p(1), p(0)), Event::failed(p(2), p(0)), Event::crash(p(2))],
+        );
+        let completed = h.complete_missing_crashes();
+        assert_eq!(completed.len(), 4);
+        assert_eq!(completed.events()[3], Event::crash(p(0)));
+        assert!(completed.validate().is_ok());
+        // Idempotent:
+        assert_eq!(completed.complete_missing_crashes(), completed);
+    }
+
+    #[test]
+    fn projection_extracts_per_process_events() {
+        let h = History::new(
+            2,
+            vec![
+                Event::send(p(0), p(1), m(0, 0)),
+                Event::failed(p(1), p(0)),
+                Event::crash(p(0)),
+            ],
+        );
+        assert_eq!(h.projection(p(0)).len(), 2);
+        assert_eq!(h.projection(p(1)), vec![Event::failed(p(1), p(0))]);
+    }
+}

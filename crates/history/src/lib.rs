@@ -1,0 +1,50 @@
+//! # sfs-history — formal event histories for the fail-stop simulation
+//!
+//! This crate implements the formal machinery of Sabel & Marzullo (1994),
+//! §2 and the appendices:
+//!
+//! * [`Event`] — the paper's event alphabet (`send`, `recv`, `crash`,
+//!   `failed`, plus internal events);
+//! * [`History`] — finite run prefixes, their validity conditions
+//!   (FIFO channels, crash finality, stable detection variables), process
+//!   projections, and the isomorphism relation `x =_Q y`;
+//! * [`HappensBefore`] — Lamport's relation, reflexive as in the paper,
+//!   computed via vector clocks;
+//! * [`FailedBefore`] — Definition 3's relation with cycle detection
+//!   (sFS2b / Condition 2);
+//! * [`rearrange_to_fs`] / [`rearrange_by_swaps`] — the Theorem 5
+//!   construction: rewrite an sFS history into an isomorphic fail-stop
+//!   history, or produce a certificate that none exists;
+//! * [`scenarios`] — hand-built histories from the paper's proofs,
+//!   including the Theorem 3 counterexample.
+//!
+//! # Examples
+//!
+//! Fix a single erroneous detection:
+//!
+//! ```
+//! use sfs_asys::ProcessId;
+//! use sfs_history::{scenarios, rearrange_to_fs};
+//!
+//! let run = scenarios::one_false_detection(3, ProcessId::new(1), ProcessId::new(0));
+//! assert!(!run.is_fs_ordered()); // the detection precedes the crash
+//! let fixed = rearrange_to_fs(&run).unwrap().history;
+//! assert!(fixed.is_fs_ordered()); // ...but an isomorphic FS run exists
+//! assert!(fixed.isomorphic(&run)); // and no process can tell the difference
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod event;
+mod failed_before;
+mod hb;
+mod history;
+mod rearrange;
+pub mod scenarios;
+
+pub use event::Event;
+pub use failed_before::FailedBefore;
+pub use hb::HappensBefore;
+pub use history::{History, ValidityError};
+pub use rearrange::{rearrange_by_swaps, rearrange_to_fs, RearrangeError, RearrangeReport};

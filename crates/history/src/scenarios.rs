@@ -1,0 +1,131 @@
+//! Hand-built histories from the paper's proofs.
+
+use crate::event::Event;
+use crate::history::History;
+use sfs_asys::{MsgId, ProcessId};
+
+/// The Theorem 3 counterexample run.
+///
+/// The paper exhibits a run that satisfies the necessary Conditions 1–3 yet
+/// is isomorphic to no fail-stop run:
+///
+/// ```text
+/// failed_y(x); send_y(a, m_a); recv_a(y, m_a); crash_a;
+/// failed_b(a); send_b(x, m_b); recv_x(b, m_b); crash_x
+/// ```
+///
+/// Any isomorphic `r'` must keep `failed_y(x) → ... → crash_a` and
+/// `failed_b(a) → ... → crash_x` (happens-before), while FS2 additionally
+/// demands `crash_x` before `failed_y(x)` and `crash_a` before
+/// `failed_b(a)` — a circular set of ordering constraints.
+///
+/// Processes are mapped as `x = 0`, `y = 1`, `a = 2`, `b = 3`.
+///
+/// # Examples
+///
+/// ```
+/// use sfs_history::{scenarios, rearrange_to_fs, RearrangeError};
+///
+/// let run = scenarios::theorem3_run();
+/// assert!(run.validate().is_ok());
+/// assert!(matches!(
+///     rearrange_to_fs(&run),
+///     Err(RearrangeError::NoFsOrder { .. })
+/// ));
+/// ```
+pub fn theorem3_run() -> History {
+    let x = ProcessId::new(0);
+    let y = ProcessId::new(1);
+    let a = ProcessId::new(2);
+    let b = ProcessId::new(3);
+    let m_a = MsgId::new(y, 0);
+    let m_b = MsgId::new(b, 0);
+    History::new(
+        4,
+        vec![
+            Event::failed(y, x),
+            Event::send(y, a, m_a),
+            Event::recv(a, y, m_a),
+            Event::crash(a),
+            Event::failed(b, a),
+            Event::send(b, x, m_b),
+            Event::recv(x, b, m_b),
+            Event::crash(x),
+        ],
+    )
+}
+
+/// A well-behaved fail-stop reference history: `victims` crash, then every
+/// survivor detects every victim (FS1 + FS2 hold outright).
+///
+/// # Panics
+///
+/// Panics if a victim id is out of range for `n`.
+pub fn fs_reference_run(n: usize, victims: &[ProcessId]) -> History {
+    assert!(victims.iter().all(|v| v.index() < n), "victim out of range");
+    let mut events: Vec<Event> = victims.iter().map(|&v| Event::crash(v)).collect();
+    for survivor in ProcessId::all(n) {
+        if victims.contains(&survivor) {
+            continue;
+        }
+        for &v in victims {
+            events.push(Event::failed(survivor, v));
+        }
+    }
+    History::new(n, events)
+}
+
+/// A minimal simulated-fail-stop-flavoured history with one erroneous
+/// detection: `detector` declares `victim` failed *before* `victim`
+/// crashes; the victim's crash follows (as sFS2a requires). Useful as the
+/// smallest input with one bad pair.
+pub fn one_false_detection(n: usize, detector: ProcessId, victim: ProcessId) -> History {
+    assert!(detector.index() < n && victim.index() < n && detector != victim);
+    History::new(n, vec![Event::failed(detector, victim), Event::crash(victim)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::failed_before::FailedBefore;
+    use crate::rearrange::rearrange_to_fs;
+
+    #[test]
+    fn theorem3_run_is_valid_and_satisfies_conditions_1_to_3() {
+        let run = theorem3_run();
+        assert!(run.validate().is_ok());
+        // Condition 1: every detection's subject eventually crashes.
+        let crashed = run.crashed();
+        for (_, _, of) in run.detections() {
+            assert!(crashed.contains(&of), "condition 1 violated for {of}");
+        }
+        // Condition 2: failed-before acyclic.
+        assert!(FailedBefore::from_history(&run).is_acyclic());
+        // Condition 3: no event of j causally after failed_i(j). Checked
+        // here structurally: x (p0) has events only via b's message, and
+        // failed_y(x) does not happen-before them.
+        let hb = crate::hb::HappensBefore::compute(&run);
+        let failed_y_x = 0;
+        for (i, e) in run.events().iter().enumerate() {
+            if e.process() == ProcessId::new(0) {
+                assert!(!hb.leq(failed_y_x, i), "condition 3 violated at event {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fs_reference_run_is_fs_ordered() {
+        let run = fs_reference_run(4, &[ProcessId::new(1)]);
+        assert!(run.validate().is_ok());
+        assert!(run.is_fs_ordered());
+        assert_eq!(run.detections().len(), 3);
+    }
+
+    #[test]
+    fn one_false_detection_is_rearrangeable() {
+        let run = one_false_detection(3, ProcessId::new(2), ProcessId::new(0));
+        assert!(!run.is_fs_ordered());
+        let fixed = rearrange_to_fs(&run).unwrap();
+        assert!(fixed.history.is_fs_ordered());
+    }
+}

@@ -1,0 +1,198 @@
+//! The Appendix A.2 case analysis as executable tests.
+//!
+//! Theorem 5's proof fixes a *bad pair* `(x, y)` — `failed_y(x)` preceding
+//! `crash_x` — and analyses all twelve placements of a second pair
+//! `(a, b)`'s events relative to it. These tests construct every
+//! placement and verify the rearrangement engines handle each: bad pairs
+//! are fixed, good pairs stay fixable, causality is never violated.
+
+use sfs_asys::{MsgId, ProcessId};
+use sfs_history::{
+    rearrange_by_swaps, rearrange_to_fs, Event, History, RearrangeError,
+};
+
+// The four protagonists, as in the appendix: x, y, a, b.
+const X: ProcessId = ProcessId::new(0);
+const Y: ProcessId = ProcessId::new(1);
+const A: ProcessId = ProcessId::new(2);
+const B: ProcessId = ProcessId::new(3);
+
+/// The four events of the two pairs.
+fn failed_y_x() -> Event {
+    Event::failed(Y, X)
+}
+fn crash_x() -> Event {
+    Event::crash(X)
+}
+fn failed_b_a() -> Event {
+    Event::failed(B, A)
+}
+fn crash_a() -> Event {
+    Event::crash(A)
+}
+
+/// Verifies both engines succeed on `h` and produce sound outputs.
+fn assert_rearrangeable(h: &History, label: &str) {
+    assert!(h.validate().is_ok(), "{label}: invalid input");
+    let topo = rearrange_to_fs(h).unwrap_or_else(|e| panic!("{label}: topo failed: {e}"));
+    let swaps =
+        rearrange_by_swaps(h, None).unwrap_or_else(|e| panic!("{label}: swaps failed: {e}"));
+    for (engine, r) in [("topo", &topo), ("swaps", &swaps)] {
+        assert!(r.history.is_fs_ordered(), "{label}/{engine}: not FS ordered");
+        assert!(r.history.isomorphic(h), "{label}/{engine}: not isomorphic");
+        assert!(r.history.validate().is_ok(), "{label}/{engine}: invalid output");
+    }
+    assert_eq!(topo.bad_pairs, swaps.bad_pairs, "{label}: engines disagree on bad pairs");
+}
+
+/// All 24 interleavings of the four independent events (no messages, so
+/// no happens-before constraints beyond the per-process singletons): the
+/// twelve appendix placements and their mirrors. Every one must be
+/// rearrangeable.
+#[test]
+fn all_placements_of_two_pairs_without_causality() {
+    let events = [failed_y_x(), crash_x(), failed_b_a(), crash_a()];
+    let mut count = 0;
+    // Enumerate permutations of 4 indices.
+    let mut idx = [0usize, 1, 2, 3];
+    let mut perms = Vec::new();
+    heap_permutations(&mut idx, 4, &mut perms);
+    for perm in perms {
+        let h = History::new(4, perm.iter().map(|&i| events[i]).collect());
+        assert_rearrangeable(&h, &format!("permutation {perm:?}"));
+        count += 1;
+    }
+    assert_eq!(count, 24);
+}
+
+fn heap_permutations(arr: &mut [usize; 4], k: usize, out: &mut Vec<[usize; 4]>) {
+    if k == 1 {
+        out.push(*arr);
+        return;
+    }
+    for i in 0..k {
+        heap_permutations(arr, k - 1, out);
+        if k % 2 == 0 {
+            arr.swap(i, k - 1);
+        } else {
+            arr.swap(0, k - 1);
+        }
+    }
+}
+
+/// Case 7 of the appendix with real causality: the fix of `(x, y)` must
+/// move `crash_x`'s cone without disturbing the still-bad `(a, b)` more
+/// than a further application can fix.
+///
+/// History: `failed_b(a) … failed_y(x) … crash_x … crash_a`, where
+/// `failed_y(x) → crash_a` through a message chain (the appendix's
+/// "depends on whether failed_y(x) → crash_a" branch).
+#[test]
+fn case7_with_message_chain() {
+    let m = MsgId::new(Y, 0);
+    let h = History::new(
+        4,
+        vec![
+            failed_b_a(),
+            failed_y_x(),
+            Event::send(Y, A, m),
+            Event::recv(A, Y, m),
+            crash_x(),
+            crash_a(),
+        ],
+    );
+    assert_rearrangeable(&h, "case 7");
+}
+
+/// Case 12's benign sibling: one pair's fix requires moving events past
+/// the other pair, but no constraint cycle exists because only ONE of the
+/// two message chains of Theorem 3 is present.
+#[test]
+fn half_of_theorem3_is_still_rearrangeable() {
+    let m1 = MsgId::new(Y, 0);
+    let h = History::new(
+        4,
+        vec![
+            failed_y_x(),
+            Event::send(Y, A, m1),
+            Event::recv(A, Y, m1),
+            failed_b_a(),
+            crash_a(),
+            crash_x(),
+        ],
+    );
+    // Constraints: crash_x < failed_y(x) → … → recv_a < crash_a and
+    // crash_a < failed_b(a). All satisfiable: crash_x first, then the
+    // chain, then crash_a, then failed_b(a).
+    assert_rearrangeable(&h, "half-theorem3");
+    // Sanity: the rearranged order indeed begins with crash_x.
+    let fixed = rearrange_to_fs(&h).expect("checked").history;
+    assert_eq!(fixed.events()[0], crash_x());
+}
+
+/// Adding the second chain completes Theorem 3 and must flip the verdict
+/// to NoFsOrder — the boundary between case 12's fixable and unfixable
+/// branches.
+#[test]
+fn completing_theorem3_flips_to_no_fs_order() {
+    let m1 = MsgId::new(Y, 0);
+    let m2 = MsgId::new(B, 0);
+    let h = History::new(
+        4,
+        vec![
+            failed_y_x(),
+            Event::send(Y, A, m1),
+            Event::recv(A, Y, m1),
+            crash_a(),
+            failed_b_a(),
+            Event::send(B, X, m2),
+            Event::recv(X, B, m2),
+            crash_x(),
+        ],
+    );
+    assert!(h.validate().is_ok());
+    assert!(matches!(rearrange_to_fs(&h), Err(RearrangeError::NoFsOrder { .. })));
+}
+
+/// Three bad pairs at once: the outer induction of the appendix.
+#[test]
+fn three_simultaneous_bad_pairs() {
+    let h = History::new(
+        6,
+        vec![
+            Event::failed(ProcessId::new(3), ProcessId::new(0)),
+            Event::failed(ProcessId::new(4), ProcessId::new(1)),
+            Event::failed(ProcessId::new(5), ProcessId::new(2)),
+            Event::crash(ProcessId::new(2)),
+            Event::crash(ProcessId::new(0)),
+            Event::crash(ProcessId::new(1)),
+        ],
+    );
+    assert_rearrangeable(&h, "three bad pairs");
+    let report = rearrange_to_fs(&h).expect("checked");
+    assert_eq!(report.bad_pairs, 3);
+}
+
+/// A bad pair whose detection has a long causal tail: everything after
+/// `failed_y(x)` in y's program order must stay after it.
+#[test]
+fn long_causal_tail_stays_ordered() {
+    let msgs: Vec<MsgId> = (0..4).map(|k| MsgId::new(Y, k)).collect();
+    let mut events = vec![failed_y_x()];
+    // y sends a chain through a, b and back to y.
+    events.push(Event::send(Y, A, msgs[0]));
+    events.push(Event::recv(A, Y, msgs[0]));
+    let ma = MsgId::new(A, 0);
+    events.push(Event::send(A, B, ma));
+    events.push(Event::recv(B, A, ma));
+    events.push(crash_x());
+    let h = History::new(4, events);
+    assert_rearrangeable(&h, "long tail");
+    let fixed = rearrange_to_fs(&h).expect("checked").history;
+    // crash_x must be first; the causal chain order must be intact.
+    assert_eq!(fixed.events()[0], crash_x());
+    let pos = |e: &Event| fixed.events().iter().position(|x| x == e).expect("present");
+    assert!(pos(&failed_y_x()) < pos(&Event::send(Y, A, msgs[0])));
+    assert!(pos(&Event::send(Y, A, msgs[0])) < pos(&Event::recv(A, Y, msgs[0])));
+    assert!(pos(&Event::recv(A, Y, msgs[0])) < pos(&Event::send(A, B, ma)));
+}

@@ -1,0 +1,445 @@
+//! A small linear-temporal-logic engine over finite run prefixes.
+//!
+//! The paper specifies properties with predicate logic over global states
+//! and linear-time temporal logic over runs ([Pne77]): `□P` ("always P")
+//! and `◇P` ("eventually P") over suffixes, with the stable predicates
+//! `SEND_i(j,m)`, `RECV_i(j,m)`, `CRASH_i`, and `FAILED_i(j)`.
+//!
+//! We evaluate formulas over the *states* of a finite history prefix.
+//! State `k` is the global state after the first `k` events; a history of
+//! `len` events has states `0..=len`. Semantics are the standard
+//! finite-trace ones:
+//!
+//! * `(s, k) ⊨ ◇P` iff `P` holds at some state `j ≥ k` *within the
+//!   prefix*;
+//! * `(s, k) ⊨ □P` iff `P` holds at every state `j ≥ k` of the prefix.
+//!
+//! For runs that stopped at quiescence this decides the paper's infinite
+//! semantics for the properties we check (all atoms are stable, so a `◇`
+//! that has not fired by a quiescent end never will). For truncated runs,
+//! `◇` may be a false negative; the higher-level checkers in
+//! [`crate::properties`] account for that with a `Vacuous` verdict.
+
+use sfs_asys::{MsgId, ProcessId};
+use sfs_history::{Event, History};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A stable state predicate of the paper's logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// `CRASH_i`: process `i` has crashed.
+    Crashed(ProcessId),
+    /// `FAILED_by(of)`: `by` has detected the failure of `of`.
+    FailedBy {
+        /// The detecting process.
+        by: ProcessId,
+        /// The detected process.
+        of: ProcessId,
+    },
+    /// `SEND_from(to, m)`: `from` has sent `m` to `to`. With `msg = None`,
+    /// "has sent *some* message to `to`".
+    Sent {
+        /// The sender.
+        from: ProcessId,
+        /// The destination.
+        to: ProcessId,
+        /// A specific message, or any.
+        msg: Option<MsgId>,
+    },
+    /// `RECV_by(from, m)`: `by` has received `m` from `from`. With
+    /// `msg = None`, "has received *some* message from `from`".
+    Received {
+        /// The receiver.
+        by: ProcessId,
+        /// The original sender.
+        from: ProcessId,
+        /// A specific message, or any.
+        msg: Option<MsgId>,
+    },
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Crashed(i) => write!(f, "CRASH_{i}"),
+            Atom::FailedBy { by, of } => write!(f, "FAILED_{by}({of})"),
+            Atom::Sent { from, to, msg: Some(m) } => write!(f, "SEND_{from}({to},{m})"),
+            Atom::Sent { from, to, msg: None } => write!(f, "SEND_{from}({to},*)"),
+            Atom::Received { by, from, msg: Some(m) } => write!(f, "RECV_{by}({from},{m})"),
+            Atom::Received { by, from, msg: None } => write!(f, "RECV_{by}({from},*)"),
+        }
+    }
+}
+
+/// A temporal formula over [`Atom`]s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+    /// A stable state predicate.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Material implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// `□F`: F holds at every state from here on.
+    Always(Box<Formula>),
+    /// `◇F`: F holds at some state from here on (within the prefix).
+    Eventually(Box<Formula>),
+}
+
+impl Formula {
+    /// `□F`.
+    pub fn always(f: Formula) -> Formula {
+        Formula::Always(Box::new(f))
+    }
+
+    /// `◇F`.
+    pub fn eventually(f: Formula) -> Formula {
+        Formula::Eventually(Box::new(f))
+    }
+
+    /// `F ⇒ G`.
+    pub fn implies(f: Formula, g: Formula) -> Formula {
+        Formula::Implies(Box::new(f), Box::new(g))
+    }
+
+    /// `¬F`.
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// The atom `CRASH_i`.
+    pub fn crashed(i: ProcessId) -> Formula {
+        Formula::Atom(Atom::Crashed(i))
+    }
+
+    /// The atom `FAILED_by(of)`.
+    pub fn failed_by(by: ProcessId, of: ProcessId) -> Formula {
+        Formula::Atom(Atom::FailedBy { by, of })
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Not(x) => write!(f, "¬({x})"),
+            Formula::And(xs) => {
+                write!(f, "(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(xs) => {
+                write!(f, "(")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Implies(a, b) => write!(f, "({a} ⇒ {b})"),
+            Formula::Always(x) => write!(f, "□({x})"),
+            Formula::Eventually(x) => write!(f, "◇({x})"),
+        }
+    }
+}
+
+/// Per-state evaluation of formulas over one history.
+///
+/// # Examples
+///
+/// ```
+/// use sfs_asys::ProcessId;
+/// use sfs_history::{Event, History};
+/// use sfs_tlogic::{Evaluator, Formula};
+///
+/// let p0 = ProcessId::new(0);
+/// let p1 = ProcessId::new(1);
+/// let h = History::new(2, vec![Event::crash(p0), Event::failed(p1, p0)]);
+/// let eval = Evaluator::new(&h);
+/// // FS2 for this pair: □(FAILED_p1(p0) ⇒ CRASH_p0)
+/// let fs2 = Formula::always(Formula::implies(
+///     Formula::failed_by(p1, p0),
+///     Formula::crashed(p0),
+/// ));
+/// assert!(eval.holds(&fs2));
+/// ```
+#[derive(Debug)]
+pub struct Evaluator {
+    len: usize,
+    /// First *state* index at which each atom holds (atoms are stable).
+    crash_time: HashMap<ProcessId, usize>,
+    failed_time: HashMap<(ProcessId, ProcessId), usize>,
+    sent_specific: HashMap<(ProcessId, ProcessId, MsgId), usize>,
+    sent_any: HashMap<(ProcessId, ProcessId), usize>,
+    recv_specific: HashMap<(ProcessId, ProcessId, MsgId), usize>,
+    recv_any: HashMap<(ProcessId, ProcessId), usize>,
+}
+
+impl Evaluator {
+    /// Scans the history once and indexes all atoms.
+    pub fn new(h: &History) -> Self {
+        let mut ev = Evaluator {
+            len: h.len(),
+            crash_time: HashMap::new(),
+            failed_time: HashMap::new(),
+            sent_specific: HashMap::new(),
+            sent_any: HashMap::new(),
+            recv_specific: HashMap::new(),
+            recv_any: HashMap::new(),
+        };
+        for (i, e) in h.events().iter().enumerate() {
+            // The predicate becomes true in the state AFTER the event.
+            let t = i + 1;
+            match *e {
+                Event::Crash { pid } => {
+                    ev.crash_time.entry(pid).or_insert(t);
+                }
+                Event::Failed { by, of } => {
+                    ev.failed_time.entry((by, of)).or_insert(t);
+                }
+                Event::Send { from, to, msg } => {
+                    ev.sent_specific.entry((from, to, msg)).or_insert(t);
+                    ev.sent_any.entry((from, to)).or_insert(t);
+                }
+                Event::Recv { by, from, msg } => {
+                    ev.recv_specific.entry((from, by, msg)).or_insert(t);
+                    ev.recv_any.entry((from, by)).or_insert(t);
+                }
+                Event::Internal { .. } => {}
+            }
+        }
+        ev
+    }
+
+    /// Number of states (`len + 1` for a history of `len` events).
+    pub fn states(&self) -> usize {
+        self.len + 1
+    }
+
+    fn atom_first_true(&self, atom: &Atom) -> Option<usize> {
+        match *atom {
+            Atom::Crashed(i) => self.crash_time.get(&i).copied(),
+            Atom::FailedBy { by, of } => self.failed_time.get(&(by, of)).copied(),
+            Atom::Sent { from, to, msg: Some(m) } => {
+                self.sent_specific.get(&(from, to, m)).copied()
+            }
+            Atom::Sent { from, to, msg: None } => self.sent_any.get(&(from, to)).copied(),
+            Atom::Received { by, from, msg: Some(m) } => {
+                self.recv_specific.get(&(from, by, m)).copied()
+            }
+            Atom::Received { by, from, msg: None } => self.recv_any.get(&(from, by)).copied(),
+        }
+    }
+
+    /// Evaluates `f` at every state; index `k` of the result is
+    /// `(run, k) ⊨ f`.
+    pub fn eval(&self, f: &Formula) -> Vec<bool> {
+        let states = self.states();
+        match f {
+            Formula::True => vec![true; states],
+            Formula::False => vec![false; states],
+            Formula::Atom(a) => {
+                let first = self.atom_first_true(a).unwrap_or(usize::MAX);
+                (0..states).map(|k| k >= first).collect()
+            }
+            Formula::Not(x) => self.eval(x).into_iter().map(|b| !b).collect(),
+            Formula::And(xs) => {
+                let mut acc = vec![true; states];
+                for x in xs {
+                    for (a, b) in acc.iter_mut().zip(self.eval(x)) {
+                        *a &= b;
+                    }
+                }
+                acc
+            }
+            Formula::Or(xs) => {
+                let mut acc = vec![false; states];
+                for x in xs {
+                    for (a, b) in acc.iter_mut().zip(self.eval(x)) {
+                        *a |= b;
+                    }
+                }
+                acc
+            }
+            Formula::Implies(a, b) => {
+                let va = self.eval(a);
+                let vb = self.eval(b);
+                va.into_iter().zip(vb).map(|(x, y)| !x || y).collect()
+            }
+            Formula::Always(x) => {
+                let v = self.eval(x);
+                let mut out = vec![false; states];
+                let mut all = true;
+                for k in (0..states).rev() {
+                    all &= v[k];
+                    out[k] = all;
+                }
+                out
+            }
+            Formula::Eventually(x) => {
+                let v = self.eval(x);
+                let mut out = vec![false; states];
+                let mut any = false;
+                for k in (0..states).rev() {
+                    any |= v[k];
+                    out[k] = any;
+                }
+                out
+            }
+        }
+    }
+
+    /// `r ⊨ f`: whether `f` holds at state 0.
+    pub fn holds(&self, f: &Formula) -> bool {
+        self.eval(f)[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_asys::MsgId;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn sample() -> History {
+        let m = MsgId::new(p(0), 0);
+        History::new(
+            2,
+            vec![
+                Event::send(p(0), p(1), m),
+                Event::recv(p(1), p(0), m),
+                Event::crash(p(0)),
+                Event::failed(p(1), p(0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn atoms_become_true_after_their_event() {
+        let h = sample();
+        let ev = Evaluator::new(&h);
+        let crash = Formula::crashed(p(0));
+        assert_eq!(ev.eval(&crash), vec![false, false, false, true, true]);
+    }
+
+    #[test]
+    fn atoms_are_stable() {
+        let h = sample();
+        let ev = Evaluator::new(&h);
+        for atom in [
+            Formula::crashed(p(0)),
+            Formula::failed_by(p(1), p(0)),
+            Formula::Atom(Atom::Sent { from: p(0), to: p(1), msg: None }),
+        ] {
+            let v = ev.eval(&atom);
+            let mut seen_true = false;
+            for b in v {
+                if seen_true {
+                    assert!(b, "stable atom became false again");
+                }
+                seen_true |= b;
+            }
+        }
+    }
+
+    #[test]
+    fn fs2_holds_on_fs_ordered_history() {
+        let h = sample();
+        let ev = Evaluator::new(&h);
+        let fs2 = Formula::always(Formula::implies(
+            Formula::failed_by(p(1), p(0)),
+            Formula::crashed(p(0)),
+        ));
+        assert!(ev.holds(&fs2));
+    }
+
+    #[test]
+    fn fs2_fails_when_detection_precedes_crash() {
+        let h = History::new(2, vec![Event::failed(p(1), p(0)), Event::crash(p(0))]);
+        let ev = Evaluator::new(&h);
+        let fs2 = Formula::always(Formula::implies(
+            Formula::failed_by(p(1), p(0)),
+            Formula::crashed(p(0)),
+        ));
+        assert!(!ev.holds(&fs2));
+        // But the sFS2a weakening — ◇CRASH instead of CRASH — holds:
+        let sfs2a = Formula::always(Formula::implies(
+            Formula::failed_by(p(1), p(0)),
+            Formula::eventually(Formula::crashed(p(0))),
+        ));
+        assert!(ev.holds(&sfs2a));
+    }
+
+    #[test]
+    fn eventually_respects_position() {
+        let h = sample();
+        let ev = Evaluator::new(&h);
+        let f = Formula::eventually(Formula::crashed(p(0)));
+        // From every state, the crash is eventually reached in this prefix.
+        assert_eq!(ev.eval(&f), vec![true; 5]);
+        let g = Formula::eventually(Formula::failed_by(p(0), p(1)));
+        assert_eq!(ev.eval(&g), vec![false; 5]);
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let h = sample();
+        let ev = Evaluator::new(&h);
+        assert!(ev.holds(&Formula::True));
+        assert!(!ev.holds(&Formula::False));
+        assert!(ev.holds(&Formula::not(Formula::crashed(p(1)))));
+        assert!(ev.holds(&Formula::Or(vec![Formula::False, Formula::True])));
+        assert!(!ev.holds(&Formula::And(vec![Formula::True, Formula::False])));
+    }
+
+    #[test]
+    fn display_renders_temporal_operators() {
+        let f = Formula::always(Formula::implies(
+            Formula::failed_by(p(1), p(0)),
+            Formula::eventually(Formula::crashed(p(0))),
+        ));
+        let s = f.to_string();
+        assert!(s.contains("□"));
+        assert!(s.contains("◇"));
+        assert!(s.contains("FAILED_p1(p0)"));
+    }
+
+    #[test]
+    fn specific_message_atoms() {
+        let h = sample();
+        let ev = Evaluator::new(&h);
+        let m = MsgId::new(p(0), 0);
+        let other = MsgId::new(p(0), 9);
+        assert!(ev.holds(&Formula::eventually(Formula::Atom(Atom::Received {
+            by: p(1),
+            from: p(0),
+            msg: Some(m)
+        }))));
+        assert!(!ev.holds(&Formula::eventually(Formula::Atom(Atom::Received {
+            by: p(1),
+            from: p(0),
+            msg: Some(other)
+        }))));
+    }
+}

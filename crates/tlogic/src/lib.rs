@@ -1,0 +1,40 @@
+//! # sfs-tlogic — temporal-logic checking for the fail-stop simulation
+//!
+//! The property layer of the Sabel & Marzullo (1994) reproduction. Two
+//! complementary interfaces:
+//!
+//! * [`Formula`] / [`Evaluator`] — a general linear-temporal-logic engine
+//!   (`□`, `◇` over the paper's stable predicates `SEND`, `RECV`, `CRASH`,
+//!   `FAILED`), evaluated with finite-trace semantics over history states;
+//! * [`properties`] — direct, efficient checkers for every named property
+//!   in the paper (FS1/FS2, sFS2a–d, Conditions 1–3, and the Witness
+//!   property W), producing structured [`PropertyReport`]s with concrete
+//!   violations.
+//!
+//! The two are cross-validated in this crate's tests: on the same history,
+//! the LTL encoding of a property and its direct checker must agree.
+//!
+//! # Examples
+//!
+//! ```
+//! use sfs_asys::ProcessId;
+//! use sfs_history::{Event, History};
+//! use sfs_tlogic::{properties, Verdict};
+//!
+//! let p0 = ProcessId::new(0);
+//! let p1 = ProcessId::new(1);
+//! // A false detection, later "made true" by the victim crashing:
+//! let h = History::new(2, vec![Event::failed(p1, p0), Event::crash(p0)]);
+//! assert_eq!(properties::check_fs2(&h).verdict, Verdict::Violated); // not fail-stop...
+//! assert_eq!(properties::check_sfs2a(&h, true).verdict, Verdict::Holds); // ...but sFS-legal
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod formula;
+pub mod properties;
+mod report;
+
+pub use formula::{Atom, Evaluator, Formula};
+pub use report::{PropertyReport, Verdict, Violation};

@@ -1,0 +1,622 @@
+//! Direct checkers for every property named in the paper.
+//!
+//! | Checker | Paper property |
+//! |---------|----------------|
+//! | [`check_fs1`] | FS1: `□(CRASH_i ⇒ ∀j: ◇(CRASH_j ∨ FAILED_j(i)))` |
+//! | [`check_fs2`] | FS2: `□(FAILED_j(i) ⇒ CRASH_i)` |
+//! | [`check_sfs2a`] | sFS2a: `□(FAILED_i(j) ⇒ ◇CRASH_j)` |
+//! | [`check_sfs2b`] | sFS2b: failed-before is acyclic |
+//! | [`check_sfs2c`] | sFS2c: `□¬FAILED_i(i)` |
+//! | [`check_sfs2d`] | sFS2d: detections propagate ahead of messages |
+//! | [`check_condition1`] | Condition 1 (≡ sFS2a on runs with FS1) |
+//! | [`check_condition2`] | Condition 2 (≡ sFS2b) |
+//! | [`check_condition3`] | Condition 3: no event of `j` after `failed_i(j)` in happens-before |
+//! | [`check_witness`] | W: all detection quorums share a witness (Thm 6) |
+//!
+//! Safety properties are decided exactly on any prefix. Liveness
+//! properties (FS1, the `◇CRASH` of sFS2a) take a `complete` flag: on a
+//! quiescent prefix an unmet obligation is a real violation, on a
+//! truncated prefix it is reported [`Verdict::Vacuous`].
+
+use crate::report::{PropertyReport, Verdict, Violation};
+use sfs_asys::{Note, ProcessId, Trace, NOTE_QUORUM};
+use sfs_history::{Event, FailedBefore, HappensBefore, History};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// FS1 — crash completeness: every crashed process is eventually detected
+/// by every process that does not itself crash.
+///
+/// `complete` should be `trace.stop_reason().is_complete()`.
+pub fn check_fs1(h: &History, complete: bool) -> PropertyReport {
+    let crashed: Vec<ProcessId> = h.crashed();
+    let crashed_set: HashSet<ProcessId> = crashed.iter().copied().collect();
+    let detected: HashSet<(ProcessId, ProcessId)> =
+        h.detections().into_iter().map(|(_, by, of)| (by, of)).collect();
+    let mut open = Vec::new();
+    for &victim in &crashed {
+        for j in ProcessId::all(h.n()) {
+            if j == victim || crashed_set.contains(&j) {
+                continue;
+            }
+            if !detected.contains(&(j, victim)) {
+                open.push(Violation {
+                    detail: format!("{j} never detected the crash of {victim}"),
+                    at: None,
+                });
+            }
+        }
+    }
+    if open.is_empty() {
+        PropertyReport::holds("FS1")
+    } else if complete {
+        PropertyReport::violated("FS1", open)
+    } else {
+        PropertyReport::vacuous("FS1")
+    }
+}
+
+/// FS2 — strong accuracy: no process is detected before it has crashed.
+/// This is the property that is impossible to implement (Theorem 1) and
+/// that sFS weakens.
+pub fn check_fs2(h: &History) -> PropertyReport {
+    let mut crashed: HashSet<ProcessId> = HashSet::new();
+    let mut violations = Vec::new();
+    for (i, e) in h.events().iter().enumerate() {
+        match *e {
+            Event::Crash { pid } => {
+                crashed.insert(pid);
+            }
+            Event::Failed { by, of } => {
+                if !crashed.contains(&of) {
+                    violations.push(Violation {
+                        detail: format!("failed_{by}({of}) executed before crash_{of}"),
+                        at: Some(i),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    if violations.is_empty() {
+        PropertyReport::holds("FS2")
+    } else {
+        PropertyReport::violated("FS2", violations)
+    }
+}
+
+/// sFS2a — every detected process eventually crashes (even if the
+/// detection was erroneous).
+pub fn check_sfs2a(h: &History, complete: bool) -> PropertyReport {
+    check_eventual_crash(h, complete, "sFS2a")
+}
+
+/// Condition 1 — `◇FAILED_i(j) ⇒ ◇CRASH_j`; necessary for any model
+/// indistinguishable from fail-stop (Theorem 2). Extensionally the same
+/// check as sFS2a.
+pub fn check_condition1(h: &History, complete: bool) -> PropertyReport {
+    check_eventual_crash(h, complete, "Condition1")
+}
+
+fn check_eventual_crash(h: &History, complete: bool, name: &'static str) -> PropertyReport {
+    let crashed: HashSet<ProcessId> = h.crashed().into_iter().collect();
+    let mut open = Vec::new();
+    for (i, by, of) in h.detections() {
+        if !crashed.contains(&of) {
+            open.push(Violation {
+                detail: format!("failed_{by}({of}) but {of} never crashes"),
+                at: Some(i),
+            });
+        }
+    }
+    if open.is_empty() {
+        PropertyReport::holds(name)
+    } else if complete {
+        PropertyReport::violated(name, open)
+    } else {
+        PropertyReport::vacuous(name)
+    }
+}
+
+/// sFS2b — the failed-before relation is acyclic.
+pub fn check_sfs2b(h: &History) -> PropertyReport {
+    check_acyclic(h, "sFS2b")
+}
+
+/// Condition 2 — identical content to sFS2b, reported under the
+/// condition's name.
+pub fn check_condition2(h: &History) -> PropertyReport {
+    check_acyclic(h, "Condition2")
+}
+
+fn check_acyclic(h: &History, name: &'static str) -> PropertyReport {
+    match FailedBefore::from_history(h).find_cycle() {
+        None => PropertyReport::holds(name),
+        Some(cycle) => {
+            let pretty: Vec<String> = cycle.iter().map(|p| p.to_string()).collect();
+            PropertyReport::violated(
+                name,
+                vec![Violation {
+                    detail: format!("failed-before cycle: {}", pretty.join(" → ")),
+                    at: None,
+                }],
+            )
+        }
+    }
+}
+
+/// sFS2c — a process never detects its own failure.
+pub fn check_sfs2c(h: &History) -> PropertyReport {
+    let violations: Vec<Violation> = h
+        .detections()
+        .into_iter()
+        .filter(|&(_, by, of)| by == of)
+        .map(|(i, by, _)| Violation { detail: format!("failed_{by}({by}) executed"), at: Some(i) })
+        .collect();
+    if violations.is_empty() {
+        PropertyReport::holds("sFS2c")
+    } else {
+        PropertyReport::violated("sFS2c", violations)
+    }
+}
+
+/// sFS2d — once `i` has detected `j`, any message `i` subsequently sends
+/// is not received by its destination `k` until `k` has also detected `j`.
+///
+/// Formally: `□[FAILED_i(j) ∧ ¬SEND_i(k,m) ⇒ □((SEND_i(k,m) ∧
+/// RECV_k(i,m)) ⇒ FAILED_k(j))]`.
+pub fn check_sfs2d(h: &History) -> PropertyReport {
+    // Position of every receive, keyed by message.
+    let mut recv_pos: HashMap<sfs_asys::MsgId, (usize, ProcessId)> = HashMap::new();
+    // State index at which failed_k(j) becomes true.
+    let mut failed_at: HashMap<(ProcessId, ProcessId), usize> = HashMap::new();
+    for (i, e) in h.events().iter().enumerate() {
+        match *e {
+            Event::Recv { by, msg, .. } => {
+                recv_pos.insert(msg, (i, by));
+            }
+            Event::Failed { by, of } => {
+                failed_at.entry((by, of)).or_insert(i);
+            }
+            _ => {}
+        }
+    }
+    let mut violations = Vec::new();
+    // Detections already made by each process, rebuilt in scan order.
+    let mut detected_by: HashMap<ProcessId, Vec<ProcessId>> = HashMap::new();
+    for e in h.events() {
+        match *e {
+            Event::Failed { by, of } => detected_by.entry(by).or_default().push(of),
+            Event::Send { from, to, msg } => {
+                let Some(suspects) = detected_by.get(&from) else { continue };
+                if suspects.is_empty() {
+                    continue;
+                }
+                let Some(&(rpos, receiver)) = recv_pos.get(&msg) else {
+                    continue; // never received: no obligation fires
+                };
+                debug_assert_eq!(receiver, to);
+                for &j in suspects {
+                    let ok = failed_at.get(&(to, j)).is_some_and(|&f| f < rpos);
+                    if !ok {
+                        violations.push(Violation {
+                            detail: format!(
+                                "{to} received {msg} from {from} (which had detected {j}) \
+                                 before executing failed_{to}({j})"
+                            ),
+                            at: Some(rpos),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if violations.is_empty() {
+        PropertyReport::holds("sFS2d")
+    } else {
+        PropertyReport::violated("sFS2d", violations)
+    }
+}
+
+/// Condition 3 — there is no event `e` of process `j` with
+/// `failed_i(j) → e` in happens-before. Necessary for indistinguishability
+/// (Theorem 2); implied by sFS2c ∧ sFS2d (Lemma 4).
+pub fn check_condition3(h: &History) -> PropertyReport {
+    let hb = HappensBefore::compute(h);
+    let mut violations = Vec::new();
+    for (f_idx, by, of) in h.detections() {
+        for (e_idx, e) in h.events().iter().enumerate() {
+            if e.process() == of && hb.leq(f_idx, e_idx) {
+                violations.push(Violation {
+                    detail: format!(
+                        "event `{e}` of {of} is causally after failed_{by}({of})"
+                    ),
+                    at: Some(e_idx),
+                });
+            }
+        }
+    }
+    if violations.is_empty() {
+        PropertyReport::holds("Condition3")
+    } else {
+        PropertyReport::violated("Condition3", violations)
+    }
+}
+
+/// W, the Witness property as Theorem 7 needs it: **every `t` quorum
+/// sets** among the run's failure detections have a common member.
+///
+/// The paper displays W as "one witness in all quorums", but its proof of
+/// Theorem 7 uses exactly the `t`-wise form: "the largest possible cycle
+/// in a run satisfying (simulated) fail-stop involves `t` processes. We
+/// must guarantee that any `t` quorum sets `Q_1 … Q_t` have a nonempty
+/// intersection." A long run accumulates many detections whose quorums
+/// need not all share one process; cycles only ever need `t` of them.
+///
+/// Quorums are read from the trace's [`NOTE_QUORUM`] annotations, which
+/// the sFS protocol records at each detection; a detection without an
+/// annotation (e.g. from a unilateral detector) is treated as having
+/// quorum `{detector}`.
+pub fn check_witness(trace: &Trace, t: usize) -> PropertyReport {
+    let mut quorums: Vec<(ProcessId, Option<ProcessId>, BTreeSet<ProcessId>)> = Vec::new();
+    for (_, pid, note) in trace.notes_with_key(NOTE_QUORUM) {
+        if let Note::ProcessSet { about, set, .. } = note {
+            quorums.push((pid, *about, set.iter().copied().collect()));
+        }
+    }
+    let annotated: HashSet<(ProcessId, Option<ProcessId>)> =
+        quorums.iter().map(|(pid, about, _)| (*pid, *about)).collect();
+    // Detections without a quorum annotation count as unilateral: {self}.
+    for (by, of) in trace.detections() {
+        if !annotated.contains(&(by, Some(of))) {
+            quorums.push((by, Some(of), std::iter::once(by).collect()));
+        }
+    }
+    let k = t.max(2).min(quorums.len());
+    if quorums.len() < 2 {
+        return PropertyReport::holds("W");
+    }
+    // Sufficient condition without enumeration: if every quorum misses at
+    // most (n/k - something)... — concretely, k sets each of size ≥ q over
+    // universe n intersect whenever k·(n − q) < n.
+    let n = trace.n();
+    let min_q = quorums.iter().map(|(_, _, q)| q.len()).min().unwrap_or(0);
+    if k * (n - min_q.min(n)) < n {
+        return PropertyReport::holds("W");
+    }
+    // Otherwise enumerate k-subsets (experiment sizes keep this small).
+    let sets: Vec<&BTreeSet<ProcessId>> = quorums.iter().map(|(_, _, q)| q).collect();
+    let mut indices: Vec<usize> = (0..k).collect();
+    loop {
+        let mut intersection = sets[indices[0]].clone();
+        for &i in &indices[1..] {
+            intersection = intersection.intersection(sets[i]).copied().collect();
+            if intersection.is_empty() {
+                break;
+            }
+        }
+        if intersection.is_empty() {
+            return PropertyReport::violated(
+                "W",
+                vec![Violation {
+                    detail: format!(
+                        "{k} of the {} detection quorums have empty intersection \
+                         (quorum indices {indices:?})",
+                        sets.len()
+                    ),
+                    at: None,
+                }],
+            );
+        }
+        // Next k-combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return PropertyReport::holds("W");
+            }
+            i -= 1;
+            if indices[i] != i + sets.len() - k {
+                indices[i] += 1;
+                for j in i + 1..k {
+                    indices[j] = indices[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Checks all simulated-fail-stop properties (FS1, sFS2a–d) plus the
+/// necessary Conditions 1–3 on one history.
+///
+/// `complete` should be `trace.stop_reason().is_complete()` for histories
+/// projected from traces.
+pub fn check_sfs_suite(h: &History, complete: bool) -> Vec<PropertyReport> {
+    vec![
+        check_fs1(h, complete),
+        check_sfs2a(h, complete),
+        check_sfs2b(h),
+        check_sfs2c(h),
+        check_sfs2d(h),
+        check_condition1(h, complete),
+        check_condition2(h),
+        check_condition3(h),
+    ]
+}
+
+/// Convenience: whether every report in a suite is non-violated.
+pub fn suite_ok(reports: &[PropertyReport]) -> bool {
+    reports.iter().all(PropertyReport::is_ok)
+}
+
+/// Convenience: the verdict for a named property within a suite.
+pub fn verdict_of(reports: &[PropertyReport], property: &str) -> Option<Verdict> {
+    reports.iter().find(|r| r.property == property).map(|r| r.verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_asys::MsgId;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn m(src: usize, seq: u64) -> MsgId {
+        MsgId::new(p(src), seq)
+    }
+
+    #[test]
+    fn fs1_holds_when_all_survivors_detect() {
+        let h = History::new(
+            3,
+            vec![Event::crash(p(0)), Event::failed(p(1), p(0)), Event::failed(p(2), p(0))],
+        );
+        assert_eq!(check_fs1(&h, true).verdict, Verdict::Holds);
+    }
+
+    #[test]
+    fn fs1_violated_on_complete_run_with_missing_detection() {
+        let h = History::new(3, vec![Event::crash(p(0)), Event::failed(p(1), p(0))]);
+        assert_eq!(check_fs1(&h, true).verdict, Verdict::Violated);
+        assert_eq!(check_fs1(&h, false).verdict, Verdict::Vacuous);
+    }
+
+    #[test]
+    fn fs1_excuses_crashed_detectors() {
+        // p2 crashed; it need not detect p0 (but survivor p1 must detect
+        // both crashed processes).
+        let h = History::new(
+            3,
+            vec![
+                Event::crash(p(0)),
+                Event::crash(p(2)),
+                Event::failed(p(1), p(0)),
+                Event::failed(p(1), p(2)),
+            ],
+        );
+        assert_eq!(check_fs1(&h, true).verdict, Verdict::Holds);
+    }
+
+    #[test]
+    fn fs2_exact_on_any_prefix() {
+        let good = History::new(2, vec![Event::crash(p(0)), Event::failed(p(1), p(0))]);
+        assert_eq!(check_fs2(&good).verdict, Verdict::Holds);
+        let bad = History::new(2, vec![Event::failed(p(1), p(0)), Event::crash(p(0))]);
+        let report = check_fs2(&bad);
+        assert_eq!(report.verdict, Verdict::Violated);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].at, Some(0));
+    }
+
+    #[test]
+    fn sfs2a_accepts_late_crash_and_rejects_missing_one() {
+        let late = History::new(2, vec![Event::failed(p(1), p(0)), Event::crash(p(0))]);
+        assert_eq!(check_sfs2a(&late, true).verdict, Verdict::Holds);
+        let missing = History::new(2, vec![Event::failed(p(1), p(0))]);
+        assert_eq!(check_sfs2a(&missing, true).verdict, Verdict::Violated);
+        assert_eq!(check_sfs2a(&missing, false).verdict, Verdict::Vacuous);
+    }
+
+    #[test]
+    fn sfs2b_detects_cycles() {
+        let h = History::new(
+            2,
+            vec![
+                Event::failed(p(0), p(1)),
+                Event::failed(p(1), p(0)),
+                Event::crash(p(0)),
+                Event::crash(p(1)),
+            ],
+        );
+        let report = check_sfs2b(&h);
+        assert_eq!(report.verdict, Verdict::Violated);
+        assert!(report.violations[0].detail.contains("cycle"));
+    }
+
+    #[test]
+    fn sfs2c_rejects_self_detection() {
+        let h = History::new(2, vec![Event::failed(p(0), p(0))]);
+        assert_eq!(check_sfs2c(&h).verdict, Verdict::Violated);
+        let ok = History::new(2, vec![Event::failed(p(0), p(1)), Event::crash(p(1))]);
+        assert_eq!(check_sfs2c(&ok).verdict, Verdict::Holds);
+    }
+
+    #[test]
+    fn sfs2d_violated_when_message_outruns_detection() {
+        // p0 detects p2, then sends m to p1; p1 receives it without having
+        // detected p2.
+        let h = History::new(
+            3,
+            vec![
+                Event::failed(p(0), p(2)),
+                Event::send(p(0), p(1), m(0, 0)),
+                Event::recv(p(1), p(0), m(0, 0)),
+                Event::crash(p(2)),
+            ],
+        );
+        let report = check_sfs2d(&h);
+        assert_eq!(report.verdict, Verdict::Violated);
+        assert_eq!(report.violations[0].at, Some(2));
+    }
+
+    #[test]
+    fn sfs2d_holds_when_detection_precedes_receipt() {
+        let h = History::new(
+            3,
+            vec![
+                Event::failed(p(0), p(2)),
+                Event::send(p(0), p(1), m(0, 0)),
+                Event::failed(p(1), p(2)),
+                Event::recv(p(1), p(0), m(0, 0)),
+                Event::crash(p(2)),
+            ],
+        );
+        assert_eq!(check_sfs2d(&h).verdict, Verdict::Holds);
+    }
+
+    #[test]
+    fn sfs2d_no_obligation_for_messages_sent_before_detection() {
+        let h = History::new(
+            3,
+            vec![
+                Event::send(p(0), p(1), m(0, 0)),
+                Event::failed(p(0), p(2)),
+                Event::recv(p(1), p(0), m(0, 0)),
+                Event::crash(p(2)),
+            ],
+        );
+        assert_eq!(check_sfs2d(&h).verdict, Verdict::Holds);
+    }
+
+    #[test]
+    fn condition3_catches_victim_activity_after_detection_chain() {
+        // p0 detects p2, sends to p2; p2 receives (an event of p2 causally
+        // after failed_p0(p2)).
+        let h = History::new(
+            3,
+            vec![
+                Event::failed(p(0), p(2)),
+                Event::send(p(0), p(2), m(0, 0)),
+                Event::recv(p(2), p(0), m(0, 0)),
+                Event::crash(p(2)),
+            ],
+        );
+        let report = check_condition3(&h);
+        assert_eq!(report.verdict, Verdict::Violated);
+    }
+
+    #[test]
+    fn condition3_holds_on_theorem3_run() {
+        let run = sfs_history::scenarios::theorem3_run();
+        assert_eq!(check_condition3(&run).verdict, Verdict::Holds);
+        assert_eq!(check_condition1(&run, true).verdict, Verdict::Holds);
+        assert_eq!(check_condition2(&run).verdict, Verdict::Holds);
+        // ...and yet FS2 fails and no rearrangement exists (Theorem 3).
+        assert_eq!(check_fs2(&run).verdict, Verdict::Violated);
+    }
+
+    fn trace_with_quorums(quorums: Vec<(usize, usize, Vec<usize>)>) -> Trace {
+        use sfs_asys::{SimStats, StopReason, TraceEvent, TraceEventKind, VirtualTime};
+        let mut events = Vec::new();
+        for (i, (by, of, q)) in quorums.into_iter().enumerate() {
+            let set: Vec<ProcessId> = q.into_iter().map(ProcessId::new).collect();
+            events.push(TraceEvent {
+                seq: events.len(),
+                time: VirtualTime::from_ticks(i as u64),
+                kind: TraceEventKind::Note {
+                    pid: p(by),
+                    note: Note::process_set(NOTE_QUORUM, Some(p(of)), set),
+                },
+            });
+            events.push(TraceEvent {
+                seq: events.len(),
+                time: VirtualTime::from_ticks(i as u64),
+                kind: TraceEventKind::Failed { by: p(by), of: p(of) },
+            });
+        }
+        Trace::from_parts(
+            6,
+            events,
+            StopReason::Quiescent,
+            VirtualTime::from_ticks(10),
+            SimStats::default(),
+        )
+    }
+
+    #[test]
+    fn witness_holds_with_common_member() {
+        let trace = trace_with_quorums(vec![
+            (0, 1, vec![0, 2, 3]),
+            (4, 5, vec![2, 3, 4]),
+            (2, 0, vec![1, 2, 4]),
+        ]);
+        assert_eq!(check_witness(&trace, 3).verdict, Verdict::Holds);
+    }
+
+    #[test]
+    fn witness_violated_with_empty_intersection() {
+        let trace = trace_with_quorums(vec![(0, 1, vec![0, 2]), (3, 4, vec![3, 5])]);
+        assert_eq!(check_witness(&trace, 2).verdict, Verdict::Violated);
+    }
+
+    #[test]
+    fn witness_trivial_with_single_detection() {
+        let trace = trace_with_quorums(vec![(0, 1, vec![0])]);
+        assert_eq!(check_witness(&trace, 2).verdict, Verdict::Holds);
+    }
+
+    #[test]
+    fn witness_is_t_wise_not_global() {
+        // Three quorums with empty GLOBAL intersection but every PAIR
+        // intersecting: fine for t = 2, violated for t = 3.
+        let trace = trace_with_quorums(vec![
+            (0, 1, vec![0, 2]),
+            (3, 4, vec![2, 5]),
+            (2, 0, vec![0, 5]),
+        ]);
+        assert_eq!(check_witness(&trace, 2).verdict, Verdict::Holds);
+        assert_eq!(check_witness(&trace, 3).verdict, Verdict::Violated);
+    }
+
+    #[test]
+    fn witness_treats_unannotated_detections_as_unilateral() {
+        use sfs_asys::{SimStats, StopReason, TraceEvent, TraceEventKind, VirtualTime};
+        // Two unannotated detections by different processes: quorums {p0}
+        // and {p1}, empty intersection.
+        let events = vec![
+            TraceEvent {
+                seq: 0,
+                time: VirtualTime::ZERO,
+                kind: TraceEventKind::Failed { by: p(0), of: p(2) },
+            },
+            TraceEvent {
+                seq: 1,
+                time: VirtualTime::ZERO,
+                kind: TraceEventKind::Failed { by: p(1), of: p(3) },
+            },
+        ];
+        let trace = Trace::from_parts(
+            4,
+            events,
+            StopReason::Quiescent,
+            VirtualTime::ZERO,
+            SimStats::default(),
+        );
+        assert_eq!(check_witness(&trace, 2).verdict, Verdict::Violated);
+    }
+
+    #[test]
+    fn suite_runs_all_checks() {
+        let h = History::new(
+            3,
+            vec![Event::crash(p(0)), Event::failed(p(1), p(0)), Event::failed(p(2), p(0))],
+        );
+        let reports = check_sfs_suite(&h, true);
+        assert_eq!(reports.len(), 8);
+        assert!(suite_ok(&reports));
+        assert_eq!(verdict_of(&reports, "sFS2b"), Some(Verdict::Holds));
+        assert_eq!(verdict_of(&reports, "nonexistent"), None);
+    }
+}

@@ -1,0 +1,121 @@
+//! Verdicts and reports produced by the property checkers.
+
+use std::fmt;
+
+/// Outcome of checking one property on one run prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The property holds on this prefix (and, for safety properties, on
+    /// the whole run).
+    Holds,
+    /// The property is violated; see the report's violations.
+    Violated,
+    /// A liveness obligation is still open, but the prefix was truncated
+    /// (not quiescent), so the obligation may be met later in the real
+    /// run. Not a violation.
+    Vacuous,
+}
+
+impl Verdict {
+    /// Whether this verdict is acceptable for an sFS run (holds or still
+    /// open).
+    pub fn is_ok(self) -> bool {
+        !matches!(self, Verdict::Violated)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Holds => write!(f, "holds"),
+            Verdict::Violated => write!(f, "VIOLATED"),
+            Verdict::Vacuous => write!(f, "open (truncated prefix)"),
+        }
+    }
+}
+
+/// One concrete violation, with enough detail to debug the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Human-readable description of what went wrong.
+    pub detail: String,
+    /// Event index in the history where the violation manifests, if it is
+    /// localized.
+    pub at: Option<usize>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.at {
+            Some(at) => write!(f, "[event {at}] {}", self.detail),
+            None => write!(f, "{}", self.detail),
+        }
+    }
+}
+
+/// The result of checking one named property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyReport {
+    /// Property name, e.g. `"FS2"` or `"sFS2d"`.
+    pub property: &'static str,
+    /// Overall verdict.
+    pub verdict: Verdict,
+    /// Concrete violations (empty unless `verdict == Violated`).
+    pub violations: Vec<Violation>,
+}
+
+impl PropertyReport {
+    /// A passing report.
+    pub fn holds(property: &'static str) -> Self {
+        PropertyReport { property, verdict: Verdict::Holds, violations: Vec::new() }
+    }
+
+    /// A vacuous report (liveness obligation open on a truncated prefix).
+    pub fn vacuous(property: &'static str) -> Self {
+        PropertyReport { property, verdict: Verdict::Vacuous, violations: Vec::new() }
+    }
+
+    /// A failing report with its violations.
+    pub fn violated(property: &'static str, violations: Vec<Violation>) -> Self {
+        debug_assert!(!violations.is_empty());
+        PropertyReport { property, verdict: Verdict::Violated, violations }
+    }
+
+    /// Whether the property is not violated.
+    pub fn is_ok(&self) -> bool {
+        self.verdict.is_ok()
+    }
+}
+
+impl fmt::Display for PropertyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.property, self.verdict)?;
+        for v in &self.violations {
+            write!(f, "\n  - {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_ok_semantics() {
+        assert!(Verdict::Holds.is_ok());
+        assert!(Verdict::Vacuous.is_ok());
+        assert!(!Verdict::Violated.is_ok());
+    }
+
+    #[test]
+    fn report_display_includes_violations() {
+        let r = PropertyReport::violated(
+            "FS2",
+            vec![Violation { detail: "failed_p1(p0) before crash_p0".into(), at: Some(3) }],
+        );
+        let s = r.to_string();
+        assert!(s.contains("FS2: VIOLATED"));
+        assert!(s.contains("[event 3]"));
+    }
+}
