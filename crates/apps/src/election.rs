@@ -49,7 +49,11 @@ pub struct ElectionApp {
 impl ElectionApp {
     /// A fresh, followership-assuming instance.
     pub fn new() -> Self {
-        ElectionApp { is_leader: false, failed: BTreeSet::new(), anomalies: 0 }
+        ElectionApp {
+            is_leader: false,
+            failed: BTreeSet::new(),
+            anomalies: 0,
+        }
     }
 
     /// Whether this process currently believes it is the leader.
@@ -98,7 +102,12 @@ impl Application for ElectionApp {
         self.reconsider(api);
     }
 
-    fn on_message(&mut self, api: &mut AppApi<'_, '_, ElectionMsg>, from: ProcessId, msg: ElectionMsg) {
+    fn on_message(
+        &mut self,
+        api: &mut AppApi<'_, '_, ElectionMsg>,
+        from: ProcessId,
+        msg: ElectionMsg,
+    ) {
         match msg {
             ElectionMsg::Claim => {
                 if self.is_leader && from != api.id() {
@@ -135,8 +144,10 @@ pub struct ElectionOutcome {
 
 /// Computes leadership intervals and anomaly counts from a trace.
 pub fn analyze_election(trace: &Trace) -> ElectionOutcome {
-    let claims: Vec<(usize, ProcessId)> =
-        trace.notes_with_key(NOTE_LEADER).map(|(seq, pid, _)| (seq, pid)).collect();
+    let claims: Vec<(usize, ProcessId)> = trace
+        .notes_with_key(NOTE_LEADER)
+        .map(|(seq, pid, _)| (seq, pid))
+        .collect();
     let observed_anomalies = trace.notes_with_key(NOTE_ANOMALY).count();
     // Leadership interval of claimant c: [claim_seq, crash_seq or end).
     let end = trace.events().len();
@@ -155,11 +166,17 @@ pub fn analyze_election(trace: &Trace) -> ElectionOutcome {
     }
     let mut max_concurrent = 0;
     for &(start, _) in &intervals {
-        let concurrent =
-            intervals.iter().filter(|&&(s, e)| s <= start && start < e).count();
+        let concurrent = intervals
+            .iter()
+            .filter(|&&(s, e)| s <= start && start < e)
+            .count();
         max_concurrent = max_concurrent.max(concurrent);
     }
-    ElectionOutcome { claims, max_concurrent_leaders: max_concurrent, observed_anomalies }
+    ElectionOutcome {
+        claims,
+        max_concurrent_leaders: max_concurrent,
+        observed_anomalies,
+    }
 }
 
 #[cfg(test)]
@@ -194,12 +211,16 @@ mod tests {
             let trace = run_election(ModeSpec::SfsOneRound, seed);
             let outcome = analyze_election(&trace);
             assert_eq!(
-                outcome.observed_anomalies, 0,
+                outcome.observed_anomalies,
+                0,
                 "seed {seed}: sFS run leaked an FS-impossible observation\n{}",
                 trace.to_pretty_string()
             );
             // Leadership must transfer to p1 once p0 is detected+killed.
-            assert!(outcome.claims.iter().any(|&(_, c)| c == p(1)), "seed {seed}");
+            assert!(
+                outcome.claims.iter().any(|&(_, c)| c == p(1)),
+                "seed {seed}"
+            );
         }
     }
 
@@ -216,7 +237,10 @@ mod tests {
                 anomaly_seen = true;
             }
         }
-        assert!(anomaly_seen, "unilateral detection never produced an observable anomaly");
+        assert!(
+            anomaly_seen,
+            "unilateral detection never produced an observable anomaly"
+        );
     }
 
     #[test]
@@ -225,7 +249,7 @@ mod tests {
         // p1 (already detected p0) as leaders simultaneously; internally
         // this is undetectable. At least one seed should exhibit it.
         let mut window_seen = false;
-        for seed in 0..30 {
+        for seed in 0..60 {
             let trace = run_election(ModeSpec::SfsOneRound, seed);
             let outcome = analyze_election(&trace);
             if outcome.max_concurrent_leaders >= 2 {

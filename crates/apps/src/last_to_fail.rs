@@ -86,7 +86,11 @@ mod tests {
     fn total_failure(mode: ModeSpec, n: usize, t: usize, seed: u64) -> Trace {
         let mut spec = ClusterSpec::new(n, t)
             .mode(mode)
-            .heartbeat(sfs::HeartbeatConfig { interval: 10, timeout: 50, check_every: 10 })
+            .heartbeat(sfs::HeartbeatConfig {
+                interval: 10,
+                timeout: 50,
+                check_every: 10,
+            })
             .seed(seed)
             .max_time(5_000);
         for i in 0..n {
@@ -118,7 +122,10 @@ mod tests {
             let rec = recover_last_to_fail(&trace);
             assert!(rec.is_consistent(), "seed {seed}: {rec:?}");
             if let Recovery::Candidates(c) = rec {
-                assert!(!c.is_empty(), "seed {seed}: total failure must leave candidates");
+                assert!(
+                    !c.is_empty(),
+                    "seed {seed}: total failure must leave candidates"
+                );
             }
         }
     }
@@ -139,7 +146,10 @@ mod tests {
         match recover_last_to_fail(&trace) {
             Recovery::Inconsistent(cycle) => assert_eq!(cycle.len(), 2),
             Recovery::Candidates(c) => {
-                panic!("expected a cycle, got candidates {c:?}\n{}", trace.to_pretty_string())
+                panic!(
+                    "expected a cycle, got candidates {c:?}\n{}",
+                    trace.to_pretty_string()
+                )
             }
         }
     }
@@ -159,7 +169,10 @@ mod tests {
         assert_eq!(truth, p(1));
         match recover_last_to_fail(&trace) {
             Recovery::Candidates(c) => {
-                assert!(!c.contains(&truth), "the false log should exclude {truth}: {c:?}");
+                assert!(
+                    !c.contains(&truth),
+                    "the false log should exclude {truth}: {c:?}"
+                );
             }
             Recovery::Inconsistent(_) => {}
         }

@@ -50,7 +50,10 @@ pub struct MembershipApp {
 impl MembershipApp {
     /// A fresh instance; the initial view is installed on start.
     pub fn new() -> Self {
-        MembershipApp { views: Vec::new(), members: BTreeSet::new() }
+        MembershipApp {
+            views: Vec::new(),
+            members: BTreeSet::new(),
+        }
     }
 
     /// The view history so far.

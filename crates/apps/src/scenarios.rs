@@ -61,7 +61,10 @@ impl WitnessAttack {
     ///
     /// Panics if `t < 2` (a cycle needs at least two victims) or `n < t`.
     pub fn run(&self) -> Trace {
-        assert!(self.t >= 2, "a failed-before cycle needs at least two victims");
+        assert!(
+            self.t >= 2,
+            "a failed-before cycle needs at least two victims"
+        );
         assert!(self.n >= self.t, "need one initiator per set");
         let n = self.n;
         let k = self.t;
@@ -143,7 +146,12 @@ mod tests {
     fn attack_below_the_bound_builds_a_two_cycle() {
         let n = 6;
         let t = 2;
-        let attack = WitnessAttack { n, t, quorum: attack_quorum(n, t), seed: 0 };
+        let attack = WitnessAttack {
+            n,
+            t,
+            quorum: attack_quorum(n, t),
+            seed: 0,
+        };
         assert!(attack.quorum < min_quorum(n, t) || attack.quorum <= attack.max_available_votes());
         let trace = attack.run();
         assert!(
@@ -157,7 +165,12 @@ mod tests {
     fn attack_below_the_bound_builds_a_three_cycle() {
         let n = 9;
         let t = 3;
-        let attack = WitnessAttack { n, t, quorum: attack_quorum(n, t), seed: 0 };
+        let attack = WitnessAttack {
+            n,
+            t,
+            quorum: attack_quorum(n, t),
+            seed: 0,
+        };
         let trace = attack.run();
         assert!(
             cycle_among_victims(&trace, t),
@@ -169,7 +182,12 @@ mod tests {
     #[test]
     fn attack_fails_at_the_theorem7_threshold() {
         for (n, t) in [(6usize, 2usize), (12, 3), (10, 2)] {
-            let attack = WitnessAttack { n, t, quorum: min_quorum(n, t), seed: 0 };
+            let attack = WitnessAttack {
+                n,
+                t,
+                quorum: min_quorum(n, t),
+                seed: 0,
+            };
             let trace = attack.run();
             assert!(
                 !cycle_among_victims(&trace, t),
@@ -185,6 +203,12 @@ mod tests {
     /// The vote threshold the attack targets: the largest count every
     /// victim can still gather.
     fn attack_quorum(n: usize, t: usize) -> usize {
-        WitnessAttack { n, t, quorum: 0, seed: 0 }.max_available_votes()
+        WitnessAttack {
+            n,
+            t,
+            quorum: 0,
+            seed: 0,
+        }
+        .max_available_votes()
     }
 }

@@ -84,7 +84,9 @@ impl WorkPoolApp {
     }
 
     fn workers(&self, api: &AppApi<'_, '_, WorkMsg>) -> Vec<ProcessId> {
-        ProcessId::all(api.n()).filter(|p| !self.failed.contains(p)).collect()
+        ProcessId::all(api.n())
+            .filter(|p| !self.failed.contains(p))
+            .collect()
     }
 
     /// (Re)assigns every not-known-done, not-assigned-to-a-live-worker
@@ -217,10 +219,15 @@ mod tests {
 
     #[test]
     fn all_tasks_complete_without_failures() {
-        let trace = ClusterSpec::new(4, 1).seed(2).run_apps(|_| WorkPoolApp::new(12));
+        let trace = ClusterSpec::new(4, 1)
+            .seed(2)
+            .run_apps(|_| WorkPoolApp::new(12));
         let outcome = analyze_workpool(&trace);
         assert_eq!(outcome.tasks_executed.len(), 12);
-        assert_eq!(outcome.total_executions, 12, "no duplicates without failures");
+        assert_eq!(
+            outcome.total_executions, 12,
+            "no duplicates without failures"
+        );
         assert!(outcome.all_done_observed);
     }
 
@@ -286,6 +293,9 @@ mod tests {
                 duplicates_seen = true;
             }
         }
-        assert!(duplicates_seen, "expected at-least-once duplicates in some schedule");
+        assert!(
+            duplicates_seen,
+            "expected at-least-once duplicates in some schedule"
+        );
     }
 }

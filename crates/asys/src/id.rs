@@ -149,12 +149,15 @@ mod tests {
     #[test]
     fn all_yields_n_ids_in_order() {
         let ids: Vec<_> = ProcessId::all(4).collect();
-        assert_eq!(ids, vec![
-            ProcessId::new(0),
-            ProcessId::new(1),
-            ProcessId::new(2),
-            ProcessId::new(3)
-        ]);
+        assert_eq!(
+            ids,
+            vec![
+                ProcessId::new(0),
+                ProcessId::new(1),
+                ProcessId::new(2),
+                ProcessId::new(3)
+            ]
+        );
     }
 
     #[test]

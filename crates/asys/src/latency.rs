@@ -21,8 +21,13 @@ pub const NEVER: u64 = u64::MAX / 4;
 /// Chooses a delivery delay (in ticks) for each sent message.
 pub trait LatencyModel {
     /// Delay for a message sent `from -> to` at time `now`.
-    fn latency(&mut self, from: ProcessId, to: ProcessId, now: VirtualTime, rng: &mut StdRng)
-        -> u64;
+    fn latency(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        now: VirtualTime,
+        rng: &mut StdRng,
+    ) -> u64;
 }
 
 /// Every message takes exactly `0` extra ticks beyond the minimum of 1.
@@ -53,7 +58,10 @@ impl UniformLatency {
     ///
     /// Panics if `min > max`.
     pub fn new(min: u64, max: u64) -> Self {
-        assert!(min <= max, "uniform latency requires min <= max, got [{min}, {max}]");
+        assert!(
+            min <= max,
+            "uniform latency requires min <= max, got [{min}, {max}]"
+        );
         UniformLatency { min, max }
     }
 }
@@ -79,7 +87,10 @@ pub struct OverrideLatency<B> {
 impl<B: LatencyModel> OverrideLatency<B> {
     /// Wraps `base` with an empty override table.
     pub fn new(base: B) -> Self {
-        OverrideLatency { base, overrides: Vec::new() }
+        OverrideLatency {
+            base,
+            overrides: Vec::new(),
+        }
     }
 
     /// Forces messages `from -> to` to take `delay` ticks.
@@ -152,7 +163,15 @@ mod tests {
     fn fixed_latency_is_at_least_one() {
         let mut m = FixedLatency(0);
         let mut r = rng();
-        assert_eq!(m.latency(ProcessId::new(0), ProcessId::new(1), VirtualTime::ZERO, &mut r), 1);
+        assert_eq!(
+            m.latency(
+                ProcessId::new(0),
+                ProcessId::new(1),
+                VirtualTime::ZERO,
+                &mut r
+            ),
+            1
+        );
     }
 
     #[test]
@@ -160,7 +179,12 @@ mod tests {
         let mut m = UniformLatency::new(2, 9);
         let mut r = rng();
         for _ in 0..200 {
-            let d = m.latency(ProcessId::new(0), ProcessId::new(1), VirtualTime::ZERO, &mut r);
+            let d = m.latency(
+                ProcessId::new(0),
+                ProcessId::new(1),
+                VirtualTime::ZERO,
+                &mut r,
+            );
             assert!((2..=9).contains(&d), "delay {d} out of range");
         }
     }
@@ -173,18 +197,36 @@ mod tests {
 
     #[test]
     fn override_latency_applies_to_selected_pair_only() {
-        let mut m = OverrideLatency::new(FixedLatency(3)).hold(
-            ProcessId::new(0),
-            ProcessId::new(1),
-            NEVER,
-        );
+        let mut m =
+            OverrideLatency::new(FixedLatency(3)).hold(ProcessId::new(0), ProcessId::new(1), NEVER);
         let mut r = rng();
         assert_eq!(
-            m.latency(ProcessId::new(0), ProcessId::new(1), VirtualTime::ZERO, &mut r),
+            m.latency(
+                ProcessId::new(0),
+                ProcessId::new(1),
+                VirtualTime::ZERO,
+                &mut r
+            ),
             NEVER
         );
-        assert_eq!(m.latency(ProcessId::new(1), ProcessId::new(0), VirtualTime::ZERO, &mut r), 3);
-        assert_eq!(m.latency(ProcessId::new(0), ProcessId::new(2), VirtualTime::ZERO, &mut r), 3);
+        assert_eq!(
+            m.latency(
+                ProcessId::new(1),
+                ProcessId::new(0),
+                VirtualTime::ZERO,
+                &mut r
+            ),
+            3
+        );
+        assert_eq!(
+            m.latency(
+                ProcessId::new(0),
+                ProcessId::new(2),
+                VirtualTime::ZERO,
+                &mut r
+            ),
+            3
+        );
     }
 
     #[test]
@@ -194,15 +236,34 @@ mod tests {
             OverrideLatency::new(FixedLatency(1)).hold_set(ProcessId::new(0), &targets, 500);
         let mut r = rng();
         for &t in &targets {
-            assert_eq!(m.latency(ProcessId::new(0), t, VirtualTime::ZERO, &mut r), 500);
+            assert_eq!(
+                m.latency(ProcessId::new(0), t, VirtualTime::ZERO, &mut r),
+                500
+            );
         }
-        assert_eq!(m.latency(ProcessId::new(0), ProcessId::new(1), VirtualTime::ZERO, &mut r), 1);
+        assert_eq!(
+            m.latency(
+                ProcessId::new(0),
+                ProcessId::new(1),
+                VirtualTime::ZERO,
+                &mut r
+            ),
+            1
+        );
     }
 
     #[test]
     fn fn_latency_clamps_to_one() {
         let mut m = FnLatency(|_, _, _, _: &mut StdRng| 0u64);
         let mut r = rng();
-        assert_eq!(m.latency(ProcessId::new(0), ProcessId::new(0), VirtualTime::ZERO, &mut r), 1);
+        assert_eq!(
+            m.latency(
+                ProcessId::new(0),
+                ProcessId::new(0),
+                VirtualTime::ZERO,
+                &mut r
+            ),
+            1
+        );
     }
 }

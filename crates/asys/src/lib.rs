@@ -61,6 +61,7 @@ mod note;
 mod process;
 mod sim;
 mod time;
+mod timers;
 mod trace;
 
 pub mod net;

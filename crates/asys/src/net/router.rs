@@ -3,15 +3,23 @@
 use crate::id::{MsgId, ProcessId, TimerId};
 use crate::process::{Action, Context, Process, ReceiveFilter};
 use crate::time::VirtualTime;
+use crate::timers::CancelledTimers;
 use crate::trace::{SimStats, StopReason, Trace, TraceEvent, TraceEventKind};
 use crossbeam::channel::{self, Receiver, Sender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Per-link artificial delay chosen by the router before forwarding.
+pub type LinkDelay = Box<dyn Fn(ProcessId, ProcessId) -> Duration + Send>;
+
+/// Predicate marking payloads as infrastructure; the threaded mirror of
+/// `SimBuilder::classify`.
+pub type Classify<M> = Box<dyn Fn(&M) -> bool + Send>;
 
 /// Configuration for the threaded runtime.
 pub struct RuntimeConfig<M = ()> {
@@ -20,17 +28,22 @@ pub struct RuntimeConfig<M = ()> {
     pub seed: u64,
     /// Optional artificial per-link delay applied by the router before
     /// forwarding a message, modelling a slow asynchronous network.
-    pub delay: Option<Box<dyn Fn(ProcessId, ProcessId) -> Duration + Send>>,
+    pub delay: Option<LinkDelay>,
     /// Whether to record payload `Debug` text in the trace.
     pub record_payloads: bool,
     /// Optional classifier marking payloads as infrastructure (`true`)
     /// vs model-level application messages; see `SimBuilder::classify`.
-    pub classify: Option<Box<dyn Fn(&M) -> bool + Send>>,
+    pub classify: Option<Classify<M>>,
 }
 
 impl<M> Default for RuntimeConfig<M> {
     fn default() -> Self {
-        RuntimeConfig { seed: 0, delay: None, record_payloads: false, classify: None }
+        RuntimeConfig {
+            seed: 0,
+            delay: None,
+            record_payloads: false,
+            classify: None,
+        }
     }
 }
 
@@ -52,9 +65,19 @@ enum NodeEvent<M> {
 }
 
 enum ToRouter<M> {
-    Actions { from: ProcessId, actions: Vec<Action<M>>, payload_reprs: Vec<Option<String>> },
-    InjectExternal { pid: ProcessId, payload: M, repr: Option<String> },
-    InjectCrash { pid: ProcessId },
+    Actions {
+        from: ProcessId,
+        actions: Vec<Action<M>>,
+        payload_reprs: Vec<Option<String>>,
+    },
+    InjectExternal {
+        pid: ProcessId,
+        payload: M,
+        repr: Option<String>,
+    },
+    InjectCrash {
+        pid: ProcessId,
+    },
     Shutdown,
 }
 
@@ -67,7 +90,10 @@ enum Due<M> {
         repr: Option<String>,
         infra: bool,
     },
-    Fire { pid: ProcessId, id: TimerId },
+    Fire {
+        pid: ProcessId,
+        id: TimerId,
+    },
 }
 
 struct HeapItem<M> {
@@ -107,7 +133,9 @@ pub struct Runtime<M> {
 
 impl<M> fmt::Debug for Runtime<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Runtime").field("n", &self.n).finish_non_exhaustive()
+        f.debug_struct("Runtime")
+            .field("n", &self.n)
+            .finish_non_exhaustive()
     }
 }
 
@@ -135,9 +163,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> Runtime<M> {
             nodes.push(
                 std::thread::Builder::new()
                     .name(format!("node-{}", pid.index()))
-                    .spawn(move || {
-                        node_main(pid, n, process, rx, to_router, seed, record_payloads)
-                    })
+                    .spawn(move || node_main(pid, n, process, rx, to_router, seed, record_payloads))
                     .expect("spawn node thread"),
             );
         }
@@ -145,7 +171,12 @@ impl<M: Clone + fmt::Debug + Send + 'static> Runtime<M> {
             .name("router".to_owned())
             .spawn(move || router_main(n, config, router_rx, node_txs))
             .expect("spawn router thread");
-        Runtime { n, to_router, router: Some(router), nodes }
+        Runtime {
+            n,
+            to_router,
+            router: Some(router),
+            nodes,
+        }
     }
 
     /// Number of processes.
@@ -156,7 +187,9 @@ impl<M: Clone + fmt::Debug + Send + 'static> Runtime<M> {
     /// Delivers an external stimulus to `pid` (e.g. a forced suspicion).
     pub fn inject_external(&self, pid: ProcessId, payload: M) {
         let repr = Some(format!("{payload:?}"));
-        let _ = self.to_router.send(ToRouter::InjectExternal { pid, payload, repr });
+        let _ = self
+            .to_router
+            .send(ToRouter::InjectExternal { pid, payload, repr });
     }
 
     /// Crashes `pid` permanently.
@@ -176,8 +209,12 @@ impl<M: Clone + fmt::Debug + Send + 'static> Runtime<M> {
     /// Panics if the router thread panicked.
     pub fn shutdown(mut self) -> Trace {
         let _ = self.to_router.send(ToRouter::Shutdown);
-        let trace =
-            self.router.take().expect("router already joined").join().expect("router panicked");
+        let trace = self
+            .router
+            .take()
+            .expect("router already joined")
+            .join()
+            .expect("router panicked");
         for node in self.nodes.drain(..) {
             let _ = node.join();
         }
@@ -199,9 +236,9 @@ fn node_main<M: Clone + fmt::Debug + Send + 'static>(
     // Namespace timer ids by process so they are globally unique.
     let mut next_timer: u64 = (pid.index() as u64) << 40;
     let dispatch = |process: &mut Box<dyn Process<M> + Send>,
-                        rng: &mut StdRng,
-                        next_timer: &mut u64,
-                        event: NodeEvent<M>|
+                    rng: &mut StdRng,
+                    next_timer: &mut u64,
+                    event: NodeEvent<M>|
      -> bool {
         let now = VirtualTime::from_ticks(start.elapsed().as_millis() as u64);
         let mut ctx = Context::new(pid, n, now, rng, next_timer);
@@ -212,14 +249,12 @@ fn node_main<M: Clone + fmt::Debug + Send + 'static>(
             NodeEvent::Halt => return false,
         }
         let actions = ctx.take_actions();
-        let payload_reprs = actions
-            .iter()
-            .map(|a| match a {
-                Action::Send { msg, .. } if record_payloads => Some(format!("{msg:?}")),
-                _ => None,
-            })
-            .collect();
-        let _ = to_router.send(ToRouter::Actions { from: pid, actions, payload_reprs });
+        let payload_reprs = render_payloads(&actions, record_payloads);
+        let _ = to_router.send(ToRouter::Actions {
+            from: pid,
+            actions,
+            payload_reprs,
+        });
         true
     };
 
@@ -229,14 +264,12 @@ fn node_main<M: Clone + fmt::Debug + Send + 'static>(
         let mut ctx = Context::new(pid, n, now, &mut rng, &mut next_timer);
         process.on_start(&mut ctx);
         let actions = ctx.take_actions();
-        let payload_reprs = actions
-            .iter()
-            .map(|a| match a {
-                Action::Send { msg, .. } if record_payloads => Some(format!("{msg:?}")),
-                _ => None,
-            })
-            .collect();
-        let _ = to_router.send(ToRouter::Actions { from: pid, actions, payload_reprs });
+        let payload_reprs = render_payloads(&actions, record_payloads);
+        let _ = to_router.send(ToRouter::Actions {
+            from: pid,
+            actions,
+            payload_reprs,
+        });
     }
 
     while let Ok(event) = rx.recv() {
@@ -244,6 +277,24 @@ fn node_main<M: Clone + fmt::Debug + Send + 'static>(
             break;
         }
     }
+}
+
+/// `Debug`-renders the payload of each send action, or nothing at all when
+/// payload recording is off (the common case pays zero allocations here).
+fn render_payloads<M: fmt::Debug>(
+    actions: &[Action<M>],
+    record_payloads: bool,
+) -> Vec<Option<String>> {
+    if !record_payloads {
+        return Vec::new();
+    }
+    actions
+        .iter()
+        .map(|a| match a {
+            Action::Send { msg, .. } => Some(format!("{msg:?}")),
+            _ => None,
+        })
+        .collect()
 }
 
 struct Parked<M> {
@@ -259,15 +310,15 @@ struct RouterState<M> {
     start: Instant,
     crashed: Vec<bool>,
     failed_flags: Vec<bool>,
-    cancelled: HashSet<TimerId>,
+    cancelled: CancelledTimers,
     heap: BinaryHeap<Reverse<HeapItem<M>>>,
     order: u64,
     msg_seq: Vec<u64>,
     events: Vec<TraceEvent>,
     stats: SimStats,
     node_txs: Vec<Sender<NodeEvent<M>>>,
-    delay: Option<Box<dyn Fn(ProcessId, ProcessId) -> Duration + Send>>,
-    classify: Option<Box<dyn Fn(&M) -> bool + Send>>,
+    delay: Option<LinkDelay>,
+    classify: Option<Classify<M>>,
     filters: Vec<Option<ReceiveFilter<M>>>,
     /// Per-channel FIFO queues of messages the receiver's filter refused,
     /// indexed `from * n + to`.
@@ -307,7 +358,11 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
         actions: Vec<Action<M>>,
         reprs: Vec<Option<String>>,
     ) {
-        for (action, repr) in actions.into_iter().zip(reprs) {
+        // `reprs` is either empty (payload recording off) or parallel to
+        // `actions`; pad with `None` so the two cases unify.
+        let mut reprs = reprs.into_iter();
+        for action in actions {
+            let repr = reprs.next().unwrap_or(None);
             if self.crashed[from.index()] {
                 break;
             }
@@ -325,17 +380,30 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
                         payload: repr.clone(),
                     });
                     self.stats.messages_sent += 1;
-                    let delay =
-                        self.delay.as_ref().map(|f| f(from, to)).unwrap_or(Duration::ZERO);
+                    let delay = self
+                        .delay
+                        .as_ref()
+                        .map(|f| f(from, to))
+                        .unwrap_or(Duration::ZERO);
                     let at = Instant::now() + delay;
-                    self.push(at, Due::Deliver { from, to, msg: id, payload: msg, repr, infra });
+                    self.push(
+                        at,
+                        Due::Deliver {
+                            from,
+                            to,
+                            msg: id,
+                            payload: msg,
+                            repr,
+                            infra,
+                        },
+                    );
                 }
                 Action::SetTimer { id, delay } => {
                     let at = Instant::now() + Duration::from_millis(delay);
                     self.push(at, Due::Fire { pid: from, id });
                 }
                 Action::CancelTimer { id } => {
-                    self.cancelled.insert(id);
+                    self.cancelled.cancel(id);
                 }
                 Action::CrashSelf => self.crash(from),
                 Action::DeclareFailed { of } => {
@@ -357,24 +425,39 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
 
     /// Whether `to`'s filter currently refuses `payload`.
     fn refused(&self, to: ProcessId, payload: &M) -> bool {
-        self.filters[to.index()].as_ref().is_some_and(|f| !f.accepts(payload))
+        self.filters[to.index()]
+            .as_ref()
+            .is_some_and(|f| !f.accepts(payload))
     }
 
     /// After `to`'s filter changed, re-deliver parked messages in FIFO
     /// order per channel, stopping at the first message still refused.
+    // Not a `while let`: the queue borrow must be dropped before the
+    // filter check and the record/send below re-borrow `self`.
+    #[allow(clippy::while_let_loop)]
     fn drain_parked_to(&mut self, to: ProcessId) {
         for from in ProcessId::all(self.n) {
             let ch = from.index() * self.n + to.index();
             loop {
-                let Some(queue) = self.parked.get_mut(&ch) else { break };
+                let Some(queue) = self.parked.get_mut(&ch) else {
+                    break;
+                };
                 let Some(head) = queue.front() else { break };
                 if self.crashed[to.index()] {
                     break;
                 }
-                if self.filters[to.index()].as_ref().is_some_and(|f| !f.accepts(&head.payload)) {
+                if self.filters[to.index()]
+                    .as_ref()
+                    .is_some_and(|f| !f.accepts(&head.payload))
+                {
                     break;
                 }
-                let p = self.parked.get_mut(&ch).expect("queue present").pop_front().expect("head");
+                let p = self
+                    .parked
+                    .get_mut(&ch)
+                    .expect("queue present")
+                    .pop_front()
+                    .expect("head");
                 self.record(TraceEventKind::Recv {
                     by: to,
                     from: p.from,
@@ -383,37 +466,54 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
                     payload: p.repr,
                 });
                 self.stats.messages_delivered += 1;
-                let _ =
-                    self.node_txs[to.index()].send(NodeEvent::Message { from: p.from, msg: p.payload });
+                let _ = self.node_txs[to.index()].send(NodeEvent::Message {
+                    from: p.from,
+                    msg: p.payload,
+                });
             }
         }
     }
 
     fn fire_due(&mut self, due: Due<M>) {
         match due {
-            Due::Deliver { from, to, msg, payload, repr, infra } => {
+            Due::Deliver {
+                from,
+                to,
+                msg,
+                payload,
+                repr,
+                infra,
+            } => {
                 if self.crashed[to.index()] {
                     self.stats.messages_to_crashed += 1;
                     return;
                 }
                 let ch = from.index() * self.n + to.index();
-                let channel_blocked =
-                    self.parked.get(&ch).is_some_and(|q| !q.is_empty());
+                let channel_blocked = self.parked.get(&ch).is_some_and(|q| !q.is_empty());
                 if channel_blocked || self.refused(to, &payload) {
                     // FIFO: once anything on the channel is parked, later
                     // messages queue behind it regardless of the filter.
-                    self.parked
-                        .entry(ch)
-                        .or_default()
-                        .push_back(Parked { from, msg, payload, repr, infra });
+                    self.parked.entry(ch).or_default().push_back(Parked {
+                        from,
+                        msg,
+                        payload,
+                        repr,
+                        infra,
+                    });
                     return;
                 }
-                self.record(TraceEventKind::Recv { by: to, from, msg, infra, payload: repr });
+                self.record(TraceEventKind::Recv {
+                    by: to,
+                    from,
+                    msg,
+                    infra,
+                    payload: repr,
+                });
                 self.stats.messages_delivered += 1;
                 let _ = self.node_txs[to.index()].send(NodeEvent::Message { from, msg: payload });
             }
             Due::Fire { pid, id } => {
-                if self.cancelled.remove(&id) || self.crashed[pid.index()] {
+                if self.cancelled.take(id) || self.crashed[pid.index()] {
                     return;
                 }
                 self.record(TraceEventKind::TimerFired { pid, timer: id });
@@ -435,7 +535,7 @@ fn router_main<M: Clone + fmt::Debug + Send + 'static>(
         start: Instant::now(),
         crashed: vec![false; n],
         failed_flags: vec![false; n * n],
-        cancelled: HashSet::new(),
+        cancelled: CancelledTimers::new(),
         heap: BinaryHeap::new(),
         order: 0,
         msg_seq: vec![0; n],
@@ -463,7 +563,11 @@ fn router_main<M: Clone + fmt::Debug + Send + 'static>(
             .map(|Reverse(item)| item.at.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(50));
         match rx.recv_timeout(wait.min(Duration::from_millis(50))) {
-            Ok(ToRouter::Actions { from, actions, payload_reprs }) => {
+            Ok(ToRouter::Actions {
+                from,
+                actions,
+                payload_reprs,
+            }) => {
                 state.handle_actions(from, actions, payload_reprs);
             }
             Ok(ToRouter::InjectExternal { pid, payload, repr }) => {
@@ -483,7 +587,11 @@ fn router_main<M: Clone + fmt::Debug + Send + 'static>(
     }
     let end = state.now();
     let all_crashed = state.crashed.iter().all(|&c| c);
-    let stop = if all_crashed { StopReason::AllCrashed } else { StopReason::MaxTime };
+    let stop = if all_crashed {
+        StopReason::AllCrashed
+    } else {
+        StopReason::MaxTime
+    };
     Trace::from_parts(n, state.events, stop, end, state.stats)
 }
 
@@ -525,12 +633,20 @@ mod tests {
     #[test]
     fn ping_pong_round_trips() {
         let rt = Runtime::spawn(2, RuntimeConfig::default(), |pid| {
-            Box::new(PingPong { is_pinger: pid.index() == 0, rounds: 0 })
+            Box::new(PingPong {
+                is_pinger: pid.index() == 0,
+                rounds: 0,
+            })
         });
         rt.run_for(Duration::from_millis(200));
         let trace = rt.shutdown();
         // 5 pings and 5 pongs.
-        assert_eq!(trace.stats().messages_sent, 10, "{}", trace.to_pretty_string());
+        assert_eq!(
+            trace.stats().messages_sent,
+            10,
+            "{}",
+            trace.to_pretty_string()
+        );
         assert_eq!(trace.stats().messages_delivered, 10);
     }
 
@@ -595,7 +711,7 @@ mod tests {
         struct Picky;
         impl Process<u32> for Picky {
             fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
-                ctx.set_receive_filter(Some(ReceiveFilter::new(|m: &u32| m % 2 == 0)));
+                ctx.set_receive_filter(Some(ReceiveFilter::new(|m: &u32| m.is_multiple_of(2))));
             }
             fn on_message(&mut self, ctx: &mut Context<'_, u32>, _: ProcessId, msg: u32) {
                 if msg == 100 {
@@ -613,7 +729,12 @@ mod tests {
         rt.run_for(Duration::from_millis(400));
         let trace = rt.shutdown();
         // All four messages delivered; p0's arrive at p1 in FIFO order.
-        assert_eq!(trace.stats().messages_delivered, 4, "{}", trace.to_pretty_string());
+        assert_eq!(
+            trace.stats().messages_delivered,
+            4,
+            "{}",
+            trace.to_pretty_string()
+        );
         let from_p0: Vec<u64> = trace
             .events()
             .iter()
@@ -626,7 +747,11 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(from_p0, vec![0, 1, 2], "FIFO preserved through router parking");
+        assert_eq!(
+            from_p0,
+            vec![0, 1, 2],
+            "FIFO preserved through router parking"
+        );
     }
 
     #[test]
@@ -643,6 +768,9 @@ mod tests {
         rt.inject_external(ProcessId::new(0), Msg::Ping);
         rt.run_for(Duration::from_millis(100));
         let trace = rt.shutdown();
-        assert_eq!(trace.detections(), vec![(ProcessId::new(0), ProcessId::new(1))]);
+        assert_eq!(
+            trace.detections(),
+            vec![(ProcessId::new(0), ProcessId::new(1))]
+        );
     }
 }

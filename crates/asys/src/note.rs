@@ -58,7 +58,10 @@ pub enum Note {
 impl Note {
     /// Creates a key/value note.
     pub fn key_val(key: impl Into<String>, val: impl fmt::Display) -> Self {
-        Note::KeyVal { key: key.into(), val: val.to_string() }
+        Note::KeyVal {
+            key: key.into(),
+            val: val.to_string(),
+        }
     }
 
     /// Creates a process-set note; the set is sorted for determinism.
@@ -69,7 +72,11 @@ impl Note {
     ) -> Self {
         set.sort_unstable();
         set.dedup();
-        Note::ProcessSet { key: key.into(), about, set }
+        Note::ProcessSet {
+            key: key.into(),
+            about,
+            set,
+        }
     }
 
     /// The annotation kind.

@@ -123,7 +123,14 @@ impl<'a, M> Context<'a, M> {
         rng: &'a mut StdRng,
         next_timer: &'a mut u64,
     ) -> Self {
-        Context { id, n, now, actions: Vec::new(), rng, next_timer }
+        Context {
+            id,
+            n,
+            now,
+            actions: Vec::new(),
+            rng,
+            next_timer,
+        }
     }
 
     /// This process's identity.
@@ -164,7 +171,10 @@ impl<'a, M> Context<'a, M> {
     {
         for p in ProcessId::all(self.n) {
             if include_self || p != self.id {
-                self.actions.push(Action::Send { to: p, msg: msg.clone() });
+                self.actions.push(Action::Send {
+                    to: p,
+                    msg: msg.clone(),
+                });
             }
         }
     }

@@ -23,13 +23,14 @@ use crate::id::{MsgId, ProcessId, TimerId};
 use crate::latency::LatencyModel;
 use crate::process::{Action, Context, Process, ReceiveFilter};
 use crate::time::VirtualTime;
+use crate::timers::CancelledTimers;
 use crate::trace::{SimStats, StopReason, Trace, TraceEvent, TraceEventKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use parking_lot::Mutex;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Tuning knobs for one simulated run.
@@ -65,33 +66,40 @@ impl Default for SimConfig {
 /// Theorem 1 — hence "oracle").
 ///
 /// Thread-safe so that oracle-configured processes can also run on the
-/// threaded runtime.
+/// threaded runtime. Crash flags are per-process atomics, so oracle
+/// detectors polling inside the simulator's run loop pay one relaxed-ish
+/// load instead of a mutex round trip per query.
 #[derive(Debug, Clone, Default)]
 pub struct CrashRegistry {
-    inner: Arc<Mutex<Vec<bool>>>,
+    inner: Arc<[AtomicBool]>,
 }
 
 impl CrashRegistry {
     fn with_capacity(n: usize) -> Self {
-        CrashRegistry { inner: Arc::new(Mutex::new(vec![false; n])) }
+        CrashRegistry {
+            inner: (0..n).map(|_| AtomicBool::new(false)).collect(),
+        }
     }
 
     fn mark(&self, pid: ProcessId) {
-        self.inner.lock()[pid.index()] = true;
+        if let Some(flag) = self.inner.get(pid.index()) {
+            flag.store(true, Ordering::Release);
+        }
     }
 
     /// Whether `pid` has crashed so far in the run.
     pub fn is_crashed(&self, pid: ProcessId) -> bool {
-        self.inner.lock().get(pid.index()).copied().unwrap_or(false)
+        self.inner
+            .get(pid.index())
+            .is_some_and(|flag| flag.load(Ordering::Acquire))
     }
 
     /// All processes crashed so far.
     pub fn crashed(&self) -> Vec<ProcessId> {
         self.inner
-            .lock()
             .iter()
             .enumerate()
-            .filter_map(|(i, &c)| c.then_some(ProcessId::new(i)))
+            .filter_map(|(i, flag)| flag.load(Ordering::Acquire).then_some(ProcessId::new(i)))
             .collect()
     }
 }
@@ -104,9 +112,18 @@ struct InFlight<M> {
 }
 
 enum Pending<M> {
-    Deliver { from: ProcessId, to: ProcessId },
-    Timer { pid: ProcessId, id: TimerId },
-    Inject { pid: ProcessId, injection: Injection<M> },
+    Deliver {
+        from: ProcessId,
+        to: ProcessId,
+    },
+    Timer {
+        pid: ProcessId,
+        id: TimerId,
+    },
+    Inject {
+        pid: ProcessId,
+        injection: Injection<M>,
+    },
 }
 
 struct QueueEntry<M> {
@@ -132,6 +149,9 @@ impl<M> Ord for QueueEntry<M> {
     }
 }
 
+/// Predicate marking payloads as infrastructure; see [`SimBuilder::classify`].
+type Classifier<M> = Box<dyn Fn(&M) -> bool>;
+
 /// The simulation engine. Construct via [`SimBuilder`].
 pub struct Sim<M> {
     n: usize,
@@ -139,13 +159,13 @@ pub struct Sim<M> {
     crashed: Vec<bool>,
     channels: Vec<VecDeque<InFlight<M>>>,
     queue: BinaryHeap<Reverse<QueueEntry<M>>>,
-    cancelled: HashSet<TimerId>,
+    cancelled: CancelledTimers,
     filters: Vec<Option<ReceiveFilter<M>>>,
-    /// Channel indices whose head was refused by the receiver's filter and
-    /// which therefore have no pending heap entry.
-    parked: HashSet<usize>,
+    /// Per-channel flag: the head was refused by the receiver's filter and
+    /// the channel therefore has no pending heap entry.
+    parked: Vec<bool>,
     latency: Box<dyn LatencyModel>,
-    classifier: Option<Box<dyn Fn(&M) -> bool>>,
+    classifier: Option<Classifier<M>>,
     registry: CrashRegistry,
     rng: StdRng,
     now: VirtualTime,
@@ -174,14 +194,16 @@ pub struct SimBuilder<M> {
     n: usize,
     config: SimConfig,
     latency: Box<dyn LatencyModel>,
-    classifier: Option<Box<dyn Fn(&M) -> bool>>,
+    classifier: Option<Classifier<M>>,
     plan: FaultPlan<M>,
     registry: CrashRegistry,
 }
 
 impl<M> fmt::Debug for SimBuilder<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SimBuilder").field("n", &self.n).finish_non_exhaustive()
+        f.debug_struct("SimBuilder")
+            .field("n", &self.n)
+            .finish_non_exhaustive()
     }
 }
 
@@ -251,15 +273,21 @@ impl<M: Clone + fmt::Debug + 'static> SimBuilder<M> {
     {
         let n = self.n;
         let processes: Vec<_> = ProcessId::all(n).map(&mut make).collect();
+        // Pre-size the run-loop buffers from the configuration: enough for
+        // a few protocol rounds (Θ(n²) messages each) without reallocating,
+        // clamped by the event budget so short-budget runs allocate no more
+        // than they may record, and capped so a generous default budget
+        // does not reserve hundreds of megabytes up front.
+        let event_capacity = self.config.max_events.min((n * n * 8).clamp(256, 1 << 14));
         let mut sim = Sim {
             n,
             processes,
             crashed: vec![false; n],
             channels: (0..n * n).map(|_| VecDeque::new()).collect(),
-            queue: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            queue: BinaryHeap::with_capacity((n * 4).max(64)),
+            cancelled: CancelledTimers::new(),
             filters: (0..n).map(|_| None).collect(),
-            parked: HashSet::new(),
+            parked: vec![false; n * n],
             latency: self.latency,
             classifier: self.classifier,
             registry: self.registry,
@@ -268,7 +296,7 @@ impl<M: Clone + fmt::Debug + 'static> SimBuilder<M> {
             order: 0,
             next_timer: 0,
             msg_seq: vec![0; n],
-            events: Vec::new(),
+            events: Vec::with_capacity(event_capacity),
             stats: SimStats::default(),
             failed_flags: vec![false; n * n],
             config: self.config,
@@ -325,7 +353,11 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
 
     fn record(&mut self, kind: TraceEventKind) {
         let seq = self.events.len();
-        self.events.push(TraceEvent { seq, time: self.now, kind });
+        self.events.push(TraceEvent {
+            seq,
+            time: self.now,
+            kind,
+        });
     }
 
     fn payload_repr(&self, payload: &M) -> Option<String> {
@@ -359,6 +391,15 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
                 // queued after CrashSelf in the same callback are void.
                 break;
             }
+            if self.events.len() >= self.config.max_events {
+                // Event budget exhausted mid-batch: the run is stopping,
+                // and the rest of the batch falls outside the recorded
+                // prefix. Discarding it keeps the trace, the stats
+                // counters, the channels, and the crash registry all
+                // describing the same prefix (the run-loop top will break
+                // with `MaxEvents` before processing anything further).
+                break;
+            }
             match action {
                 Action::Send { to, msg } => self.do_send(pid, to, msg),
                 Action::SetTimer { id, delay } => {
@@ -366,7 +407,7 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
                     self.push_entry(at, Pending::Timer { pid, id });
                 }
                 Action::CancelTimer { id } => {
-                    self.cancelled.insert(id);
+                    self.cancelled.cancel(id);
                 }
                 Action::CrashSelf => self.do_crash(pid),
                 Action::DeclareFailed { of } => self.do_declare_failed(pid, of),
@@ -385,18 +426,21 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
     /// its receive filter changed.
     fn unpark_channels_to(&mut self, to: ProcessId) {
         let n = self.n;
-        let channels: Vec<usize> = self
-            .parked
-            .iter()
-            .copied()
-            .filter(|ch| ch % n == to.index())
-            .collect();
-        for ch in channels {
-            self.parked.remove(&ch);
+        for from in 0..n {
+            let ch = from * n + to.index();
+            if !self.parked[ch] {
+                continue;
+            }
+            self.parked[ch] = false;
             if let Some(head) = self.channels[ch].front() {
                 let at = head.deliver_at.max(self.now);
-                let from = ProcessId::new(ch / n);
-                self.push_entry(at, Pending::Deliver { from, to });
+                self.push_entry(
+                    at,
+                    Pending::Deliver {
+                        from: ProcessId::new(from),
+                        to,
+                    },
+                );
             }
         }
     }
@@ -407,13 +451,27 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
         let msg = MsgId::new(from, seq);
         let repr = self.payload_repr(&payload);
         let infra = self.classifier.as_ref().is_some_and(|f| f(&payload));
-        self.record(TraceEventKind::Send { from, to, msg, infra, payload: repr });
+        self.record(TraceEventKind::Send {
+            from,
+            to,
+            msg,
+            infra,
+            payload: repr,
+        });
         self.stats.messages_sent += 1;
-        let delay = self.latency.latency(from, to, self.now, &mut self.rng).max(1);
+        let delay = self
+            .latency
+            .latency(from, to, self.now, &mut self.rng)
+            .max(1);
         let deliver_at = self.now.saturating_add(delay);
         let ch = self.channel_index(from, to);
         let was_empty = self.channels[ch].is_empty();
-        self.channels[ch].push_back(InFlight { msg, payload, deliver_at, infra });
+        self.channels[ch].push_back(InFlight {
+            msg,
+            payload,
+            deliver_at,
+            infra,
+        });
         if was_empty {
             self.push_entry(deliver_at, Pending::Deliver { from, to });
         }
@@ -456,6 +514,9 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
         }
         let stop = loop {
             if self.events.len() >= self.config.max_events {
+                // `apply_actions` stops recording mid-batch at the budget,
+                // so the trace is already an exact prefix here.
+                debug_assert!(self.events.len() <= self.config.max_events);
                 break StopReason::MaxEvents;
             }
             if self.crashed.iter().all(|&c| c) {
@@ -471,7 +532,7 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
             match entry.pending {
                 Pending::Deliver { from, to } => self.deliver(from, to),
                 Pending::Timer { pid, id } => {
-                    if !self.cancelled.remove(&id) && !self.crashed[pid.index()] {
+                    if !self.cancelled.take(id) && !self.crashed[pid.index()] {
                         self.record(TraceEventKind::TimerFired { pid, timer: id });
                         self.stats.timers_fired += 1;
                         self.dispatch(pid, |p, ctx| p.on_timer(ctx, id));
@@ -506,7 +567,7 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
                     .front()
                     .expect("delivery scheduled for empty channel: engine invariant broken");
                 if !filter.accepts(&head.payload) {
-                    self.parked.insert(ch);
+                    self.parked[ch] = true;
                     return;
                 }
             }
@@ -586,9 +647,14 @@ mod tests {
             .latency(UniformLatency::new(1, 50))
             .build(|pid| {
                 if pid.index() == 0 {
-                    Box::new(Flooder { count: 20, target: ProcessId::new(1) })
+                    Box::new(Flooder {
+                        count: 20,
+                        target: ProcessId::new(1),
+                    })
                 } else {
-                    Box::new(Sink { received: Vec::new() })
+                    Box::new(Sink {
+                        received: Vec::new(),
+                    })
                 }
             });
         sim.run()
@@ -609,9 +675,10 @@ mod tests {
                 })
                 .collect();
             assert_eq!(recvs.len(), 20, "all messages delivered");
-            let mut sorted = recvs.clone();
-            sorted.sort_unstable();
-            assert_eq!(recvs, sorted, "FIFO violated with seed {seed}");
+            assert!(
+                recvs.is_sorted(),
+                "FIFO violated with seed {seed}: {recvs:?}"
+            );
         }
     }
 
@@ -621,13 +688,50 @@ mod tests {
         let b = fifo_trace(7);
         assert_eq!(a, b);
         let c = fifo_trace(8);
-        assert_ne!(a.events(), c.events(), "different seeds should reorder deliveries");
+        assert_ne!(
+            a.events(),
+            c.events(),
+            "different seeds should reorder deliveries"
+        );
     }
 
     #[test]
     fn quiescence_is_reported() {
         let trace = fifo_trace(1);
         assert_eq!(trace.stop_reason(), StopReason::Quiescent);
+    }
+
+    #[test]
+    fn event_budget_is_exact_and_coherent_with_stats() {
+        // One on_start batch queues 20 sends; a budget of 5 must cut the
+        // batch so the trace holds exactly 5 events AND the stats
+        // counters describe the same prefix (no phantom sends counted
+        // for events the trace does not contain).
+        let sim = Sim::<u32>::builder(2)
+            .max_events(5)
+            .latency(FixedLatency(1))
+            .build(|pid| {
+                if pid.index() == 0 {
+                    Box::new(Flooder {
+                        count: 20,
+                        target: ProcessId::new(1),
+                    }) as Box<dyn Process<u32>>
+                } else {
+                    Box::new(Sink {
+                        received: Vec::new(),
+                    })
+                }
+            });
+        let trace = sim.run();
+        assert_eq!(trace.stop_reason(), StopReason::MaxEvents);
+        assert_eq!(trace.events().len(), 5);
+        let recorded_sends = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::Send { .. }))
+            .count() as u64;
+        assert_eq!(trace.stats().messages_sent, recorded_sends);
+        assert_eq!(trace.stats().messages_delivered, 0);
     }
 
     /// A process that crashes itself upon receiving any message.
@@ -644,13 +748,19 @@ mod tests {
 
     #[test]
     fn no_events_after_crash() {
-        let sim = Sim::<u32>::builder(2).seed(3).latency(FixedLatency(1)).build(|pid| {
-            if pid.index() == 0 {
-                Box::new(Flooder { count: 5, target: ProcessId::new(1) })
-            } else {
-                Box::new(CrashOnMessage)
-            }
-        });
+        let sim = Sim::<u32>::builder(2)
+            .seed(3)
+            .latency(FixedLatency(1))
+            .build(|pid| {
+                if pid.index() == 0 {
+                    Box::new(Flooder {
+                        count: 5,
+                        target: ProcessId::new(1),
+                    })
+                } else {
+                    Box::new(CrashOnMessage)
+                }
+            });
         let trace = sim.run();
         let p1 = ProcessId::new(1);
         let crash_seq = trace
@@ -674,12 +784,19 @@ mod tests {
     #[test]
     fn injected_crash_halts_process_at_time() {
         let plan = FaultPlan::new().crash_at(ProcessId::new(0), VirtualTime::from_ticks(1));
-        let sim =
-            Sim::<u32>::builder(2).latency(FixedLatency(10)).faults(plan).build(|pid| {
+        let sim = Sim::<u32>::builder(2)
+            .latency(FixedLatency(10))
+            .faults(plan)
+            .build(|pid| {
                 if pid.index() == 0 {
-                    Box::new(Flooder { count: 1, target: ProcessId::new(1) })
+                    Box::new(Flooder {
+                        count: 1,
+                        target: ProcessId::new(1),
+                    })
                 } else {
-                    Box::new(Sink { received: Vec::new() })
+                    Box::new(Sink {
+                        received: Vec::new(),
+                    })
                 }
             });
         let trace = sim.run();
@@ -703,11 +820,16 @@ mod tests {
             if pid.index() == 0 {
                 Box::new(DoubleDeclarer)
             } else {
-                Box::new(Sink { received: Vec::new() })
+                Box::new(Sink {
+                    received: Vec::new(),
+                })
             }
         });
         let trace = sim.run();
-        assert_eq!(trace.detections(), vec![(ProcessId::new(0), ProcessId::new(1))]);
+        assert_eq!(
+            trace.detections(),
+            vec![(ProcessId::new(0), ProcessId::new(1))]
+        );
     }
 
     #[test]
@@ -735,7 +857,9 @@ mod tests {
                 if pid.index() == 0 {
                     Box::new(TwoSends)
                 } else {
-                    Box::new(Sink { received: Vec::new() })
+                    Box::new(Sink {
+                        received: Vec::new(),
+                    })
                 }
             });
         let trace = sim.run();
@@ -782,9 +906,11 @@ mod tests {
         let plan = FaultPlan::new()
             .crash_at(ProcessId::new(0), VirtualTime::from_ticks(5))
             .crash_at(ProcessId::new(1), VirtualTime::from_ticks(6));
-        let sim = Sim::<u32>::builder(2)
-            .faults(plan)
-            .build(|_| Box::new(Sink { received: Vec::new() }));
+        let sim = Sim::<u32>::builder(2).faults(plan).build(|_| {
+            Box::new(Sink {
+                received: Vec::new(),
+            })
+        });
         let trace = sim.run();
         assert_eq!(trace.stop_reason(), StopReason::AllCrashed);
         assert_eq!(trace.crashed().len(), 2);
@@ -793,9 +919,11 @@ mod tests {
     #[test]
     fn crash_registry_tracks_crashes_live() {
         let plan = FaultPlan::new().crash_at(ProcessId::new(1), VirtualTime::from_ticks(2));
-        let sim = Sim::<u32>::builder(3)
-            .faults(plan)
-            .build(|_| Box::new(Sink { received: Vec::new() }));
+        let sim = Sim::<u32>::builder(3).faults(plan).build(|_| {
+            Box::new(Sink {
+                received: Vec::new(),
+            })
+        });
         let registry = sim.crash_registry();
         assert!(!registry.is_crashed(ProcessId::new(1)));
         let _ = sim.run();
@@ -810,7 +938,7 @@ mod tests {
 
     impl Process<u32> for Picky {
         fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
-            ctx.set_receive_filter(Some(ReceiveFilter::new(|m: &u32| m % 2 == 0)));
+            ctx.set_receive_filter(Some(ReceiveFilter::new(|m: &u32| m.is_multiple_of(2))));
         }
         fn on_message(&mut self, ctx: &mut Context<'_, u32>, _: ProcessId, msg: u32) {
             self.seen.push(msg);
@@ -834,16 +962,22 @@ mod tests {
             }
             fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
         }
-        let sim = Sim::<u32>::builder(2).latency(FixedLatency(1)).build(|pid| {
-            if pid.index() == 0 {
-                Box::new(SendOddThenEven)
-            } else {
-                Box::new(Picky { seen: Vec::new() })
-            }
-        });
+        let sim = Sim::<u32>::builder(2)
+            .latency(FixedLatency(1))
+            .build(|pid| {
+                if pid.index() == 0 {
+                    Box::new(SendOddThenEven)
+                } else {
+                    Box::new(Picky { seen: Vec::new() })
+                }
+            });
         let trace = sim.run();
         assert_eq!(trace.stop_reason(), StopReason::Quiescent);
-        assert_eq!(trace.stats().messages_delivered, 0, "head-of-line refusal blocks channel");
+        assert_eq!(
+            trace.stats().messages_delivered,
+            0,
+            "head-of-line refusal blocks channel"
+        );
     }
 
     #[test]
@@ -869,28 +1003,33 @@ mod tests {
                 ctx.send(ProcessId::new(1), 100);
             }
         }
-        let sim = Sim::<u32>::builder(3).latency(FixedLatency(1)).build(|pid| {
-            if pid.index() == 1 {
-                Box::new(Picky { seen: Vec::new() })
-            } else {
-                Box::new(Script(pid.index()))
-            }
-        });
+        let sim = Sim::<u32>::builder(3)
+            .latency(FixedLatency(1))
+            .build(|pid| {
+                if pid.index() == 1 {
+                    Box::new(Picky { seen: Vec::new() })
+                } else {
+                    Box::new(Script(pid.index()))
+                }
+            });
         let trace = sim.run();
         assert_eq!(trace.stop_reason(), StopReason::Quiescent);
         let recvs: Vec<u64> = trace
             .events()
             .iter()
             .filter_map(|e| match e.kind {
-                TraceEventKind::Recv { by, msg, .. } if by == ProcessId::new(1) => {
-                    Some(msg.seq())
-                }
+                TraceEventKind::Recv { by, msg, .. } if by == ProcessId::new(1) => Some(msg.seq()),
                 _ => None,
             })
             .collect();
         // p1 receives p0's m0 (=2), then p2's m0 (=100), then the parked
         // p0 m1 (=3) and m2 (=6) in FIFO order.
-        assert_eq!(trace.stats().messages_delivered, 4, "{}", trace.to_pretty_string());
+        assert_eq!(
+            trace.stats().messages_delivered,
+            4,
+            "{}",
+            trace.to_pretty_string()
+        );
         let from_p0: Vec<u64> = trace
             .events()
             .iter()

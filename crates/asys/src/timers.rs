@@ -1,0 +1,112 @@
+//! Dense cancellation flags for one-shot timers.
+//!
+//! Both engines allocate timer ids from counters — globally sequential in
+//! the simulator, per-process-namespaced (`pid << 40 | seq`) in the
+//! threaded runtime — so cancellation state fits a per-lane bitmap instead
+//! of a `HashSet<TimerId>`. Marking and consuming a cancellation are then
+//! two or three array reads with no hashing, which matters in the
+//! simulator's run loop where every timer firing used to pay a hash probe.
+
+use crate::id::TimerId;
+
+/// Bits of a raw timer id below the lane namespace.
+const LANE_SHIFT: u32 = 40;
+const OFFSET_MASK: u64 = (1 << LANE_SHIFT) - 1;
+
+/// Cancellation bitmap, lane-indexed by the timer id's namespace bits.
+#[derive(Debug, Default)]
+pub(crate) struct CancelledTimers {
+    /// `lanes[lane][word]` holds 64 cancellation bits; lanes and words grow
+    /// on demand, so memory tracks the highest cancelled id per lane.
+    lanes: Vec<Vec<u64>>,
+}
+
+impl CancelledTimers {
+    /// An empty set.
+    pub(crate) fn new() -> Self {
+        CancelledTimers { lanes: Vec::new() }
+    }
+
+    fn split(id: TimerId) -> (usize, usize, u64) {
+        let raw = id.raw();
+        let lane = (raw >> LANE_SHIFT) as usize;
+        let offset = (raw & OFFSET_MASK) as usize;
+        (lane, offset >> 6, 1u64 << (offset & 63))
+    }
+
+    /// Marks `id` as cancelled. Idempotent.
+    pub(crate) fn cancel(&mut self, id: TimerId) {
+        let (lane, word, bit) = Self::split(id);
+        if self.lanes.len() <= lane {
+            self.lanes.resize_with(lane + 1, Vec::new);
+        }
+        let words = &mut self.lanes[lane];
+        if words.len() <= word {
+            words.resize(word + 1, 0);
+        }
+        words[word] |= bit;
+    }
+
+    /// Consumes the cancellation of `id`: returns whether it was
+    /// cancelled, clearing the flag (so each id answers `true` at most
+    /// once, matching `HashSet::remove`).
+    pub(crate) fn take(&mut self, id: TimerId) -> bool {
+        let (lane, word, bit) = Self::split(id);
+        match self
+            .lanes
+            .get_mut(lane)
+            .and_then(|words| words.get_mut(word))
+        {
+            Some(w) if *w & bit != 0 => {
+                *w &= !bit;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(raw: u64) -> TimerId {
+        TimerId::new(raw)
+    }
+
+    #[test]
+    fn cancel_then_take_once() {
+        let mut c = CancelledTimers::new();
+        assert!(!c.take(t(3)));
+        c.cancel(t(3));
+        assert!(c.take(t(3)));
+        assert!(!c.take(t(3)), "take consumes the flag");
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let mut c = CancelledTimers::new();
+        let a = t(5);
+        let b = t((2u64 << 40) | 5); // same offset, different lane
+        c.cancel(a);
+        assert!(!c.take(b));
+        assert!(c.take(a));
+    }
+
+    #[test]
+    fn high_offsets_grow_words() {
+        let mut c = CancelledTimers::new();
+        c.cancel(t(1_000_003));
+        assert!(c.take(t(1_000_003)));
+        assert!(!c.take(t(1_000_002)));
+    }
+
+    #[test]
+    fn cancel_is_idempotent() {
+        let mut c = CancelledTimers::new();
+        c.cancel(t(9));
+        c.cancel(t(9));
+        assert!(c.take(t(9)));
+        assert!(!c.take(t(9)));
+    }
+}

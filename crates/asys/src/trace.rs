@@ -196,7 +196,13 @@ impl Trace {
         end_time: VirtualTime,
         stats: SimStats,
     ) -> Self {
-        Trace { n, events, stop, end_time, stats }
+        Trace {
+            n,
+            events,
+            stop,
+            end_time,
+            stats,
+        }
     }
 
     /// Number of processes in the system.
@@ -337,7 +343,11 @@ mod tests {
     #[test]
     fn event_process_attribution() {
         let t = sample();
-        let procs: Vec<_> = t.events().iter().map(|e| e.kind.process().index()).collect();
+        let procs: Vec<_> = t
+            .events()
+            .iter()
+            .map(|e| e.kind.process().index())
+            .collect();
         assert_eq!(procs, vec![0, 1, 1, 0]);
     }
 

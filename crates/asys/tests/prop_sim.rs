@@ -4,8 +4,7 @@
 
 use proptest::prelude::*;
 use sfs_asys::{
-    Context, FaultPlan, Process, ProcessId, Sim, Trace, TraceEventKind, UniformLatency,
-    VirtualTime,
+    Context, FaultPlan, Process, ProcessId, Sim, Trace, TraceEventKind, UniformLatency, VirtualTime,
 };
 use std::collections::HashMap;
 
@@ -46,7 +45,11 @@ fn scripted_run(n: usize, plans: Vec<Vec<usize>>, seed: u64, lat_max: u64) -> Tr
     let sim = Sim::<u32>::builder(n)
         .seed(seed)
         .latency(UniformLatency::new(1, lat_max.max(1)))
-        .build(|pid| Box::new(Scripted { plan: plans[pid.index()].clone() }));
+        .build(|pid| {
+            Box::new(Scripted {
+                plan: plans[pid.index()].clone(),
+            })
+        });
     sim.run()
 }
 

@@ -53,5 +53,10 @@ fn bench_property_suite(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_happens_before, bench_rearrange, bench_property_suite);
+criterion_group!(
+    benches,
+    bench_happens_before,
+    bench_rearrange,
+    bench_property_suite
+);
 criterion_main!(benches);

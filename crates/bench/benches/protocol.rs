@@ -42,21 +42,25 @@ fn bench_detection_round(c: &mut Criterion) {
 fn bench_concurrent_suspicions(c: &mut Criterion) {
     let mut group = c.benchmark_group("concurrent_suspicions");
     for &victims in &[1usize, 2, 3, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(victims), &victims, |b, &victims| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                let mut spec = ClusterSpec::new(26, 5).seed(seed);
-                for v in 0..victims {
-                    spec = spec.suspect(
-                        ProcessId::new(victims + v),
-                        ProcessId::new(v),
-                        10 + v as u64,
-                    );
-                }
-                black_box(spec.run().stats().detections)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(victims),
+            &victims,
+            |b, &victims| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    let mut spec = ClusterSpec::new(26, 5).seed(seed);
+                    for v in 0..victims {
+                        spec = spec.suspect(
+                            ProcessId::new(victims + v),
+                            ProcessId::new(v),
+                            10 + v as u64,
+                        );
+                    }
+                    black_box(spec.run().stats().detections)
+                })
+            },
+        );
     }
     group.finish();
 }

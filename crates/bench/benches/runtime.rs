@@ -23,7 +23,9 @@ fn bench_threaded_spawn_detect(c: &mut Criterion) {
             });
             rt.inject_external(
                 sfs_asys::ProcessId::new(1),
-                sfs::SfsMsg::Control(sfs::Control::Suspect { suspect: sfs_asys::ProcessId::new(0) }),
+                sfs::SfsMsg::Control(sfs::Control::Suspect {
+                    suspect: sfs_asys::ProcessId::new(0),
+                }),
             );
             rt.run_for(Duration::from_millis(30));
             let trace = rt.shutdown();

@@ -1,4 +1,7 @@
 //! E1 — sFS property satisfaction and Theorem 5 rearrangement.
 fn main() {
-    sfs_bench::run_e1(sfs_bench::seeds_arg(100)).print();
+    let seeds = sfs_bench::seeds_arg(100);
+    sfs_bench::run_with_report("E1", "(5,2),(10,3),(17,4) x 3 variants", seeds, || {
+        sfs_bench::run_e1(seeds)
+    });
 }

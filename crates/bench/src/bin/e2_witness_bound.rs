@@ -1,4 +1,9 @@
 //! E2 — tightness of the Theorem 7 quorum bound.
 fn main() {
-    sfs_bench::run_e2().print();
+    sfs_bench::run_with_report(
+        "E2",
+        "(6,2),(10,2),(9,3),(12,3),(16,4),(20,4) x 2 quorums",
+        0,
+        sfs_bench::run_e2,
+    );
 }

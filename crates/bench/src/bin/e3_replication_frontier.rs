@@ -1,4 +1,4 @@
 //! E3 — the Corollary 8 replication frontier.
 fn main() {
-    sfs_bench::run_e3().print();
+    sfs_bench::run_with_report("E3", "t=1..8 at n=t^2 and n=t^2+1", 0, sfs_bench::run_e3);
 }

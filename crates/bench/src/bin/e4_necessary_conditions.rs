@@ -1,4 +1,7 @@
 //! E4 — necessity (Thm 2) and insufficiency (Thm 3) of Conditions 1-3.
 fn main() {
-    sfs_bench::run_e4(sfs_bench::seeds_arg(100)).print();
+    let seeds = sfs_bench::seeds_arg(100);
+    sfs_bench::run_with_report("E4", "Thm 3 counterexample + (10,3) random", seeds, || {
+        sfs_bench::run_e4(seeds)
+    });
 }

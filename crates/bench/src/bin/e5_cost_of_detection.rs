@@ -1,4 +1,10 @@
 //! E5 — cost of detection: wait-for-all vs fixed quorum.
 fn main() {
-    sfs_bench::run_e5(sfs_bench::seeds_arg(50)).print();
+    let seeds = sfs_bench::seeds_arg(50);
+    sfs_bench::run_with_report(
+        "E5",
+        "(5,2),(10,3),(17,4),(26,5),(37,6),(50,7) x 2 policies",
+        seeds,
+        || sfs_bench::run_e5(seeds),
+    );
 }

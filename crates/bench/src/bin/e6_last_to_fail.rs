@@ -1,4 +1,7 @@
 //! E6 — last-process-to-fail recovery by detector.
 fn main() {
-    sfs_bench::run_e6(sfs_bench::seeds_arg(100)).print();
+    let seeds = sfs_bench::seeds_arg(100);
+    sfs_bench::run_with_report("E6", "(4,1) x 4 detectors", seeds, || {
+        sfs_bench::run_e6(seeds)
+    });
 }

@@ -1,4 +1,7 @@
 //! E7 — election safety by detector.
 fn main() {
-    sfs_bench::run_e7(sfs_bench::seeds_arg(200)).print();
+    let seeds = sfs_bench::seeds_arg(200);
+    sfs_bench::run_with_report("E7", "(5,2) x 4 detectors", seeds, || {
+        sfs_bench::run_e7(seeds)
+    });
 }

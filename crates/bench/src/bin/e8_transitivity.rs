@@ -1,4 +1,7 @@
 //! E8 — (non-)transitivity of the failed-before relation (§6 discussion).
 fn main() {
-    sfs_bench::run_e8(sfs_bench::seeds_arg(200)).print();
+    let seeds = sfs_bench::seeds_arg(200);
+    sfs_bench::run_with_report("E8", "(5,2),(10,3),(17,4) + spec witness", seeds, || {
+        sfs_bench::run_e8(seeds)
+    });
 }

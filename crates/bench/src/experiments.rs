@@ -5,9 +5,11 @@
 //! of those formal artifacts executable and regenerates a paper-shaped
 //! table. See DESIGN.md §3 for the full index.
 
+use crate::report::note_trace;
 use crate::table::Table;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 use sfs::quorum::{is_feasible, max_tolerable, min_quorum};
 use sfs::{AppApi, Application, ClusterSpec, HeartbeatConfig, ModeSpec, QuorumPolicy};
 use sfs_apps::election::{analyze_election, ElectionApp};
@@ -16,6 +18,16 @@ use sfs_apps::scenarios::{cycle_among_victims, WitnessAttack};
 use sfs_asys::{ProcessId, Trace};
 use sfs_history::{rearrange_to_fs, History, RearrangeError};
 use sfs_tlogic::{properties, PropertyReport, Verdict};
+
+/// Maps `f` over the seed range `0..seeds` on the rayon pool.
+///
+/// Each seed is an independent deterministic run, so the sweep
+/// parallelizes embarrassingly; results come back **in seed order**
+/// (guaranteed by the pool), which makes every fold below — and hence
+/// every rendered table — byte-identical to a serial sweep.
+pub(crate) fn par_seeds<R: Send>(seeds: u64, f: impl Fn(u64) -> R + Sync + Send) -> Vec<R> {
+    (0..seeds).into_par_iter().map(f).collect()
+}
 
 /// An application that gossips on every failure notification — the exact
 /// message pattern sFS2d constrains (sends *after* a detection).
@@ -72,7 +84,9 @@ pub fn random_sfs_run(n: usize, t: usize, variant: E1Variant, seed: u64) -> Trac
         let at = rng.gen_range(5..50);
         spec = spec.suspect(ProcessId::new(by), ProcessId::new(v), at);
     }
-    spec.run_apps(|_| GossipApp)
+    let trace = spec.run_apps(|_| GossipApp);
+    note_trace(&trace);
+    trace
 }
 
 /// Aggregated E1 results for one configuration cell.
@@ -92,31 +106,52 @@ pub struct E1Cell {
     pub rearrange_inapplicable: usize,
 }
 
-/// Runs E1 for one `(n, t, variant)` cell over `seeds` seeds.
+/// How one seed's rearrangement attempt ended (E1).
+enum RearrangeOutcome {
+    Rearranged,
+    Inapplicable,
+    Failed,
+}
+
+/// Runs E1 for one `(n, t, variant)` cell over `seeds` seeds, one rayon
+/// task per seed.
 pub fn e1_cell(n: usize, t: usize, variant: E1Variant, seeds: u64) -> E1Cell {
-    let mut cell = E1Cell::default();
-    let mut violation_counts: std::collections::BTreeMap<&'static str, usize> =
-        Default::default();
-    for seed in 0..seeds {
+    let outcomes = par_seeds(seeds, |seed| {
         let trace = random_sfs_run(n, t, variant, seed);
         let complete = trace.stop_reason().is_complete();
         let h = History::from_trace(&trace);
         let reports = properties::check_sfs_suite(&h, complete);
         let ok = reports.iter().all(PropertyReport::is_ok);
+        let violated: Vec<&'static str> = reports
+            .iter()
+            .filter(|r| r.verdict == Verdict::Violated)
+            .map(|r| r.property)
+            .collect();
+        let completed = h.complete_missing_crashes();
+        let rearrange = match rearrange_to_fs(&completed) {
+            Ok(report) => {
+                debug_assert!(report.history.isomorphic(&completed));
+                RearrangeOutcome::Rearranged
+            }
+            Err(RearrangeError::MissingCrash { .. }) => RearrangeOutcome::Inapplicable,
+            Err(_) => RearrangeOutcome::Failed,
+        };
+        (ok, violated, rearrange)
+    });
+    // Fold in seed order: identical counts (and table bytes) to a serial
+    // sweep.
+    let mut cell = E1Cell::default();
+    let mut violation_counts: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    for (ok, violated, rearrange) in outcomes {
         cell.runs += 1;
         cell.suite_ok += usize::from(ok);
-        for r in &reports {
-            if r.verdict == Verdict::Violated {
-                *violation_counts.entry(r.property).or_default() += 1;
-            }
+        for property in violated {
+            *violation_counts.entry(property).or_default() += 1;
         }
-        match rearrange_to_fs(&h.complete_missing_crashes()) {
-            Ok(report) => {
-                debug_assert!(report.history.isomorphic(&h.complete_missing_crashes()));
-                cell.rearranged += 1;
-            }
-            Err(RearrangeError::MissingCrash { .. }) => cell.rearrange_inapplicable += 1,
-            Err(_) => {}
+        match rearrange {
+            RearrangeOutcome::Rearranged => cell.rearranged += 1,
+            RearrangeOutcome::Inapplicable => cell.rearrange_inapplicable += 1,
+            RearrangeOutcome::Failed => {}
         }
     }
     cell.violations = violation_counts.into_iter().collect();
@@ -130,10 +165,22 @@ pub fn run_e1(seeds: u64) -> Table {
     let mut table = Table::new(
         "E1 — sFS property satisfaction and Theorem 5 rearrangement \
          (per paper Figure 1: FS1, sFS2a-d)",
-        &["variant", "n", "t", "runs", "suite ok", "violated properties", "FS-isomorphic"],
+        &[
+            "variant",
+            "n",
+            "t",
+            "runs",
+            "suite ok",
+            "violated properties",
+            "FS-isomorphic",
+        ],
     );
     for &(n, t) in &[(5usize, 2usize), (10, 3), (17, 4)] {
-        for variant in [E1Variant::Standard, E1Variant::NoGate, E1Variant::NoSelfCrash] {
+        for variant in [
+            E1Variant::Standard,
+            E1Variant::NoGate,
+            E1Variant::NoSelfCrash,
+        ] {
             let cell = e1_cell(n, t, variant, seeds);
             let violated = if cell.violations.is_empty() {
                 "none".to_string()
@@ -173,11 +220,24 @@ pub fn run_e1(seeds: u64) -> Table {
 pub fn run_e2() -> Table {
     let mut table = Table::new(
         "E2 — tightness of the Theorem 7 quorum bound (A.3 adversary)",
-        &["n", "t", "quorum", "vs bound ⌊n(t-1)/t⌋+1", "detections", "failed-before cycle"],
+        &[
+            "n",
+            "t",
+            "quorum",
+            "vs bound ⌊n(t-1)/t⌋+1",
+            "detections",
+            "failed-before cycle",
+        ],
     );
     for &(n, t) in &[(6usize, 2usize), (10, 2), (9, 3), (12, 3), (16, 4), (20, 4)] {
         let safe = min_quorum(n, t);
-        let attack_q = WitnessAttack { n, t, quorum: 0, seed: 0 }.max_available_votes();
+        let attack_q = WitnessAttack {
+            n,
+            t,
+            quorum: 0,
+            seed: 0,
+        }
+        .max_available_votes();
         for quorum in [attack_q, safe] {
             if quorum == safe && !is_feasible(n, t) {
                 table.row([
@@ -190,17 +250,31 @@ pub fn run_e2() -> Table {
                 ]);
                 continue;
             }
-            let attack = WitnessAttack { n, t, quorum, seed: 0 };
+            let attack = WitnessAttack {
+                n,
+                t,
+                quorum,
+                seed: 0,
+            };
             let trace = attack.run();
+            note_trace(&trace);
             let cycle = cycle_among_victims(&trace, t);
-            let relation = if quorum >= safe { "at bound" } else { "below bound" };
+            let relation = if quorum >= safe {
+                "at bound"
+            } else {
+                "below bound"
+            };
             table.row([
                 n.to_string(),
                 t.to_string(),
                 quorum.to_string(),
                 relation.into(),
                 trace.detections().len().to_string(),
-                if cycle { "CYCLE".into() } else { "acyclic".to_string() },
+                if cycle {
+                    "CYCLE".into()
+                } else {
+                    "acyclic".to_string()
+                },
             ]);
         }
     }
@@ -215,14 +289,25 @@ pub fn run_e2() -> Table {
 pub fn run_e3() -> Table {
     let mut table = Table::new(
         "E3 — replication frontier (Corollary 8: fixed-quorum protocols need n > t²)",
-        &["t", "min quorum at n=t²", "feasible at n=t²", "min feasible n", "quorum there", "max_tolerable(min n)"],
+        &[
+            "t",
+            "min quorum at n=t²",
+            "feasible at n=t²",
+            "min feasible n",
+            "quorum there",
+            "max_tolerable(min n)",
+        ],
     );
     for t in 1usize..=8 {
         let frontier = t * t;
         let min_n = frontier + 1;
         table.row([
             t.to_string(),
-            if frontier > 0 { min_quorum(frontier.max(1), t).to_string() } else { "-".into() },
+            if frontier > 0 {
+                min_quorum(frontier.max(1), t).to_string()
+            } else {
+                "-".into()
+            },
             is_feasible(frontier, t).to_string(),
             min_n.to_string(),
             min_quorum(min_n, t).to_string(),
@@ -238,7 +323,14 @@ pub fn run_e3() -> Table {
 pub fn run_e4(seeds: u64) -> Table {
     let mut table = Table::new(
         "E4 — necessary conditions (Thm 2) and their insufficiency (Thm 3)",
-        &["run", "Cond1", "Cond2", "Cond3", "FS2", "FS-isomorphic rearrangement"],
+        &[
+            "run",
+            "Cond1",
+            "Cond2",
+            "Cond3",
+            "FS2",
+            "FS-isomorphic rearrangement",
+        ],
     );
     // The Theorem 3 counterexample.
     let t3 = sfs_history::scenarios::theorem3_run();
@@ -259,17 +351,21 @@ pub fn run_e4(seeds: u64) -> Table {
         fs2.to_string(),
         rearrange,
     ]);
-    // Random sFS runs: conditions hold AND rearrangement exists.
-    let mut all_ok = 0usize;
-    let mut rearranged = 0usize;
-    for seed in 0..seeds {
+    // Random sFS runs: conditions hold AND rearrangement exists. One
+    // rayon task per seed; counts folded in seed order.
+    let outcomes = par_seeds(seeds, |seed| {
         let trace = random_sfs_run(10, 3, E1Variant::Standard, seed);
         let h = History::from_trace(&trace);
         let ok = properties::check_condition1(&h, true).is_ok()
             && properties::check_condition2(&h).is_ok()
             && properties::check_condition3(&h).is_ok();
+        (ok, rearrange_to_fs(&h).is_ok())
+    });
+    let mut all_ok = 0usize;
+    let mut rearranged = 0usize;
+    for (ok, rearr) in outcomes {
         all_ok += usize::from(ok);
-        rearranged += usize::from(rearrange_to_fs(&h).is_ok());
+        rearranged += usize::from(rearr);
     }
     table.row([
         format!("{seeds} random sFS runs (n=10, t=3)"),
@@ -317,6 +413,7 @@ pub fn detection_cost(n: usize, t: usize, policy: QuorumPolicy, seed: u64) -> De
         .max()
         .unwrap_or(suspect_at);
     let votes_needed = policy.fixed_threshold(n, t).unwrap_or(n - 1);
+    note_trace(&trace);
     DetectionCost {
         messages: trace.stats().messages_sent,
         detections: trace.stats().detections,
@@ -329,18 +426,34 @@ pub fn detection_cost(n: usize, t: usize, policy: QuorumPolicy, seed: u64) -> De
 pub fn run_e5(seeds: u64) -> Table {
     let mut table = Table::new(
         "E5 — cost of one detection: wait-for-all vs fixed minimum quorum (§4)",
-        &["n", "t", "policy", "votes needed", "msgs (avg)", "msgs/detection", "latency avg (ticks)"],
+        &[
+            "n",
+            "t",
+            "policy",
+            "votes needed",
+            "msgs (avg)",
+            "msgs/detection",
+            "latency avg (ticks)",
+        ],
     );
-    for &(n, t) in &[(5usize, 2usize), (10, 3), (17, 4), (26, 5), (37, 6), (50, 7)] {
-        for (label, policy) in
-            [("wait-for-all", QuorumPolicy::WaitForAll), ("fixed-min", QuorumPolicy::FixedMinimum)]
-        {
+    for &(n, t) in &[
+        (5usize, 2usize),
+        (10, 3),
+        (17, 4),
+        (26, 5),
+        (37, 6),
+        (50, 7),
+    ] {
+        for (label, policy) in [
+            ("wait-for-all", QuorumPolicy::WaitForAll),
+            ("fixed-min", QuorumPolicy::FixedMinimum),
+        ] {
+            let costs = par_seeds(seeds, |seed| detection_cost(n, t, policy, seed));
             let mut messages = 0u64;
             let mut detections = 0u64;
             let mut latency = 0u64;
             let mut votes = 0usize;
-            for seed in 0..seeds {
-                let cost = detection_cost(n, t, policy, seed);
+            for cost in costs {
                 messages += cost.messages;
                 detections += cost.detections;
                 latency += cost.latency;
@@ -371,7 +484,12 @@ pub fn run_e5(seeds: u64) -> Table {
 pub fn run_e6(seeds: u64) -> Table {
     let mut table = Table::new(
         "E6 — last-process-to-fail recovery after total failure (§6, [Ske85])",
-        &["detector", "runs", "recovery consistent", "true last in candidates"],
+        &[
+            "detector",
+            "runs",
+            "recovery consistent",
+            "true last in candidates",
+        ],
     );
     for (label, mode) in [
         ("oracle (perfect)", ModeSpec::Oracle),
@@ -379,13 +497,15 @@ pub fn run_e6(seeds: u64) -> Table {
         ("cheap broadcast (no sFS2b)", ModeSpec::CheapBroadcast),
         ("unilateral", ModeSpec::Unilateral),
     ] {
-        let mut consistent = 0usize;
-        let mut truth_in = 0usize;
-        for seed in 0..seeds {
+        let outcomes = par_seeds(seeds, |seed| {
             let n = 4usize;
             let mut spec = ClusterSpec::new(n, 1)
                 .mode(mode)
-                .heartbeat(HeartbeatConfig { interval: 10, timeout: 50, check_every: 10 })
+                .heartbeat(HeartbeatConfig {
+                    interval: 10,
+                    timeout: 50,
+                    check_every: 10,
+                })
                 .seed(seed)
                 .max_time(6_000);
             // A false mutual suspicion to provoke cycles where possible,
@@ -400,16 +520,18 @@ pub fn run_e6(seeds: u64) -> Table {
                 spec = spec.crash(ProcessId::new(i), 500 + 400 * i as u64);
             }
             let trace = spec.run();
+            note_trace(&trace);
             let truth = true_last_to_fail(&trace);
             match recover_last_to_fail(&trace) {
-                Recovery::Candidates(c) => {
-                    consistent += 1;
-                    if truth.is_some_and(|t| c.contains(&t)) {
-                        truth_in += 1;
-                    }
-                }
-                Recovery::Inconsistent(_) => {}
+                Recovery::Candidates(c) => (true, truth.is_some_and(|t| c.contains(&t))),
+                Recovery::Inconsistent(_) => (false, false),
             }
+        });
+        let mut consistent = 0usize;
+        let mut truth_in = 0usize;
+        for (ok, truth) in outcomes {
+            consistent += usize::from(ok);
+            truth_in += usize::from(truth);
         }
         table.row([
             label.to_string(),
@@ -430,7 +552,13 @@ pub fn run_e6(seeds: u64) -> Table {
 pub fn run_e7(seeds: u64) -> Table {
     let mut table = Table::new(
         "E7 — leader election under a false suspicion of the leader (§1)",
-        &["detector", "runs", "FS-impossible observations", "runs w/ global 2-leader window", "leader killed"],
+        &[
+            "detector",
+            "runs",
+            "FS-impossible observations",
+            "runs w/ global 2-leader window",
+            "leader killed",
+        ],
     );
     for (label, mode) in [
         ("oracle (perfect)", ModeSpec::Oracle),
@@ -438,19 +566,27 @@ pub fn run_e7(seeds: u64) -> Table {
         ("cheap broadcast", ModeSpec::CheapBroadcast),
         ("unilateral", ModeSpec::Unilateral),
     ] {
-        let mut anomalies = 0usize;
-        let mut windows = 0usize;
-        let mut killed = 0usize;
-        for seed in 0..seeds {
+        let outcomes = par_seeds(seeds, |seed| {
             let trace = ClusterSpec::new(5, 2)
                 .mode(mode)
                 .seed(seed)
                 .suspect(ProcessId::new(1), ProcessId::new(0), 10)
                 .run_apps(|_| ElectionApp::new());
+            note_trace(&trace);
             let outcome = analyze_election(&trace);
-            anomalies += outcome.observed_anomalies;
-            windows += usize::from(outcome.max_concurrent_leaders >= 2);
-            killed += usize::from(trace.crashed().contains(&ProcessId::new(0)));
+            (
+                outcome.observed_anomalies,
+                outcome.max_concurrent_leaders >= 2,
+                trace.crashed().contains(&ProcessId::new(0)),
+            )
+        });
+        let mut anomalies = 0usize;
+        let mut windows = 0usize;
+        let mut killed = 0usize;
+        for (a, window, kill) in outcomes {
+            anomalies += a;
+            windows += usize::from(window);
+            killed += usize::from(kill);
         }
         table.row([
             label.to_string(),
@@ -468,49 +604,6 @@ pub fn run_e7(seeds: u64) -> Table {
     table
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn e1_standard_cell_is_clean() {
-        let cell = e1_cell(5, 2, E1Variant::Standard, 10);
-        assert_eq!(cell.suite_ok, cell.runs);
-        assert_eq!(cell.rearranged, cell.runs);
-        assert!(cell.violations.is_empty());
-    }
-
-    #[test]
-    fn e1_no_self_crash_violates_sfs2a() {
-        let cell = e1_cell(5, 2, E1Variant::NoSelfCrash, 10);
-        assert!(cell.violations.iter().any(|&(p, c)| p == "sFS2a" && c > 0), "{cell:?}");
-    }
-
-    #[test]
-    fn e1_no_gate_violates_sfs2d_somewhere() {
-        // Gossip right after detection races application messages against
-        // open rounds; without gating some seed must violate sFS2d.
-        let cell = e1_cell(10, 3, E1Variant::NoGate, 30);
-        assert!(cell.violations.iter().any(|&(p, c)| p == "sFS2d" && c > 0), "{cell:?}");
-    }
-
-    #[test]
-    fn e5_wait_for_all_needs_more_votes() {
-        let all = detection_cost(10, 3, QuorumPolicy::WaitForAll, 1);
-        let fixed = detection_cost(10, 3, QuorumPolicy::FixedMinimum, 1);
-        assert!(all.votes_needed > fixed.votes_needed);
-        assert!(all.detections >= 9);
-        assert!(fixed.detections >= 9);
-    }
-
-    #[test]
-    fn tables_render_nonempty() {
-        assert!(!run_e2().is_empty());
-        assert!(!run_e3().is_empty());
-        assert!(!run_e4(3).is_empty());
-    }
-}
-
 /// E8 — §6 discussion: the sFS failed-before relation is not transitive.
 ///
 /// The paper closes by noting that a *stronger* model whose failed-before
@@ -525,21 +618,25 @@ pub fn run_e8(seeds: u64) -> Table {
     use sfs_history::FailedBefore;
     let mut table = Table::new(
         "E8 — (non-)transitivity of the sFS failed-before relation (§6)",
-        &["n", "t", "runs w/ ≥2 victims", "already transitive", "avg edges", "avg closure edges", "avg orderings gained"],
+        &[
+            "n",
+            "t",
+            "runs w/ ≥2 victims",
+            "already transitive",
+            "avg edges",
+            "avg closure edges",
+            "avg orderings gained",
+        ],
     );
     for &(n, t) in &[(5usize, 2usize), (10, 3), (17, 4)] {
-        let mut considered = 0u64;
-        let mut transitive = 0u64;
-        let mut edges = 0u64;
-        let mut closed_edges = 0u64;
-        for seed in 0..seeds {
+        // (edges, closure edges, transitive?) per seed with >= 2 victims.
+        let outcomes = par_seeds(seeds, |seed| {
             let trace = random_sfs_run(n, t, E1Variant::Standard, seed);
             let h = History::from_trace(&trace);
             let victims: std::collections::BTreeSet<_> = h.crashed().into_iter().collect();
             if victims.len() < 2 {
-                continue; // transitivity is trivial with one victim
+                return None; // transitivity is trivial with one victim
             }
-            considered += 1;
             let fb = FailedBefore::from_history(&h);
             let closure = fb.transitive_closure();
             let count = |r: &FailedBefore| -> u64 {
@@ -553,11 +650,17 @@ pub fn run_e8(seeds: u64) -> Table {
                 }
                 c
             };
-            let e = count(&fb);
-            let ce = count(&closure);
+            Some((count(&fb), count(&closure), fb.is_transitive()))
+        });
+        let mut considered = 0u64;
+        let mut transitive = 0u64;
+        let mut edges = 0u64;
+        let mut closed_edges = 0u64;
+        for (e, ce, is_transitive) in outcomes.into_iter().flatten() {
+            considered += 1;
             edges += e;
             closed_edges += ce;
-            if fb.is_transitive() {
+            if is_transitive {
                 transitive += 1;
             }
         }
@@ -600,10 +703,18 @@ pub fn run_e8(seeds: u64) -> Table {
         "spec-level witness".to_string(),
         "-".to_string(),
         "1".to_string(),
-        if suite_ok { "sFS2a-d all hold".to_string() } else { "BUG".to_string() },
+        if suite_ok {
+            "sFS2a-d all hold".to_string()
+        } else {
+            "BUG".to_string()
+        },
         "2.0".to_string(),
         "3.0".to_string(),
-        if fb.is_transitive() { "0 (BUG)".to_string() } else { "1.00".to_string() },
+        if fb.is_transitive() {
+            "0 (BUG)".to_string()
+        } else {
+            "1.00".to_string()
+        },
     ]);
     table.note(
         "each 'ordering gained' is a failed-before fact a recovering process could \
@@ -617,4 +728,78 @@ pub fn run_e8(seeds: u64) -> Table {
          which makes no such promise.",
     );
     table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_standard_cell_is_clean() {
+        let cell = e1_cell(5, 2, E1Variant::Standard, 10);
+        assert_eq!(cell.suite_ok, cell.runs);
+        assert_eq!(cell.rearranged, cell.runs);
+        assert!(cell.violations.is_empty());
+    }
+
+    #[test]
+    fn e1_no_self_crash_violates_sfs2a() {
+        let cell = e1_cell(5, 2, E1Variant::NoSelfCrash, 10);
+        assert!(
+            cell.violations.iter().any(|&(p, c)| p == "sFS2a" && c > 0),
+            "{cell:?}"
+        );
+    }
+
+    #[test]
+    fn e1_no_gate_violates_sfs2d_somewhere() {
+        // Gossip right after detection races application messages against
+        // open rounds; without gating some seed must violate sFS2d.
+        let cell = e1_cell(10, 3, E1Variant::NoGate, 30);
+        assert!(
+            cell.violations.iter().any(|&(p, c)| p == "sFS2d" && c > 0),
+            "{cell:?}"
+        );
+    }
+
+    #[test]
+    fn e5_wait_for_all_needs_more_votes() {
+        let all = detection_cost(10, 3, QuorumPolicy::WaitForAll, 1);
+        let fixed = detection_cost(10, 3, QuorumPolicy::FixedMinimum, 1);
+        assert!(all.votes_needed > fixed.votes_needed);
+        assert!(all.detections >= 9);
+        assert!(fixed.detections >= 9);
+    }
+
+    #[test]
+    fn tables_render_nonempty() {
+        assert!(!run_e2().is_empty());
+        assert!(!run_e3().is_empty());
+        assert!(!run_e4(3).is_empty());
+    }
+
+    /// The rayon sweep must be a drop-in for the serial loop: same values,
+    /// same order, hence byte-identical tables.
+    #[test]
+    fn parallel_sweep_matches_serial_order() {
+        let parallel = par_seeds(24, |seed| {
+            let trace = random_sfs_run(5, 2, E1Variant::Standard, seed);
+            (trace.events().len(), trace.stats().messages_sent)
+        });
+        let serial: Vec<_> = (0..24)
+            .map(|seed| {
+                let trace = random_sfs_run(5, 2, E1Variant::Standard, seed);
+                (trace.events().len(), trace.stats().messages_sent)
+            })
+            .collect();
+        assert_eq!(parallel, serial);
+    }
+
+    /// Rendered experiment tables are reproducible run to run (no
+    /// scheduling-dependent accumulation).
+    #[test]
+    fn parallel_tables_are_byte_identical_across_runs() {
+        assert_eq!(run_e5(4).render(), run_e5(4).render());
+        assert_eq!(run_e7(6).render(), run_e7(6).render());
+    }
 }

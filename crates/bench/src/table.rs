@@ -29,7 +29,8 @@ impl Table {
         I: IntoIterator<Item = S>,
         S: fmt::Display,
     {
-        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.into_iter().map(|c| c.to_string()).collect());
     }
 
     /// Appends a footnote printed below the table.
@@ -49,9 +50,10 @@ impl Table {
 
     /// The rendered table.
     pub fn render(&self) -> String {
-        let cols = self.headers.len().max(
-            self.rows.iter().map(Vec::len).max().unwrap_or(0),
-        );
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
             widths[i] = widths[i].max(h.chars().count());

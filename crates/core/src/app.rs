@@ -25,7 +25,9 @@ pub struct AppApi<'a, 'b, M> {
 
 impl<M> fmt::Debug for AppApi<'_, '_, M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("AppApi").field("id", &self.ctx.id()).finish_non_exhaustive()
+        f.debug_struct("AppApi")
+            .field("id", &self.ctx.id())
+            .finish_non_exhaustive()
     }
 }
 
@@ -35,7 +37,11 @@ impl<'a, 'b, M: Clone + fmt::Debug> AppApi<'a, 'b, M> {
         failed: &'a BTreeSet<ProcessId>,
         app_timers: &'a mut HashSet<TimerId>,
     ) -> Self {
-        AppApi { ctx, failed, app_timers }
+        AppApi {
+            ctx,
+            failed,
+            app_timers,
+        }
     }
 
     /// This process's identity.
@@ -58,13 +64,25 @@ impl<'a, 'b, M: Clone + fmt::Debug> AppApi<'a, 'b, M> {
     /// receiver can honour sFS2d.
     pub fn send(&mut self, to: ProcessId, msg: M) {
         let knows: Vec<ProcessId> = self.failed.iter().copied().collect();
-        self.ctx.send(to, SfsMsg::App { payload: msg, knows });
+        self.ctx.send(
+            to,
+            SfsMsg::App {
+                payload: msg,
+                knows,
+            },
+        );
     }
 
     /// Sends an application message to every other process.
     pub fn broadcast(&mut self, msg: M) {
         let knows: Vec<ProcessId> = self.failed.iter().copied().collect();
-        self.ctx.broadcast(SfsMsg::App { payload: msg, knows }, false);
+        self.ctx.broadcast(
+            SfsMsg::App {
+                payload: msg,
+                knows,
+            },
+            false,
+        );
     }
 
     /// Arms an application timer; the id is reported back via
@@ -101,7 +119,9 @@ impl<'a, 'b, M: Clone + fmt::Debug> AppApi<'a, 'b, M> {
     /// ascending. Under fail-stop semantics this is the live membership
     /// as far as this process can ever know.
     pub fn alive(&self) -> Vec<ProcessId> {
-        ProcessId::all(self.n()).filter(|p| !self.failed.contains(p)).collect()
+        ProcessId::all(self.n())
+            .filter(|p| !self.failed.contains(p))
+            .collect()
     }
 
     /// Deterministic per-run randomness.

@@ -39,7 +39,11 @@ pub struct HeartbeatConfig {
 
 impl Default for HeartbeatConfig {
     fn default() -> Self {
-        HeartbeatConfig { interval: 20, timeout: 100, check_every: 25 }
+        HeartbeatConfig {
+            interval: 20,
+            timeout: 100,
+            check_every: 25,
+        }
     }
 }
 
@@ -139,7 +143,10 @@ mod tests {
         assert!(SfsConfig::new(10, 3).validated().is_ok());
         assert!(SfsConfig::new(9, 3).validated().is_err());
         // WaitForAll tolerates t up to n-1.
-        assert!(SfsConfig::new(9, 3).quorum(QuorumPolicy::WaitForAll).validated().is_ok());
+        assert!(SfsConfig::new(9, 3)
+            .quorum(QuorumPolicy::WaitForAll)
+            .validated()
+            .is_ok());
     }
 
     #[test]

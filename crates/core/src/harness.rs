@@ -10,9 +10,7 @@ use crate::config::{HeartbeatConfig, SfsConfig};
 use crate::msg::{Control, SfsMsg};
 use crate::protocol::SfsProcess;
 use crate::quorum::QuorumPolicy;
-use sfs_asys::{
-    FaultPlan, LatencyModel, ProcessId, Sim, Trace, UniformLatency, VirtualTime,
-};
+use sfs_asys::{FaultPlan, LatencyModel, ProcessId, Sim, Trace, UniformLatency, VirtualTime};
 
 /// Which detector the cluster runs (the harness-level mirror of
 /// [`DetectionMode`](crate::DetectionMode), without the oracle's registry
@@ -193,7 +191,11 @@ impl ClusterSpec {
     /// # Panics
     ///
     /// Panics on infeasible configurations.
-    pub fn run_with_latency<A, F>(self, latency: impl LatencyModel + 'static, mut make_app: F) -> Trace
+    pub fn run_with_latency<A, F>(
+        self,
+        latency: impl LatencyModel + 'static,
+        mut make_app: F,
+    ) -> Trace
     where
         A: Application,
         F: FnMut(ProcessId) -> A,
@@ -225,8 +227,8 @@ impl ClusterSpec {
         };
         let sim = builder.build(|pid| {
             let config = config_of(&self);
-            let process = SfsProcess::new(config, make_app(pid))
-                .expect("infeasible cluster configuration");
+            let process =
+                SfsProcess::new(config, make_app(pid)).expect("infeasible cluster configuration");
             Box::new(process)
         });
         sim.run()
@@ -271,12 +273,19 @@ mod tests {
             .seed(7)
             .run();
         let h = History::from_trace(&trace);
-        assert_eq!(properties::check_fs2(&h).verdict, Verdict::Holds, "true crash: FS2 holds");
-        let detectors: std::collections::BTreeSet<_> =
-            trace.detections().into_iter().map(|(by, of)| {
+        assert_eq!(
+            properties::check_fs2(&h).verdict,
+            Verdict::Holds,
+            "true crash: FS2 holds"
+        );
+        let detectors: std::collections::BTreeSet<_> = trace
+            .detections()
+            .into_iter()
+            .map(|(by, of)| {
                 assert_eq!(of, p(2));
                 by
-            }).collect();
+            })
+            .collect();
         assert_eq!(detectors.len(), 3, "{}", trace.to_pretty_string());
     }
 
@@ -298,7 +307,10 @@ mod tests {
     fn unilateral_mode_detects_without_killing() {
         // Unilateral detection does not propagate an obituary, so the
         // victim survives — an sFS2a violation on a complete run.
-        let trace = ClusterSpec::new(3, 1).mode(ModeSpec::Unilateral).suspect(p(1), p(0), 10).run();
+        let trace = ClusterSpec::new(3, 1)
+            .mode(ModeSpec::Unilateral)
+            .suspect(p(1), p(0), 10)
+            .run();
         assert_eq!(trace.crashed(), vec![]);
         let h = History::from_trace(&trace);
         assert_eq!(properties::check_sfs2a(&h, true).verdict, Verdict::Violated);
@@ -306,8 +318,10 @@ mod tests {
 
     #[test]
     fn cheap_broadcast_kills_but_skips_quorum() {
-        let trace =
-            ClusterSpec::new(5, 2).mode(ModeSpec::CheapBroadcast).suspect(p(1), p(0), 10).run();
+        let trace = ClusterSpec::new(5, 2)
+            .mode(ModeSpec::CheapBroadcast)
+            .suspect(p(1), p(0), 10)
+            .run();
         assert_eq!(trace.crashed(), vec![p(0)]);
         let h = History::from_trace(&trace);
         assert_eq!(properties::check_sfs2a(&h, true).verdict, Verdict::Holds);

@@ -82,14 +82,23 @@ mod tests {
 
     #[test]
     fn is_app_classifies() {
-        assert!(SfsMsg::App { payload: 7u32, knows: vec![] }.is_app());
+        assert!(SfsMsg::App {
+            payload: 7u32,
+            knows: vec![]
+        }
+        .is_app());
         assert!(!SfsMsg::<u32>::Heartbeat.is_app());
-        assert!(!SfsMsg::<u32>::Susp { suspect: ProcessId::new(1) }.is_app());
+        assert!(!SfsMsg::<u32>::Susp {
+            suspect: ProcessId::new(1)
+        }
+        .is_app());
     }
 
     #[test]
     fn display_matches_paper_phrasing() {
-        let m: SfsMsg<u32> = SfsMsg::Susp { suspect: ProcessId::new(2) };
+        let m: SfsMsg<u32> = SfsMsg::Susp {
+            suspect: ProcessId::new(2),
+        };
         assert_eq!(m.to_string(), "\"p2 failed\"");
     }
 }

@@ -26,7 +26,9 @@ use crate::app::{AppApi, Application};
 use crate::config::{DetectionMode, SfsConfig};
 use crate::msg::{Control, SfsMsg};
 use crate::quorum::{QuorumError, QuorumPolicy};
-use sfs_asys::{Context, Note, Process, ProcessId, ReceiveFilter, TimerId, VirtualTime, NOTE_QUORUM};
+use sfs_asys::{
+    Context, Note, Process, ProcessId, ReceiveFilter, TimerId, VirtualTime, NOTE_QUORUM,
+};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 
@@ -100,12 +102,7 @@ impl<A: Application> SfsProcess<A> {
         self.app.on_start(&mut api);
     }
 
-    fn app_message(
-        &mut self,
-        ctx: &mut Context<'_, SfsMsg<A::Msg>>,
-        from: ProcessId,
-        msg: A::Msg,
-    ) {
+    fn app_message(&mut self, ctx: &mut Context<'_, SfsMsg<A::Msg>>, from: ProcessId, msg: A::Msg) {
         let mut api = AppApi::new(ctx, &self.failed, &mut self.app_timers);
         self.app.on_message(&mut api, from, msg);
     }
@@ -195,14 +192,16 @@ impl<A: Application> SfsProcess<A> {
     /// Declares `failed_self(suspect)` if the vote set satisfies the
     /// quorum policy.
     fn check_quorum(&mut self, ctx: &mut Context<'_, SfsMsg<A::Msg>>, suspect: ProcessId) {
-        let Some(votes) = self.rounds.get(&suspect) else { return };
+        let Some(votes) = self.rounds.get(&suspect) else {
+            return;
+        };
         let met = match self.config.quorum {
             QuorumPolicy::WaitForAll => {
                 // Every process that is neither suspected nor already
                 // detected must have voted (this includes self).
                 ProcessId::all(self.config.n).all(|p| {
                     votes.contains(&p)
-                        || self.rounds.contains_key(&p) && p != suspect
+                        || self.rounds.contains_key(&p)
                         || p == suspect
                         || self.failed.contains(&p)
                 })
@@ -242,7 +241,11 @@ impl<A: Application> SfsProcess<A> {
         }
         self.rounds.remove(&suspect);
         if let Some(q) = quorum {
-            ctx.annotate(Note::process_set(NOTE_QUORUM, Some(suspect), q.into_iter().collect()));
+            ctx.annotate(Note::process_set(
+                NOTE_QUORUM,
+                Some(suspect),
+                q.into_iter().collect(),
+            ));
         }
         ctx.declare_failed(suspect);
         self.update_gate(ctx);
@@ -264,10 +267,12 @@ impl<A: Application> SfsProcess<A> {
             return;
         }
         let failed = self.failed.clone();
-        ctx.set_receive_filter(Some(ReceiveFilter::new(move |m: &SfsMsg<A::Msg>| match m {
-            SfsMsg::App { knows, .. } => knows.iter().all(|j| failed.contains(j)),
-            _ => true,
-        })));
+        ctx.set_receive_filter(Some(ReceiveFilter::new(
+            move |m: &SfsMsg<A::Msg>| match m {
+                SfsMsg::App { knows, .. } => knows.iter().all(|j| failed.contains(j)),
+                _ => true,
+            },
+        )));
     }
 
     /// Periodic scan: heartbeat timeouts or oracle poll.
@@ -310,8 +315,7 @@ impl<A: Application> Process<SfsMsg<A::Msg>> for SfsProcess<A> {
             ctx.broadcast(SfsMsg::Heartbeat, false);
             self.hb_timer = Some(ctx.set_timer(hb.interval));
         }
-        if self.config.heartbeat.is_some() || matches!(self.config.mode, DetectionMode::Oracle(_))
-        {
+        if self.config.heartbeat.is_some() || matches!(self.config.mode, DetectionMode::Oracle(_)) {
             self.check_timer = Some(ctx.set_timer(self.check_interval()));
         }
         self.update_gate(ctx);

@@ -98,7 +98,7 @@ pub fn is_feasible(n: usize, t: usize) -> bool {
 /// ```
 pub fn max_tolerable(n: usize) -> usize {
     let mut t = 0;
-    while t + 1 <= n && is_feasible(n, t + 1) {
+    while t < n && is_feasible(n, t + 1) {
         t += 1;
     }
     t
@@ -179,7 +179,10 @@ mod tests {
                 // q > n(t-1)/t  ⇔  q·t > n·(t-1)
                 assert!(q * t > n * (t - 1), "q={q} not > {n}({t}-1)/{t}");
                 // Minimality: q-1 fails the bound.
-                assert!((q - 1) * t <= n * (t - 1), "q={q} not minimal for n={n}, t={t}");
+                assert!(
+                    (q - 1) * t <= n * (t - 1),
+                    "q={q} not minimal for n={n}, t={t}"
+                );
             }
         }
     }
@@ -222,17 +225,28 @@ mod tests {
         assert!(QuorumPolicy::FixedMinimum.validated(10, 3).is_ok());
         assert_eq!(
             QuorumPolicy::FixedMinimum.validated(9, 3),
-            Err(QuorumError::Infeasible { n: 9, t: 3, required: 7 })
+            Err(QuorumError::Infeasible {
+                n: 9,
+                t: 3,
+                required: 7
+            })
         );
         assert!(QuorumPolicy::WaitForAll.validated(9, 3).is_ok());
         assert!(QuorumPolicy::WaitForAll.validated(9, 8).is_ok());
         assert_eq!(
             QuorumPolicy::WaitForAll.validated(9, 9),
-            Err(QuorumError::Infeasible { n: 9, t: 9, required: 1 })
+            Err(QuorumError::Infeasible {
+                n: 9,
+                t: 9,
+                required: 1
+            })
         );
         assert!(QuorumPolicy::FixedCount(3).validated(10, 3).is_ok());
         assert!(QuorumPolicy::FixedCount(8).validated(10, 3).is_err());
-        assert_eq!(QuorumPolicy::FixedMinimum.validated(0, 0), Err(QuorumError::NoProcesses));
+        assert_eq!(
+            QuorumPolicy::FixedMinimum.validated(0, 0),
+            Err(QuorumError::NoProcesses)
+        );
     }
 
     #[test]
@@ -244,7 +258,11 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let e = QuorumError::Infeasible { n: 9, t: 3, required: 7 };
+        let e = QuorumError::Infeasible {
+            n: 9,
+            t: 3,
+            required: 7,
+        };
         let s = e.to_string();
         assert!(s.contains("n=9"));
         assert!(s.contains("n > t²"));

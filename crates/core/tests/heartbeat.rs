@@ -13,7 +13,11 @@ fn p(i: usize) -> ProcessId {
 
 #[test]
 fn real_crash_detected_within_timeout_plus_round() {
-    let hb = HeartbeatConfig { interval: 10, timeout: 60, check_every: 10 };
+    let hb = HeartbeatConfig {
+        interval: 10,
+        timeout: 60,
+        check_every: 10,
+    };
     for seed in 0..10 {
         let trace = ClusterSpec::new(5, 2)
             .heartbeat(hb)
@@ -34,10 +38,7 @@ fn real_crash_detected_within_timeout_plus_round() {
         // Crash at 100; last heartbeat landed by ~110; timeout fires by
         // ~180; one protocol round (≤ ~3 hops × 10 ticks) on top. Anything
         // far beyond that indicates a liveness bug.
-        assert!(
-            last < 400,
-            "seed {seed}: detection finished only at {last}"
-        );
+        assert!(last < 400, "seed {seed}: detection finished only at {last}");
     }
 }
 
@@ -46,14 +47,20 @@ fn latency_spike_causes_organic_false_detection_and_sfs_absorbs_it() {
     // A latency model that delays ALL of p0's outgoing messages hugely in
     // a window — long enough to outlast the heartbeat timeout. Everyone
     // else is fast. p0 gets organically (and wrongly) suspected.
-    let hb = HeartbeatConfig { interval: 10, timeout: 50, check_every: 10 };
-    let spike = FnLatency(|from: ProcessId, _to: ProcessId, now: VirtualTime, _rng: &mut _| {
-        if from == ProcessId::new(0) && now.ticks() < 300 {
-            500 // messages crawl
-        } else {
-            2
-        }
-    });
+    let hb = HeartbeatConfig {
+        interval: 10,
+        timeout: 50,
+        check_every: 10,
+    };
+    let spike = FnLatency(
+        |from: ProcessId, _to: ProcessId, now: VirtualTime, _rng: &mut _| {
+            if from == ProcessId::new(0) && now.ticks() < 300 {
+                500 // messages crawl
+            } else {
+                2
+            }
+        },
+    );
     let trace = ClusterSpec::new(5, 2)
         .heartbeat(hb)
         .seed(4)
@@ -75,27 +82,40 @@ fn latency_spike_causes_organic_false_detection_and_sfs_absorbs_it() {
 
 #[test]
 fn oracle_detector_never_produces_false_detections_under_the_same_spike() {
-    let hb = HeartbeatConfig { interval: 10, timeout: 50, check_every: 10 };
-    let spike = FnLatency(|from: ProcessId, _to: ProcessId, now: VirtualTime, _rng: &mut _| {
-        if from == ProcessId::new(0) && now.ticks() < 300 {
-            500
-        } else {
-            2
-        }
-    });
+    let hb = HeartbeatConfig {
+        interval: 10,
+        timeout: 50,
+        check_every: 10,
+    };
+    let spike = FnLatency(
+        |from: ProcessId, _to: ProcessId, now: VirtualTime, _rng: &mut _| {
+            if from == ProcessId::new(0) && now.ticks() < 300 {
+                500
+            } else {
+                2
+            }
+        },
+    );
     let trace = ClusterSpec::new(5, 2)
         .mode(ModeSpec::Oracle)
         .heartbeat(hb)
         .seed(4)
         .max_time(3_000)
         .run_with_latency(spike, |_| sfs::NullApp);
-    assert!(trace.crashed().is_empty(), "oracle must not kill a slow process");
+    assert!(
+        trace.crashed().is_empty(),
+        "oracle must not kill a slow process"
+    );
     assert!(trace.detections().is_empty());
 }
 
 #[test]
 fn heartbeat_systems_with_no_failures_stay_silent() {
-    let hb = HeartbeatConfig { interval: 10, timeout: 100, check_every: 20 };
+    let hb = HeartbeatConfig {
+        interval: 10,
+        timeout: 100,
+        check_every: 20,
+    };
     for seed in 0..5 {
         let trace = ClusterSpec::new(4, 1)
             .heartbeat(hb)
@@ -103,14 +123,21 @@ fn heartbeat_systems_with_no_failures_stay_silent() {
             .latency(1, 8) // comfortably under the timeout
             .max_time(2_000)
             .run();
-        assert!(trace.detections().is_empty(), "seed {seed}: spurious detection");
+        assert!(
+            trace.detections().is_empty(),
+            "seed {seed}: spurious detection"
+        );
         assert!(trace.crashed().is_empty());
     }
 }
 
 #[test]
 fn two_staggered_crashes_are_both_detected_by_all_survivors() {
-    let hb = HeartbeatConfig { interval: 10, timeout: 60, check_every: 10 };
+    let hb = HeartbeatConfig {
+        interval: 10,
+        timeout: 60,
+        check_every: 10,
+    };
     for seed in 0..5 {
         let trace = ClusterSpec::new(6, 2)
             .heartbeat(hb)
@@ -128,6 +155,10 @@ fn two_staggered_crashes_are_both_detected_by_all_survivors() {
             "seed {seed}\n{}",
             trace.to_pretty_string()
         );
-        assert_eq!(properties::check_fs2(&h).verdict, Verdict::Holds, "true crashes only");
+        assert_eq!(
+            properties::check_fs2(&h).verdict,
+            Verdict::Holds,
+            "true crashes only"
+        );
     }
 }

@@ -25,10 +25,20 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
     (2usize..=4, any::<u64>(), 1u64..40, prop::bool::ANY).prop_flat_map(
         |(t, seed, latency_max, wait_for_all)| {
             let n = t * t + 1 + (seed % 3) as usize;
-            let policy =
-                if wait_for_all { QuorumPolicy::WaitForAll } else { QuorumPolicy::FixedMinimum };
+            let policy = if wait_for_all {
+                QuorumPolicy::WaitForAll
+            } else {
+                QuorumPolicy::FixedMinimum
+            };
             let victims = 1..=t;
-            (Just(n), Just(t), Just(policy), Just(latency_max), Just(seed), victims)
+            (
+                Just(n),
+                Just(t),
+                Just(policy),
+                Just(latency_max),
+                Just(seed),
+                victims,
+            )
                 .prop_flat_map(|(n, t, policy, latency_max, seed, victims)| {
                     let susp = prop::collection::vec((t..n, 5u64..60), victims);
                     susp.prop_map(move |raw| Workload {

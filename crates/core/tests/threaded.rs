@@ -13,8 +13,8 @@ fn p(i: usize) -> ProcessId {
     ProcessId::new(i)
 }
 
-fn config_with_classifier<M: Clone + std::fmt::Debug + Send + 'static>(
-) -> RuntimeConfig<SfsMsg<M>> {
+fn config_with_classifier<M: Clone + std::fmt::Debug + Send + 'static>() -> RuntimeConfig<SfsMsg<M>>
+{
     RuntimeConfig {
         classify: Some(Box::new(|m: &SfsMsg<M>| !m.is_app())),
         ..RuntimeConfig::default()
@@ -45,8 +45,11 @@ fn injected_suspicion_detects_and_kills_on_real_threads() {
 fn wall_clock_heartbeats_detect_a_real_crash() {
     let n = 4;
     let rt = Runtime::spawn(n, config_with_classifier::<()>(), |_| {
-        let config = SfsConfig::new(n, 1)
-            .heartbeat(Some(HeartbeatConfig { interval: 25, timeout: 120, check_every: 30 }));
+        let config = SfsConfig::new(n, 1).heartbeat(Some(HeartbeatConfig {
+            interval: 25,
+            timeout: 120,
+            check_every: 30,
+        }));
         Box::new(SfsProcess::new(config, NullApp).expect("feasible"))
     });
     rt.run_for(Duration::from_millis(150));
@@ -55,7 +58,11 @@ fn wall_clock_heartbeats_detect_a_real_crash() {
     let trace = rt.shutdown();
     let victims: std::collections::BTreeSet<_> =
         trace.detections().iter().map(|&(_, of)| of).collect();
-    assert!(victims.contains(&p(2)), "crash went undetected:\n{}", trace.to_pretty_string());
+    assert!(
+        victims.contains(&p(2)),
+        "crash went undetected:\n{}",
+        trace.to_pretty_string()
+    );
     let h = History::from_trace(&trace);
     assert_eq!(properties::check_sfs2b(&h).verdict, Verdict::Holds);
 }

@@ -136,7 +136,6 @@ mod tests {
         let e = Event::crash(ProcessId::new(2));
         assert!(e.is_crash_of(ProcessId::new(2)));
         assert!(!e.is_crash_of(ProcessId::new(1)));
-        assert!(!Event::failed(ProcessId::new(2), ProcessId::new(1))
-            .is_crash_of(ProcessId::new(2)));
+        assert!(!Event::failed(ProcessId::new(2), ProcessId::new(1)).is_crash_of(ProcessId::new(2)));
     }
 }

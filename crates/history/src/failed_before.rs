@@ -180,7 +180,9 @@ impl FailedBefore {
             .iter()
             .copied()
             .filter(|&i| {
-                candidates.iter().all(|&j| i == j || !self.failed_before(i, j))
+                candidates
+                    .iter()
+                    .all(|&j| i == j || !self.failed_before(i, j))
             })
             .collect()
     }
@@ -212,10 +214,7 @@ mod tests {
     #[test]
     fn three_cycle_detected() {
         // 0 before 1, 1 before 2, 2 before 0.
-        let fb = FailedBefore::from_detections(
-            3,
-            &[(p(1), p(0)), (p(2), p(1)), (p(0), p(2))],
-        );
+        let fb = FailedBefore::from_detections(3, &[(p(1), p(0)), (p(2), p(1)), (p(0), p(2))]);
         let cycle = fb.find_cycle().expect("cycle");
         assert_eq!(cycle.len(), 3);
         // Verify the cycle is real: consecutive failed-before edges.
@@ -263,7 +262,10 @@ mod tests {
         assert!(!fb.is_transitive());
         let closed = fb.transitive_closure();
         assert!(closed.is_transitive());
-        assert!(closed.failed_before(p(0), p(2)), "closure adds the chain edge");
+        assert!(
+            closed.failed_before(p(0), p(2)),
+            "closure adds the chain edge"
+        );
         // Closure of an acyclic relation stays acyclic with the same sinks.
         assert!(closed.is_acyclic());
         let all = [p(0), p(1), p(2)];
@@ -272,10 +274,7 @@ mod tests {
 
     #[test]
     fn closure_of_transitive_relation_is_identity() {
-        let fb = FailedBefore::from_detections(
-            3,
-            &[(p(1), p(0)), (p(2), p(1)), (p(2), p(0))],
-        );
+        let fb = FailedBefore::from_detections(3, &[(p(1), p(0)), (p(2), p(1)), (p(2), p(0))]);
         assert!(fb.is_transitive());
         let closed = fb.transitive_closure();
         for i in 0..3 {

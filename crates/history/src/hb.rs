@@ -10,6 +10,15 @@
 //! interleaved. The relation is therefore invariant under the reorderings
 //! performed by the Theorem 5 rearrangement engine, which is what makes
 //! "swap adjacent events unless related" a sound rewriting rule.
+//!
+//! # Representation
+//!
+//! All `len` vector clocks live in **one flat `len × n` arena** (a single
+//! `Vec<u32>`, row-major). Compared to the obvious `Vec<Vec<u32>>`, this
+//! removes one heap allocation *per event* during construction, keeps the
+//! clocks of consecutive events adjacent in memory (the access pattern of
+//! both the rearrangement engine and the property checkers), and makes
+//! [`HappensBefore::leq`] two array reads with no pointer chase.
 
 use crate::event::Event;
 use crate::history::History;
@@ -35,14 +44,21 @@ use std::collections::HashMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct HappensBefore {
-    /// Vector clock per event, indexed by event position in the history.
-    clocks: Vec<Vec<u32>>,
+    /// Number of processes: the row width of the clock arena.
+    n: usize,
+    /// Row-major `len × n` arena; row `i` is the vector clock of event `i`.
+    clocks: Vec<u32>,
     /// Owning process index per event.
-    owner: Vec<usize>,
+    owner: Vec<u32>,
 }
 
 impl HappensBefore {
-    /// Computes vector clocks for every event of `h` in `O(len · n)`.
+    /// Computes vector clocks for every event of `h` in `O(len · n)` time
+    /// and **one** arena allocation (plus the per-process working clocks).
+    ///
+    /// Receives merge the *sender's clock at the send event*, which is a
+    /// row already in the arena — so no clock is ever cloned: the send map
+    /// stores event indices, not clock copies.
     ///
     /// # Panics
     ///
@@ -50,42 +66,52 @@ impl HappensBefore {
     /// [`History::validate`] first to get a proper error).
     pub fn compute(h: &History) -> Self {
         let n = h.n();
-        let mut current: Vec<Vec<u32>> = vec![vec![0; n]; n];
-        let mut send_clock: HashMap<MsgId, Vec<u32>> = HashMap::new();
-        let mut clocks = Vec::with_capacity(h.len());
-        let mut owner = Vec::with_capacity(h.len());
-        for e in h.events() {
+        let len = h.len();
+        // Working clock of each process, one flat n × n block.
+        let mut current: Vec<u32> = vec![0; n * n];
+        // Send event index per message; the sender's clock is the arena row
+        // written when the send was processed.
+        let mut send_event: HashMap<MsgId, usize> = HashMap::new();
+        let mut clocks: Vec<u32> = Vec::with_capacity(len * n);
+        let mut owner: Vec<u32> = Vec::with_capacity(len);
+        for (i, e) in h.events().iter().enumerate() {
             let p = e.process().index();
+            let row = p * n;
             if let Event::Recv { msg, .. } = e {
-                let sender = send_clock
+                let s = *send_event
                     .get(msg)
                     .unwrap_or_else(|| panic!("receive of unsent message {msg}"));
-                for (c, s) in current[p].iter_mut().zip(sender) {
-                    *c = (*c).max(*s);
+                // Merge sender's clock (an arena row) into p's working clock.
+                for (c, &sc) in current[row..row + n]
+                    .iter_mut()
+                    .zip(&clocks[s * n..s * n + n])
+                {
+                    if sc > *c {
+                        *c = sc;
+                    }
                 }
             }
-            current[p][p] += 1;
+            current[row + p] += 1;
+            clocks.extend_from_slice(&current[row..row + n]);
             if let Event::Send { msg, .. } = e {
-                send_clock.insert(*msg, current[p].clone());
+                send_event.insert(*msg, i);
             }
-            clocks.push(current[p].clone());
-            owner.push(p);
+            owner.push(p as u32);
         }
-        HappensBefore { clocks, owner }
+        HappensBefore { n, clocks, owner }
     }
 
     /// Whether event `a` happens-before event `b` (reflexively): `a → b`.
     ///
     /// Indices refer to positions in the history the relation was computed
-    /// from.
+    /// from. Branch-free on the comparison path: two arena reads and one
+    /// integer compare.
+    #[inline]
     pub fn leq(&self, a: usize, b: usize) -> bool {
-        if a == b {
-            return true;
-        }
-        let pa = self.owner[a];
         // b has seen a iff b's knowledge of pa's local clock is at least
-        // a's own component.
-        self.clocks[b][pa] >= self.clocks[a][pa]
+        // a's own component; a == b degenerates to equality, which holds.
+        let pa = self.owner[a] as usize;
+        self.clocks[b * self.n + pa] >= self.clocks[a * self.n + pa]
     }
 
     /// Whether `a` and `b` are concurrent (neither happens before the
@@ -94,14 +120,29 @@ impl HappensBefore {
         !self.leq(a, b) && !self.leq(b, a)
     }
 
+    /// Number of processes (the clock width).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The vector clock of event `i`, as a view into the arena.
+    pub fn clock(&self, i: usize) -> &[u32] {
+        &self.clocks[i * self.n..(i + 1) * self.n]
+    }
+
+    /// The process index owning event `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        self.owner[i] as usize
+    }
+
     /// Number of events covered.
     pub fn len(&self) -> usize {
-        self.clocks.len()
+        self.owner.len()
     }
 
     /// Whether the relation covers no events.
     pub fn is_empty(&self) -> bool {
-        self.clocks.is_empty()
+        self.owner.is_empty()
     }
 }
 
@@ -166,7 +207,10 @@ mod tests {
     fn program_order_within_one_process() {
         let h = History::new(
             1,
-            vec![Event::Internal { pid: p(0), tag: 0 }, Event::Internal { pid: p(0), tag: 1 }],
+            vec![
+                Event::Internal { pid: p(0), tag: 0 },
+                Event::Internal { pid: p(0), tag: 1 },
+            ],
         );
         let hb = HappensBefore::compute(&h);
         assert!(hb.leq(0, 1));
@@ -196,6 +240,17 @@ mod tests {
         // the pair as concurrent.
         assert!(hb_a.concurrent(0, 1));
         assert!(hb_b.concurrent(0, 1));
+    }
+
+    #[test]
+    fn clock_rows_are_views_into_one_arena() {
+        let h = chain();
+        let hb = HappensBefore::compute(&h);
+        assert_eq!(hb.n(), 3);
+        assert_eq!(hb.clock(0), &[0, 0, 1]);
+        assert_eq!(hb.clock(1), &[1, 0, 0]);
+        assert_eq!(hb.clock(4), &[1, 2, 2]);
+        assert_eq!(hb.owner(4), 2);
     }
 
     #[test]

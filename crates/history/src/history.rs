@@ -79,7 +79,10 @@ impl fmt::Display for ValidityError {
                 write!(f, "second receive of message {msg} at event {at}")
             }
             ValidityError::FifoViolation { at, msg, expected } => {
-                write!(f, "fifo violation at event {at}: got {msg}, expected {expected}")
+                write!(
+                    f,
+                    "fifo violation at event {at}: got {msg}, expected {expected}"
+                )
             }
             ValidityError::EventAfterCrash { at, pid } => {
                 write!(f, "event of crashed process {pid} at event {at}")
@@ -139,18 +142,29 @@ impl History {
             .events()
             .iter()
             .filter_map(|e| match e.kind {
-                TraceEventKind::Send { from, to, msg, infra: false, .. } => {
-                    Some(Event::send(from, to, msg))
-                }
-                TraceEventKind::Recv { by, from, msg, infra: false, .. } => {
-                    Some(Event::recv(by, from, msg))
-                }
+                TraceEventKind::Send {
+                    from,
+                    to,
+                    msg,
+                    infra: false,
+                    ..
+                } => Some(Event::send(from, to, msg)),
+                TraceEventKind::Recv {
+                    by,
+                    from,
+                    msg,
+                    infra: false,
+                    ..
+                } => Some(Event::recv(by, from, msg)),
                 TraceEventKind::Crash { pid } => Some(Event::crash(pid)),
                 TraceEventKind::Failed { by, of } => Some(Event::failed(by, of)),
                 _ => None,
             })
             .collect();
-        History { n: trace.n(), events }
+        History {
+            n: trace.n(),
+            events,
+        }
     }
 
     /// Projects a trace onto the event alphabet *including* infrastructure
@@ -168,7 +182,10 @@ impl History {
                 _ => None,
             })
             .collect();
-        History { n: trace.n(), events }
+        History {
+            n: trace.n(),
+            events,
+        }
     }
 
     /// Number of processes.
@@ -234,7 +251,7 @@ impl History {
                         None => return Err(ValidityError::RecvWithoutSend { at, msg }),
                         Some(&expected) if expected != msg => {
                             // Either out of FIFO order or never sent at all.
-                            if queue.iter().any(|&m| m == msg) {
+                            if queue.contains(&msg) {
                                 return Err(ValidityError::FifoViolation { at, msg, expected });
                             }
                             return Err(ValidityError::RecvWithoutSend { at, msg });
@@ -267,7 +284,11 @@ impl History {
     /// The events of process `pid`, in order — the paper's `r_i`
     /// projection used to define isomorphism of runs.
     pub fn projection(&self, pid: ProcessId) -> Vec<Event> {
-        self.events.iter().copied().filter(|e| e.process() == pid).collect()
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.process() == pid)
+            .collect()
     }
 
     /// Whether `self` and `other` are isomorphic with respect to every
@@ -277,7 +298,8 @@ impl History {
     where
         I: IntoIterator<Item = ProcessId>,
     {
-        q.into_iter().all(|pid| self.projection(pid) == other.projection(pid))
+        q.into_iter()
+            .all(|pid| self.projection(pid) == other.projection(pid))
     }
 
     /// Whether `self` and `other` are isomorphic with respect to all of
@@ -323,10 +345,8 @@ impl History {
                 Event::Crash { pid } => {
                     crashed.insert(pid);
                 }
-                Event::Failed { of, .. } => {
-                    if !crashed.contains(&of) {
-                        return false;
-                    }
+                Event::Failed { of, .. } if !crashed.contains(&of) => {
+                    return false;
                 }
                 _ => {}
             }
@@ -382,14 +402,26 @@ mod tests {
 
     #[test]
     fn valid_send_recv_pair() {
-        let h = History::new(2, vec![Event::send(p(0), p(1), m(0, 0)), Event::recv(p(1), p(0), m(0, 0))]);
+        let h = History::new(
+            2,
+            vec![
+                Event::send(p(0), p(1), m(0, 0)),
+                Event::recv(p(1), p(0), m(0, 0)),
+            ],
+        );
         assert!(h.validate().is_ok());
     }
 
     #[test]
     fn recv_without_send_is_invalid() {
         let h = History::new(2, vec![Event::recv(p(1), p(0), m(0, 0))]);
-        assert_eq!(h.validate(), Err(ValidityError::RecvWithoutSend { at: 0, msg: m(0, 0) }));
+        assert_eq!(
+            h.validate(),
+            Err(ValidityError::RecvWithoutSend {
+                at: 0,
+                msg: m(0, 0)
+            })
+        );
     }
 
     #[test]
@@ -404,7 +436,11 @@ mod tests {
         );
         assert_eq!(
             h.validate(),
-            Err(ValidityError::FifoViolation { at: 2, msg: m(0, 1), expected: m(0, 0) })
+            Err(ValidityError::FifoViolation {
+                at: 2,
+                msg: m(0, 1),
+                expected: m(0, 0)
+            })
         );
     }
 
@@ -418,21 +454,40 @@ mod tests {
                 Event::recv(p(1), p(0), m(0, 0)),
             ],
         );
-        assert_eq!(h.validate(), Err(ValidityError::DuplicateRecv { at: 2, msg: m(0, 0) }));
+        assert_eq!(
+            h.validate(),
+            Err(ValidityError::DuplicateRecv {
+                at: 2,
+                msg: m(0, 0)
+            })
+        );
     }
 
     #[test]
     fn event_after_crash_detected() {
-        let h = History::new(2, vec![Event::crash(p(0)), Event::send(p(0), p(1), m(0, 0))]);
-        assert_eq!(h.validate(), Err(ValidityError::EventAfterCrash { at: 1, pid: p(0) }));
+        let h = History::new(
+            2,
+            vec![Event::crash(p(0)), Event::send(p(0), p(1), m(0, 0))],
+        );
+        assert_eq!(
+            h.validate(),
+            Err(ValidityError::EventAfterCrash { at: 1, pid: p(0) })
+        );
     }
 
     #[test]
     fn duplicate_failed_detected() {
-        let h = History::new(2, vec![Event::failed(p(0), p(1)), Event::failed(p(0), p(1))]);
+        let h = History::new(
+            2,
+            vec![Event::failed(p(0), p(1)), Event::failed(p(0), p(1))],
+        );
         assert_eq!(
             h.validate(),
-            Err(ValidityError::DuplicateFailed { at: 1, by: p(0), of: p(1) })
+            Err(ValidityError::DuplicateFailed {
+                at: 1,
+                by: p(0),
+                of: p(1)
+            })
         );
     }
 
@@ -457,11 +512,17 @@ mod tests {
     fn isomorphism_detects_differing_local_order() {
         let a = History::new(
             2,
-            vec![Event::send(p(0), p(1), m(0, 0)), Event::send(p(0), p(1), m(0, 1))],
+            vec![
+                Event::send(p(0), p(1), m(0, 0)),
+                Event::send(p(0), p(1), m(0, 1)),
+            ],
         );
         let b = History::new(
             2,
-            vec![Event::send(p(0), p(1), m(0, 1)), Event::send(p(0), p(1), m(0, 0))],
+            vec![
+                Event::send(p(0), p(1), m(0, 1)),
+                Event::send(p(0), p(1), m(0, 0)),
+            ],
         );
         assert!(!a.isomorphic(&b));
         assert!(a.isomorphic_wrt(&b, [p(1)])); // p1 has no events in either
@@ -479,7 +540,11 @@ mod tests {
     fn complete_missing_crashes_appends_once_per_process() {
         let h = History::new(
             3,
-            vec![Event::failed(p(1), p(0)), Event::failed(p(2), p(0)), Event::crash(p(2))],
+            vec![
+                Event::failed(p(1), p(0)),
+                Event::failed(p(2), p(0)),
+                Event::crash(p(2)),
+            ],
         );
         let completed = h.complete_missing_crashes();
         assert_eq!(completed.len(), 4);

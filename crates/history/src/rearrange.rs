@@ -62,7 +62,10 @@ impl fmt::Display for RearrangeError {
         match self {
             RearrangeError::Invalid(e) => write!(f, "invalid history: {e}"),
             RearrangeError::MissingCrash { detector, detected } => {
-                write!(f, "failed_{detector}({detected}) has no matching crash_{detected}")
+                write!(
+                    f,
+                    "failed_{detector}({detected}) has no matching crash_{detected}"
+                )
             }
             RearrangeError::NoFsOrder { witness } => {
                 write!(f, "no isomorphic fail-stop ordering (constraint cycle through events {witness:?})")
@@ -96,7 +99,10 @@ fn check_crashes_present(h: &History) -> Result<(), RearrangeError> {
     let crashed: std::collections::HashSet<ProcessId> = h.crashed().into_iter().collect();
     for (_, by, of) in h.detections() {
         if !crashed.contains(&of) {
-            return Err(RearrangeError::MissingCrash { detector: by, detected: of });
+            return Err(RearrangeError::MissingCrash {
+                detector: by,
+                detected: of,
+            });
         }
     }
     Ok(())
@@ -110,10 +116,8 @@ fn count_bad_pairs(h: &History) -> usize {
             Event::Crash { pid } => {
                 crashed.insert(pid);
             }
-            Event::Failed { of, .. } => {
-                if !crashed.contains(&of) {
-                    bad += 1;
-                }
+            Event::Failed { of, .. } if !crashed.contains(&of) => {
+                bad += 1;
             }
             _ => {}
         }
@@ -153,28 +157,31 @@ pub fn rearrange_to_fs(h: &History) -> Result<RearrangeReport, RearrangeError> {
     h.validate()?;
     check_crashes_present(h)?;
     let len = h.len();
+    let n = h.n();
     let bad_pairs = count_bad_pairs(h);
 
     // Build the constraint DAG: covering edges of happens-before
     // (program order successors + send->recv) plus crash_i -> failed_j(i).
+    // Per-process tables are flat vectors indexed by process id; only the
+    // send map stays hashed (message ids are sparse).
+    const NONE: usize = usize::MAX;
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); len];
     let mut indegree = vec![0usize; len];
     let add_edge = |adj: &mut Vec<Vec<usize>>, indegree: &mut Vec<usize>, a: usize, b: usize| {
         adj[a].push(b);
         indegree[b] += 1;
     };
-    let mut last_of_process: std::collections::HashMap<ProcessId, usize> =
-        std::collections::HashMap::new();
+    let mut last_of_process: Vec<usize> = vec![NONE; n];
     let mut send_index: std::collections::HashMap<sfs_asys::MsgId, usize> =
-        std::collections::HashMap::new();
-    let mut crash_index: std::collections::HashMap<ProcessId, usize> =
-        std::collections::HashMap::new();
+        std::collections::HashMap::with_capacity(len / 2);
+    let mut crash_index: Vec<usize> = vec![NONE; n];
     for (i, e) in h.events().iter().enumerate() {
-        let p = e.process();
-        if let Some(&prev) = last_of_process.get(&p) {
+        let p = e.process().index();
+        let prev = last_of_process[p];
+        if prev != NONE {
             add_edge(&mut adj, &mut indegree, prev, i);
         }
-        last_of_process.insert(p, i);
+        last_of_process[p] = i;
         match *e {
             Event::Send { msg, .. } => {
                 send_index.insert(msg, i);
@@ -184,14 +191,15 @@ pub fn rearrange_to_fs(h: &History) -> Result<RearrangeReport, RearrangeError> {
                 add_edge(&mut adj, &mut indegree, s, i);
             }
             Event::Crash { pid } => {
-                crash_index.insert(pid, i);
+                crash_index[pid.index()] = i;
             }
             _ => {}
         }
     }
     for (i, e) in h.events().iter().enumerate() {
         if let Event::Failed { of, .. } = *e {
-            let c = crash_index[&of];
+            let c = crash_index[of.index()];
+            debug_assert!(c != NONE, "crash presence checked above");
             if c != i {
                 add_edge(&mut adj, &mut indegree, c, i);
             }
@@ -224,7 +232,11 @@ pub fn rearrange_to_fs(h: &History) -> Result<RearrangeReport, RearrangeError> {
     debug_assert!(history.validate().is_ok());
     debug_assert!(history.is_fs_ordered());
     debug_assert!(history.isomorphic(h));
-    Ok(RearrangeReport { history, bad_pairs, swaps: 0 })
+    Ok(RearrangeReport {
+        history,
+        bad_pairs,
+        swaps: 0,
+    })
 }
 
 fn extract_cycle(adj: &[Vec<usize>], indegree: &[usize]) -> Vec<usize> {
@@ -301,34 +313,46 @@ pub fn rearrange_by_swaps(
     h.validate()?;
     check_crashes_present(h)?;
     let len = h.len();
+    let n = h.n();
     let budget = max_swaps.unwrap_or(len * len + 16);
     let bad_pairs = count_bad_pairs(h);
+    // Happens-before is interleaving-invariant (see hb.rs), so the flat
+    // clock arena computed once on the input stays valid across every
+    // swap; no re-derivation is ever needed.
     let hb = HappensBefore::compute(h);
-    // `order[pos]` = original event index occupying position `pos`.
+    // `order[pos]` = original event index occupying position `pos`, and
+    // `pos_of` its inverse. Both are maintained incrementally: each
+    // adjacent swap is two O(1) writes, replacing the O(len) position
+    // scans of a naive implementation.
     let mut order: Vec<usize> = (0..len).collect();
+    let mut pos_of: Vec<usize> = (0..len).collect();
+    // Original index of crash_i per process — fixed for the whole run.
+    const NONE: usize = usize::MAX;
+    let mut crash_event_of: Vec<usize> = vec![NONE; n];
+    for (i, e) in h.events().iter().enumerate() {
+        if let Event::Crash { pid } = *e {
+            crash_event_of[pid.index()] = i;
+        }
+    }
+    let mut crashed_seen = vec![false; n];
     let mut swaps = 0usize;
 
     'outer: loop {
-        // Find the first bad pair in the current order.
-        let mut crashed_at: std::collections::HashMap<ProcessId, usize> =
-            std::collections::HashMap::new();
+        // Find the first bad pair in the current order. The crash's
+        // position needs no forward scan: it is pos_of of the process's
+        // unique crash event.
+        crashed_seen.iter_mut().for_each(|c| *c = false);
         let mut bad: Option<(usize, usize)> = None; // (failed_idx, crash_idx)
-        'scan: for (pos, &idx) in order.iter().enumerate() {
+        'scan: for &idx in order.iter() {
             match h.events()[idx] {
                 Event::Crash { pid } => {
-                    crashed_at.insert(pid, pos);
+                    crashed_seen[pid.index()] = true;
                 }
-                Event::Failed { of, .. } => {
-                    if !crashed_at.contains_key(&of) {
-                        // crash_of must be later; locate it.
-                        let crash_pos = order[pos..]
-                            .iter()
-                            .position(|&k| h.events()[k].is_crash_of(of))
-                            .map(|off| pos + off)
-                            .expect("crash presence checked above");
-                        bad = Some((idx, order[crash_pos]));
-                        break 'scan;
-                    }
+                Event::Failed { of, .. } if !crashed_seen[of.index()] => {
+                    let crash_idx = crash_event_of[of.index()];
+                    debug_assert!(crash_idx != NONE, "crash presence checked above");
+                    bad = Some((idx, crash_idx));
+                    break 'scan;
                 }
                 _ => {}
             }
@@ -340,24 +364,22 @@ pub fn rearrange_by_swaps(
         // induction: rescanning for a different pair after each move can
         // oscillate between two pairs and never make progress.
         loop {
-            let failed_pos =
-                order.iter().position(|&k| k == failed_idx).expect("event present");
-            let crash_pos = order.iter().position(|&k| k == crash_idx).expect("event present");
+            let failed_pos = pos_of[failed_idx];
+            let crash_pos = pos_of[crash_idx];
             if crash_pos < failed_pos {
                 continue 'outer; // pair fixed; look for the next bad pair
             }
             // First event in (failed_pos, crash_pos] not causally after the
             // detection. Lemma 4 guarantees the crash itself qualifies in
             // sFS runs, so some u always exists there.
-            let mut movable: Option<usize> = None;
-            for pos in failed_pos + 1..=crash_pos {
-                if !hb.leq(failed_idx, order[pos]) {
-                    movable = Some(pos);
-                    break;
-                }
-            }
+            let movable = order[failed_pos + 1..=crash_pos]
+                .iter()
+                .position(|&idx| !hb.leq(failed_idx, idx))
+                .map(|offset| failed_pos + 1 + offset);
             let Some(u) = movable else {
-                return Err(RearrangeError::NoFsOrder { witness: vec![failed_idx, crash_idx] });
+                return Err(RearrangeError::NoFsOrder {
+                    witness: vec![failed_idx, crash_idx],
+                });
             };
             // Bubble order[u] left to failed_pos. Each adjacent swap is
             // legal: every event strictly between failed_pos and u is
@@ -373,6 +395,8 @@ pub fn rearrange_by_swaps(
                     h.events()[order[pos + 1]]
                 );
                 order.swap(pos, pos + 1);
+                pos_of[order[pos]] = pos;
+                pos_of[order[pos + 1]] = pos + 1;
                 swaps += 1;
                 if swaps > budget {
                     return Err(RearrangeError::StepLimit);
@@ -386,7 +410,11 @@ pub fn rearrange_by_swaps(
     debug_assert!(history.validate().is_ok());
     debug_assert!(history.is_fs_ordered());
     debug_assert!(history.isomorphic(h));
-    Ok(RearrangeReport { history, bad_pairs, swaps })
+    Ok(RearrangeReport {
+        history,
+        bad_pairs,
+        swaps,
+    })
 }
 
 #[cfg(test)]
@@ -413,7 +441,10 @@ mod tests {
     #[test]
     fn simple_bad_pair_is_fixed_by_both_engines() {
         let h = History::new(2, vec![Event::failed(p(1), p(0)), Event::crash(p(0))]);
-        for report in [rearrange_to_fs(&h).unwrap(), rearrange_by_swaps(&h, None).unwrap()] {
+        for report in [
+            rearrange_to_fs(&h).unwrap(),
+            rearrange_by_swaps(&h, None).unwrap(),
+        ] {
             assert!(report.history.is_fs_ordered());
             assert!(report.history.isomorphic(&h));
             assert_eq!(report.bad_pairs, 1);
@@ -438,7 +469,7 @@ mod tests {
         let h = History::new(
             3,
             vec![
-                Event::failed(p(1), p(0)),            // 0
+                Event::failed(p(1), p(0)),             // 0
                 Event::Internal { pid: p(2), tag: 0 }, // 1 concurrent
                 Event::send(p(2), p(1), m(2, 0)),      // 2 concurrent with 0
                 Event::crash(p(0)),                    // 3
@@ -448,7 +479,11 @@ mod tests {
         let topo = rearrange_to_fs(&h).unwrap();
         let swaps = rearrange_by_swaps(&h, None).unwrap();
         for report in [&topo, &swaps] {
-            assert!(report.history.is_fs_ordered(), "{}", report.history.to_pretty_string());
+            assert!(
+                report.history.is_fs_ordered(),
+                "{}",
+                report.history.to_pretty_string()
+            );
             assert!(report.history.isomorphic(&h));
             assert!(report.history.validate().is_ok());
         }
@@ -463,18 +498,33 @@ mod tests {
         let h = History::new(
             3,
             vec![
-                Event::failed(p(1), p(0)), // 0
+                Event::failed(p(1), p(0)),        // 0
                 Event::send(p(1), p(2), m(1, 0)), // 1: after detection (program order)
                 Event::recv(p(2), p(1), m(1, 0)), // 2: after detection (message)
                 Event::crash(p(0)),               // 3
             ],
         );
-        for report in [rearrange_to_fs(&h).unwrap(), rearrange_by_swaps(&h, None).unwrap()] {
+        for report in [
+            rearrange_to_fs(&h).unwrap(),
+            rearrange_by_swaps(&h, None).unwrap(),
+        ] {
             let events = report.history.events();
-            let fpos = events.iter().position(|e| matches!(e, Event::Failed { .. })).unwrap();
-            let spos = events.iter().position(|e| matches!(e, Event::Send { .. })).unwrap();
-            let rpos = events.iter().position(|e| matches!(e, Event::Recv { .. })).unwrap();
-            let cpos = events.iter().position(|e| matches!(e, Event::Crash { .. })).unwrap();
+            let fpos = events
+                .iter()
+                .position(|e| matches!(e, Event::Failed { .. }))
+                .unwrap();
+            let spos = events
+                .iter()
+                .position(|e| matches!(e, Event::Send { .. }))
+                .unwrap();
+            let rpos = events
+                .iter()
+                .position(|e| matches!(e, Event::Recv { .. }))
+                .unwrap();
+            let cpos = events
+                .iter()
+                .position(|e| matches!(e, Event::Crash { .. }))
+                .unwrap();
             assert!(cpos < fpos, "crash must move before detection");
             assert!(fpos < spos && spos < rpos, "causal order preserved");
         }
@@ -487,10 +537,16 @@ mod tests {
         let h = crate::scenarios::theorem3_run();
         assert!(h.validate().is_ok());
         let err = rearrange_to_fs(&h).unwrap_err();
-        assert!(matches!(err, RearrangeError::NoFsOrder { .. }), "got {err:?}");
+        assert!(
+            matches!(err, RearrangeError::NoFsOrder { .. }),
+            "got {err:?}"
+        );
         let err2 = rearrange_by_swaps(&h, None).unwrap_err();
         assert!(
-            matches!(err2, RearrangeError::NoFsOrder { .. } | RearrangeError::StepLimit),
+            matches!(
+                err2,
+                RearrangeError::NoFsOrder { .. } | RearrangeError::StepLimit
+            ),
             "got {err2:?}"
         );
     }
@@ -499,7 +555,13 @@ mod tests {
     fn missing_crash_is_reported_and_fixable() {
         let h = History::new(2, vec![Event::failed(p(1), p(0))]);
         let err = rearrange_to_fs(&h).unwrap_err();
-        assert_eq!(err, RearrangeError::MissingCrash { detector: p(1), detected: p(0) });
+        assert_eq!(
+            err,
+            RearrangeError::MissingCrash {
+                detector: p(1),
+                detected: p(0)
+            }
+        );
         let completed = h.complete_missing_crashes();
         let report = rearrange_to_fs(&completed).unwrap();
         assert!(report.history.is_fs_ordered());
@@ -508,8 +570,14 @@ mod tests {
     #[test]
     fn invalid_history_is_rejected() {
         let h = History::new(2, vec![Event::recv(p(1), p(0), m(0, 0))]);
-        assert!(matches!(rearrange_to_fs(&h), Err(RearrangeError::Invalid(_))));
-        assert!(matches!(rearrange_by_swaps(&h, None), Err(RearrangeError::Invalid(_))));
+        assert!(matches!(
+            rearrange_to_fs(&h),
+            Err(RearrangeError::Invalid(_))
+        ));
+        assert!(matches!(
+            rearrange_by_swaps(&h, None),
+            Err(RearrangeError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -526,7 +594,10 @@ mod tests {
                 Event::crash(p(1)),
             ],
         );
-        for report in [rearrange_to_fs(&h).unwrap(), rearrange_by_swaps(&h, None).unwrap()] {
+        for report in [
+            rearrange_to_fs(&h).unwrap(),
+            rearrange_by_swaps(&h, None).unwrap(),
+        ] {
             assert!(report.history.is_fs_ordered());
             assert!(report.history.isomorphic(&h));
             assert_eq!(report.bad_pairs, 2);
@@ -546,7 +617,10 @@ mod tests {
             ],
         );
         // Needs at least one swap; a zero budget must error.
-        assert_eq!(rearrange_by_swaps(&h, Some(0)), Err(RearrangeError::StepLimit));
+        assert_eq!(
+            rearrange_by_swaps(&h, Some(0)),
+            Err(RearrangeError::StepLimit)
+        );
         assert!(rearrange_by_swaps(&h, Some(100)).is_ok());
     }
 }

@@ -81,7 +81,10 @@ pub fn fs_reference_run(n: usize, victims: &[ProcessId]) -> History {
 /// smallest input with one bad pair.
 pub fn one_false_detection(n: usize, detector: ProcessId, victim: ProcessId) -> History {
     assert!(detector.index() < n && victim.index() < n && detector != victim);
-    History::new(n, vec![Event::failed(detector, victim), Event::crash(victim)])
+    History::new(
+        n,
+        vec![Event::failed(detector, victim), Event::crash(victim)],
+    )
 }
 
 #[cfg(test)]

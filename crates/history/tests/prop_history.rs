@@ -43,7 +43,10 @@ fn random_valid_history(n: usize, steps: usize, seed: u64) -> History {
                 let sources: Vec<usize> = (0..n)
                     .filter(|&s| channels.get(&(s, actor)).is_some_and(|q| !q.is_empty()))
                     .collect();
-                if let Some(&src) = sources.get(rng.gen_range(0..sources.len().max(1)).min(sources.len().saturating_sub(1))) {
+                if let Some(&src) = sources.get(
+                    rng.gen_range(0..sources.len().max(1))
+                        .min(sources.len().saturating_sub(1)),
+                ) {
                     let m = channels.get_mut(&(src, actor)).expect("nonempty").remove(0);
                     events.push(Event::recv(p, ProcessId::new(src), m));
                 }
@@ -61,11 +64,127 @@ fn random_valid_history(n: usize, steps: usize, seed: u64) -> History {
                 events.push(Event::crash(p));
             }
             _ => {
-                events.push(Event::Internal { pid: p, tag: rng.gen() });
+                events.push(Event::Internal {
+                    pid: p,
+                    tag: rng.gen(),
+                });
             }
         }
     }
     History::new(n, events)
+}
+
+/// Reference happens-before: the textbook formulation with one cloned
+/// `Vec<u32>` clock per event — exactly the representation the flat-arena
+/// `HappensBefore` replaced. Kept naive on purpose; the property tests
+/// below hold the optimized version to this one.
+struct NaiveHb {
+    clocks: Vec<Vec<u32>>,
+    owner: Vec<usize>,
+}
+
+impl NaiveHb {
+    fn compute(h: &History) -> Self {
+        let n = h.n();
+        let mut current: Vec<Vec<u32>> = vec![vec![0; n]; n];
+        let mut send_clock: HashMap<MsgId, Vec<u32>> = HashMap::new();
+        let mut clocks = Vec::new();
+        let mut owner = Vec::new();
+        for e in h.events() {
+            let p = e.process().index();
+            if let Event::Recv { msg, .. } = e {
+                let sender = send_clock.get(msg).expect("valid history");
+                for (c, s) in current[p].iter_mut().zip(sender) {
+                    *c = (*c).max(*s);
+                }
+            }
+            current[p][p] += 1;
+            if let Event::Send { msg, .. } = e {
+                send_clock.insert(*msg, current[p].clone());
+            }
+            clocks.push(current[p].clone());
+            owner.push(p);
+        }
+        NaiveHb { clocks, owner }
+    }
+
+    fn leq(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return true;
+        }
+        let pa = self.owner[a];
+        self.clocks[b][pa] >= self.clocks[a][pa]
+    }
+}
+
+/// Reference swap engine: the pre-optimization implementation that
+/// re-scans `order` for positions instead of maintaining the inverse
+/// permutation. The optimized `rearrange_by_swaps` must reproduce its
+/// output (event order AND swap count) exactly.
+fn rearrange_by_swaps_reference(
+    h: &History,
+    max_swaps: Option<usize>,
+) -> Result<(History, usize), ()> {
+    h.validate().map_err(|_| ())?;
+    let crashed: std::collections::HashSet<ProcessId> = h.crashed().into_iter().collect();
+    for (_, _, of) in h.detections() {
+        if !crashed.contains(&of) {
+            return Err(());
+        }
+    }
+    let len = h.len();
+    let budget = max_swaps.unwrap_or(len * len + 16);
+    let hb = HappensBefore::compute(h);
+    let mut order: Vec<usize> = (0..len).collect();
+    let mut swaps = 0usize;
+    'outer: loop {
+        let mut crashed_at: HashMap<ProcessId, usize> = HashMap::new();
+        let mut bad: Option<(usize, usize)> = None;
+        'scan: for (pos, &idx) in order.iter().enumerate() {
+            match h.events()[idx] {
+                Event::Crash { pid } => {
+                    crashed_at.insert(pid, pos);
+                }
+                Event::Failed { of, .. } if !crashed_at.contains_key(&of) => {
+                    let crash_pos = order[pos..]
+                        .iter()
+                        .position(|&k| h.events()[k].is_crash_of(of))
+                        .map(|off| pos + off)
+                        .expect("crash presence checked above");
+                    bad = Some((idx, order[crash_pos]));
+                    break 'scan;
+                }
+                _ => {}
+            }
+        }
+        let Some((failed_idx, crash_idx)) = bad else {
+            break;
+        };
+        loop {
+            let failed_pos = order
+                .iter()
+                .position(|&k| k == failed_idx)
+                .expect("present");
+            let crash_pos = order.iter().position(|&k| k == crash_idx).expect("present");
+            if crash_pos < failed_pos {
+                continue 'outer;
+            }
+            let movable = order[failed_pos + 1..=crash_pos]
+                .iter()
+                .position(|&idx| !hb.leq(failed_idx, idx))
+                .map(|offset| failed_pos + 1 + offset);
+            let Some(u) = movable else { return Err(()) };
+            for pos in (failed_pos..u).rev() {
+                order.swap(pos, pos + 1);
+                swaps += 1;
+                if swaps > budget {
+                    return Err(());
+                }
+            }
+        }
+    }
+    let events = order.iter().map(|&i| h.events()[i]).collect();
+    Ok((History::new(h.n(), events), swaps))
 }
 
 proptest! {
@@ -205,6 +324,60 @@ proptest! {
         let missing_crash =
             matches!(rearrange_to_fs(&completed), Err(RearrangeError::MissingCrash { .. }));
         prop_assert!(!missing_crash, "completion left a MissingCrash error");
+    }
+
+    /// The flat-arena `HappensBefore` agrees with the naive cloned-clock
+    /// reference on every event pair of random valid histories, and its
+    /// arena rows equal the reference's per-event clocks.
+    #[test]
+    fn flat_arena_hb_matches_naive_reference(
+        n in 2usize..6,
+        steps in 1usize..100,
+        seed in any::<u64>(),
+    ) {
+        let h = random_valid_history(n, steps, seed);
+        let fast = HappensBefore::compute(&h);
+        let naive = NaiveHb::compute(&h);
+        prop_assert_eq!(fast.len(), naive.clocks.len());
+        for i in 0..h.len() {
+            prop_assert_eq!(fast.clock(i), naive.clocks[i].as_slice(), "clock row {}", i);
+            prop_assert_eq!(fast.owner(i), naive.owner[i], "owner of {}", i);
+            for j in 0..h.len() {
+                prop_assert_eq!(
+                    fast.leq(i, j),
+                    naive.leq(i, j),
+                    "leq({}, {}) diverged", i, j
+                );
+            }
+        }
+    }
+
+    /// Regression for the incremental-position rewrite: the optimized
+    /// swap engine reproduces the reference implementation's output —
+    /// same success/failure, same event order, same swap count.
+    #[test]
+    fn swap_engine_matches_reference_implementation(
+        n in 2usize..5,
+        steps in 1usize..80,
+        seed in any::<u64>(),
+    ) {
+        let h = random_valid_history(n, steps, seed).complete_missing_crashes();
+        let optimized = rearrange_by_swaps(&h, None);
+        let reference = rearrange_by_swaps_reference(&h, None);
+        match (optimized, reference) {
+            (Ok(report), Ok((ref_history, ref_swaps))) => {
+                prop_assert_eq!(report.history, ref_history);
+                prop_assert_eq!(report.swaps, ref_swaps);
+            }
+            (Err(_), Err(())) => {}
+            (opt, reference) => {
+                prop_assert!(
+                    false,
+                    "engines diverged: optimized {:?} vs reference ok={}",
+                    opt.map(|r| r.swaps), reference.is_ok()
+                );
+            }
+        }
     }
 
     /// The failed-before relation extracted from a history agrees with a

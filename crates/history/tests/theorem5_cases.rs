@@ -7,9 +7,7 @@
 //! are fixed, good pairs stay fixable, causality is never violated.
 
 use sfs_asys::{MsgId, ProcessId};
-use sfs_history::{
-    rearrange_by_swaps, rearrange_to_fs, Event, History, RearrangeError,
-};
+use sfs_history::{rearrange_by_swaps, rearrange_to_fs, Event, History, RearrangeError};
 
 // The four protagonists, as in the appendix: x, y, a, b.
 const X: ProcessId = ProcessId::new(0);
@@ -38,11 +36,20 @@ fn assert_rearrangeable(h: &History, label: &str) {
     let swaps =
         rearrange_by_swaps(h, None).unwrap_or_else(|e| panic!("{label}: swaps failed: {e}"));
     for (engine, r) in [("topo", &topo), ("swaps", &swaps)] {
-        assert!(r.history.is_fs_ordered(), "{label}/{engine}: not FS ordered");
+        assert!(
+            r.history.is_fs_ordered(),
+            "{label}/{engine}: not FS ordered"
+        );
         assert!(r.history.isomorphic(h), "{label}/{engine}: not isomorphic");
-        assert!(r.history.validate().is_ok(), "{label}/{engine}: invalid output");
+        assert!(
+            r.history.validate().is_ok(),
+            "{label}/{engine}: invalid output"
+        );
     }
-    assert_eq!(topo.bad_pairs, swaps.bad_pairs, "{label}: engines disagree on bad pairs");
+    assert_eq!(
+        topo.bad_pairs, swaps.bad_pairs,
+        "{label}: engines disagree on bad pairs"
+    );
 }
 
 /// All 24 interleavings of the four independent events (no messages, so
@@ -72,7 +79,7 @@ fn heap_permutations(arr: &mut [usize; 4], k: usize, out: &mut Vec<[usize; 4]>) 
     }
     for i in 0..k {
         heap_permutations(arr, k - 1, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             arr.swap(i, k - 1);
         } else {
             arr.swap(0, k - 1);
@@ -151,7 +158,10 @@ fn completing_theorem3_flips_to_no_fs_order() {
         ],
     );
     assert!(h.validate().is_ok());
-    assert!(matches!(rearrange_to_fs(&h), Err(RearrangeError::NoFsOrder { .. })));
+    assert!(matches!(
+        rearrange_to_fs(&h),
+        Err(RearrangeError::NoFsOrder { .. })
+    ));
 }
 
 /// Three bad pairs at once: the outer induction of the appendix.

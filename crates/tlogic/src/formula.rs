@@ -64,10 +64,26 @@ impl fmt::Display for Atom {
         match self {
             Atom::Crashed(i) => write!(f, "CRASH_{i}"),
             Atom::FailedBy { by, of } => write!(f, "FAILED_{by}({of})"),
-            Atom::Sent { from, to, msg: Some(m) } => write!(f, "SEND_{from}({to},{m})"),
-            Atom::Sent { from, to, msg: None } => write!(f, "SEND_{from}({to},*)"),
-            Atom::Received { by, from, msg: Some(m) } => write!(f, "RECV_{by}({from},{m})"),
-            Atom::Received { by, from, msg: None } => write!(f, "RECV_{by}({from},*)"),
+            Atom::Sent {
+                from,
+                to,
+                msg: Some(m),
+            } => write!(f, "SEND_{from}({to},{m})"),
+            Atom::Sent {
+                from,
+                to,
+                msg: None,
+            } => write!(f, "SEND_{from}({to},*)"),
+            Atom::Received {
+                by,
+                from,
+                msg: Some(m),
+            } => write!(f, "RECV_{by}({from},{m})"),
+            Atom::Received {
+                by,
+                from,
+                msg: None,
+            } => write!(f, "RECV_{by}({from},*)"),
         }
     }
 }
@@ -112,6 +128,10 @@ impl Formula {
     }
 
     /// `¬F`.
+    // Deliberately named after the connective, like `always`/`eventually`;
+    // this is a constructor taking the operand by value, not a negation of
+    // an existing formula, so `std::ops::Not` would be the wrong shape.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }
@@ -238,14 +258,26 @@ impl Evaluator {
         match *atom {
             Atom::Crashed(i) => self.crash_time.get(&i).copied(),
             Atom::FailedBy { by, of } => self.failed_time.get(&(by, of)).copied(),
-            Atom::Sent { from, to, msg: Some(m) } => {
-                self.sent_specific.get(&(from, to, m)).copied()
-            }
-            Atom::Sent { from, to, msg: None } => self.sent_any.get(&(from, to)).copied(),
-            Atom::Received { by, from, msg: Some(m) } => {
-                self.recv_specific.get(&(from, by, m)).copied()
-            }
-            Atom::Received { by, from, msg: None } => self.recv_any.get(&(from, by)).copied(),
+            Atom::Sent {
+                from,
+                to,
+                msg: Some(m),
+            } => self.sent_specific.get(&(from, to, m)).copied(),
+            Atom::Sent {
+                from,
+                to,
+                msg: None,
+            } => self.sent_any.get(&(from, to)).copied(),
+            Atom::Received {
+                by,
+                from,
+                msg: Some(m),
+            } => self.recv_specific.get(&(from, by, m)).copied(),
+            Atom::Received {
+                by,
+                from,
+                msg: None,
+            } => self.recv_any.get(&(from, by)).copied(),
         }
     }
 
@@ -350,7 +382,11 @@ mod tests {
         for atom in [
             Formula::crashed(p(0)),
             Formula::failed_by(p(1), p(0)),
-            Formula::Atom(Atom::Sent { from: p(0), to: p(1), msg: None }),
+            Formula::Atom(Atom::Sent {
+                from: p(0),
+                to: p(1),
+                msg: None,
+            }),
         ] {
             let v = ev.eval(&atom);
             let mut seen_true = false;
@@ -436,10 +472,12 @@ mod tests {
             from: p(0),
             msg: Some(m)
         }))));
-        assert!(!ev.holds(&Formula::eventually(Formula::Atom(Atom::Received {
-            by: p(1),
-            from: p(0),
-            msg: Some(other)
-        }))));
+        assert!(
+            !ev.holds(&Formula::eventually(Formula::Atom(Atom::Received {
+                by: p(1),
+                from: p(0),
+                msg: Some(other)
+            })))
+        );
     }
 }

@@ -30,8 +30,11 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 pub fn check_fs1(h: &History, complete: bool) -> PropertyReport {
     let crashed: Vec<ProcessId> = h.crashed();
     let crashed_set: HashSet<ProcessId> = crashed.iter().copied().collect();
-    let detected: HashSet<(ProcessId, ProcessId)> =
-        h.detections().into_iter().map(|(_, by, of)| (by, of)).collect();
+    let detected: HashSet<(ProcessId, ProcessId)> = h
+        .detections()
+        .into_iter()
+        .map(|(_, by, of)| (by, of))
+        .collect();
     let mut open = Vec::new();
     for &victim in &crashed {
         for j in ProcessId::all(h.n()) {
@@ -66,13 +69,11 @@ pub fn check_fs2(h: &History) -> PropertyReport {
             Event::Crash { pid } => {
                 crashed.insert(pid);
             }
-            Event::Failed { by, of } => {
-                if !crashed.contains(&of) {
-                    violations.push(Violation {
-                        detail: format!("failed_{by}({of}) executed before crash_{of}"),
-                        at: Some(i),
-                    });
-                }
+            Event::Failed { by, of } if !crashed.contains(&of) => {
+                violations.push(Violation {
+                    detail: format!("failed_{by}({of}) executed before crash_{of}"),
+                    at: Some(i),
+                });
             }
             _ => {}
         }
@@ -150,7 +151,10 @@ pub fn check_sfs2c(h: &History) -> PropertyReport {
         .detections()
         .into_iter()
         .filter(|&(_, by, of)| by == of)
-        .map(|(i, by, _)| Violation { detail: format!("failed_{by}({by}) executed"), at: Some(i) })
+        .map(|(i, by, _)| Violation {
+            detail: format!("failed_{by}({by}) executed"),
+            at: Some(i),
+        })
         .collect();
     if violations.is_empty() {
         PropertyReport::holds("sFS2c")
@@ -187,7 +191,9 @@ pub fn check_sfs2d(h: &History) -> PropertyReport {
         match *e {
             Event::Failed { by, of } => detected_by.entry(by).or_default().push(of),
             Event::Send { from, to, msg } => {
-                let Some(suspects) = detected_by.get(&from) else { continue };
+                let Some(suspects) = detected_by.get(&from) else {
+                    continue;
+                };
                 if suspects.is_empty() {
                     continue;
                 }
@@ -228,9 +234,7 @@ pub fn check_condition3(h: &History) -> PropertyReport {
         for (e_idx, e) in h.events().iter().enumerate() {
             if e.process() == of && hb.leq(f_idx, e_idx) {
                 violations.push(Violation {
-                    detail: format!(
-                        "event `{e}` of {of} is causally after failed_{by}({of})"
-                    ),
+                    detail: format!("event `{e}` of {of} is causally after failed_{by}({of})"),
                     at: Some(e_idx),
                 });
             }
@@ -264,8 +268,10 @@ pub fn check_witness(trace: &Trace, t: usize) -> PropertyReport {
             quorums.push((pid, *about, set.iter().copied().collect()));
         }
     }
-    let annotated: HashSet<(ProcessId, Option<ProcessId>)> =
-        quorums.iter().map(|(pid, about, _)| (*pid, *about)).collect();
+    let annotated: HashSet<(ProcessId, Option<ProcessId>)> = quorums
+        .iter()
+        .map(|(pid, about, _)| (*pid, *about))
+        .collect();
     // Detections without a quorum annotation count as unilateral: {self}.
     for (by, of) in trace.detections() {
         if !annotated.contains(&(by, Some(of))) {
@@ -351,7 +357,10 @@ pub fn suite_ok(reports: &[PropertyReport]) -> bool {
 
 /// Convenience: the verdict for a named property within a suite.
 pub fn verdict_of(reports: &[PropertyReport], property: &str) -> Option<Verdict> {
-    reports.iter().find(|r| r.property == property).map(|r| r.verdict)
+    reports
+        .iter()
+        .find(|r| r.property == property)
+        .map(|r| r.verdict)
 }
 
 #[cfg(test)]
@@ -371,7 +380,11 @@ mod tests {
     fn fs1_holds_when_all_survivors_detect() {
         let h = History::new(
             3,
-            vec![Event::crash(p(0)), Event::failed(p(1), p(0)), Event::failed(p(2), p(0))],
+            vec![
+                Event::crash(p(0)),
+                Event::failed(p(1), p(0)),
+                Event::failed(p(2), p(0)),
+            ],
         );
         assert_eq!(check_fs1(&h, true).verdict, Verdict::Holds);
     }
@@ -533,7 +546,10 @@ mod tests {
             events.push(TraceEvent {
                 seq: events.len(),
                 time: VirtualTime::from_ticks(i as u64),
-                kind: TraceEventKind::Failed { by: p(by), of: p(of) },
+                kind: TraceEventKind::Failed {
+                    by: p(by),
+                    of: p(of),
+                },
             });
         }
         Trace::from_parts(
@@ -611,7 +627,11 @@ mod tests {
     fn suite_runs_all_checks() {
         let h = History::new(
             3,
-            vec![Event::crash(p(0)), Event::failed(p(1), p(0)), Event::failed(p(2), p(0))],
+            vec![
+                Event::crash(p(0)),
+                Event::failed(p(1), p(0)),
+                Event::failed(p(2), p(0)),
+            ],
         );
         let reports = check_sfs_suite(&h, true);
         assert_eq!(reports.len(), 8);

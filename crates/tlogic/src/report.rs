@@ -67,18 +67,30 @@ pub struct PropertyReport {
 impl PropertyReport {
     /// A passing report.
     pub fn holds(property: &'static str) -> Self {
-        PropertyReport { property, verdict: Verdict::Holds, violations: Vec::new() }
+        PropertyReport {
+            property,
+            verdict: Verdict::Holds,
+            violations: Vec::new(),
+        }
     }
 
     /// A vacuous report (liveness obligation open on a truncated prefix).
     pub fn vacuous(property: &'static str) -> Self {
-        PropertyReport { property, verdict: Verdict::Vacuous, violations: Vec::new() }
+        PropertyReport {
+            property,
+            verdict: Verdict::Vacuous,
+            violations: Vec::new(),
+        }
     }
 
     /// A failing report with its violations.
     pub fn violated(property: &'static str, violations: Vec<Violation>) -> Self {
         debug_assert!(!violations.is_empty());
-        PropertyReport { property, verdict: Verdict::Violated, violations }
+        PropertyReport {
+            property,
+            verdict: Verdict::Violated,
+            violations,
+        }
     }
 
     /// Whether the property is not violated.
@@ -112,7 +124,10 @@ mod tests {
     fn report_display_includes_violations() {
         let r = PropertyReport::violated(
             "FS2",
-            vec![Violation { detail: "failed_p1(p0) before crash_p0".into(), at: Some(3) }],
+            vec![Violation {
+                detail: "failed_p1(p0) before crash_p0".into(),
+                at: Some(3),
+            }],
         );
         let s = r.to_string();
         assert!(s.contains("FS2: VIOLATED"));

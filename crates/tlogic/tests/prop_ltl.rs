@@ -37,11 +37,10 @@ fn arb_formula() -> impl Strategy<Value = Formula> {
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            inner.clone().prop_map(|f| Formula::not(f)),
+            inner.clone().prop_map(Formula::not),
             prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::And),
             prop::collection::vec(inner.clone(), 1..3).prop_map(Formula::Or),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
             inner.clone().prop_map(Formula::always),
             inner.prop_map(Formula::eventually),
         ]
@@ -116,8 +115,8 @@ proptest! {
     fn evaluator_matches_naive_reference(h in arb_history(), f in arb_formula()) {
         let ev = Evaluator::new(&h);
         let fast = ev.eval(&f);
-        for k in 0..ev.states() {
-            prop_assert_eq!(fast[k], naive_eval(&ev, &f, k), "state {}: {}", k, f);
+        for (k, &fast_k) in fast.iter().enumerate() {
+            prop_assert_eq!(fast_k, naive_eval(&ev, &f, k), "state {}: {}", k, f);
         }
     }
 
@@ -185,8 +184,12 @@ proptest! {
         let ev_eventually = ev.eval(&Formula::eventually(Formula::Atom(a)));
         let last = *v.last().expect("at least one state");
         for k in 0..ev.states() {
-            prop_assert_eq!(ev_eventually[k], last && true || v[k..].iter().any(|&x| x),
-                "eventually mismatch at {}", k);
+            prop_assert_eq!(
+                ev_eventually[k],
+                last || v[k..].iter().any(|&x| x),
+                "eventually mismatch at {}",
+                k
+            );
         }
     }
 

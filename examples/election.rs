@@ -25,18 +25,39 @@ fn run_one(label: &str, mode: ModeSpec, seed: u64) {
         .run_apps(|_| ElectionApp::new());
     let outcome = analyze_election(&trace);
     println!("== {label} ==");
-    println!("  claims (in order):        {:?}", outcome.claims.iter().map(|&(_, c)| c).collect::<Vec<_>>());
-    println!("  max concurrent leaders:   {}", outcome.max_concurrent_leaders);
-    println!("  FS-impossible observations: {}", outcome.observed_anomalies);
+    println!(
+        "  claims (in order):        {:?}",
+        outcome.claims.iter().map(|&(_, c)| c).collect::<Vec<_>>()
+    );
+    println!(
+        "  max concurrent leaders:   {}",
+        outcome.max_concurrent_leaders
+    );
+    println!(
+        "  FS-impossible observations: {}",
+        outcome.observed_anomalies
+    );
     println!("  crashed:                  {:?}", trace.crashed());
     println!();
 }
 
 fn main() {
     println!("scenario: p1 falsely suspects the current leader p0\n");
-    run_one("perfect oracle (unimplementable, Theorem 1)", ModeSpec::Oracle, 7);
-    run_one("simulated fail-stop (the paper's protocol)", ModeSpec::SfsOneRound, 7);
-    run_one("unilateral timeouts (what goes wrong)", ModeSpec::Unilateral, 7);
+    run_one(
+        "perfect oracle (unimplementable, Theorem 1)",
+        ModeSpec::Oracle,
+        7,
+    );
+    run_one(
+        "simulated fail-stop (the paper's protocol)",
+        ModeSpec::SfsOneRound,
+        7,
+    );
+    run_one(
+        "unilateral timeouts (what goes wrong)",
+        ModeSpec::Unilateral,
+        7,
+    );
 
     println!("sweep over 100 seeds:");
     let mut sfs_anomalies = 0usize;
@@ -62,5 +83,8 @@ fn main() {
     }
     println!("  sFS:        {sfs_anomalies:>3} observable anomalies; {sfs_two_leader_windows} runs had an (invisible) global two-leader window");
     println!("  unilateral: {uni_anomalies:>3} observable anomalies");
-    assert_eq!(sfs_anomalies, 0, "sFS must never leak an FS-impossible observation");
+    assert_eq!(
+        sfs_anomalies, 0,
+        "sFS must never leak an FS-impossible observation"
+    );
 }

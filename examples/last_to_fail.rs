@@ -16,7 +16,11 @@ use failstop::prelude::*;
 fn staggered_total_failure(mode: ModeSpec, n: usize, t: usize, seed: u64) -> Trace {
     let mut spec = ClusterSpec::new(n, t)
         .mode(mode)
-        .heartbeat(HeartbeatConfig { interval: 10, timeout: 50, check_every: 10 })
+        .heartbeat(HeartbeatConfig {
+            interval: 10,
+            timeout: 50,
+            check_every: 10,
+        })
         .seed(seed)
         .max_time(5_000);
     for i in 0..n {

@@ -24,9 +24,12 @@ fn main() {
         // silence.
         let config = SfsConfig::new(n, t)
             .mode(DetectionMode::SfsOneRound)
-            .heartbeat(Some(HeartbeatConfig { interval: 30, timeout: 150, check_every: 40 }));
-        let process =
-            SfsProcess::new(config, NullApp).expect("feasible configuration");
+            .heartbeat(Some(HeartbeatConfig {
+                interval: 30,
+                timeout: 150,
+                check_every: 40,
+            }));
+        let process = SfsProcess::new(config, NullApp).expect("feasible configuration");
         let _ = pid;
         Box::new(process)
     });
@@ -42,8 +45,11 @@ fn main() {
     let trace = rt.shutdown();
 
     println!("\ntrace summary:");
-    println!("  messages sent/delivered: {}/{}",
-        trace.stats().messages_sent, trace.stats().messages_delivered);
+    println!(
+        "  messages sent/delivered: {}/{}",
+        trace.stats().messages_sent,
+        trace.stats().messages_delivered
+    );
     println!("  crashed:    {:?}", trace.crashed());
     println!("  detections: {:?}", trace.detections());
 
@@ -63,5 +69,8 @@ fn main() {
     let detectors: std::collections::BTreeSet<_> =
         trace.detections().iter().map(|&(by, _)| by).collect();
     assert_eq!(detectors.len(), n - 1, "every survivor detected the crash");
-    println!("\nall {} survivors detected the crash through the one-round protocol", n - 1);
+    println!(
+        "\nall {} survivors detected the crash through the one-round protocol",
+        n - 1
+    );
 }

@@ -22,7 +22,13 @@ fn main() {
     println!("{:-^78}", " the A.3 witness-violation adversary ");
     for (n, t) in [(6usize, 2usize), (9, 3), (12, 3), (16, 4), (17, 4)] {
         let safe = min_quorum(n, t);
-        let attack_q = WitnessAttack { n, t, quorum: 0, seed: 0 }.max_available_votes();
+        let attack_q = WitnessAttack {
+            n,
+            t,
+            quorum: 0,
+            seed: 0,
+        }
+        .max_available_votes();
         println!("\nn = {n}, t = {t}: safe quorum = {safe}, adversary can feed = {attack_q}");
         let mut quorums = vec![attack_q];
         if sfs::quorum::is_feasible(n, t) {
@@ -35,7 +41,12 @@ fn main() {
             );
         }
         for quorum in quorums {
-            let attack = WitnessAttack { n, t, quorum, seed: 0 };
+            let attack = WitnessAttack {
+                n,
+                t,
+                quorum,
+                seed: 0,
+            };
             let trace = attack.run();
             let cycle = cycle_among_victims(&trace, t);
             let run = History::from_trace(&trace);
@@ -51,7 +62,10 @@ fn main() {
                 let fb = FailedBefore::from_history(&run);
                 let c = fb.find_cycle().unwrap();
                 let pretty: Vec<String> = c.iter().map(|p| p.to_string()).collect();
-                println!("             cycle: {} -> (back to start)", pretty.join(" -> "));
+                println!(
+                    "             cycle: {} -> (back to start)",
+                    pretty.join(" -> ")
+                );
             }
         }
     }

@@ -20,8 +20,15 @@ fn main() {
     let outcome = analyze_workpool(&trace);
     println!("tasks:            {tasks}");
     println!("distinct executed: {}", outcome.tasks_executed.len());
-    println!("total executions:  {} (duplicates = at-least-once reassignment)", outcome.total_executions);
+    println!(
+        "total executions:  {} (duplicates = at-least-once reassignment)",
+        outcome.total_executions
+    );
     println!("completion seen:   {}", outcome.all_done_observed);
     println!("crashed:           {:?}", trace.crashed());
-    assert_eq!(outcome.tasks_executed.len(), tasks as usize, "no task may be lost");
+    assert_eq!(
+        outcome.tasks_executed.len(),
+        tasks as usize,
+        "no task may be lost"
+    );
 }

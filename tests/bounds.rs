@@ -43,10 +43,22 @@ fn witness_attack_is_monotone_in_quorum_size() {
     // For a fixed scenario, raising the vote threshold can only destroy
     // the cycle, never create one.
     let (n, t) = (12usize, 3usize);
-    let feasible_votes = WitnessAttack { n, t, quorum: 0, seed: 0 }.max_available_votes();
+    let feasible_votes = WitnessAttack {
+        n,
+        t,
+        quorum: 0,
+        seed: 0,
+    }
+    .max_available_votes();
     let outcomes: Vec<(usize, bool)> = (1..=min_quorum(n, t))
         .map(|quorum| {
-            let trace = WitnessAttack { n, t, quorum, seed: 0 }.run();
+            let trace = WitnessAttack {
+                n,
+                t,
+                quorum,
+                seed: 0,
+            }
+            .run();
             (quorum, cycle_among_victims(&trace, t))
         })
         .collect();
@@ -60,15 +72,33 @@ fn witness_attack_is_monotone_in_quorum_size() {
         );
     }
     // And at the Theorem 7 bound it must be gone.
-    let trace = WitnessAttack { n, t, quorum: min_quorum(n, t), seed: 0 }.run();
+    let trace = WitnessAttack {
+        n,
+        t,
+        quorum: min_quorum(n, t),
+        seed: 0,
+    }
+    .run();
     assert!(!cycle_among_victims(&trace, t));
 }
 
 #[test]
 fn attack_cycles_violate_sfs2b_and_nothing_detectable_survives_rearrangement() {
     let (n, t) = (6usize, 2usize);
-    let quorum = WitnessAttack { n, t, quorum: 0, seed: 0 }.max_available_votes();
-    let trace = WitnessAttack { n, t, quorum, seed: 0 }.run();
+    let quorum = WitnessAttack {
+        n,
+        t,
+        quorum: 0,
+        seed: 0,
+    }
+    .max_available_votes();
+    let trace = WitnessAttack {
+        n,
+        t,
+        quorum,
+        seed: 0,
+    }
+    .run();
     let h = History::from_trace(&trace);
     // The cycle makes the run non-rearrangeable: there is no isomorphic
     // fail-stop run (the cycle forces contradictory crash orderings).

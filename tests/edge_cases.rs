@@ -76,7 +76,10 @@ fn suspicion_of_a_crashed_process_still_completes() {
         trace.detections().into_iter().map(|(by, _)| by).collect();
     assert_eq!(detectors.len(), 4, "{}", trace.to_pretty_string());
     let h = History::from_trace(&trace);
-    assert!(properties::check_fs2(&h).is_ok(), "true crash: even FS2 holds");
+    assert!(
+        properties::check_fs2(&h).is_ok(),
+        "true crash: even FS2 holds"
+    );
 }
 
 #[test]
@@ -120,9 +123,16 @@ fn all_but_one_crash_under_wait_for_all() {
         .suspect(p(3), p(2), 240)
         .run();
     assert_eq!(trace.crashed().len(), 3, "{}", trace.to_pretty_string());
-    let survivor_detections: Vec<_> =
-        trace.detections().into_iter().filter(|&(by, _)| by == p(3)).collect();
-    assert_eq!(survivor_detections.len(), 3, "the survivor detected everyone");
+    let survivor_detections: Vec<_> = trace
+        .detections()
+        .into_iter()
+        .filter(|&(by, _)| by == p(3))
+        .collect();
+    assert_eq!(
+        survivor_detections.len(),
+        3,
+        "the survivor detected everyone"
+    );
     let h = History::from_trace(&trace);
     for report in properties::check_sfs_suite(&h, true) {
         assert!(report.is_ok(), "{report}");

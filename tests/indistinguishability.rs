@@ -24,9 +24,13 @@ fn sfs_suite_holds_across_seeds_and_sizes() {
     for &(n, t) in &[(5usize, 2usize), (10, 3), (17, 4)] {
         for seed in 0..25 {
             let trace = busy_run(n, t, seed);
-            assert!(trace.stop_reason().is_complete(), "n={n} seed={seed} did not quiesce");
+            assert!(
+                trace.stop_reason().is_complete(),
+                "n={n} seed={seed} did not quiesce"
+            );
             let h = History::from_trace(&trace);
-            h.validate().unwrap_or_else(|e| panic!("n={n} seed={seed}: invalid history: {e}"));
+            h.validate()
+                .unwrap_or_else(|e| panic!("n={n} seed={seed}: invalid history: {e}"));
             for report in properties::check_sfs_suite(&h, true) {
                 assert!(report.is_ok(), "n={n} t={t} seed={seed}: {report}");
             }
@@ -43,8 +47,14 @@ fn every_sfs_run_has_an_isomorphic_fs_run() {
             let report = rearrange_to_fs(&h)
                 .unwrap_or_else(|e| panic!("n={n} seed={seed}: no FS order: {e}"));
             assert!(report.history.is_fs_ordered());
-            assert!(report.history.isomorphic(&h), "projections must match for every process");
-            assert!(report.history.validate().is_ok(), "rearranged run must still be valid");
+            assert!(
+                report.history.isomorphic(&h),
+                "projections must match for every process"
+            );
+            assert!(
+                report.history.validate().is_ok(),
+                "rearranged run must still be valid"
+            );
         }
     }
 }
@@ -77,15 +87,17 @@ fn witness_property_holds_for_all_sfs_detections() {
 fn detected_processes_really_crash_and_survivors_agree() {
     for seed in 0..25 {
         let trace = busy_run(10, 3, seed);
-        let crashed: std::collections::BTreeSet<ProcessId> =
-            trace.crashed().into_iter().collect();
+        let crashed: std::collections::BTreeSet<ProcessId> = trace.crashed().into_iter().collect();
         // sFS2a: every detected process is in the crashed set (quiescent run).
         let mut survivor_views: std::collections::BTreeMap<
             ProcessId,
             std::collections::BTreeSet<ProcessId>,
         > = Default::default();
         for (by, of) in trace.detections() {
-            assert!(crashed.contains(&of), "seed {seed}: {of} detected but alive at quiescence");
+            assert!(
+                crashed.contains(&of),
+                "seed {seed}: {of} detected but alive at quiescence"
+            );
             survivor_views.entry(by).or_default().insert(of);
         }
         // FS1 ⇒ at quiescence every survivor's failed set equals the
@@ -95,7 +107,10 @@ fn detected_processes_really_crash_and_survivors_agree() {
                 continue;
             }
             let view = survivor_views.remove(&p).unwrap_or_default();
-            assert_eq!(view, crashed, "seed {seed}: survivor {p} has a different view");
+            assert_eq!(
+                view, crashed,
+                "seed {seed}: survivor {p} has a different view"
+            );
         }
     }
 }
@@ -120,7 +135,10 @@ fn ltl_engine_agrees_with_direct_checkers() {
         let fs2 = Formula::always(Formula::And(conjuncts));
         let ltl_verdict = eval.holds(&fs2);
         let direct_verdict = properties::check_fs2(&h).is_ok();
-        assert_eq!(ltl_verdict, direct_verdict, "seed {seed}: engines disagree on FS2");
+        assert_eq!(
+            ltl_verdict, direct_verdict,
+            "seed {seed}: engines disagree on FS2"
+        );
 
         // sFS2a: □(FAILED_j(i) ⇒ ◇CRASH_i).
         let mut conjuncts = Vec::new();

@@ -1,0 +1,294 @@
+//! Offline stand-in for the `criterion` API surface this workspace uses:
+//! `criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, and `Bencher::iter`.
+//!
+//! Measurement model: a short calibration pass sizes an iteration batch so
+//! one sample takes roughly `measurement_time / sample_size`, then
+//! `sample_size` timed samples are collected. The mean, median, and
+//! minimum per-iteration times are printed and appended as one JSON line
+//! to `target/criterion-lite/results.jsonl` (override the directory with
+//! `CRITERION_LITE_DIR`), giving the workspace a machine-readable perf
+//! trajectory without the real criterion's dependency tree.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 60,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            measurement_time,
+        }
+    }
+}
+
+/// A benchmark identifier: function name and/or parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the time budget for one benchmark's timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.id);
+        self
+    }
+
+    /// Runs a benchmark without an input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size, self.measurement_time);
+        f(&mut bencher);
+        bencher.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Ends the group. (Reports are emitted per benchmark.)
+    pub fn finish(self) {}
+}
+
+/// Timing statistics of one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    iters: u64,
+    samples: usize,
+}
+
+/// The measurement loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, measurement_time: Duration) -> Self {
+        Bencher {
+            sample_size,
+            measurement_time,
+            stats: None,
+        }
+    }
+
+    /// Measures `routine`, retaining its output so the optimizer cannot
+    /// delete the work (pair with `std::hint::black_box` in the routine).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: find a batch size that takes >= ~1/sample of the
+        // measurement budget, growing geometrically from 1.
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let mut batch: u64 = 1;
+        let mut calibration_time;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            calibration_time = t0.elapsed().as_secs_f64();
+            if calibration_time >= per_sample.min(0.05) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let iters =
+            ((per_sample / (calibration_time / batch as f64).max(1e-9)) as u64).clamp(1, 1 << 24);
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            samples_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        let min_ns = samples_ns[0];
+        self.stats = Some(Stats {
+            mean_ns,
+            median_ns,
+            min_ns,
+            iters,
+            samples: samples_ns.len(),
+        });
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        let Some(s) = self.stats else {
+            println!("{group}/{id}: no measurement (Bencher::iter never called)");
+            return;
+        };
+        println!(
+            "{group}/{id}: mean {} median {} min {} ({} samples x {} iters)",
+            fmt_ns(s.mean_ns),
+            fmt_ns(s.median_ns),
+            fmt_ns(s.min_ns),
+            s.samples,
+            s.iters
+        );
+        let dir = std::env::var("CRITERION_LITE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from("target/criterion-lite"));
+        if std::fs::create_dir_all(&dir).is_ok() {
+            if let Ok(mut file) = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(dir.join("results.jsonl"))
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"group\":\"{}\",\"id\":\"{}\",\"mean_ns\":{:.1},\"median_ns\":{:.1},\
+                     \"min_ns\":{:.1},\"samples\":{},\"iters\":{}}}",
+                    group.escape_default(),
+                    id.escape_default(),
+                    s.mean_ns,
+                    s.median_ns,
+                    s.min_ns,
+                    s.samples,
+                    s.iters
+                );
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Defines a benchmark group entry point, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines the benchmark binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        std::env::set_var(
+            "CRITERION_LITE_DIR",
+            std::env::temp_dir().join("crit-lite-test"),
+        );
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        group.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &x| {
+            b.iter(|| std::hint::black_box(x * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline stand-in for the `proptest` API surface this workspace uses.
+//!
+//! Implements strategy-based *generation* with the same combinator names as
+//! the real crate (`prop_map`, `prop_flat_map`, `prop_recursive`, tuples,
+//! ranges, `any`, `prop::collection::vec`, `prop_oneof!`, `Just`) and the
+//! `proptest! { ... }` test macro with `prop_assert*` / `prop_assume!`.
+//!
+//! Differences from the real proptest, accepted for an offline build:
+//!
+//! * **No shrinking** — a failing case reports the case number and the
+//!   assertion message; re-running is deterministic, so the case is
+//!   reproducible by construction.
+//! * Case inputs derive from a fixed per-case seed (SplitMix64), not an OS
+//!   entropy source; `PROPTEST_CASES` still overrides the case count.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Size specification for [`vec`]: an exact length or a range.
+    pub trait IntoSizeRange {
+        /// Inclusive `(min, max)` bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty vec size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            let (lo, hi) = self.into_inner();
+            assert!(lo <= hi, "empty vec size range");
+            (lo, hi)
+        }
+    }
+
+    /// Strategy for vectors of `element` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy::new(element, min, max)
+    }
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `true` or `false` with equal probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The uniform boolean strategy.
+    pub const ANY: BoolAny = BoolAny;
+}
+
+/// Everything a `proptest!` test module needs, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}

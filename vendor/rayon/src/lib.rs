@@ -1,0 +1,220 @@
+//! Offline stand-in for the `rayon` API surface this workspace uses:
+//! `into_par_iter()` / `par_iter()` plus `map` and `collect`.
+//!
+//! Execution model: items are pulled from a shared work queue by
+//! `available_parallelism()` scoped threads and results are written back
+//! into their original slots, so **output order always equals input
+//! order** regardless of scheduling — the property the experiment suite
+//! relies on for byte-identical tables. Work-stealing granularity is one
+//! item, which is the right shape for this workspace's coarse tasks (each
+//! item is a whole simulated run).
+
+use std::sync::Mutex;
+
+/// Executes `f` over `items` on a scoped thread pool, preserving order.
+fn parallel_map<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |p| p.get())
+        .min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work = Mutex::new(items.into_iter().enumerate());
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let next = work.lock().unwrap_or_else(|e| e.into_inner()).next();
+                match next {
+                    Some((i, item)) => {
+                        let r = f(item);
+                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("every slot filled by the pool")
+        })
+        .collect()
+}
+
+/// A parallel iterator: a computation that yields its items in input
+/// order when driven.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Runs the computation, returning items in input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps each item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects the items, in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+
+    /// Sums the items, in input order.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.drive().into_iter().sum()
+    }
+}
+
+/// Leaf parallel iterator over materialized items.
+#[derive(Debug)]
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A parallel `map` stage; the parallelism happens here.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        parallel_map(self.base.drive(), &self.f)
+    }
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+macro_rules! impl_range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = IntoParIter<$t>;
+
+            fn into_par_iter(self) -> IntoParIter<$t> {
+                IntoParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_into_par_iter!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Borrowing conversion, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type (a reference).
+    type Item: Send;
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = IntoParIter<&'a T>;
+
+    fn par_iter(&'a self) -> IntoParIter<&'a T> {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = IntoParIter<&'a T>;
+
+    fn par_iter(&'a self) -> IntoParIter<&'a T> {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// One-import convenience, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * 2).collect();
+        let expect: Vec<u64> = (0u64..1000).map(|x| x * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data = vec![1u32, 2, 3, 4];
+        let out: Vec<u32> = data.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let s: u64 = (0u64..100).into_par_iter().map(|x| x).sum();
+        assert_eq!(s, 4950);
+    }
+
+    #[test]
+    fn empty_and_single_item_work() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<u8> = vec![9u8].into_par_iter().map(|x| x).collect();
+        assert_eq!(one, vec![9]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data model so the
+//! types are declared serializable, but no code path actually serializes
+//! anything yet (experiment output is hand-rolled JSON). This crate provides
+//! the trait *names* and derives that expand to nothing, keeping the source
+//! identical to what it will be once the real serde is available to the
+//! build environment.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace serializes values yet — the `Serialize` /
+//! `Deserialize` derives exist so that types are *declared* serializable
+//! ahead of a future wire format. Until the real serde is vendored or
+//! fetched, the derives expand to nothing, which is exactly enough for
+//! every current use (no code in the tree requires the trait bounds).
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see the crate docs.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
