@@ -13,7 +13,9 @@
 //! * [`membership`] — a view-based group membership service whose
 //!   survivor views converge under fail-stop semantics;
 //! * [`scenarios`] — the Appendix A.3 witness-violation attack showing
-//!   the Theorem 7 quorum bound is tight;
+//!   the Theorem 7 quorum bound is tight, and schedule-space exploration
+//!   of bounded instances (`ExploreInstance`, experiment E9) producing
+//!   certify/violate verdicts per sFS property;
 //! * [`workpool`] — fault-tolerant work distribution with coordinator
 //!   failover, the style of protocol the paper's introduction motivates.
 

@@ -1,6 +1,18 @@
-//! Adversarial executions from the paper's lower-bound proofs.
+//! Adversarial executions from the paper's lower-bound proofs, plus
+//! systematic schedule-space exploration of small protocol instances.
 //!
-//! The centerpiece is the Appendix A.3 construction behind Theorem 6: if
+//! Two kinds of adversary live here:
+//!
+//! * [`WitnessAttack`] — the *constructed* adversary of Appendix A.3: one
+//!   specific latency schedule forcing a failed-before cycle (Theorem 6);
+//! * [`ExploreInstance`] — the *universal* adversary: every schedule of a
+//!   bounded instance, enumerated via the `sfs-explore` crate, with each
+//!   explored history pushed through the full property suite
+//!   ([`check_sfs_suite`](sfs_tlogic::properties::check_sfs_suite)) and
+//!   the Theorem 5 rearrangement engine ([`rearrange_to_fs`]) to produce
+//!   per-property **certify/violate** verdicts (experiment E9).
+//!
+//! The centerpiece of the first kind is the Appendix A.3 construction behind Theorem 6: if
 //! the quorum sets of `k = t` detections can have empty intersection (no
 //! witness), an asynchronous adversary can schedule message delays so that
 //! the failed-before relation acquires a `k`-cycle, violating sFS2b.
@@ -18,9 +30,15 @@
 //! `⌊n(t-1)/t⌋ + 1`, no victim can complete its round and the attack
 //! fails — the bound is tight.
 
-use sfs::{ClusterSpec, QuorumPolicy};
-use sfs_asys::{FixedLatency, OverrideLatency, ProcessId, Trace};
-use sfs_history::{FailedBefore, History};
+use sfs::{ClusterSpec, ModeSpec, NullApp, QuorumPolicy, SfsMsg};
+use sfs_asys::{ChoiceTrace, FixedLatency, OverrideLatency, ProcessId, Sim, Trace};
+use sfs_explore::{
+    class_fingerprint, explore, random_walks, replay, ExploreConfig, ExploreStats, Pruning,
+    ScheduleRun, WalkConfig,
+};
+use sfs_history::{rearrange_to_fs, FailedBefore, History};
+use sfs_tlogic::{properties, Verdict};
+use std::collections::HashSet;
 
 /// Parameters of the A.3 witness-violation attack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,10 +155,308 @@ pub fn cycle_among_victims(trace: &Trace, t: usize) -> bool {
     }
 }
 
+/// A bounded protocol instance whose **entire schedule space** is to be
+/// checked: the universal-adversary counterpart of [`WitnessAttack`].
+///
+/// Exploration re-runs the cluster once per schedule, so the spec should
+/// be small (3–4 processes, a couple of injected suspicions/crashes);
+/// larger instances fall back to [`ExploreInstance::random_walks`].
+///
+/// # Examples
+///
+/// Certify the full sFS suite over *every* schedule of a 3-process
+/// instance with one erroneous suspicion:
+///
+/// ```
+/// use sfs::ClusterSpec;
+/// use sfs_apps::scenarios::ExploreInstance;
+/// use sfs_asys::ProcessId;
+///
+/// let spec = ClusterSpec::new(3, 1).suspect(ProcessId::new(1), ProcessId::new(0), 10);
+/// let outcome = ExploreInstance::new(spec).explore();
+/// assert!(outcome.stats.complete, "small instance: fully enumerated");
+/// assert!(outcome.all_certified(), "no schedule violates any sFS property");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExploreInstance {
+    /// The cluster under test. Its `seed`/`latency` fields are largely
+    /// moot: the explorer overrides the schedule entirely.
+    pub spec: ClusterSpec,
+    /// Exploration budgets and pruning policy.
+    pub config: ExploreConfig,
+}
+
+/// The exploration verdict for one property on one instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertyCertificate {
+    /// Property name as reported by the checker (e.g. `"sFS2a"`), or the
+    /// synthetic `"Theorem5"` entry for "an isomorphic fail-stop run
+    /// exists" — the schedule-robust reading of FS2 (raw FS2 order is
+    /// interleaving-sensitive, so it is exactly the thing exploration
+    /// must *not* quantify class-wise; Theorem 5 rearrangeability is its
+    /// commutation-invariant counterpart).
+    pub property: String,
+    /// `true` when the exploration was complete and no schedule violated
+    /// the property: a proof over the instance's whole schedule space.
+    pub certified: bool,
+    /// Schedule-equivalence classes on which the property was violated
+    /// (an upper bound after [`ExploreOutcome::merge`]: parallel branches
+    /// dedup independently, so a class seen by two branches counts
+    /// twice).
+    pub violations: usize,
+    /// The choice trace of the first violating schedule, replayable via
+    /// [`ExploreInstance::replay`].
+    pub witness: Option<ChoiceTrace>,
+}
+
+/// Aggregated result of exploring one instance.
+#[derive(Debug, Clone)]
+pub struct ExploreOutcome {
+    /// Raw exploration counters (schedules, pruning, completeness).
+    pub stats: ExploreStats,
+    /// Sorted fingerprints of the distinct happens-before classes
+    /// checked (see [`class_fingerprint`]).
+    pub fingerprints: Vec<u64>,
+    /// Visited schedules skipped because their class fingerprint had
+    /// already been checked (catches equivalences sleep sets miss, e.g.
+    /// the pruning lost across parallel root branches).
+    pub deduped: usize,
+    /// Simulator trace events across every *visited* schedule — the
+    /// experiment harness's throughput denominator.
+    pub trace_events: u64,
+    /// One certificate per property, in suite order, `"Theorem5"` last.
+    pub properties: Vec<PropertyCertificate>,
+}
+
+impl ExploreOutcome {
+    /// Distinct happens-before classes actually checked.
+    pub fn classes(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// The certificate for `property`, if present.
+    pub fn certificate(&self, property: &str) -> Option<&PropertyCertificate> {
+        self.properties.iter().find(|c| c.property == property)
+    }
+
+    /// Whether every property was certified (requires a complete
+    /// exploration with zero violations across the board).
+    pub fn all_certified(&self) -> bool {
+        self.properties.iter().all(|c| c.certified)
+    }
+
+    /// Folds the outcome of another (root-branch) exploration of the
+    /// **same instance** into this one: counters sum, class fingerprints
+    /// union, per-property violations sum (first witness wins), and a
+    /// property stays certified only if the merged exploration is
+    /// complete with zero violations.
+    pub fn merge(mut self, other: ExploreOutcome) -> ExploreOutcome {
+        self.stats.absorb(&other.stats);
+        self.fingerprints.extend(other.fingerprints);
+        self.fingerprints.sort_unstable();
+        self.fingerprints.dedup();
+        self.deduped += other.deduped;
+        self.trace_events += other.trace_events;
+        for theirs in other.properties {
+            match self
+                .properties
+                .iter_mut()
+                .find(|c| c.property == theirs.property)
+            {
+                Some(ours) => {
+                    ours.violations += theirs.violations;
+                    if ours.witness.is_none() {
+                        ours.witness = theirs.witness;
+                    }
+                }
+                None => self.properties.push(theirs),
+            }
+        }
+        for c in &mut self.properties {
+            c.certified = self.stats.complete && c.violations == 0;
+        }
+        self
+    }
+}
+
+/// Verdict accumulator shared by the exhaustive and sampling drivers.
+#[derive(Debug, Default)]
+struct Verdicts {
+    seen: HashSet<u64>,
+    deduped: usize,
+    trace_events: u64,
+    /// name → (violations, first witness)
+    table: Vec<(String, usize, Option<ChoiceTrace>)>,
+}
+
+impl Verdicts {
+    fn note(&mut self, name: &str, verdict: Verdict, choices: &ChoiceTrace) {
+        let entry = match self.table.iter_mut().find(|(n, _, _)| n == name) {
+            Some(e) => e,
+            None => {
+                self.table.push((name.to_owned(), 0, None));
+                self.table.last_mut().expect("just pushed")
+            }
+        };
+        if verdict == Verdict::Violated {
+            entry.1 += 1;
+            if entry.2.is_none() {
+                entry.2 = Some(choices.clone());
+            }
+        }
+    }
+
+    fn ingest(&mut self, run: &ScheduleRun) {
+        self.trace_events += run.trace.events().len() as u64;
+        let h = History::from_trace(&run.trace);
+        let fp = class_fingerprint(&h);
+        if !self.seen.insert(fp) {
+            self.deduped += 1;
+            return;
+        }
+        // Liveness obligations are only judged on complete (quiescent)
+        // schedules; truncated ones still check all safety properties.
+        let complete = run.trace.stop_reason().is_complete();
+        for report in properties::check_sfs_suite(&h, complete) {
+            self.note(report.property, report.verdict, &run.choices);
+        }
+        // Theorem 5: does an isomorphic fail-stop run exist? sFS2a
+        // guarantees the crash of every detected process in the *full*
+        // run, so charge missing crashes to sFS2a (already checked) and
+        // complete the prefix before rearranging, as the paper does.
+        let verdict = match rearrange_to_fs(&h.complete_missing_crashes()) {
+            Ok(_) => Verdict::Holds,
+            Err(_) => Verdict::Violated,
+        };
+        self.note("Theorem5", verdict, &run.choices);
+    }
+
+    fn finish(self, stats: ExploreStats) -> ExploreOutcome {
+        let mut fingerprints: Vec<u64> = self.seen.iter().copied().collect();
+        fingerprints.sort_unstable();
+        ExploreOutcome {
+            stats,
+            fingerprints,
+            deduped: self.deduped,
+            trace_events: self.trace_events,
+            properties: self
+                .table
+                .into_iter()
+                .map(|(property, violations, witness)| PropertyCertificate {
+                    certified: stats.complete && violations == 0,
+                    property,
+                    violations,
+                    witness,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl ExploreInstance {
+    /// An instance with default exploration budgets.
+    pub fn new(spec: ClusterSpec) -> Self {
+        ExploreInstance {
+            spec,
+            config: ExploreConfig::default(),
+        }
+    }
+
+    /// A fresh, un-run simulator for the spec. Exploration ignores the
+    /// spec's latency model, so a fixed one keeps `at` annotations tame.
+    fn build(&self) -> Sim<SfsMsg<()>> {
+        self.spec
+            .clone()
+            .build_with_latency(FixedLatency(1), |_| NullApp)
+    }
+
+    /// Sleep-set pruning is sound only when process behaviour is a
+    /// function of (local state, delivered event) — the paper's own
+    /// determinism assumption. Heartbeat detection reads the virtual
+    /// clock (`ctx.now()`), and the oracle detector reads the shared
+    /// crash registry; both can observe *when* a step runs relative to
+    /// steps at other loci, so commuting locus-disjoint steps is no
+    /// longer behaviour-preserving and a "complete" pruned exploration
+    /// could falsely certify. Refuse rather than mis-prove.
+    fn assert_pruning_sound(&self) {
+        if self.config.pruning != Pruning::SleepSets {
+            return;
+        }
+        assert!(
+            self.spec.heartbeat.is_none(),
+            "sleep-set pruning is unsound under heartbeat detection (handlers read \
+             ctx.now()); use Pruning::None or random_walks"
+        );
+        assert!(
+            self.spec.mode != ModeSpec::Oracle,
+            "sleep-set pruning is unsound under the oracle detector (handlers read \
+             the shared crash registry); use Pruning::None or random_walks"
+        );
+    }
+
+    /// Exhaustively explores the instance's schedule space (within the
+    /// configured budgets) and checks every schedule class against the
+    /// sFS suite and the Theorem 5 rearrangement engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on spec/pruning combinations where sleep-set pruning would
+    /// be unsound (heartbeat or oracle detection): use
+    /// [`Pruning::None`] or [`ExploreInstance::random_walks`] there.
+    pub fn explore(&self) -> ExploreOutcome {
+        self.assert_pruning_sound();
+        let mut verdicts = Verdicts::default();
+        let stats = explore(&self.config, || self.build(), |run| verdicts.ingest(&run));
+        verdicts.finish(stats)
+    }
+
+    /// Explores only the subtree under `prefix` — the unit the E9 sweep
+    /// parallelizes over (one rayon task per root branch).
+    ///
+    /// # Panics
+    ///
+    /// As [`ExploreInstance::explore`].
+    pub fn explore_prefix(&self, prefix: &[u32]) -> ExploreOutcome {
+        self.assert_pruning_sound();
+        let mut verdicts = Verdicts::default();
+        let stats = sfs_explore::explore_with_prefix(
+            &self.config,
+            prefix,
+            || self.build(),
+            |run| verdicts.ingest(&run),
+        );
+        verdicts.finish(stats)
+    }
+
+    /// The root branching width of the instance's schedule tree.
+    pub fn width(&self) -> usize {
+        sfs_explore::probe_width(|| self.build())
+    }
+
+    /// The sampling fallback: `config.walks` random schedules. Verdicts
+    /// are aggregated identically but nothing is ever certified
+    /// (`certified` stays `false` on every entry).
+    pub fn random_walks(&self, config: &WalkConfig) -> ExploreOutcome {
+        let mut verdicts = Verdicts::default();
+        let stats = random_walks(config, || self.build(), |run| verdicts.ingest(&run));
+        verdicts.finish(stats)
+    }
+
+    /// Replays a recorded witness against a fresh instance, reproducing
+    /// its trace byte-for-byte.
+    pub fn replay(&self, choices: &[u32]) -> Trace {
+        replay(self.build(), choices)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sfs::quorum::min_quorum;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
 
     #[test]
     fn attack_below_the_bound_builds_a_two_cycle() {
@@ -210,5 +526,111 @@ mod tests {
             seed: 0,
         }
         .max_available_votes()
+    }
+
+    #[test]
+    fn exploration_certifies_the_full_protocol_within_the_failure_bound() {
+        // n = 3, t = 1, one erroneous suspicion: ONE crash, within the
+        // bound. Every schedule must satisfy the whole sFS suite and
+        // rearrange into a fail-stop run (Theorem 5) — and the
+        // exploration is small enough to prove it.
+        let inst = ExploreInstance::new(ClusterSpec::new(3, 1).suspect(p(1), p(0), 10));
+        let out = inst.explore();
+        assert!(out.stats.complete, "{:?}", out.stats);
+        assert!(out.all_certified(), "{:#?}", out.properties);
+        assert!(out.certificate("sFS2b").is_some());
+        assert!(out.certificate("Theorem5").is_some());
+        assert!(out.classes() >= 1);
+    }
+
+    #[test]
+    fn exploration_finds_a_replayable_cycle_beyond_the_failure_bound() {
+        // Two suspicions → two crashes > t = 1: some schedule builds a
+        // failed-before cycle (sFS2b violation), and consequently no
+        // isomorphic fail-stop run exists (Theorem 5 inapplicable).
+        let inst = ExploreInstance::new(ClusterSpec::new(3, 1).suspect(p(1), p(0), 10).suspect(
+            p(0),
+            p(1),
+            10,
+        ));
+        let out = inst.explore();
+        assert!(out.stats.complete);
+        let cycle = out.certificate("sFS2b").expect("sFS2b checked");
+        assert!(!cycle.certified);
+        assert!(cycle.violations > 0);
+        // The recorded witness replays to a schedule exhibiting the
+        // violation, byte-for-byte.
+        let witness = cycle.witness.clone().expect("violation recorded");
+        let trace = inst.replay(&witness);
+        let h = History::from_trace(&trace);
+        assert_eq!(
+            sfs_tlogic::properties::check_sfs2b(&h).verdict,
+            Verdict::Violated,
+            "replayed witness must reproduce the cycle:\n{}",
+            trace.to_pretty_string()
+        );
+        assert!(!out.certificate("Theorem5").expect("checked").certified);
+        // Properties indifferent to the cycle stay certified.
+        assert!(out.certificate("sFS2c").expect("checked").certified);
+    }
+
+    #[test]
+    fn exploration_pins_the_ablation_violation_on_every_schedule_class() {
+        // Disabling crash-on-own-obituary: the victim survives its
+        // detection on EVERY schedule — sFS2a (and Condition 1) violated.
+        let inst = ExploreInstance::new(
+            ClusterSpec::new(3, 1)
+                .suspect(p(1), p(0), 10)
+                .without_self_crash(),
+        );
+        let out = inst.explore();
+        assert!(out.stats.complete);
+        let a = out.certificate("sFS2a").expect("checked");
+        assert!(!a.certified && a.violations > 0);
+        assert!(a.witness.is_some());
+        assert!(!out.certificate("Condition1").expect("checked").certified);
+    }
+
+    #[test]
+    fn root_branch_partition_merges_to_the_sequential_outcome() {
+        let inst = ExploreInstance::new(ClusterSpec::new(3, 1).suspect(p(1), p(0), 10).suspect(
+            p(2),
+            p(1),
+            12,
+        ));
+        let sequential = inst.explore();
+        let width = inst.width();
+        assert!(width >= 1);
+        let merged = (0..width as u32)
+            .map(|b| inst.explore_prefix(&[b]))
+            .reduce(ExploreOutcome::merge)
+            .expect("at least one branch");
+        assert!(merged.stats.complete);
+        assert_eq!(
+            merged.fingerprints, sequential.fingerprints,
+            "branch partition must cover exactly the same classes"
+        );
+        let verdicts = |o: &ExploreOutcome| {
+            let mut v: Vec<(String, bool)> = o
+                .properties
+                .iter()
+                .map(|c| (c.property.clone(), c.certified))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(verdicts(&merged), verdicts(&sequential));
+    }
+
+    #[test]
+    fn random_walks_sample_without_certifying() {
+        let inst = ExploreInstance::new(ClusterSpec::new(3, 1).suspect(p(1), p(0), 10));
+        let out = inst.random_walks(&sfs_explore::WalkConfig {
+            walks: 16,
+            ..Default::default()
+        });
+        assert!(!out.stats.complete);
+        assert!(out.properties.iter().all(|c| !c.certified));
+        assert_eq!(out.stats.visited, 16);
     }
 }

@@ -9,6 +9,10 @@
 //! * [`Process`] / [`Context`] — deterministic reactive process automata;
 //! * [`Sim`] — a deterministic discrete-event simulator with reliable,
 //!   unbounded-delay FIFO channels between every ordered pair of processes;
+//! * [`Strategy`] and the [`strategy`] module — the scheduler seam: the
+//!   run loop's "which enabled step executes next?" decision as a
+//!   pluggable policy, from the default time-ordered scheduler to the
+//!   recorded/replayable adversaries the `sfs-explore` crate drives;
 //! * [`LatencyModel`] implementations — the explicit asynchrony adversary,
 //!   from benign random delay to the scripted "delayed indefinitely"
 //!   constructions of Appendix A.3;
@@ -60,6 +64,7 @@ mod latency;
 mod note;
 mod process;
 mod sim;
+pub mod strategy;
 mod time;
 mod timers;
 mod trace;
@@ -72,5 +77,9 @@ pub use latency::{FixedLatency, FnLatency, LatencyModel, OverrideLatency, Unifor
 pub use note::{Note, NOTE_LEADER, NOTE_QUORUM};
 pub use process::{Action, Context, Process, ReceiveFilter};
 pub use sim::{CrashRegistry, Sim, SimBuilder, SimConfig};
+pub use strategy::{
+    ChoiceTrace, EnabledStep, RandomStrategy, ReplayStrategy, ScheduleLog, StepKind, StepLog,
+    Strategy, TimeOrderedStrategy,
+};
 pub use time::VirtualTime;
 pub use trace::{SimStats, StopReason, Trace, TraceEvent, TraceEventKind};

@@ -14,14 +14,33 @@
 //!   bookkeeping and drives the timeout *mechanism* the paper assumes for
 //!   FS1, nothing more.
 //!
-//! Every run is fully determined by `(processes, latency model, fault plan,
-//! seed)` and produces a [`Trace`] consumed by the history and
+//! Every run is fully determined by `(processes, latency model, fault
+//! plan, seed)` — plus, in scheduled mode, the [`Strategy`]'s choice
+//! sequence — and produces a [`Trace`] consumed by the history and
 //! property-checking crates.
+//!
+//! # Scheduling modes
+//!
+//! The engine has two run loops over the same action/delivery machinery:
+//!
+//! * **Time-ordered** ([`Sim::run`] with no strategy installed) — events
+//!   execute in virtual-time order with creation-order tie-breaks; the
+//!   asynchrony adversary acts through the latency model's delay draws.
+//!   This is the fast statistical mode used by the E1–E8 sweeps.
+//! * **Scheduled** ([`Sim::run_scheduled`], or [`Sim::run`] after a
+//!   [`Strategy`] is installed) — at each step the engine materializes
+//!   every enabled step (deliverable channel heads, armed timers, pending
+//!   injections) and the strategy picks one, with every choice recorded
+//!   in a [`ScheduleLog`] for replay. [`TimeOrderedStrategy`] reproduces
+//!   the default loop byte-for-byte; the `sfs-explore` crate substitutes
+//!   enumerating and randomizing strategies to search the schedule space
+//!   (experiment E9).
 
 use crate::fault::{FaultPlan, Injection};
 use crate::id::{MsgId, ProcessId, TimerId};
 use crate::latency::LatencyModel;
 use crate::process::{Action, Context, Process, ReceiveFilter};
+use crate::strategy::{EnabledStep, ScheduleLog, StepKind, StepLog, Strategy, TimeOrderedStrategy};
 use crate::time::VirtualTime;
 use crate::timers::CancelledTimers;
 use crate::trace::{SimStats, StopReason, Trace, TraceEvent, TraceEventKind};
@@ -47,6 +66,12 @@ pub struct SimConfig {
     /// Whether to record `Debug` renderings of message payloads in the
     /// trace (costs memory on long runs).
     pub record_payloads: bool,
+    /// Scheduling-decision budget for **scheduled** runs (see
+    /// [`Sim::run_scheduled`]); the run stops with
+    /// [`StopReason::MaxSteps`] once this many steps have executed. This
+    /// is the schedule explorer's depth bound. Ignored by the default
+    /// time-ordered loop.
+    pub max_steps: usize,
 }
 
 impl Default for SimConfig {
@@ -56,6 +81,7 @@ impl Default for SimConfig {
             max_time: VirtualTime::from_ticks(1_000_000),
             max_events: 1_000_000,
             record_payloads: false,
+            max_steps: usize::MAX,
         }
     }
 }
@@ -176,6 +202,15 @@ pub struct Sim<M> {
     stats: SimStats,
     failed_flags: Vec<bool>,
     config: SimConfig,
+    /// Installed scheduling strategy; `None` selects the time-ordered
+    /// heap loop.
+    strategy: Option<Box<dyn Strategy>>,
+    /// Pending steps in creation order — the scheduled loop's working set
+    /// (the heap is drained into it when a scheduled run starts).
+    pending: Vec<QueueEntry<M>>,
+    /// Whether `push_entry` should append to `pending` (scheduled loop
+    /// running) instead of the heap.
+    scheduled: bool,
 }
 
 impl<M> fmt::Debug for Sim<M> {
@@ -197,6 +232,7 @@ pub struct SimBuilder<M> {
     classifier: Option<Classifier<M>>,
     plan: FaultPlan<M>,
     registry: CrashRegistry,
+    strategy: Option<Box<dyn Strategy>>,
 }
 
 impl<M> fmt::Debug for SimBuilder<M> {
@@ -238,9 +274,25 @@ impl<M: Clone + fmt::Debug + 'static> SimBuilder<M> {
         self
     }
 
+    /// Sets the scheduled-mode step budget (shorthand for mutating
+    /// [`SimConfig::max_steps`]).
+    pub fn max_steps(mut self, max: usize) -> Self {
+        self.config.max_steps = max;
+        self
+    }
+
     /// Sets the latency model (the asynchrony adversary).
     pub fn latency(mut self, model: impl LatencyModel + 'static) -> Self {
         self.latency = Box::new(model);
+        self
+    }
+
+    /// Installs a scheduling [`Strategy`]: the run becomes **scheduled**
+    /// ([`Sim::run`] will route through [`Sim::run_scheduled`]), with the
+    /// strategy choosing among the enabled steps at every point instead
+    /// of the engine following virtual time.
+    pub fn strategy(mut self, strategy: impl Strategy + 'static) -> Self {
+        self.strategy = Some(Box::new(strategy));
         self
     }
 
@@ -300,6 +352,9 @@ impl<M: Clone + fmt::Debug + 'static> SimBuilder<M> {
             stats: SimStats::default(),
             failed_flags: vec![false; n * n],
             config: self.config,
+            strategy: self.strategy,
+            pending: Vec::new(),
+            scheduled: false,
         };
         for (time, pid, injection) in self.plan.into_items() {
             sim.push_entry(time, Pending::Inject { pid, injection });
@@ -323,6 +378,7 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
             classifier: None,
             plan: FaultPlan::new(),
             registry: CrashRegistry::with_capacity(n),
+            strategy: None,
         }
     }
 
@@ -341,10 +397,28 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
         self.registry.clone()
     }
 
+    /// Installs (or replaces) the scheduling strategy after construction.
+    /// Used by explorers, which build the sim through a factory and then
+    /// take over its schedule.
+    pub fn set_strategy(&mut self, strategy: impl Strategy + 'static) {
+        self.strategy = Some(Box::new(strategy));
+    }
+
+    /// Overrides the scheduled-mode step budget after construction (see
+    /// [`SimConfig::max_steps`]); the explorer's per-schedule depth bound.
+    pub fn set_max_steps(&mut self, max: usize) {
+        self.config.max_steps = max;
+    }
+
     fn push_entry(&mut self, at: VirtualTime, pending: Pending<M>) {
         let order = self.order;
         self.order += 1;
-        self.queue.push(Reverse(QueueEntry { at, order, pending }));
+        let entry = QueueEntry { at, order, pending };
+        if self.scheduled {
+            self.pending.push(entry);
+        } else {
+            self.queue.push(Reverse(entry));
+        }
     }
 
     fn channel_index(&self, from: ProcessId, to: ProcessId) -> usize {
@@ -505,7 +579,15 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
     }
 
     /// Runs the simulation to completion and returns the trace.
+    ///
+    /// With a [`Strategy`] installed (via [`SimBuilder::strategy`] or
+    /// [`Sim::set_strategy`]) this routes through [`Sim::run_scheduled`]
+    /// and discards the schedule log; without one it runs the default
+    /// time-ordered loop.
     pub fn run(mut self) -> Trace {
+        if self.strategy.is_some() {
+            return self.run_scheduled().0;
+        }
         // on_start for every process, in id order, at time zero.
         for pid in ProcessId::all(self.n) {
             if !self.crashed[pid.index()] {
@@ -554,6 +636,144 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
             }
         };
         Trace::from_parts(self.n, self.events, stop, self.now, self.stats)
+    }
+
+    /// Runs the simulation under the installed [`Strategy`] — installing
+    /// [`TimeOrderedStrategy`] when none is — and records every
+    /// scheduling decision in a [`ScheduleLog`].
+    ///
+    /// At each step the engine builds the canonical (creation-ordered)
+    /// list of enabled steps: one per non-empty, non-parked channel (its
+    /// head), one per armed timer, one per pending injection. The
+    /// strategy picks an index; the step executes; repeat. The log pairs
+    /// every enabled list with the index chosen from it, so any run can
+    /// be replayed exactly by feeding
+    /// [`ScheduleLog::choices`] to a
+    /// [`ReplayStrategy`](crate::strategy::ReplayStrategy), and schedule
+    /// explorers can use the per-step enabled lists as the branching
+    /// structure of the schedule tree.
+    ///
+    /// Under [`TimeOrderedStrategy`] the result is byte-identical to
+    /// [`Sim::run`]'s default loop — same events, timestamps, stats, and
+    /// stop reason.
+    pub fn run_scheduled(mut self) -> (Trace, ScheduleLog) {
+        let mut strategy = self
+            .strategy
+            .take()
+            .unwrap_or_else(|| Box::new(TimeOrderedStrategy));
+        // Route all further pushes into the scheduled working set and move
+        // the construction-time entries (the fault plan) over, restoring
+        // creation order.
+        self.scheduled = true;
+        let mut moved: Vec<QueueEntry<M>> = std::mem::take(&mut self.queue)
+            .into_iter()
+            .map(|Reverse(e)| e)
+            .collect();
+        moved.sort_by_key(|e| e.order);
+        moved.append(&mut self.pending);
+        self.pending = moved;
+        // on_start for every process, in id order, at time zero.
+        for pid in ProcessId::all(self.n) {
+            if !self.crashed[pid.index()] {
+                self.dispatch(pid, |p, ctx| p.on_start(ctx));
+            }
+        }
+        let mut log = ScheduleLog::default();
+        let stop = loop {
+            if self.events.len() >= self.config.max_events {
+                break StopReason::MaxEvents;
+            }
+            if self.crashed.iter().all(|&c| c) {
+                break StopReason::AllCrashed;
+            }
+            if self.pending.is_empty() {
+                break StopReason::Quiescent;
+            }
+            // The step budget is checked after the terminal conditions so
+            // that replaying a run under `max_steps = choices.len()`
+            // reproduces its stop reason (a quiescent recording stays
+            // Quiescent, a truncated one stays truncated).
+            if log.steps.len() >= self.config.max_steps {
+                break StopReason::MaxSteps;
+            }
+            let enabled = self.enabled_steps();
+            let chosen = strategy.choose(&enabled);
+            assert!(
+                chosen < enabled.len(),
+                "strategy chose step {chosen} of {}",
+                enabled.len()
+            );
+            let entry = self.pending.remove(chosen);
+            // Every consumed decision is logged — including the one that
+            // trips the horizon below — so a replay of `log.choices()`
+            // consumes the same choices and stops identically.
+            log.steps.push(StepLog {
+                enabled,
+                chosen: chosen as u32,
+            });
+            if entry.at > self.config.max_time {
+                break StopReason::MaxTime;
+            }
+            // Time only ever advances: an adversarially re-ordered step
+            // executes at the latest of its own ready time and the
+            // current clock, mirroring an adversary that withheld it.
+            self.now = self.now.max(entry.at);
+            match entry.pending {
+                Pending::Deliver { from, to } => self.deliver(from, to),
+                Pending::Timer { pid, id } => {
+                    if !self.cancelled.take(id) && !self.crashed[pid.index()] {
+                        self.record(TraceEventKind::TimerFired { pid, timer: id });
+                        self.stats.timers_fired += 1;
+                        self.dispatch(pid, |p, ctx| p.on_timer(ctx, id));
+                    }
+                }
+                Pending::Inject { pid, injection } => {
+                    if !self.crashed[pid.index()] {
+                        match injection {
+                            Injection::Crash => self.do_crash(pid),
+                            Injection::External(payload) => {
+                                let repr = self.payload_repr(&payload);
+                                self.record(TraceEventKind::External { pid, payload: repr });
+                                self.dispatch(pid, |p, ctx| p.on_external(ctx, payload));
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        (
+            Trace::from_parts(self.n, self.events, stop, self.now, self.stats),
+            log,
+        )
+    }
+
+    /// The canonical enabled-step list for the current state: one entry
+    /// per pending step, in creation order, annotated with the no-op flag
+    /// (see [`EnabledStep::noop`]).
+    fn enabled_steps(&self) -> Vec<EnabledStep> {
+        self.pending
+            .iter()
+            .map(|e| {
+                let (kind, noop) = match e.pending {
+                    Pending::Deliver { from, to } => {
+                        (StepKind::Deliver { from, to }, self.crashed[to.index()])
+                    }
+                    Pending::Timer { pid, id } => (
+                        StepKind::Timer { pid, timer: id },
+                        self.crashed[pid.index()] || self.cancelled.is_cancelled(id),
+                    ),
+                    Pending::Inject { pid, .. } => {
+                        (StepKind::Inject { pid }, self.crashed[pid.index()])
+                    }
+                };
+                EnabledStep {
+                    kind,
+                    at: e.at,
+                    order: e.order,
+                    noop,
+                }
+            })
+            .collect()
     }
 
     fn deliver(&mut self, from: ProcessId, to: ProcessId) {

@@ -1,0 +1,343 @@
+//! Pluggable schedulers: the `Strategy` seam of the simulator.
+//!
+//! The paper's theorems quantify over *all* runs of an asynchronous
+//! system: FS1 and sFS2a–d (Figure 1) must hold on every schedule the
+//! asynchrony adversary can produce, and the lower bounds (Theorems 6–7)
+//! are exactly statements about what some adversarial schedule can force.
+//! The default simulator realizes one schedule per seed — delivery order
+//! follows virtual time, with per-message latency drawn from a
+//! [`LatencyModel`](crate::latency::LatencyModel). That is ideal for
+//! statistical sweeps (E1–E8) but can never *certify* the absence of a
+//! violation.
+//!
+//! This module turns the scheduler into an explicit choice point. At each
+//! step of a scheduled run, the engine materializes the set of **enabled
+//! steps** — deliverable channel heads, armed timers, pending fault
+//! injections — and asks a [`Strategy`] to pick one. The built-in
+//! [`TimeOrderedStrategy`] reproduces the default engine's schedule
+//! byte-for-byte (a regression test holds it to that); systematic
+//! explorers (the `sfs-explore` crate) substitute strategies that
+//! enumerate or randomize the choice sequence instead.
+//!
+//! Every scheduled run records its choices as a [`ChoiceTrace`]; feeding
+//! the same trace back through a replay strategy reproduces the run
+//! exactly, which is what makes explored counterexamples replayable.
+//!
+//! # Examples
+//!
+//! Record a randomly-scheduled run, then replay it byte-identically:
+//!
+//! ```
+//! use sfs_asys::{Context, Process, ProcessId, RandomStrategy, ReplayStrategy, Sim};
+//!
+//! struct Echo;
+//! impl Process<u8> for Echo {
+//!     fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+//!         ctx.broadcast(0, false);
+//!     }
+//!     fn on_message(&mut self, _: &mut Context<'_, u8>, _: ProcessId, _: u8) {}
+//! }
+//!
+//! let build = || Sim::<u8>::builder(3).build(|_| Box::new(Echo));
+//! let mut sim = build();
+//! sim.set_strategy(RandomStrategy::new(42));
+//! let (trace, log) = sim.run_scheduled();
+//!
+//! let mut again = build();
+//! again.set_strategy(ReplayStrategy::new(log.choices()));
+//! assert_eq!(again.run_scheduled().0, trace);
+//! ```
+
+use crate::id::{ProcessId, TimerId};
+use crate::time::VirtualTime;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// What kind of pending step a scheduler may execute next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StepKind {
+    /// Deliver (or attempt to deliver) the head of channel `C_{from,to}`.
+    Deliver {
+        /// Channel source.
+        from: ProcessId,
+        /// Channel destination — the process whose state the step touches.
+        to: ProcessId,
+    },
+    /// Fire an armed timer of `pid`.
+    Timer {
+        /// Owner of the timer.
+        pid: ProcessId,
+        /// The timer.
+        timer: TimerId,
+    },
+    /// Deliver a [`FaultPlan`](crate::fault::FaultPlan) injection (a crash
+    /// or an external stimulus) to `pid`.
+    Inject {
+        /// Target of the injection.
+        pid: ProcessId,
+    },
+}
+
+impl StepKind {
+    /// The process whose local state the step can change: the receiver of
+    /// a delivery, the owner of a timer, the target of an injection.
+    ///
+    /// Two enabled steps with distinct loci commute — executing them in
+    /// either order yields the same global state — because a step may
+    /// mutate only its locus process plus channels *out of* that process
+    /// (appends to FIFO tails, which never affect the other step's
+    /// enabledness or effect). This is the independence relation the
+    /// `sfs-explore` crate's partial-order pruning is built on.
+    pub fn locus(&self) -> ProcessId {
+        match *self {
+            StepKind::Deliver { to, .. } => to,
+            StepKind::Timer { pid, .. } => pid,
+            StepKind::Inject { pid } => pid,
+        }
+    }
+}
+
+/// One schedulable step, as presented to a [`Strategy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnabledStep {
+    /// What the step would do.
+    pub kind: StepKind,
+    /// The earliest virtual time the default engine would execute this
+    /// step at (its latency-model delivery time, timer deadline, or
+    /// injection time). Adversarial strategies are free to ignore it: an
+    /// asynchronous adversary may delay any step arbitrarily.
+    pub at: VirtualTime,
+    /// Engine-wide creation sequence number. Unique per step, and — the
+    /// engine being deterministic — identical across runs that share the
+    /// choice prefix creating the step, so it serves as a stable step
+    /// identity for explorers.
+    pub order: u64,
+    /// Whether executing the step can neither run process code nor record
+    /// a trace event: a delivery to an already-crashed process, a timer of
+    /// a crashed process, a cancelled timer, or an injection into a
+    /// crashed process. Such steps commute with every other step, so an
+    /// explorer may execute them immediately without branching.
+    pub noop: bool,
+}
+
+/// The scheduler's choice sequence of one run: for each step, the index
+/// that was chosen into that step's enabled list. Together with the run's
+/// construction parameters this replays the run exactly.
+pub type ChoiceTrace = Vec<u32>;
+
+/// One recorded scheduling decision: the enabled set offered and the
+/// index chosen from it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepLog {
+    /// The enabled steps at this point, in canonical (creation-order)
+    /// order.
+    pub enabled: Vec<EnabledStep>,
+    /// Index into `enabled` of the executed step.
+    pub chosen: u32,
+}
+
+/// The full scheduling record of one run: every enabled set and choice.
+///
+/// Produced by [`Sim::run_scheduled`](crate::sim::Sim::run_scheduled);
+/// consumed by the `sfs-explore` crate's depth-first search, which uses
+/// the per-step enabled lists as the branching structure of the schedule
+/// tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScheduleLog {
+    /// The decisions, in execution order.
+    pub steps: Vec<StepLog>,
+}
+
+impl ScheduleLog {
+    /// The bare choice sequence, sufficient for replay.
+    pub fn choices(&self) -> ChoiceTrace {
+        self.steps.iter().map(|s| s.chosen).collect()
+    }
+
+    /// Number of scheduling decisions taken.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether no decision was taken.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// A scheduling policy: picks the next step to execute among the enabled
+/// ones.
+///
+/// Implementations must return an index `< enabled.len()`; the engine
+/// only calls [`Strategy::choose`] with a non-empty list. Determinism of
+/// the overall run is the strategy's responsibility — the built-in
+/// strategies are deterministic (given their seed), which the experiment
+/// infrastructure relies on.
+pub trait Strategy {
+    /// Chooses the index of the step to execute next.
+    fn choose(&mut self, enabled: &[EnabledStep]) -> usize;
+}
+
+/// The default engine's schedule, expressed as a strategy: always execute
+/// the enabled step with the least `(at, order)` — i.e. virtual-time
+/// order with creation-order tie-breaks.
+///
+/// With this strategy a scheduled run is byte-identical (same events,
+/// same timestamps, same stats, same stop reason) to the plain
+/// heap-driven [`Sim::run`](crate::sim::Sim::run); the
+/// `strategy_seam` regression tests assert exactly that.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimeOrderedStrategy;
+
+impl Strategy for TimeOrderedStrategy {
+    fn choose(&mut self, enabled: &[EnabledStep]) -> usize {
+        let mut best = 0;
+        for (i, step) in enabled.iter().enumerate().skip(1) {
+            if (step.at, step.order) < (enabled[best].at, enabled[best].order) {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// A seeded uniformly-random scheduler: the depth/branch-budgeted
+/// random-walk fallback for instances too large to explore exhaustively.
+///
+/// Unlike the default engine — where randomness enters through latency
+/// draws but delivery still follows virtual time — this adversary ignores
+/// time entirely and picks any enabled step with equal probability, so it
+/// reaches schedules (e.g. long starvations of one process) that no
+/// latency assignment of the time-ordered engine produces with
+/// non-negligible probability.
+#[derive(Debug)]
+pub struct RandomStrategy {
+    rng: StdRng,
+}
+
+impl RandomStrategy {
+    /// A random scheduler with the given seed. Runs are deterministic per
+    /// seed.
+    pub fn new(seed: u64) -> Self {
+        RandomStrategy {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Strategy for RandomStrategy {
+    fn choose(&mut self, enabled: &[EnabledStep]) -> usize {
+        // Modulo bias is irrelevant here: len is tiny relative to 2^64,
+        // and the walk only needs coverage, not exact uniformity.
+        (self.rng.next_u64() % enabled.len() as u64) as usize
+    }
+}
+
+/// Replays a recorded [`ChoiceTrace`]; past its end, falls back to the
+/// first enabled step (canonical order), which is the same default a
+/// fresh exploration uses.
+#[derive(Debug, Clone)]
+pub struct ReplayStrategy {
+    choices: ChoiceTrace,
+    pos: usize,
+}
+
+impl ReplayStrategy {
+    /// A strategy following `choices`, then first-enabled.
+    pub fn new(choices: ChoiceTrace) -> Self {
+        ReplayStrategy { choices, pos: 0 }
+    }
+}
+
+impl Strategy for ReplayStrategy {
+    fn choose(&mut self, enabled: &[EnabledStep]) -> usize {
+        let choice = match self.choices.get(self.pos) {
+            Some(&c) => {
+                assert!(
+                    (c as usize) < enabled.len(),
+                    "replay choice {c} out of range (only {} steps enabled): \
+                     the trace was recorded against a different system",
+                    enabled.len()
+                );
+                c as usize
+            }
+            None => 0,
+        };
+        self.pos += 1;
+        choice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(order: u64, at: u64) -> EnabledStep {
+        EnabledStep {
+            kind: StepKind::Timer {
+                pid: ProcessId::new(0),
+                timer: TimerId::new(order),
+            },
+            at: VirtualTime::from_ticks(at),
+            order,
+            noop: false,
+        }
+    }
+
+    #[test]
+    fn time_ordered_picks_least_time_then_order() {
+        let mut s = TimeOrderedStrategy;
+        let enabled = vec![step(5, 30), step(2, 10), step(9, 10)];
+        assert_eq!(s.choose(&enabled), 1, "least (at, order) wins");
+        let enabled = vec![step(7, 4), step(1, 9)];
+        assert_eq!(s.choose(&enabled), 0);
+    }
+
+    #[test]
+    fn random_strategy_is_deterministic_per_seed() {
+        let enabled: Vec<_> = (0..7).map(|i| step(i, i)).collect();
+        let picks = |seed| {
+            let mut s = RandomStrategy::new(seed);
+            (0..32).map(|_| s.choose(&enabled)).collect::<Vec<_>>()
+        };
+        assert_eq!(picks(3), picks(3));
+        assert_ne!(picks(3), picks(4));
+        assert!(picks(3).iter().all(|&i| i < enabled.len()));
+    }
+
+    #[test]
+    fn replay_follows_then_defaults_to_first() {
+        let mut s = ReplayStrategy::new(vec![2, 0]);
+        let enabled: Vec<_> = (0..4).map(|i| step(i, i)).collect();
+        assert_eq!(s.choose(&enabled), 2);
+        assert_eq!(s.choose(&enabled), 0);
+        assert_eq!(s.choose(&enabled), 0, "past the trace: first enabled");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn replay_rejects_foreign_traces() {
+        let mut s = ReplayStrategy::new(vec![9]);
+        let enabled = vec![step(0, 0)];
+        let _ = s.choose(&enabled);
+    }
+
+    #[test]
+    fn locus_is_the_touched_process() {
+        assert_eq!(
+            StepKind::Deliver {
+                from: ProcessId::new(0),
+                to: ProcessId::new(2)
+            }
+            .locus(),
+            ProcessId::new(2)
+        );
+        assert_eq!(
+            StepKind::Inject {
+                pid: ProcessId::new(1)
+            }
+            .locus(),
+            ProcessId::new(1)
+        );
+    }
+}

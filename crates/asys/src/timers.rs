@@ -47,6 +47,17 @@ impl CancelledTimers {
         words[word] |= bit;
     }
 
+    /// Whether `id` is currently marked cancelled, without consuming the
+    /// flag. Used by the scheduled run loop to annotate enabled timer
+    /// steps as no-ops before a strategy chooses among them.
+    pub(crate) fn is_cancelled(&self, id: TimerId) -> bool {
+        let (lane, word, bit) = Self::split(id);
+        self.lanes
+            .get(lane)
+            .and_then(|words| words.get(word))
+            .is_some_and(|w| *w & bit != 0)
+    }
+
     /// Consumes the cancellation of `id`: returns whether it was
     /// cancelled, clearing the flag (so each id answers `true` at most
     /// once, matching `HashSet::remove`).

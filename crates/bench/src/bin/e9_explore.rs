@@ -1,0 +1,15 @@
+//! E9 — schedule-space exploration: certify/violate verdicts per property
+//! over every schedule of bounded instances (see EXPERIMENTS.md §E9).
+//!
+//! The optional CLI argument is the per-cell budget: the schedule cap for
+//! exhaustive cells (they normally finish far below it) and the walk
+//! count for sampling cells.
+fn main() {
+    let budget = sfs_bench::seeds_arg(200_000);
+    sfs_bench::run_with_report(
+        "E9",
+        "five exhaustive 3-process instances + one sampled 5-process instance",
+        budget,
+        || sfs_bench::run_e9(budget),
+    );
+}

@@ -25,6 +25,13 @@ pub fn note_trace(trace: &Trace) {
     EVENTS.fetch_add(trace.events().len() as u64, Ordering::Relaxed);
 }
 
+/// Counts pre-aggregated events into the current report window, for
+/// experiments whose traces never individually surface here (E9's
+/// explorer visits thousands of schedules and reports one total).
+pub fn note_events(count: u64) {
+    EVENTS.fetch_add(count, Ordering::Relaxed);
+}
+
 /// Drains the event counter.
 fn take_events() -> u64 {
     EVENTS.swap(0, Ordering::Relaxed)

@@ -191,11 +191,28 @@ impl ClusterSpec {
     /// # Panics
     ///
     /// Panics on infeasible configurations.
-    pub fn run_with_latency<A, F>(
+    pub fn run_with_latency<A, F>(self, latency: impl LatencyModel + 'static, make_app: F) -> Trace
+    where
+        A: Application,
+        F: FnMut(ProcessId) -> A,
+    {
+        self.build_with_latency(latency, make_app).run()
+    }
+
+    /// Builds the cluster's simulator **without running it** — the hook
+    /// for schedule exploration: the `sfs-explore` crate re-executes the
+    /// same cluster under every schedule its search prescribes, so it
+    /// needs a fresh, un-run [`Sim`] per execution (the spec is `Clone`;
+    /// clone it once per build).
+    ///
+    /// # Panics
+    ///
+    /// Panics on infeasible configurations.
+    pub fn build_with_latency<A, F>(
         self,
         latency: impl LatencyModel + 'static,
         mut make_app: F,
-    ) -> Trace
+    ) -> Sim<SfsMsg<A::Msg>>
     where
         A: Application,
         F: FnMut(ProcessId) -> A,
@@ -225,13 +242,12 @@ impl ClusterSpec {
                 .gate_app_messages(spec.gate_app_messages)
                 .crash_on_own_obituary(spec.crash_on_own_obituary)
         };
-        let sim = builder.build(|pid| {
+        builder.build(|pid| {
             let config = config_of(&self);
             let process =
                 SfsProcess::new(config, make_app(pid)).expect("infeasible cluster configuration");
             Box::new(process)
-        });
-        sim.run()
+        })
     }
 }
 

@@ -1,0 +1,182 @@
+//! Canonical fingerprints of schedule-equivalence classes.
+//!
+//! Two explored schedules are *equivalent* when one is reachable from
+//! the other by swapping adjacent concurrent steps — the reordering the
+//! paper's Theorem 5 engine performs, under which every certified
+//! property is invariant (see the `dfs` module docs). A class is
+//! canonically described by what commutation cannot change: the
+//! per-process event sequences and the happens-before relation. This
+//! module condenses exactly that into a 64-bit fingerprint by hashing,
+//! process by process, each event together with its vector clock row
+//! from [`HappensBefore`]'s flat clock arena.
+//!
+//! The fingerprint gives explorers an O(1) semantic dedup: sleep sets
+//! already eliminate most redundant schedules *before* executing them,
+//! and fingerprint dedup catches equivalent schedules that still slip
+//! through (e.g. across the pinned root branches of a parallel
+//! exploration, where sleep sets cannot propagate), so the
+//! rearrange-and-check pipeline runs once per class.
+
+use sfs_history::{HappensBefore, History};
+
+/// FNV-1a, the classic 64-bit flavour: tiny state, no allocation, stable
+/// across runs (unlike `DefaultHasher`, which is seeded per process).
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(Self::PRIME);
+        }
+    }
+}
+
+/// The commutation-class fingerprint of a history: equal for any two
+/// interleavings of the same per-process behaviour, (collision-aside)
+/// distinct otherwise.
+///
+/// # Examples
+///
+/// Reordering concurrent events preserves the fingerprint; changing a
+/// process's behaviour does not:
+///
+/// ```
+/// use sfs_asys::ProcessId;
+/// use sfs_history::{Event, History};
+/// use sfs_explore::class_fingerprint;
+///
+/// let p0 = ProcessId::new(0);
+/// let p1 = ProcessId::new(1);
+/// let a = History::new(2, vec![
+///     Event::Internal { pid: p0, tag: 7 },
+///     Event::Internal { pid: p1, tag: 9 },
+/// ]);
+/// let b = History::new(2, vec![
+///     Event::Internal { pid: p1, tag: 9 },
+///     Event::Internal { pid: p0, tag: 7 },
+/// ]);
+/// assert_eq!(class_fingerprint(&a), class_fingerprint(&b));
+///
+/// let c = History::new(2, vec![Event::Internal { pid: p0, tag: 8 }]);
+/// assert_ne!(class_fingerprint(&a), class_fingerprint(&c));
+/// ```
+pub fn class_fingerprint(h: &History) -> u64 {
+    let hb = HappensBefore::compute(h);
+    let n = h.n();
+    let mut fnv = Fnv::new();
+    fnv.write_u64(n as u64);
+    // Canonical event order: by owning process, then per-process program
+    // order (the order they appear in the history, which commutation
+    // cannot change). The clock row pins cross-process causality.
+    for p in 0..n {
+        fnv.write_u64(0x5eed ^ p as u64);
+        for (i, e) in h.events().iter().enumerate() {
+            if e.process().index() != p {
+                continue;
+            }
+            hash_event(&mut fnv, e);
+            for &c in hb.clock(i) {
+                fnv.write_u64(u64::from(c));
+            }
+        }
+    }
+    fnv.0
+}
+
+fn hash_event(fnv: &mut Fnv, e: &sfs_history::Event) {
+    use sfs_history::Event;
+    match *e {
+        Event::Send { from, to, msg } => {
+            fnv.write_u64(1);
+            fnv.write_u64(from.index() as u64);
+            fnv.write_u64(to.index() as u64);
+            fnv.write_u64(msg.seq());
+        }
+        Event::Recv { by, from, msg } => {
+            fnv.write_u64(2);
+            fnv.write_u64(by.index() as u64);
+            fnv.write_u64(from.index() as u64);
+            fnv.write_u64(msg.seq());
+        }
+        Event::Crash { pid } => {
+            fnv.write_u64(3);
+            fnv.write_u64(pid.index() as u64);
+        }
+        Event::Failed { by, of } => {
+            fnv.write_u64(4);
+            fnv.write_u64(by.index() as u64);
+            fnv.write_u64(of.index() as u64);
+        }
+        Event::Internal { pid, tag } => {
+            fnv.write_u64(5);
+            fnv.write_u64(pid.index() as u64);
+            fnv.write_u64(tag);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_asys::{MsgId, ProcessId};
+    use sfs_history::Event;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn send_recv_chains_fingerprint_by_causality() {
+        let m = MsgId::new(p(0), 0);
+        // Crash of p2 concurrent with the message: position is free.
+        let a = History::new(
+            3,
+            vec![
+                Event::crash(p(2)),
+                Event::send(p(0), p(1), m),
+                Event::recv(p(1), p(0), m),
+            ],
+        );
+        let b = History::new(
+            3,
+            vec![
+                Event::send(p(0), p(1), m),
+                Event::recv(p(1), p(0), m),
+                Event::crash(p(2)),
+            ],
+        );
+        assert_eq!(class_fingerprint(&a), class_fingerprint(&b));
+    }
+
+    #[test]
+    fn detection_order_within_a_process_matters() {
+        let a = History::new(
+            3,
+            vec![Event::failed(p(0), p(1)), Event::failed(p(0), p(2))],
+        );
+        let b = History::new(
+            3,
+            vec![Event::failed(p(0), p(2)), Event::failed(p(0), p(1))],
+        );
+        assert_ne!(
+            class_fingerprint(&a),
+            class_fingerprint(&b),
+            "program order is not a commutation"
+        );
+    }
+
+    #[test]
+    fn distinct_message_flows_differ() {
+        let a = History::new(2, vec![Event::send(p(0), p(1), MsgId::new(p(0), 0))]);
+        let b = History::new(2, vec![Event::send(p(1), p(0), MsgId::new(p(1), 0))]);
+        assert_ne!(class_fingerprint(&a), class_fingerprint(&b));
+    }
+}

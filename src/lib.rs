@@ -9,8 +9,9 @@
 //! | [`asys`] | asynchronous-system substrate: deterministic simulator, FIFO channels, latency adversaries, threaded runtime |
 //! | [`history`] | formal event histories, happens-before, failed-before, the Theorem 5 rearrangement engine |
 //! | [`tlogic`] | temporal-logic checker and the FS / sFS property suite |
+//! | [`explore`] | schedule-space exploration: bounded-exhaustive DFS with partial-order pruning, random-walk fallback, replayable witnesses |
 //! | [`core`] (as [`sfs`]) | the one-round simulated-fail-stop protocol, quorum bounds, comparator detectors |
-//! | [`apps`] | leader election, last-to-fail recovery, membership, the Appendix A.3 adversary |
+//! | [`apps`] | leader election, last-to-fail recovery, membership, the Appendix A.3 adversary, exploration scenarios |
 //!
 //! This facade re-exports each crate under a short name; depend on it for
 //! everything, or on the individual crates for narrower builds.
@@ -42,6 +43,7 @@
 
 pub use sfs_apps as apps;
 pub use sfs_asys as asys;
+pub use sfs_explore as explore;
 pub use sfs_history as history;
 pub use sfs_tlogic as tlogic;
 
@@ -58,6 +60,7 @@ pub mod prelude {
         FaultPlan, LatencyModel, Note, Process, ProcessId, Sim, StopReason, Trace, UniformLatency,
         VirtualTime,
     };
+    pub use sfs_explore::{explore, random_walks, ExploreConfig, Pruning, WalkConfig};
     pub use sfs_history::{
         rearrange_by_swaps, rearrange_to_fs, Event, FailedBefore, HappensBefore, History,
     };

@@ -20,7 +20,7 @@ pub mod test_runner;
 pub mod collection {
     use crate::strategy::{Strategy, VecStrategy};
 
-    /// Size specification for [`vec`]: an exact length or a range.
+    /// Size specification for [`vec()`](fn@vec): an exact length or a range.
     pub trait IntoSizeRange {
         /// Inclusive `(min, max)` bounds.
         fn bounds(self) -> (usize, usize);
