@@ -33,12 +33,14 @@
 use sfs::{ClusterSpec, ModeSpec, NullApp, QuorumPolicy, SfsMsg};
 use sfs_asys::{ChoiceTrace, FixedLatency, OverrideLatency, ProcessId, Sim, Trace};
 use sfs_explore::{
-    class_fingerprint, explore, random_walks, replay, ExploreConfig, ExploreStats, Pruning,
-    ScheduleRun, WalkConfig,
+    class_fingerprint, explore, random_walks, replay, replay_fidelity, shrink, DifferentialOracle,
+    Divergence, Envelope, ExploreConfig, ExploreStats, PropertyEnvelope, Pruning, ScheduleRun,
+    ShrinkConfig, ShrinkOutcome, WalkConfig,
 };
 use sfs_history::{rearrange_to_fs, FailedBefore, History};
 use sfs_tlogic::{properties, Verdict};
 use std::collections::HashSet;
+use std::time::Duration;
 
 /// Parameters of the A.3 witness-violation attack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,6 +228,11 @@ pub struct ExploreOutcome {
     pub trace_events: u64,
     /// One certificate per property, in suite order, `"Theorem5"` last.
     pub properties: Vec<PropertyCertificate>,
+    /// Whether this outcome was [merged](ExploreOutcome::merge) from
+    /// parallel root branches. Merged per-property violation counts are
+    /// upper bounds (branches dedup independently), which weakens what an
+    /// [`Envelope`](ExploreOutcome::envelope) may claim.
+    pub merged: bool,
 }
 
 impl ExploreOutcome {
@@ -251,6 +258,7 @@ impl ExploreOutcome {
     /// property stays certified only if the merged exploration is
     /// complete with zero violations.
     pub fn merge(mut self, other: ExploreOutcome) -> ExploreOutcome {
+        self.merged = true;
         self.stats.absorb(&other.stats);
         self.fingerprints.extend(other.fingerprints);
         self.fingerprints.sort_unstable();
@@ -277,6 +285,35 @@ impl ExploreOutcome {
         }
         self
     }
+}
+
+/// The standard per-run evaluator behind every backend comparison: the
+/// full sFS suite ([`check_sfs_suite`](properties::check_sfs_suite)) plus
+/// the synthetic `"Theorem5"` entry ("an isomorphic fail-stop run
+/// exists", via [`rearrange_to_fs`] after completing missing crashes —
+/// sFS2a guarantees those crashes in the full run, so they are charged to
+/// the already-checked sFS2a, as the paper does).
+///
+/// `complete` gates liveness: on a truncated prefix unmet eventualities
+/// come back [`Verdict::Vacuous`], never [`Verdict::Violated`].
+pub fn sfs_verdicts(trace: &Trace, complete: bool) -> Vec<(&'static str, Verdict)> {
+    sfs_verdicts_of(&History::from_trace(trace), complete)
+}
+
+/// [`sfs_verdicts`] on an already-projected [`History`] — the form the
+/// exploration hot path uses, where the history is also needed for the
+/// class fingerprint and must not be rebuilt per check.
+pub fn sfs_verdicts_of(h: &History, complete: bool) -> Vec<(&'static str, Verdict)> {
+    let mut verdicts: Vec<(&'static str, Verdict)> = properties::check_sfs_suite(h, complete)
+        .into_iter()
+        .map(|report| (report.property, report.verdict))
+        .collect();
+    let theorem5 = match rearrange_to_fs(&h.complete_missing_crashes()) {
+        Ok(_) => Verdict::Holds,
+        Err(_) => Verdict::Violated,
+    };
+    verdicts.push(("Theorem5", theorem5));
+    verdicts
 }
 
 /// Verdict accumulator shared by the exhaustive and sampling drivers.
@@ -317,18 +354,9 @@ impl Verdicts {
         // Liveness obligations are only judged on complete (quiescent)
         // schedules; truncated ones still check all safety properties.
         let complete = run.trace.stop_reason().is_complete();
-        for report in properties::check_sfs_suite(&h, complete) {
-            self.note(report.property, report.verdict, &run.choices);
+        for (property, verdict) in sfs_verdicts_of(&h, complete) {
+            self.note(property, verdict, &run.choices);
         }
-        // Theorem 5: does an isomorphic fail-stop run exist? sFS2a
-        // guarantees the crash of every detected process in the *full*
-        // run, so charge missing crashes to sFS2a (already checked) and
-        // complete the prefix before rearranging, as the paper does.
-        let verdict = match rearrange_to_fs(&h.complete_missing_crashes()) {
-            Ok(_) => Verdict::Holds,
-            Err(_) => Verdict::Violated,
-        };
-        self.note("Theorem5", verdict, &run.choices);
     }
 
     fn finish(self, stats: ExploreStats) -> ExploreOutcome {
@@ -339,6 +367,7 @@ impl Verdicts {
             fingerprints,
             deduped: self.deduped,
             trace_events: self.trace_events,
+            merged: false,
             properties: self
                 .table
                 .into_iter()
@@ -447,6 +476,434 @@ impl ExploreInstance {
     pub fn replay(&self, choices: &[u32]) -> Trace {
         replay(self.build(), choices)
     }
+}
+
+// ---- differential conformance ------------------------------------------
+
+/// Budgets for one differential-conformance check of one instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ConformanceConfig {
+    /// Scheduled simulator runs under [`RandomStrategy`](sfs_asys::RandomStrategy)
+    /// (each also replay-checked), seeds `seed..seed + random_runs`.
+    pub random_runs: usize,
+    /// Repetitions on the threaded runtime (real-concurrency
+    /// nondeterminism: every repetition is a fresh schedule).
+    pub threaded_runs: usize,
+    /// Wall-clock settle window per threaded run, after the last
+    /// injection, in milliseconds.
+    pub settle_ms: u64,
+    /// Base seed for the random-strategy runs.
+    pub seed: u64,
+    /// Budgets for minimizing the reference exploration's witnesses.
+    pub shrink: ShrinkConfig,
+}
+
+impl Default for ConformanceConfig {
+    fn default() -> Self {
+        ConformanceConfig {
+            random_runs: 8,
+            threaded_runs: 2,
+            settle_ms: 250,
+            seed: 1,
+            shrink: ShrinkConfig::default(),
+        }
+    }
+}
+
+/// What one backend contributed to a conformance check.
+#[derive(Debug, Clone)]
+pub struct BackendReport {
+    /// Backend label (`"sim:time-ordered"`, `"sim:random"`, `"replay"`,
+    /// `"threaded"`).
+    pub backend: &'static str,
+    /// Runs executed on this backend.
+    pub runs: usize,
+    /// Runs that were maximal (quiescent, or drained on the threaded
+    /// runtime) and therefore subject to the full envelope.
+    pub complete_runs: usize,
+    /// Runs that produced at least one divergence.
+    pub divergent_runs: usize,
+    /// Divergences this backend produced (empty = agreement).
+    pub divergences: Vec<Divergence>,
+}
+
+impl BackendReport {
+    fn new(backend: &'static str) -> Self {
+        BackendReport {
+            backend,
+            runs: 0,
+            complete_runs: 0,
+            divergent_runs: 0,
+            divergences: Vec::new(),
+        }
+    }
+
+    fn absorb_run(&mut self, complete: bool, divergences: Vec<Divergence>) {
+        self.runs += 1;
+        self.complete_runs += usize::from(complete);
+        self.divergent_runs += usize::from(!divergences.is_empty());
+        self.divergences.extend(divergences);
+    }
+}
+
+/// A reference witness minimized by the delta-debugging shrinker.
+#[derive(Debug, Clone)]
+pub struct ShrunkWitness {
+    /// The violated property the witness exhibits.
+    pub property: String,
+    /// The minimized, strictly replayable witness and its statistics.
+    pub outcome: ShrinkOutcome,
+}
+
+/// Aggregate result of one differential-conformance check.
+#[derive(Debug)]
+pub struct ConformanceOutcome {
+    /// The reference exploration (sequential, so per-class violation
+    /// counts are exact).
+    pub reference: ExploreOutcome,
+    /// One report per backend.
+    pub backends: Vec<BackendReport>,
+    /// Recorded schedules strictly re-executed for byte-identity.
+    pub replay_checks: usize,
+    /// Reference witnesses after shrinking, one per violated property.
+    pub shrunk: Vec<ShrunkWitness>,
+}
+
+impl ConformanceOutcome {
+    /// Whether every backend agreed with the reference envelope.
+    pub fn agreement(&self) -> bool {
+        self.backends.iter().all(|b| b.divergences.is_empty())
+    }
+
+    /// Every divergence across all backends.
+    pub fn divergences(&self) -> impl Iterator<Item = &Divergence> {
+        self.backends.iter().flat_map(|b| b.divergences.iter())
+    }
+
+    /// Total backend runs executed.
+    pub fn total_runs(&self) -> usize {
+        self.backends.iter().map(|b| b.runs).sum()
+    }
+
+    /// Fraction of backend runs that produced no divergence, in `[0, 1]`.
+    pub fn agreement_rate(&self) -> f64 {
+        let total = self.total_runs();
+        if total == 0 {
+            return 1.0;
+        }
+        let divergent: usize = self.backends.iter().map(|b| b.divergent_runs).sum();
+        (total - divergent) as f64 / total as f64
+    }
+}
+
+impl ExploreOutcome {
+    /// The conformance [`Envelope`] this exploration establishes.
+    ///
+    /// `always_violated` is derived from exact per-class violation
+    /// counts, which holds for outcomes produced by a *sequential*
+    /// [`ExploreInstance::explore`]; on a
+    /// [merged](ExploreOutcome::merge) outcome the violation count is an
+    /// upper bound (branches dedup independently), so the flag is
+    /// suppressed there to stay sound.
+    pub fn envelope(&self) -> Envelope {
+        // A merged outcome can double-count a class seen by two branches,
+        // so `violations >= classes` stops implying "every class
+        // violates"; suppress the universal flag there.
+        let exact = self.stats.complete && !self.merged;
+        Envelope {
+            complete: self.stats.complete,
+            fingerprints: self.fingerprints.clone(),
+            properties: self
+                .properties
+                .iter()
+                .map(|c| PropertyEnvelope {
+                    property: c.property.clone(),
+                    certified: c.certified,
+                    always_violated: exact
+                        && c.violations > 0
+                        && c.violations >= self.fingerprints.len(),
+                    witness: c.witness.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl ExploreInstance {
+    /// Runs the cluster on the threaded runtime, driving the spec's
+    /// scripted injections over wall clock, and reports the trace plus
+    /// whether the run was maximal. Maximality comes from the runtime's
+    /// drain handshake (every forwarded event fully dispatched, nothing
+    /// pending) — not from trace-level accounting, which cannot see an
+    /// event whose handler was still running at shutdown.
+    pub fn run_threaded(&self, settle: Duration) -> (Trace, bool) {
+        self.spec.run_threaded_quiesced(|_| NullApp, settle)
+    }
+
+    /// The full differential-conformance check of this instance: explores
+    /// the schedule space into a reference [`Envelope`], then drives the
+    /// other backends through the [`DifferentialOracle`]:
+    ///
+    /// 1. `sim:time-ordered` — one scheduled run under
+    ///    [`TimeOrderedStrategy`](sfs_asys::TimeOrderedStrategy) (the
+    ///    default engine's schedule);
+    /// 2. `sim:random` — `random_runs` scheduled runs under seeded
+    ///    [`RandomStrategy`](sfs_asys::RandomStrategy);
+    /// 3. `replay` — every recorded schedule from (1) and (2) strictly
+    ///    re-executed and byte-compared;
+    /// 4. `threaded` — `threaded_runs` executions on real OS threads.
+    ///
+    /// Reference witnesses are then minimized by the delta-debugging
+    /// shrinker, each shrink candidate re-validated by replay.
+    pub fn conformance(&self, config: &ConformanceConfig) -> ConformanceOutcome {
+        let reference = self.explore();
+        let envelope = reference.envelope();
+        let oracle = DifferentialOracle::new(envelope, |trace: &Trace, complete| {
+            sfs_verdicts(trace, complete)
+                .into_iter()
+                .map(|(p, v)| (p.to_owned(), v))
+                .collect()
+        });
+
+        let mut backends = Vec::new();
+        let mut replay_checks = 0usize;
+        let mut replay_report = BackendReport::new("replay");
+        let mut check_recorded = |report: &mut BackendReport, run: ScheduleRun| {
+            let complete = run.trace.stop_reason().is_complete();
+            report.absorb_run(complete, oracle.check(report.backend, &run.trace, complete));
+            replay_checks += 1;
+            replay_report.absorb_run(
+                complete,
+                replay_fidelity("replay", || self.build(), &run)
+                    .into_iter()
+                    .collect(),
+            );
+        };
+
+        // Backend 1: the default engine's schedule, recorded.
+        let mut time_ordered = BackendReport::new("sim:time-ordered");
+        {
+            let mut sim = self.build();
+            sim.set_strategy(sfs_asys::TimeOrderedStrategy);
+            let (trace, log) = sim.run_scheduled();
+            let truncated = !trace.stop_reason().is_complete();
+            check_recorded(
+                &mut time_ordered,
+                ScheduleRun {
+                    trace,
+                    choices: log.choices(),
+                    truncated,
+                },
+            );
+        }
+
+        // Backend 2: seeded random schedulers.
+        let mut random = BackendReport::new("sim:random");
+        for i in 0..config.random_runs {
+            let mut sim = self.build();
+            sim.set_strategy(sfs_asys::RandomStrategy::new(
+                config.seed.wrapping_add(i as u64),
+            ));
+            let (trace, log) = sim.run_scheduled();
+            let truncated = !trace.stop_reason().is_complete();
+            check_recorded(
+                &mut random,
+                ScheduleRun {
+                    trace,
+                    choices: log.choices(),
+                    truncated,
+                },
+            );
+        }
+        backends.push(time_ordered);
+        backends.push(random);
+        backends.push(replay_report);
+
+        // Backend 3: real concurrency.
+        let mut threaded = BackendReport::new("threaded");
+        for _ in 0..config.threaded_runs {
+            let (trace, complete) = self.run_threaded(Duration::from_millis(config.settle_ms));
+            threaded.absorb_run(complete, oracle.check("threaded", &trace, complete));
+        }
+        backends.push(threaded);
+
+        // Minimize every reference witness.
+        let shrunk = reference
+            .properties
+            .iter()
+            .filter_map(|c| {
+                let witness = c.witness.as_ref()?;
+                let outcome = self.shrink_witness(&c.property, witness, &config.shrink)?;
+                Some(ShrunkWitness {
+                    property: c.property.clone(),
+                    outcome,
+                })
+            })
+            .collect();
+
+        ConformanceOutcome {
+            reference,
+            backends,
+            replay_checks,
+            shrunk,
+        }
+    }
+
+    /// Delta-debugs `witness` down to a minimal choice trace whose replay
+    /// still violates `property`, re-validating every candidate by
+    /// replay. Returns `None` if the witness itself does not reproduce
+    /// the violation (a conformance failure the oracle reports
+    /// separately).
+    pub fn shrink_witness(
+        &self,
+        property: &str,
+        witness: &[u32],
+        config: &ShrinkConfig,
+    ) -> Option<ShrinkOutcome> {
+        shrink(
+            config,
+            || self.build(),
+            witness,
+            |run| {
+                let complete = run.trace.stop_reason().is_complete();
+                sfs_verdicts(&run.trace, complete)
+                    .into_iter()
+                    .any(|(p, v)| p == property && v == Verdict::Violated)
+            },
+        )
+    }
+
+    /// Whether a bounded (sequential) exploration of this instance still
+    /// finds a violation of `property`; the witness if so. The
+    /// re-validation step for [`ExploreInstance::shrink_instance`]
+    /// candidates — a spec change invalidates recorded choice traces, so
+    /// candidates are vetted by re-exploration, not replay.
+    fn violation_witness(&self, property: &str) -> Option<ChoiceTrace> {
+        if self
+            .spec
+            .quorum
+            .validated(self.spec.n, self.spec.t)
+            .is_err()
+        {
+            return None; // infeasible candidate: building would panic
+        }
+        let out = self.explore();
+        out.certificate(property)
+            .filter(|c| c.violations > 0)
+            .and_then(|c| c.witness.clone())
+    }
+
+    /// Shrinks the **instance itself** — the other delta-debugging axis:
+    /// greedily drops scripted suspicions and crashes, removes
+    /// unreferenced top processes (`n`), and lowers the failure bound
+    /// (`t`), keeping any candidate whose re-exploration still violates
+    /// `property` (infeasible candidates are skipped). The reduced
+    /// instance's witness is then choice-shrunk via
+    /// [`ExploreInstance::shrink_witness`].
+    ///
+    /// Returns `None` when this instance's own exploration does not
+    /// violate `property` in the first place.
+    pub fn shrink_instance(
+        &self,
+        property: &str,
+        config: &ShrinkConfig,
+    ) -> Option<InstanceShrinkOutcome> {
+        let mut current = self.clone();
+        let mut witness = current.violation_witness(property)?;
+        let mut dropped_suspicions = 0usize;
+        let mut dropped_crashes = 0usize;
+        let mut dropped_processes = 0usize;
+        let mut t_reduction = 0usize;
+        #[derive(Clone, Copy)]
+        enum Axis {
+            Suspicion,
+            Crash,
+            Process,
+            Bound,
+        }
+        loop {
+            let mut improved = false;
+            let mut candidates: Vec<(ExploreInstance, Axis)> = Vec::new();
+            let derived = |spec: ClusterSpec| ExploreInstance {
+                spec,
+                config: current.config,
+            };
+            for i in 0..current.spec.suspicions.len() {
+                let mut spec = current.spec.clone();
+                spec.suspicions.remove(i);
+                candidates.push((derived(spec), Axis::Suspicion));
+            }
+            for i in 0..current.spec.crashes.len() {
+                let mut spec = current.spec.clone();
+                spec.crashes.remove(i);
+                candidates.push((derived(spec), Axis::Crash));
+            }
+            let top = ProcessId::new(current.spec.n.saturating_sub(1));
+            let top_referenced = current.spec.crashes.iter().any(|&(p, _)| p == top)
+                || current
+                    .spec
+                    .suspicions
+                    .iter()
+                    .any(|&(by, of, _)| by == top || of == top);
+            if current.spec.n > 1 && !top_referenced {
+                let mut spec = current.spec.clone();
+                spec.n -= 1;
+                spec.t = spec.t.min(spec.n);
+                candidates.push((derived(spec), Axis::Process));
+            }
+            if current.spec.t > 0 {
+                let mut spec = current.spec.clone();
+                spec.t -= 1;
+                candidates.push((derived(spec), Axis::Bound));
+            }
+            for (candidate, axis) in candidates {
+                if let Some(w) = candidate.violation_witness(property) {
+                    current = candidate;
+                    witness = w;
+                    match axis {
+                        Axis::Suspicion => dropped_suspicions += 1,
+                        Axis::Crash => dropped_crashes += 1,
+                        Axis::Process => dropped_processes += 1,
+                        Axis::Bound => t_reduction += 1,
+                    }
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        let witness = current
+            .shrink_witness(property, &witness, config)
+            .expect("re-explored witness reproduces by construction");
+        Some(InstanceShrinkOutcome {
+            instance: current,
+            dropped_suspicions,
+            dropped_crashes,
+            dropped_processes,
+            t_reduction,
+            witness,
+        })
+    }
+}
+
+/// Result of [`ExploreInstance::shrink_instance`]: the reduced instance
+/// plus its minimized witness.
+#[derive(Debug)]
+pub struct InstanceShrinkOutcome {
+    /// The reduced instance (still violating the property).
+    pub instance: ExploreInstance,
+    /// Scripted suspicions dropped from the spec.
+    pub dropped_suspicions: usize,
+    /// Scripted crashes dropped from the spec.
+    pub dropped_crashes: usize,
+    /// Processes removed (`n` reduction).
+    pub dropped_processes: usize,
+    /// Failure-bound reduction (`t`).
+    pub t_reduction: usize,
+    /// The reduced instance's minimal choice-trace witness.
+    pub witness: ShrinkOutcome,
 }
 
 #[cfg(test)]
@@ -620,6 +1077,127 @@ mod tests {
             v
         };
         assert_eq!(verdicts(&merged), verdicts(&sequential));
+    }
+
+    /// A cheap conformance budget for tests: fewer random runs, one
+    /// threaded repetition, small shrink budget.
+    fn test_conformance_config() -> ConformanceConfig {
+        ConformanceConfig {
+            random_runs: 4,
+            threaded_runs: 1,
+            settle_ms: 250,
+            seed: 7,
+            shrink: ShrinkConfig {
+                max_replays: 2048,
+                canonicalize: true,
+            },
+        }
+    }
+
+    #[test]
+    fn conformance_all_backends_agree_on_the_certified_instance() {
+        let inst = ExploreInstance::new(ClusterSpec::new(3, 1).suspect(p(1), p(0), 10));
+        let out = inst.conformance(&test_conformance_config());
+        assert!(out.reference.stats.complete);
+        assert!(out.reference.all_certified());
+        assert!(
+            out.agreement(),
+            "{:#?}",
+            out.divergences().collect::<Vec<_>>()
+        );
+        assert!(out.replay_checks >= 5, "{}", out.replay_checks);
+        assert_eq!(out.total_runs(), 1 + 4 + 5 + 1, "{:#?}", out.backends);
+        // Nothing was violated, so nothing was shrunk.
+        assert!(out.shrunk.is_empty());
+    }
+
+    #[test]
+    fn conformance_agrees_beyond_the_bound_and_shrinks_the_cycle_witness() {
+        // The PR 2 sFS2b cycle instance: mutual suspicion, 2 crashes > t.
+        let inst = ExploreInstance::new(ClusterSpec::new(3, 1).suspect(p(1), p(0), 10).suspect(
+            p(0),
+            p(1),
+            10,
+        ));
+        let out = inst.conformance(&test_conformance_config());
+        assert!(out.reference.stats.complete);
+        assert!(
+            out.agreement(),
+            "{:#?}",
+            out.divergences().collect::<Vec<_>>()
+        );
+        let cycle = out
+            .shrunk
+            .iter()
+            .find(|s| s.property == "sFS2b")
+            .expect("cycle witness shrunk");
+        assert!(
+            cycle.outcome.final_len < cycle.outcome.initial_len,
+            "no reduction: {} -> {}",
+            cycle.outcome.initial_len,
+            cycle.outcome.final_len
+        );
+        // The minimal witness still replays to the violation, strictly.
+        let trace = inst.replay(&cycle.outcome.run.choices);
+        assert_eq!(trace, cycle.outcome.run.trace);
+        let h = History::from_trace(&trace);
+        assert_eq!(properties::check_sfs2b(&h).verdict, Verdict::Violated);
+    }
+
+    #[test]
+    fn envelope_of_a_merged_outcome_drops_the_universal_claim() {
+        // Two injections give the schedule tree a root width of 2, so the
+        // branch partition genuinely merges.
+        let inst = ExploreInstance::new(
+            ClusterSpec::new(3, 1)
+                .suspect(p(1), p(0), 10)
+                .suspect(p(2), p(0), 12)
+                .without_self_crash(),
+        );
+        let sequential = inst.explore();
+        assert!(!sequential.merged);
+        // sFS2a is violated on every class: the sequential envelope says so.
+        let envelope = sequential.envelope();
+        assert!(envelope.property("sFS2a").expect("present").always_violated);
+        let width = inst.width();
+        let merged = (0..width as u32)
+            .map(|b| inst.explore_prefix(&[b]))
+            .reduce(ExploreOutcome::merge)
+            .expect("width >= 1");
+        assert!(merged.merged);
+        // The merged outcome may double-count, so its envelope must not
+        // make the universal claim even though it happens to be true.
+        let envelope = merged.envelope();
+        assert!(!envelope.property("sFS2a").expect("present").always_violated);
+        assert!(envelope.complete);
+    }
+
+    #[test]
+    fn shrink_instance_reduces_spec_and_witness() {
+        // A cycle-exhibiting spec padded with an irrelevant third
+        // suspicion. The instance shrinker must strip scripted noise
+        // while the sFS2b cycle keeps reproducing, then choice-shrink the
+        // reduced instance's witness.
+        let inst = ExploreInstance::new(
+            ClusterSpec::new(3, 1)
+                .suspect(p(1), p(0), 10)
+                .suspect(p(0), p(1), 10)
+                .suspect(p(2), p(0), 50),
+        );
+        let out = inst
+            .shrink_instance("sFS2b", &ShrinkConfig::default())
+            .expect("cycle reproducible");
+        assert!(
+            out.dropped_suspicions >= 1,
+            "no suspicion dropped: {:?}",
+            out.instance.spec
+        );
+        assert!(out.instance.spec.suspicions.len() < 3);
+        // The reduced instance still violates, with a replayable witness.
+        let trace = out.instance.replay(&out.witness.run.choices);
+        assert_eq!(trace, out.witness.run.trace);
+        let h = History::from_trace(&trace);
+        assert_eq!(properties::check_sfs2b(&h).verdict, Verdict::Violated);
     }
 
     #[test]

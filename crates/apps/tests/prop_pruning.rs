@@ -1,0 +1,98 @@
+//! Executable soundness evidence for sleep-set pruning (EXPERIMENTS.md
+//! §E9/§E10): on tiny instances (`n ≤ 3`) where full unpruned
+//! enumeration is feasible, the pruned DFS must report **exactly** the
+//! same property verdicts — same certified set, same violated set — and
+//! visit exactly the same happens-before class set, across random
+//! feasible specs and ablations.
+//!
+//! This is the pinned counterpart of the argument in the `sfs-explore`
+//! `dfs` module docs: pruning only ever skips schedules equivalent to an
+//! explored one under adjacent-commutation, and every reported verdict
+//! is invariant under exactly that relation.
+
+use proptest::prelude::*;
+use sfs::ClusterSpec;
+use sfs_apps::scenarios::{ExploreInstance, ExploreOutcome};
+use sfs_asys::ProcessId;
+use sfs_explore::{ExploreConfig, Pruning};
+
+/// A tiny instance: every shape here enumerates completely without
+/// pruning (measured: ≤ ~1k schedules).
+#[derive(Debug, Clone)]
+struct TinyInstance {
+    spec: ClusterSpec,
+}
+
+fn arb_tiny() -> impl Strategy<Value = TinyInstance> {
+    (
+        2usize..=3,
+        5u64..40,
+        5u64..40,
+        prop::bool::ANY,
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(|(n, at_a, at_b, second_fault, no_gate, no_self_crash)| {
+            let p = ProcessId::new;
+            // One erroneous suspicion always; the second fault keeps the
+            // unpruned tree small: a counter-suspicion on n = 2, a silent
+            // crash of the bystander on n = 3.
+            let mut spec = ClusterSpec::new(n, 1).suspect(p(1), p(0), at_a);
+            if second_fault {
+                spec = if n == 2 {
+                    spec.suspect(p(0), p(1), at_b)
+                } else {
+                    spec.crash(p(2), at_b)
+                };
+            }
+            if no_gate {
+                spec = spec.without_gating();
+            }
+            if no_self_crash {
+                spec = spec.without_self_crash();
+            }
+            TinyInstance { spec }
+        })
+}
+
+fn explore_with(spec: &ClusterSpec, pruning: Pruning) -> ExploreOutcome {
+    let mut inst = ExploreInstance::new(spec.clone());
+    inst.config = ExploreConfig {
+        max_steps: 600,
+        max_schedules: 2_000_000,
+        pruning,
+    };
+    inst.explore()
+}
+
+/// `(property, certified, violated-anywhere)` triples, sorted.
+fn verdicts(out: &ExploreOutcome) -> Vec<(String, bool, bool)> {
+    let mut v: Vec<(String, bool, bool)> = out
+        .properties
+        .iter()
+        .map(|c| (c.property.clone(), c.certified, c.violations > 0))
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pruned_dfs_matches_full_enumeration_on_tiny_instances(tiny in arb_tiny()) {
+        let full = explore_with(&tiny.spec, Pruning::None);
+        let pruned = explore_with(&tiny.spec, Pruning::SleepSets);
+        // Both must be genuinely complete or the comparison proves nothing.
+        prop_assert!(full.stats.complete, "unpruned enumeration did not finish: {:?}", full.stats);
+        prop_assert!(pruned.stats.complete, "pruned enumeration did not finish: {:?}", pruned.stats);
+        // Identical class universe...
+        prop_assert_eq!(&full.fingerprints, &pruned.fingerprints,
+            "pruning changed the visited class set on {:?}", tiny.spec);
+        // ...and identical certify/violate verdicts for every property.
+        prop_assert_eq!(verdicts(&full), verdicts(&pruned),
+            "pruning changed a verdict on {:?}", tiny.spec);
+        // Pruning must actually prune on instances with concurrency.
+        prop_assert!(pruned.stats.schedules <= full.stats.schedules);
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::id::{MsgId, ProcessId, TimerId};
 use crate::process::{Action, Context, Process, ReceiveFilter};
+use crate::sim::CrashRegistry;
 use crate::time::VirtualTime;
 use crate::timers::CancelledTimers;
 use crate::trace::{SimStats, StopReason, Trace, TraceEvent, TraceEventKind};
@@ -11,8 +12,29 @@ use rand::SeedableRng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Shared progress counters behind [`Runtime::drain`]'s quiescence
+/// handshake: the router counts every node event it forwards, each node
+/// counts every event it has fully dispatched (handler run **and** its
+/// action batch sent back to the router), and the router publishes
+/// whether its own queue and heap are empty. The system is quiescent
+/// exactly when the router is idle and the two counters agree — no step
+/// is pending, in flight, or mid-dispatch.
+#[derive(Debug, Default)]
+struct Progress {
+    /// Node events (messages, timers, externals) the router handed to
+    /// node channels.
+    forwarded: AtomicU64,
+    /// Node events fully dispatched by node threads, action batches
+    /// included.
+    processed: AtomicU64,
+    /// Router saw an empty inbox and an empty heap on its last poll.
+    idle: AtomicBool,
+}
 
 /// Per-link artificial delay chosen by the router before forwarding.
 pub type LinkDelay = Box<dyn Fn(ProcessId, ProcessId) -> Duration + Send>;
@@ -34,6 +56,11 @@ pub struct RuntimeConfig<M = ()> {
     /// Optional classifier marking payloads as infrastructure (`true`)
     /// vs model-level application messages; see `SimBuilder::classify`.
     pub classify: Option<Classify<M>>,
+    /// Optional live crash view. When set, the router marks every crash
+    /// in it — the threaded mirror of the simulator's built-in registry,
+    /// so oracle-configured processes (which poll a
+    /// [`CrashRegistry`]) can run on real threads too.
+    pub registry: Option<CrashRegistry>,
 }
 
 impl<M> Default for RuntimeConfig<M> {
@@ -43,6 +70,7 @@ impl<M> Default for RuntimeConfig<M> {
             delay: None,
             record_payloads: false,
             classify: None,
+            registry: None,
         }
     }
 }
@@ -129,6 +157,7 @@ pub struct Runtime<M> {
     to_router: Sender<ToRouter<M>>,
     router: Option<JoinHandle<Trace>>,
     nodes: Vec<JoinHandle<()>>,
+    progress: Arc<Progress>,
 }
 
 impl<M> fmt::Debug for Runtime<M> {
@@ -151,6 +180,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> Runtime<M> {
     {
         assert!(n > 0, "a system needs at least one process");
         let (to_router, router_rx) = channel::unbounded::<ToRouter<M>>();
+        let progress = Arc::new(Progress::default());
         let mut node_txs = Vec::with_capacity(n);
         let mut nodes = Vec::with_capacity(n);
         let record_payloads = config.record_payloads;
@@ -160,22 +190,36 @@ impl<M: Clone + fmt::Debug + Send + 'static> Runtime<M> {
             let process = make(pid);
             let to_router = to_router.clone();
             let seed = config.seed.wrapping_add(pid.index() as u64);
+            let progress = progress.clone();
             nodes.push(
                 std::thread::Builder::new()
                     .name(format!("node-{}", pid.index()))
-                    .spawn(move || node_main(pid, n, process, rx, to_router, seed, record_payloads))
+                    .spawn(move || {
+                        node_main(
+                            pid,
+                            n,
+                            process,
+                            rx,
+                            to_router,
+                            seed,
+                            record_payloads,
+                            progress,
+                        )
+                    })
                     .expect("spawn node thread"),
             );
         }
+        let router_progress = progress.clone();
         let router = std::thread::Builder::new()
             .name("router".to_owned())
-            .spawn(move || router_main(n, config, router_rx, node_txs))
+            .spawn(move || router_main(n, config, router_rx, node_txs, router_progress))
             .expect("spawn router thread");
         Runtime {
             n,
             to_router,
             router: Some(router),
             nodes,
+            progress,
         }
     }
 
@@ -202,6 +246,44 @@ impl<M: Clone + fmt::Debug + Send + 'static> Runtime<M> {
         std::thread::sleep(d);
     }
 
+    /// Blocks until the system is **quiescent** — the router's inbox and
+    /// heap are empty, and every node event the router ever forwarded has
+    /// been fully dispatched (handler run, its action batch received) —
+    /// or until `timeout` elapses. Returns whether quiescence was
+    /// reached.
+    ///
+    /// Quiescence is judged by a stability double-check of shared
+    /// progress counters, so a `true` here guarantees the trace a
+    /// subsequent [`Runtime::shutdown`] returns is *maximal*: no recorded
+    /// receive is missing its handler's effects, and the run is
+    /// comparable to a [`Quiescent`](StopReason::Quiescent) simulator
+    /// run. Systems with self-rearming timers (heartbeats, oracle polls)
+    /// never quiesce; this returns `false` for them after the full
+    /// timeout.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let processed = self.progress.processed.load(Ordering::Acquire);
+            let forwarded = self.progress.forwarded.load(Ordering::Acquire);
+            if self.progress.idle.load(Ordering::Acquire) && processed == forwarded {
+                // Candidate quiescence: hold it across a settling pause to
+                // rule out having read the counters mid-flight.
+                std::thread::sleep(Duration::from_millis(5));
+                if self.progress.idle.load(Ordering::Acquire)
+                    && self.progress.processed.load(Ordering::Acquire) == processed
+                    && self.progress.forwarded.load(Ordering::Acquire) == forwarded
+                {
+                    return true;
+                }
+            } else {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+        }
+    }
+
     /// Stops all threads and returns the recorded trace.
     ///
     /// # Panics
@@ -222,6 +304,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> Runtime<M> {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn node_main<M: Clone + fmt::Debug + Send + 'static>(
     pid: ProcessId,
     n: usize,
@@ -230,6 +313,7 @@ fn node_main<M: Clone + fmt::Debug + Send + 'static>(
     to_router: Sender<ToRouter<M>>,
     seed: u64,
     record_payloads: bool,
+    progress: Arc<Progress>,
 ) {
     let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -276,6 +360,10 @@ fn node_main<M: Clone + fmt::Debug + Send + 'static>(
         if !dispatch(&mut process, &mut rng, &mut next_timer, event) {
             break;
         }
+        // Count the event only after its action batch is on the router
+        // channel: `processed == forwarded` then means no handler effect
+        // is still in flight (the drain handshake's invariant).
+        progress.processed.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -319,6 +407,8 @@ struct RouterState<M> {
     node_txs: Vec<Sender<NodeEvent<M>>>,
     delay: Option<LinkDelay>,
     classify: Option<Classify<M>>,
+    registry: Option<CrashRegistry>,
+    progress: Arc<Progress>,
     filters: Vec<Option<ReceiveFilter<M>>>,
     /// Per-channel FIFO queues of messages the receiver's filter refused,
     /// indexed `from * n + to`.
@@ -328,6 +418,14 @@ struct RouterState<M> {
 impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
     fn now(&self) -> VirtualTime {
         VirtualTime::from_ticks(self.start.elapsed().as_millis() as u64)
+    }
+
+    /// Hands a node event to its channel, counting it for the drain
+    /// handshake. All Message/Timer/External forwards go through here;
+    /// `Halt` is uncounted on both sides (nodes never ack it).
+    fn forward(&self, pid: ProcessId, event: NodeEvent<M>) {
+        self.progress.forwarded.fetch_add(1, Ordering::Release);
+        let _ = self.node_txs[pid.index()].send(event);
     }
 
     fn record(&mut self, kind: TraceEventKind) {
@@ -347,6 +445,9 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
             return;
         }
         self.crashed[pid.index()] = true;
+        if let Some(registry) = &self.registry {
+            registry.mark(pid);
+        }
         self.record(TraceEventKind::Crash { pid });
         self.stats.crashes += 1;
         let _ = self.node_txs[pid.index()].send(NodeEvent::Halt);
@@ -466,10 +567,13 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
                     payload: p.repr,
                 });
                 self.stats.messages_delivered += 1;
-                let _ = self.node_txs[to.index()].send(NodeEvent::Message {
-                    from: p.from,
-                    msg: p.payload,
-                });
+                self.forward(
+                    to,
+                    NodeEvent::Message {
+                        from: p.from,
+                        msg: p.payload,
+                    },
+                );
             }
         }
     }
@@ -510,7 +614,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
                     payload: repr,
                 });
                 self.stats.messages_delivered += 1;
-                let _ = self.node_txs[to.index()].send(NodeEvent::Message { from, msg: payload });
+                self.forward(to, NodeEvent::Message { from, msg: payload });
             }
             Due::Fire { pid, id } => {
                 if self.cancelled.take(id) || self.crashed[pid.index()] {
@@ -518,7 +622,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
                 }
                 self.record(TraceEventKind::TimerFired { pid, timer: id });
                 self.stats.timers_fired += 1;
-                let _ = self.node_txs[pid.index()].send(NodeEvent::Timer { id });
+                self.forward(pid, NodeEvent::Timer { id });
             }
         }
     }
@@ -529,6 +633,7 @@ fn router_main<M: Clone + fmt::Debug + Send + 'static>(
     config: RuntimeConfig<M>,
     rx: Receiver<ToRouter<M>>,
     node_txs: Vec<Sender<NodeEvent<M>>>,
+    progress: Arc<Progress>,
 ) -> Trace {
     let mut state = RouterState {
         n,
@@ -544,6 +649,8 @@ fn router_main<M: Clone + fmt::Debug + Send + 'static>(
         node_txs,
         delay: config.delay,
         classify: config.classify,
+        registry: config.registry,
+        progress,
         filters: (0..n).map(|_| None).collect(),
         parked: std::collections::HashMap::new(),
     };
@@ -551,6 +658,7 @@ fn router_main<M: Clone + fmt::Debug + Send + 'static>(
         // Fire everything due.
         while let Some(Reverse(top)) = state.heap.peek() {
             if top.at <= Instant::now() {
+                state.progress.idle.store(false, Ordering::Release);
                 let Reverse(item) = state.heap.pop().expect("peeked");
                 state.fire_due(item.due);
             } else {
@@ -568,17 +676,31 @@ fn router_main<M: Clone + fmt::Debug + Send + 'static>(
                 actions,
                 payload_reprs,
             }) => {
+                state.progress.idle.store(false, Ordering::Release);
                 state.handle_actions(from, actions, payload_reprs);
             }
             Ok(ToRouter::InjectExternal { pid, payload, repr }) => {
+                state.progress.idle.store(false, Ordering::Release);
                 if !state.crashed[pid.index()] {
                     state.record(TraceEventKind::External { pid, payload: repr });
-                    let _ = state.node_txs[pid.index()].send(NodeEvent::External { payload });
+                    state.forward(pid, NodeEvent::External { payload });
                 }
             }
-            Ok(ToRouter::InjectCrash { pid }) => state.crash(pid),
+            Ok(ToRouter::InjectCrash { pid }) => {
+                state.progress.idle.store(false, Ordering::Release);
+                state.crash(pid);
+            }
             Ok(ToRouter::Shutdown) => break,
-            Err(channel::RecvTimeoutError::Timeout) => {}
+            Err(channel::RecvTimeoutError::Timeout) => {
+                // Idle is only ever *published* here: an empty inbox poll
+                // with an empty heap. Anything that changes state clears
+                // it first, so a steady `true` plus matched forward/
+                // processed counters is the drain handshake's quiescence.
+                state
+                    .progress
+                    .idle
+                    .store(state.heap.is_empty(), Ordering::Release);
+            }
             Err(channel::RecvTimeoutError::Disconnected) => break,
         }
     }
@@ -752,6 +874,61 @@ mod tests {
             vec![0, 1, 2],
             "FIFO preserved through router parking"
         );
+    }
+
+    #[test]
+    fn drain_detects_quiescence_and_timers_prevent_it() {
+        // Ping-pong quiesces after 5 rounds: drain must see it without
+        // needing the full window, and the resulting trace is coherent
+        // (every delivered message's effects included).
+        let rt = Runtime::spawn(2, RuntimeConfig::default(), |pid| {
+            Box::new(PingPong {
+                is_pinger: pid.index() == 0,
+                rounds: 0,
+            })
+        });
+        assert!(rt.drain(Duration::from_secs(5)), "ping-pong must quiesce");
+        let trace = rt.shutdown();
+        assert_eq!(trace.stats().messages_sent, 10);
+        assert_eq!(trace.stats().messages_delivered, 10);
+        assert!(trace.channels_drained());
+
+        // A self-rearming timer never quiesces: drain must say so.
+        struct Ticker;
+        impl Process<Msg> for Ticker {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.set_timer(10);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: ProcessId, _: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: TimerId) {
+                ctx.set_timer(10);
+            }
+        }
+        let rt = Runtime::spawn(1, RuntimeConfig::default(), |_| Box::new(Ticker));
+        assert!(!rt.drain(Duration::from_millis(150)));
+        let _ = rt.shutdown();
+    }
+
+    #[test]
+    fn router_marks_crashes_in_the_shared_registry() {
+        let registry = CrashRegistry::new(2);
+        let config = RuntimeConfig {
+            registry: Some(registry.clone()),
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::spawn(2, config, |pid| {
+            Box::new(PingPong {
+                is_pinger: pid.index() == 0,
+                rounds: 0,
+            })
+        });
+        assert!(!registry.is_crashed(ProcessId::new(1)));
+        rt.crash(ProcessId::new(1));
+        rt.run_for(Duration::from_millis(100));
+        let trace = rt.shutdown();
+        assert!(trace.crashed().contains(&ProcessId::new(1)));
+        assert!(registry.is_crashed(ProcessId::new(1)));
+        assert_eq!(registry.iter_crashed().count(), 1);
     }
 
     #[test]

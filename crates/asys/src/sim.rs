@@ -101,13 +101,21 @@ pub struct CrashRegistry {
 }
 
 impl CrashRegistry {
+    /// An all-alive registry for `n` processes. The simulator creates one
+    /// per run automatically; the threaded runtime takes one via
+    /// `RuntimeConfig::registry` so oracle-configured processes can run on
+    /// real threads too.
+    pub fn new(n: usize) -> Self {
+        Self::with_capacity(n)
+    }
+
     fn with_capacity(n: usize) -> Self {
         CrashRegistry {
             inner: (0..n).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 
-    fn mark(&self, pid: ProcessId) {
+    pub(crate) fn mark(&self, pid: ProcessId) {
         if let Some(flag) = self.inner.get(pid.index()) {
             flag.store(true, Ordering::Release);
         }
@@ -120,13 +128,28 @@ impl CrashRegistry {
             .is_some_and(|flag| flag.load(Ordering::Acquire))
     }
 
-    /// All processes crashed so far.
-    pub fn crashed(&self) -> Vec<ProcessId> {
+    /// All processes crashed so far, without allocating: the hot-path
+    /// variant of [`CrashRegistry::crashed`] for detector scans that run
+    /// every poll interval.
+    pub fn iter_crashed(&self) -> impl Iterator<Item = ProcessId> + '_ {
         self.inner
             .iter()
             .enumerate()
             .filter_map(|(i, flag)| flag.load(Ordering::Acquire).then_some(ProcessId::new(i)))
-            .collect()
+    }
+
+    /// Visits every crashed process, without allocating. Equivalent to
+    /// `iter_crashed().for_each(f)`; kept as a named entry point so
+    /// detector code reads as a scan, not a collection.
+    pub fn for_each_crashed(&self, f: impl FnMut(ProcessId)) {
+        self.iter_crashed().for_each(f);
+    }
+
+    /// All processes crashed so far, as a fresh vector. Prefer
+    /// [`CrashRegistry::iter_crashed`] in per-step/per-poll paths: this
+    /// variant allocates on every call.
+    pub fn crashed(&self) -> Vec<ProcessId> {
+        self.iter_crashed().collect()
     }
 }
 
@@ -1149,6 +1172,14 @@ mod tests {
         let _ = sim.run();
         assert!(registry.is_crashed(ProcessId::new(1)));
         assert_eq!(registry.crashed(), vec![ProcessId::new(1)]);
+        // The non-allocating views agree with the vector variant.
+        assert_eq!(
+            registry.iter_crashed().collect::<Vec<_>>(),
+            registry.crashed()
+        );
+        let mut visited = Vec::new();
+        registry.for_each_crashed(|p| visited.push(p));
+        assert_eq!(visited, vec![ProcessId::new(1)]);
     }
 
     /// A process that refuses odd messages until it sees the value 100.

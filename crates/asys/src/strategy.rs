@@ -163,6 +163,63 @@ impl ScheduleLog {
     pub fn is_empty(&self) -> bool {
         self.steps.is_empty()
     }
+
+    /// The executed step of decision `depth`, if within the log.
+    pub fn executed(&self, depth: usize) -> Option<&EnabledStep> {
+        self.steps.get(depth).map(|s| &s.enabled[s.chosen as usize])
+    }
+
+    /// Positions whose decision was **forced** — only one step was
+    /// enabled, so the "choice" carries no information. Shrinkers skip
+    /// these: deleting or altering them cannot change the run.
+    pub fn forced_positions(&self) -> Vec<usize> {
+        self.steps
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| (s.enabled.len() == 1).then_some(i))
+            .collect()
+    }
+}
+
+/// Read-only surgery over [`ChoiceTrace`]s, producing shrink *candidates*.
+///
+/// These helpers never touch a live run: they derive new choice sequences
+/// from a recorded one, and every candidate must be **re-validated by
+/// replay** before it means anything — deleting a decision changes which
+/// steps are enabled downstream, so the surviving suffix is a guess the
+/// replay either confirms or repairs (see `sfs-explore`'s tolerant
+/// replay). The `sfs-explore` crate's counterexample shrinker is the
+/// intended consumer.
+pub mod surgery {
+    use super::ChoiceTrace;
+
+    /// The first `len` choices: the candidate "the violation already
+    /// happened by decision `len`".
+    pub fn truncated(choices: &[u32], len: usize) -> ChoiceTrace {
+        choices[..len.min(choices.len())].to_vec()
+    }
+
+    /// The trace with `range` spliced out: the delta-debugging deletion
+    /// candidate. Out-of-bounds ranges are clamped.
+    pub fn without_range(choices: &[u32], range: std::ops::Range<usize>) -> ChoiceTrace {
+        let start = range.start.min(choices.len());
+        let end = range.end.clamp(start, choices.len());
+        let mut out = Vec::with_capacity(choices.len() - (end - start));
+        out.extend_from_slice(&choices[..start]);
+        out.extend_from_slice(&choices[end..]);
+        out
+    }
+
+    /// The trace with position `at` replaced by `choice`: the
+    /// canonicalization candidate (shrinkers try `0`, the first enabled
+    /// step, which is also what replay past the end of a trace picks).
+    pub fn with_choice(choices: &[u32], at: usize, choice: u32) -> ChoiceTrace {
+        let mut out = choices.to_vec();
+        if let Some(slot) = out.get_mut(at) {
+            *slot = choice;
+        }
+        out
+    }
 }
 
 /// A scheduling policy: picks the next step to execute among the enabled
@@ -320,6 +377,43 @@ mod tests {
         let mut s = ReplayStrategy::new(vec![9]);
         let enabled = vec![step(0, 0)];
         let _ = s.choose(&enabled);
+    }
+
+    #[test]
+    fn surgery_truncates_splices_and_replaces() {
+        let choices = vec![3, 1, 4, 1, 5];
+        assert_eq!(surgery::truncated(&choices, 2), vec![3, 1]);
+        assert_eq!(surgery::truncated(&choices, 99), choices);
+        assert_eq!(surgery::without_range(&choices, 1..3), vec![3, 1, 5]);
+        assert_eq!(surgery::without_range(&choices, 3..99), vec![3, 1, 4]);
+        assert_eq!(surgery::without_range(&choices, 5..9), choices);
+        assert_eq!(surgery::with_choice(&choices, 0, 0), vec![0, 1, 4, 1, 5]);
+        assert_eq!(surgery::with_choice(&choices, 9, 0), choices);
+        // All read-only: the source is untouched.
+        assert_eq!(choices, vec![3, 1, 4, 1, 5]);
+    }
+
+    #[test]
+    fn forced_positions_are_width_one_decisions() {
+        let log = ScheduleLog {
+            steps: vec![
+                StepLog {
+                    enabled: vec![step(0, 0)],
+                    chosen: 0,
+                },
+                StepLog {
+                    enabled: vec![step(1, 0), step(2, 0)],
+                    chosen: 1,
+                },
+                StepLog {
+                    enabled: vec![step(3, 0)],
+                    chosen: 0,
+                },
+            ],
+        };
+        assert_eq!(log.forced_positions(), vec![0, 2]);
+        assert_eq!(log.executed(1), Some(&step(2, 0)));
+        assert_eq!(log.executed(3), None);
     }
 
     #[test]

@@ -235,6 +235,19 @@ impl Trace {
         self.stats
     }
 
+    /// Whether every sent message was consumed by the end of the trace —
+    /// delivered to a live process or discarded at a crashed one. For a
+    /// timer-free system this is message quiescence: the post-hoc signal
+    /// that a wall-clock-bounded run (the threaded runtime stops with
+    /// [`StopReason::MaxTime`] on shutdown) had in fact nothing left to
+    /// do, so its finite prefix is maximal and comparable to a
+    /// [`StopReason::Quiescent`] simulator run. A message parked behind a
+    /// receive filter counts as undrained, as it should: the system was
+    /// still waiting on it.
+    pub fn channels_drained(&self) -> bool {
+        self.stats.messages_sent == self.stats.messages_delivered + self.stats.messages_to_crashed
+    }
+
     /// Processes that crashed during the run, in crash order.
     pub fn crashed(&self) -> Vec<ProcessId> {
         self.events

@@ -1,0 +1,45 @@
+//! E10 — differential conformance: run every E9 instance family through
+//! all three runtimes (simulator strategies, schedule replay, real
+//! threads), cross-check them against the exploration's envelope, and
+//! minimize every violating witness (see EXPERIMENTS.md §E10).
+//!
+//! The optional CLI argument bounds the reference exploration (schedule
+//! cap per instance). Exits nonzero on any backend divergence — this is
+//! the CI conformance-fuzz entry point — and writes the minimized
+//! witnesses (and any divergences) to `E10_WITNESSES.json` next to
+//! `BENCH_E10.json`.
+fn main() {
+    let budget = sfs_bench::seeds_arg(200_000);
+    let mut summary = None;
+    sfs_bench::run_with_report(
+        "E10",
+        "5 E9 instance families x (time-ordered + 24 random + replay + 2 threaded)",
+        budget,
+        || {
+            let (table, s) = sfs_bench::run_e10(budget);
+            summary = Some(s);
+            table
+        },
+    );
+    let summary = summary.expect("run_e10 ran");
+    let out_dir = std::env::var_os("SFS_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let path = out_dir.join("E10_WITNESSES.json");
+    match std::fs::write(&path, summary.witnesses_json()) {
+        Ok(()) => eprintln!(
+            "[bench] E10 witnesses -> {} ({} minimized, {} divergences)",
+            path.display(),
+            summary.witnesses.len(),
+            summary.divergences
+        ),
+        Err(e) => eprintln!("[bench] could not write {}: {e}", path.display()),
+    }
+    if summary.divergences > 0 {
+        eprintln!(
+            "[bench] E10 FAILED: {} backend divergence(s)",
+            summary.divergences
+        );
+        std::process::exit(1);
+    }
+}

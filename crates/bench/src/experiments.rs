@@ -14,7 +14,10 @@ use sfs::quorum::{is_feasible, max_tolerable, min_quorum};
 use sfs::{AppApi, Application, ClusterSpec, HeartbeatConfig, ModeSpec, QuorumPolicy};
 use sfs_apps::election::{analyze_election, ElectionApp};
 use sfs_apps::last_to_fail::{recover_last_to_fail, true_last_to_fail, Recovery};
-use sfs_apps::scenarios::{cycle_among_victims, ExploreInstance, ExploreOutcome, WitnessAttack};
+use sfs_apps::scenarios::{
+    cycle_among_victims, ConformanceConfig, ConformanceOutcome, ExploreInstance, ExploreOutcome,
+    WitnessAttack,
+};
 use sfs_asys::{ProcessId, Trace};
 use sfs_explore::{ExploreConfig, Pruning, WalkConfig};
 use sfs_history::{rearrange_to_fs, History, RearrangeError};
@@ -933,6 +936,227 @@ pub fn run_e9(budget: u64) -> Table {
     table
 }
 
+/// Machine-checkable summary of one E10 sweep, for the binary's exit
+/// status and the witness artifact.
+#[derive(Debug, Clone, Default)]
+pub struct E10Summary {
+    /// Total divergences across every instance and backend (0 = full
+    /// agreement; the `e10_conformance` binary exits nonzero otherwise).
+    pub divergences: usize,
+    /// Backend runs across the sweep.
+    pub runs: usize,
+    /// Every shrunk witness: `(instance, property, before, after,
+    /// minimal choice trace)`.
+    pub witnesses: Vec<(String, String, usize, usize, Vec<u32>)>,
+    /// Rendered divergence descriptions, for the artifact file.
+    pub divergence_reports: Vec<String>,
+}
+
+impl E10Summary {
+    /// Median `(before, after)` witness length across all shrunk
+    /// witnesses; `None` when no property was violated anywhere.
+    pub fn median_witness_lengths(&self) -> Option<(usize, usize)> {
+        if self.witnesses.is_empty() {
+            return None;
+        }
+        let median = |mut v: Vec<usize>| -> usize {
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        Some((
+            median(self.witnesses.iter().map(|w| w.2).collect()),
+            median(self.witnesses.iter().map(|w| w.3).collect()),
+        ))
+    }
+
+    /// The witness artifact as hand-rolled JSON (the workspace serde is a
+    /// no-op stand-in), written next to `BENCH_E10.json` so CI can upload
+    /// minimized witnesses.
+    pub fn witnesses_json(&self) -> String {
+        let mut out = String::from("{\n  \"witnesses\": [\n");
+        for (i, (instance, property, before, after, choices)) in self.witnesses.iter().enumerate() {
+            let sep = if i + 1 == self.witnesses.len() {
+                ""
+            } else {
+                ","
+            };
+            let rendered: Vec<String> = choices.iter().map(u32::to_string).collect();
+            out.push_str(&format!(
+                "    {{\"instance\": \"{}\", \"property\": \"{}\", \"before\": {}, \
+                 \"after\": {}, \"choices\": [{}]}}{}\n",
+                instance.escape_default(),
+                property.escape_default(),
+                before,
+                after,
+                rendered.join(","),
+                sep,
+            ));
+        }
+        out.push_str("  ],\n  \"divergences\": [\n");
+        for (i, d) in self.divergence_reports.iter().enumerate() {
+            let sep = if i + 1 == self.divergence_reports.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!("    \"{}\"{}\n", d.escape_default(), sep));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// The per-instance conformance budget for E10. `budget` bounds the
+/// reference exploration; the backend fan (random campaigns, threaded
+/// repetitions) is fixed so tables stay comparable across budgets.
+fn e10_conformance_config(seed: u64) -> ConformanceConfig {
+    ConformanceConfig {
+        random_runs: 24,
+        threaded_runs: 2,
+        settle_ms: 300,
+        seed,
+        ..ConformanceConfig::default()
+    }
+}
+
+/// One E10 cell: the full differential-conformance check of one E9
+/// instance family (reference exploration → envelope → time-ordered,
+/// random-campaign, replay, and threaded backends → witness shrinking).
+pub fn e10_cell(instance: &E9Instance, budget: u64, seed: u64) -> ConformanceOutcome {
+    let mut inst = ExploreInstance::new(instance.spec.clone());
+    inst.config = ExploreConfig {
+        max_steps: 600,
+        // Sampling families get a token exploration budget: their
+        // reference envelope is incomplete by design (nothing certified,
+        // nothing universal), which leaves replay fidelity and the
+        // certified-bound checks of the small families to carry E10's
+        // assertions there.
+        max_schedules: if instance.exhaustive {
+            budget as usize
+        } else {
+            (budget as usize).min(2_000)
+        },
+        pruning: Pruning::SleepSets,
+    };
+    inst.conformance(&e10_conformance_config(seed))
+}
+
+/// E10 — differential conformance: all three runtimes (simulator
+/// strategies, schedule replay, threaded) cross-checked per instance,
+/// with counterexample shrinking. One rayon task per instance.
+pub fn run_e10(budget: u64) -> (Table, E10Summary) {
+    let mut table = Table::new(
+        "E10 — differential conformance across backends (envelope oracle + ddmin shrinking)",
+        &[
+            "instance",
+            "ref classes",
+            "ref complete",
+            "runs to/rnd/rpl/thr",
+            "complete runs",
+            "divergent",
+            "agreement",
+            "witness shrink (before→after)",
+        ],
+    );
+    let mut summary = E10Summary::default();
+    let instances = e9_instances();
+    let outcomes: Vec<ConformanceOutcome> = (0..instances.len())
+        .into_par_iter()
+        .map(|i| e10_cell(&instances[i], budget, 0x10 + i as u64))
+        .collect();
+    for (instance, out) in instances.iter().zip(&outcomes) {
+        crate::report::note_events(out.reference.trace_events);
+        for backend in &out.backends {
+            for d in &backend.divergences {
+                summary
+                    .divergence_reports
+                    .push(format!("{}: {}", instance.label, d));
+            }
+        }
+        summary.divergences += out.divergences().count();
+        summary.runs += out.total_runs();
+        let runs: Vec<String> = out.backends.iter().map(|b| b.runs.to_string()).collect();
+        let complete: Vec<String> = out
+            .backends
+            .iter()
+            .map(|b| b.complete_runs.to_string())
+            .collect();
+        let shrinks: Vec<String> = out
+            .shrunk
+            .iter()
+            .map(|s| {
+                summary.witnesses.push((
+                    instance.label.to_owned(),
+                    s.property.clone(),
+                    s.outcome.initial_len,
+                    s.outcome.final_len,
+                    s.outcome.run.choices.clone(),
+                ));
+                format!(
+                    "{} {}→{}",
+                    s.property, s.outcome.initial_len, s.outcome.final_len
+                )
+            })
+            .collect();
+        table.row([
+            instance.label.to_string(),
+            out.reference.classes().to_string(),
+            if out.reference.stats.complete {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
+            runs.join("/"),
+            complete.join("/"),
+            out.backends
+                .iter()
+                .map(|b| b.divergent_runs)
+                .sum::<usize>()
+                .to_string(),
+            format!("{:.0}%", out.agreement_rate() * 100.0),
+            if shrinks.is_empty() {
+                "-".to_string()
+            } else {
+                shrinks.join(" ")
+            },
+        ]);
+    }
+    table.note(
+        "each instance is explored into a reference envelope (class fingerprints + \
+         certified/universal property bounds), then cross-checked against four backends: \
+         the time-ordered strategy (the default engine's schedule), 24 random-strategy \
+         campaigns, strict byte-compare replay of every recording, and 2 real-thread \
+         executions of the identical protocol code. A divergence is any certified \
+         property violated, any universal violation missed, any unknown happens-before \
+         class on a complete run, or any replay that is not byte-identical — each \
+         reported with both traces attached. Witness columns show the delta-debugging \
+         shrinker (tail truncation + ddmin deletion + choice canonicalization, every \
+         candidate re-validated by replay) minimizing the reference's violating \
+         schedules.",
+    );
+    if let Some((before, after)) = summary.median_witness_lengths() {
+        table.note(format!(
+            "median witness length across violated properties: {before} choices before \
+             shrinking, {after} after; every minimized witness replays strictly \
+             (E10_WITNESSES.json holds the choice traces)."
+        ));
+    }
+    table.note(if summary.divergences == 0 {
+        format!(
+            "RESULT: 100% backend agreement across {} runs, 0 divergences.",
+            summary.runs
+        )
+    } else {
+        format!(
+            "RESULT: {} DIVERGENCES across {} runs — the backends disagree; see \
+             E10_WITNESSES.json.",
+            summary.divergences, summary.runs
+        )
+    });
+    (table, summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -997,6 +1221,41 @@ mod tests {
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.fingerprints, b.fingerprints);
         assert_eq!(a.properties, b.properties);
+    }
+
+    #[test]
+    fn e10_within_bound_cell_fully_agrees() {
+        let instances = e9_instances();
+        let out = e10_cell(&instances[0], 100_000, 0x10);
+        assert!(out.reference.stats.complete);
+        assert!(
+            out.agreement(),
+            "{:#?}",
+            out.divergences().collect::<Vec<_>>()
+        );
+        assert!((out.agreement_rate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn e10_cycle_instance_agrees_and_shrinks_its_witness() {
+        let instances = e9_instances();
+        let out = e10_cell(&instances[2], 100_000, 0x12);
+        assert!(
+            out.agreement(),
+            "{:#?}",
+            out.divergences().collect::<Vec<_>>()
+        );
+        let cycle = out
+            .shrunk
+            .iter()
+            .find(|s| s.property == "sFS2b")
+            .expect("sFS2b witness shrunk");
+        assert!(
+            cycle.outcome.final_len < cycle.outcome.initial_len,
+            "{} -> {}",
+            cycle.outcome.initial_len,
+            cycle.outcome.final_len
+        );
     }
 
     #[test]

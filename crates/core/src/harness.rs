@@ -10,7 +10,11 @@ use crate::config::{HeartbeatConfig, SfsConfig};
 use crate::msg::{Control, SfsMsg};
 use crate::protocol::SfsProcess;
 use crate::quorum::QuorumPolicy;
-use sfs_asys::{FaultPlan, LatencyModel, ProcessId, Sim, Trace, UniformLatency, VirtualTime};
+use sfs_asys::net::{Runtime, RuntimeConfig};
+use sfs_asys::{
+    CrashRegistry, FaultPlan, LatencyModel, ProcessId, Sim, Trace, UniformLatency, VirtualTime,
+};
+use std::time::{Duration, Instant};
 
 /// Which detector the cluster runs (the harness-level mirror of
 /// [`DetectionMode`](crate::DetectionMode), without the oracle's registry
@@ -249,6 +253,118 @@ impl ClusterSpec {
             Box::new(process)
         })
     }
+
+    /// Spawns the cluster on the **threaded runtime** — identical protocol
+    /// code on real OS threads — without driving the fault plan. The
+    /// caller injects stimuli/crashes and shuts the runtime down; most
+    /// callers want [`ClusterSpec::run_threaded`] instead.
+    ///
+    /// The runtime gets the same infrastructure classifier as the
+    /// simulator build (so histories project identically) and a
+    /// [`CrashRegistry`] the router marks, which makes
+    /// [`ModeSpec::Oracle`] work on threads too. Virtual ticks map to
+    /// wall-clock milliseconds (the threaded runtime's own clock unit),
+    /// so heartbeat configs keep their meaning.
+    ///
+    /// # Panics
+    ///
+    /// Panics on infeasible configurations, as the simulator builds do.
+    pub fn spawn_runtime<A, F>(&self, mut make_app: F) -> Runtime<SfsMsg<A::Msg>>
+    where
+        A: Application + Send + 'static,
+        A::Msg: Send,
+        F: FnMut(ProcessId) -> A,
+    {
+        let registry = CrashRegistry::new(self.n);
+        let config = RuntimeConfig {
+            seed: self.seed,
+            delay: None,
+            record_payloads: false,
+            classify: Some(Box::new(|m: &SfsMsg<A::Msg>| !m.is_app())),
+            registry: Some(registry.clone()),
+        };
+        let spec = self.clone();
+        Runtime::spawn(self.n, config, move |pid| {
+            let mode = match spec.mode {
+                ModeSpec::SfsOneRound => crate::config::DetectionMode::SfsOneRound,
+                ModeSpec::Unilateral => crate::config::DetectionMode::Unilateral,
+                ModeSpec::CheapBroadcast => crate::config::DetectionMode::CheapBroadcast,
+                ModeSpec::Oracle => crate::config::DetectionMode::Oracle(registry.clone()),
+            };
+            let config = SfsConfig::new(spec.n, spec.t)
+                .mode(mode)
+                .quorum(spec.quorum)
+                .heartbeat(spec.heartbeat)
+                .gate_app_messages(spec.gate_app_messages)
+                .crash_on_own_obituary(spec.crash_on_own_obituary);
+            let process =
+                SfsProcess::new(config, make_app(pid)).expect("infeasible cluster configuration");
+            Box::new(process)
+        })
+    }
+
+    /// Runs the cluster on the threaded runtime: spawns it, drives the
+    /// scripted crashes and suspicions at their scheduled times (one
+    /// virtual tick = one wall-clock millisecond), waits up to `settle`
+    /// for quiescence after the last injection, and returns the recorded
+    /// trace. See [`ClusterSpec::run_threaded_quiesced`] for the
+    /// quiescence verdict itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics on infeasible configurations.
+    pub fn run_threaded<A, F>(&self, make_app: F, settle: Duration) -> Trace
+    where
+        A: Application + Send + 'static,
+        A::Msg: Send,
+        F: FnMut(ProcessId) -> A,
+    {
+        self.run_threaded_quiesced(make_app, settle).0
+    }
+
+    /// [`ClusterSpec::run_threaded`], also reporting whether the system
+    /// **quiesced** before shutdown, via the runtime's drain handshake
+    /// ([`Runtime::drain`]): every forwarded event fully dispatched, no
+    /// pending deliveries or timers. A `true` means the trace is maximal
+    /// — no recorded receive is missing its handler's effects — and
+    /// therefore comparable to a quiescent simulator run, which is what
+    /// the conformance oracle's completeness flag requires (the
+    /// wall-clock-bounded threaded stop reason is always
+    /// [`MaxTime`](sfs_asys::StopReason::MaxTime), so completeness cannot
+    /// be read off the trace alone). Heartbeat and oracle configurations
+    /// re-arm timers forever and thus never quiesce.
+    ///
+    /// This is the third execution backend next to [`ClusterSpec::run`]
+    /// (deterministic simulation) and the explorer's scheduled
+    /// re-execution; the conformance harness in `sfs-apps` cross-checks
+    /// all three.
+    ///
+    /// # Panics
+    ///
+    /// Panics on infeasible configurations.
+    pub fn run_threaded_quiesced<A, F>(&self, make_app: F, settle: Duration) -> (Trace, bool)
+    where
+        A: Application + Send + 'static,
+        A::Msg: Send,
+        F: FnMut(ProcessId) -> A,
+    {
+        let rt = self.spawn_runtime(make_app);
+        let start = Instant::now();
+        let mut items = self.fault_plan::<A::Msg>().into_items();
+        items.sort_by_key(|&(at, _, _)| at);
+        for (at, pid, injection) in items {
+            let due = start + Duration::from_millis(at.ticks());
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            match injection {
+                sfs_asys::Injection::Crash => rt.crash(pid),
+                sfs_asys::Injection::External(payload) => rt.inject_external(pid, payload),
+            }
+        }
+        let quiesced = rt.drain(settle);
+        (rt.shutdown(), quiesced)
+    }
 }
 
 #[cfg(test)]
@@ -343,6 +459,40 @@ mod tests {
         assert_eq!(properties::check_sfs2a(&h, true).verdict, Verdict::Holds);
         assert_eq!(properties::check_sfs2c(&h).verdict, Verdict::Holds);
         assert_eq!(properties::check_sfs2d(&h).verdict, Verdict::Holds);
+    }
+
+    #[test]
+    fn threaded_backend_runs_the_same_spec() {
+        // The same declarative spec, on real threads: p1's injected
+        // suspicion must detect-and-kill p0 exactly as in the simulator.
+        let trace = ClusterSpec::new(4, 1)
+            .suspect(p(1), p(0), 10)
+            .run_threaded(|_| NullApp, Duration::from_millis(300));
+        assert_eq!(trace.crashed(), vec![p(0)], "{}", trace.to_pretty_string());
+        assert!(trace.channels_drained(), "{}", trace.to_pretty_string());
+        let h = History::from_trace(&trace);
+        assert_eq!(properties::check_sfs2b(&h).verdict, Verdict::Holds);
+    }
+
+    #[test]
+    fn threaded_oracle_mode_detects_via_the_shared_registry() {
+        let trace = ClusterSpec::new(3, 1)
+            .mode(ModeSpec::Oracle)
+            .crash(p(2), 20)
+            .run_threaded(|_| NullApp, Duration::from_millis(400));
+        let detectors: std::collections::BTreeSet<_> = trace
+            .detections()
+            .into_iter()
+            .map(|(by, of)| {
+                assert_eq!(of, p(2));
+                by
+            })
+            .collect();
+        assert_eq!(detectors.len(), 2, "{}", trace.to_pretty_string());
+        assert_eq!(
+            properties::check_fs2(&History::from_trace(&trace)).verdict,
+            Verdict::Holds
+        );
     }
 
     #[test]

@@ -280,26 +280,32 @@ impl<A: Application> SfsProcess<A> {
         let me = ctx.id();
         match &self.config.mode {
             DetectionMode::Oracle(registry) => {
+                // Hot path: this scan runs every `check_every` ticks on
+                // every process, so it uses the registry's non-allocating
+                // visitor (no per-poll `Vec` of crashed ids).
                 let registry = registry.clone();
-                for j in ProcessId::all(self.config.n) {
-                    if j != me && !self.failed.contains(&j) && registry.is_crashed(j) {
+                registry.for_each_crashed(|j| {
+                    if j != me && !self.failed.contains(&j) {
                         self.detect(ctx, j, None);
                     }
-                }
+                });
             }
             _ => {
                 if let Some(hb) = self.config.heartbeat {
                     let now = ctx.now();
-                    let stale: Vec<ProcessId> = ProcessId::all(self.config.n)
-                        .filter(|&j| {
-                            j != me
-                                && !self.failed.contains(&j)
-                                && !self.rounds.contains_key(&j)
-                                && now.since(self.last_heard[j.index()]) > hb.timeout
-                        })
-                        .collect();
-                    for j in stale {
-                        self.begin_suspicion(ctx, j);
+                    // Per-process staleness is judged against the state at
+                    // the top of each iteration; begin_suspicion only adds
+                    // rounds/failed entries, which can't make a later peer
+                    // stale, so no snapshot Vec is needed (this scan runs
+                    // every check interval on every process).
+                    for j in ProcessId::all(self.config.n) {
+                        if j != me
+                            && !self.failed.contains(&j)
+                            && !self.rounds.contains_key(&j)
+                            && now.since(self.last_heard[j.index()]) > hb.timeout
+                        {
+                            self.begin_suspicion(ctx, j);
+                        }
                     }
                 }
             }

@@ -21,7 +21,15 @@
 //! * [`random_walks`] — the depth/branch-budgeted sampling fallback for
 //!   instances past exhaustion, driven by the uniformly-random scheduler;
 //! * [`replay`] — byte-exact reproduction of any explored schedule from
-//!   its recorded [`ChoiceTrace`](sfs_asys::ChoiceTrace).
+//!   its recorded [`ChoiceTrace`](sfs_asys::ChoiceTrace);
+//! * [`conform`] — the differential oracle: cross-checks the simulator,
+//!   the replay engine, and the threaded runtime against the envelope a
+//!   complete exploration establishes (class membership, certified and
+//!   universal verdicts, replay fidelity), reporting any disagreement as
+//!   a [`Divergence`] with both traces attached;
+//! * [`shrink`](mod@shrink) — delta debugging over recorded choice
+//!   traces: reduces any violating schedule to a minimal witness, every
+//!   candidate re-validated by replay.
 //!
 //! On a **complete** exploration ([`ExploreStats::complete`]) a property
 //! that holds on every visited schedule holds on *every* schedule of the
@@ -72,12 +80,18 @@
 #![warn(missing_debug_implementations)]
 
 mod canon;
+pub mod conform;
 pub mod dfs;
+pub mod shrink;
 mod walk;
 
 pub use canon::class_fingerprint;
+pub use conform::{
+    replay_fidelity, DifferentialOracle, Divergence, DivergenceKind, Envelope, PropertyEnvelope,
+};
 pub use dfs::{
     explore, explore_with_prefix, probe_width, replay, ExploreConfig, ExploreStats, Pruning,
     ScheduleRun,
 };
+pub use shrink::{shrink, ShrinkConfig, ShrinkOutcome};
 pub use walk::{random_walks, WalkConfig};

@@ -35,6 +35,123 @@ fn single_process_system_is_trivially_fine() {
     assert_eq!(trace.stop_reason(), StopReason::Quiescent);
 }
 
+/// Every detector selection, for the degenerate-shape sweeps below.
+const ALL_MODES: [ModeSpec; 4] = [
+    ModeSpec::SfsOneRound,
+    ModeSpec::Unilateral,
+    ModeSpec::CheapBroadcast,
+    ModeSpec::Oracle,
+];
+
+#[test]
+fn n_equals_one_terminates_cleanly_under_every_mode() {
+    // A 1-process cluster has no peers to suspect, vote with, or detect:
+    // every detector must reach a clean stop with an empty story. The
+    // oracle's poll timer re-arms forever, so that mode terminates at the
+    // (deliberately small) horizon rather than quiescing — that is its
+    // clean stop, pinned here explicitly.
+    for mode in ALL_MODES {
+        let trace = ClusterSpec::new(1, 0).mode(mode).max_time(500).run();
+        assert!(
+            trace.detections().is_empty(),
+            "{mode:?}: detection in a 1-process system"
+        );
+        assert!(trace.crashed().is_empty(), "{mode:?}");
+        let expected = if mode == ModeSpec::Oracle {
+            StopReason::MaxTime
+        } else {
+            StopReason::Quiescent
+        };
+        assert_eq!(trace.stop_reason(), expected, "{mode:?}");
+    }
+}
+
+#[test]
+fn t_zero_cluster_handles_an_injected_suspicion_under_every_mode() {
+    // t = 0 promises "no failures", but the environment can still inject
+    // a suspicion. Pin what each detector does with it — all of them must
+    // terminate cleanly rather than wedge.
+    for mode in ALL_MODES {
+        let trace = ClusterSpec::new(3, 0)
+            .mode(mode)
+            .max_time(5_000)
+            .suspect(p(1), p(0), 10)
+            .run();
+        match mode {
+            // Quorum degenerates to 1 vote: the suspicion detects and
+            // kills p0 exactly as with t = 1.
+            ModeSpec::SfsOneRound | ModeSpec::CheapBroadcast => {
+                assert_eq!(trace.crashed(), vec![p(0)], "{mode:?}");
+                assert!(!trace.detections().is_empty(), "{mode:?}");
+                assert_eq!(trace.stop_reason(), StopReason::Quiescent, "{mode:?}");
+            }
+            // Unilateral detection tells no one and kills no one.
+            ModeSpec::Unilateral => {
+                assert_eq!(trace.crashed(), vec![], "{mode:?}");
+                assert_eq!(trace.detections(), vec![(p(1), p(0))], "{mode:?}");
+                assert_eq!(trace.stop_reason(), StopReason::Quiescent, "{mode:?}");
+            }
+            // A perfect detector takes no hints: nothing happens.
+            ModeSpec::Oracle => {
+                assert_eq!(trace.crashed(), vec![], "{mode:?}");
+                assert!(trace.detections().is_empty(), "{mode:?}");
+                assert_eq!(trace.stop_reason(), StopReason::MaxTime, "{mode:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn t_equals_n_is_gracefully_infeasible_for_the_quorum_protocol() {
+    // With t = n, no quorum policy can promise progress: FixedMinimum has
+    // no guaranteed survivors, and WaitForAll needs one process outside
+    // the failure set. The clean behavior is a QuorumError from
+    // validation — never a panic or a hang.
+    for policy in [QuorumPolicy::FixedMinimum, QuorumPolicy::WaitForAll] {
+        let config = SfsConfig::new(3, 3).quorum(policy);
+        assert!(
+            SfsProcess::new(config, NullApp).is_err(),
+            "t = n accepted under {policy:?}"
+        );
+    }
+    // And the error is total: even n = 1, t = 1.
+    assert!(SfsProcess::new(SfsConfig::new(1, 1), NullApp).is_err());
+}
+
+#[test]
+fn t_equals_n_runs_cleanly_under_non_quorum_modes() {
+    // The comparator detectors don't gather votes, so t = n is runnable
+    // there; they must terminate cleanly with their usual semantics.
+    for mode in [
+        ModeSpec::Unilateral,
+        ModeSpec::CheapBroadcast,
+        ModeSpec::Oracle,
+    ] {
+        let trace = ClusterSpec::new(3, 3)
+            .mode(mode)
+            .max_time(5_000)
+            .suspect(p(1), p(0), 10)
+            .crash(p(2), 50)
+            .run();
+        assert!(
+            trace.stop_reason() == StopReason::Quiescent
+                || trace.stop_reason() == StopReason::MaxTime,
+            "{mode:?}: {:?}",
+            trace.stop_reason()
+        );
+        assert!(trace.crashed().contains(&p(2)), "{mode:?}");
+        if mode == ModeSpec::Oracle {
+            // The oracle detects the real crash (and only it), FS2-clean.
+            let h = History::from_trace(&trace);
+            assert!(properties::check_fs2(&h).is_ok(), "{mode:?}");
+            assert!(
+                trace.detections().iter().all(|&(_, of)| of == p(2)),
+                "{mode:?}"
+            );
+        }
+    }
+}
+
 #[test]
 fn self_suspicion_injection_is_ignored() {
     // The environment tells p0 to suspect itself; sFS2c demands nothing
