@@ -61,6 +61,17 @@ pub struct RuntimeConfig<M = ()> {
     /// so oracle-configured processes (which poll a
     /// [`CrashRegistry`]) can run on real threads too.
     pub registry: Option<CrashRegistry>,
+    /// Batching fast path: when the router drains its due heap, deliveries
+    /// and timer fires aimed at the same destination are coalesced into a
+    /// single node-event batch — one channel send and one reply per
+    /// flush-destination instead of one per message. Trace events are
+    /// still recorded per message, in pop order, and each destination
+    /// receives its events in exactly the order the unbatched router
+    /// would have forwarded them, so per-process delivery order (and with
+    /// it the happens-before model) is untouched. This is what lets one
+    /// router serve Θ(n²) detection-round traffic at scale (experiment
+    /// E11).
+    pub batch: bool,
 }
 
 impl<M> Default for RuntimeConfig<M> {
@@ -71,6 +82,7 @@ impl<M> Default for RuntimeConfig<M> {
             record_payloads: false,
             classify: None,
             registry: None,
+            batch: false,
         }
     }
 }
@@ -81,15 +93,32 @@ impl<M> fmt::Debug for RuntimeConfig<M> {
             .field("seed", &self.seed)
             .field("has_delay", &self.delay.is_some())
             .field("record_payloads", &self.record_payloads)
+            .field("batch", &self.batch)
             .finish()
     }
 }
 
 enum NodeEvent<M> {
+    Message {
+        from: ProcessId,
+        msg: M,
+    },
+    Timer {
+        id: TimerId,
+    },
+    External {
+        payload: M,
+    },
+    /// A coalesced run of events for one destination, in the exact order
+    /// the unbatched router would have forwarded them individually.
+    Batch(Vec<BatchItem<M>>),
+    Halt,
+}
+
+/// One element of a coalesced [`NodeEvent::Batch`].
+enum BatchItem<M> {
     Message { from: ProcessId, msg: M },
     Timer { id: TimerId },
-    External { payload: M },
-    Halt,
 }
 
 enum ToRouter<M> {
@@ -319,28 +348,6 @@ fn node_main<M: Clone + fmt::Debug + Send + 'static>(
     let mut rng = StdRng::seed_from_u64(seed);
     // Namespace timer ids by process so they are globally unique.
     let mut next_timer: u64 = (pid.index() as u64) << 40;
-    let dispatch = |process: &mut Box<dyn Process<M> + Send>,
-                    rng: &mut StdRng,
-                    next_timer: &mut u64,
-                    event: NodeEvent<M>|
-     -> bool {
-        let now = VirtualTime::from_ticks(start.elapsed().as_millis() as u64);
-        let mut ctx = Context::new(pid, n, now, rng, next_timer);
-        match event {
-            NodeEvent::Message { from, msg } => process.on_message(&mut ctx, from, msg),
-            NodeEvent::Timer { id } => process.on_timer(&mut ctx, id),
-            NodeEvent::External { payload } => process.on_external(&mut ctx, payload),
-            NodeEvent::Halt => return false,
-        }
-        let actions = ctx.take_actions();
-        let payload_reprs = render_payloads(&actions, record_payloads);
-        let _ = to_router.send(ToRouter::Actions {
-            from: pid,
-            actions,
-            payload_reprs,
-        });
-        true
-    };
 
     // on_start
     {
@@ -356,10 +363,35 @@ fn node_main<M: Clone + fmt::Debug + Send + 'static>(
         });
     }
 
-    while let Ok(event) = rx.recv() {
-        if !dispatch(&mut process, &mut rng, &mut next_timer, event) {
-            break;
+    'events: while let Ok(event) = rx.recv() {
+        let now = VirtualTime::from_ticks(start.elapsed().as_millis() as u64);
+        let mut ctx = Context::new(pid, n, now, &mut rng, &mut next_timer);
+        match event {
+            NodeEvent::Message { from, msg } => process.on_message(&mut ctx, from, msg),
+            NodeEvent::Timer { id } => process.on_timer(&mut ctx, id),
+            NodeEvent::External { payload } => process.on_external(&mut ctx, payload),
+            // A coalesced flush: run every handler back to back on one
+            // context and answer with ONE combined action batch. The
+            // actions accumulate in callback order, so the router applies
+            // exactly what a one-reply-per-event node would have sent, in
+            // the same order.
+            NodeEvent::Batch(items) => {
+                for item in items {
+                    match item {
+                        BatchItem::Message { from, msg } => process.on_message(&mut ctx, from, msg),
+                        BatchItem::Timer { id } => process.on_timer(&mut ctx, id),
+                    }
+                }
+            }
+            NodeEvent::Halt => break 'events,
         }
+        let actions = ctx.take_actions();
+        let payload_reprs = render_payloads(&actions, record_payloads);
+        let _ = to_router.send(ToRouter::Actions {
+            from: pid,
+            actions,
+            payload_reprs,
+        });
         // Count the event only after its action batch is on the router
         // channel: `processed == forwarded` then means no handler effect
         // is still in flight (the drain handshake's invariant).
@@ -413,6 +445,12 @@ struct RouterState<M> {
     /// Per-channel FIFO queues of messages the receiver's filter refused,
     /// indexed `from * n + to`.
     parked: std::collections::HashMap<usize, std::collections::VecDeque<Parked<M>>>,
+    /// Per-destination staging buffers for the batching fast path
+    /// ([`RuntimeConfig::batch`]); drained by `flush_staged` after every
+    /// heap drain.
+    staged: Vec<Vec<BatchItem<M>>>,
+    /// Destinations with staged items, in first-staging order.
+    staged_order: Vec<ProcessId>,
 }
 
 impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
@@ -578,7 +616,36 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
         }
     }
 
+    /// Fires one due step immediately (the unbatched path).
     fn fire_due(&mut self, due: Due<M>) {
+        if let Some((to, item)) = self.admit_due(due) {
+            match item {
+                BatchItem::Message { from, msg } => {
+                    self.forward(to, NodeEvent::Message { from, msg })
+                }
+                BatchItem::Timer { id } => self.forward(to, NodeEvent::Timer { id }),
+            }
+        }
+    }
+
+    /// Stages one due step into the current flush's per-destination batch
+    /// (the [`RuntimeConfig::batch`] path); `flush_staged` sends them.
+    fn stage_due(&mut self, due: Due<M>) {
+        if let Some((to, item)) = self.admit_due(due) {
+            if self.staged[to.index()].is_empty() {
+                self.staged_order.push(to);
+            }
+            self.staged[to.index()].push(item);
+        }
+    }
+
+    /// Shared admission logic for a due step: records the trace event and
+    /// stats, and returns the node-event item to hand over — or `None`
+    /// when the step dissolves here (crashed target, cancelled timer,
+    /// refused/parked message). Admission order IS trace order, so the
+    /// batched path records the exact per-message events the unbatched
+    /// path would.
+    fn admit_due(&mut self, due: Due<M>) -> Option<(ProcessId, BatchItem<M>)> {
         match due {
             Due::Deliver {
                 from,
@@ -590,7 +657,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
             } => {
                 if self.crashed[to.index()] {
                     self.stats.messages_to_crashed += 1;
-                    return;
+                    return None;
                 }
                 let ch = from.index() * self.n + to.index();
                 let channel_blocked = self.parked.get(&ch).is_some_and(|q| !q.is_empty());
@@ -604,7 +671,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
                         repr,
                         infra,
                     });
-                    return;
+                    return None;
                 }
                 self.record(TraceEventKind::Recv {
                     by: to,
@@ -614,15 +681,36 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
                     payload: repr,
                 });
                 self.stats.messages_delivered += 1;
-                self.forward(to, NodeEvent::Message { from, msg: payload });
+                Some((to, BatchItem::Message { from, msg: payload }))
             }
             Due::Fire { pid, id } => {
                 if self.cancelled.take(id) || self.crashed[pid.index()] {
-                    return;
+                    return None;
                 }
                 self.record(TraceEventKind::TimerFired { pid, timer: id });
                 self.stats.timers_fired += 1;
-                self.forward(pid, NodeEvent::Timer { id });
+                Some((pid, BatchItem::Timer { id }))
+            }
+        }
+    }
+
+    /// Sends every staged per-destination run: a singleton goes out as the
+    /// plain event the unbatched path would send; a longer run goes out as
+    /// one [`NodeEvent::Batch`] — one channel send, one node wakeup, one
+    /// combined action reply for the whole run.
+    fn flush_staged(&mut self) {
+        for to in std::mem::take(&mut self.staged_order) {
+            let mut items = std::mem::take(&mut self.staged[to.index()]);
+            if items.len() == 1 {
+                match items.pop().expect("length checked") {
+                    BatchItem::Message { from, msg } => {
+                        self.forward(to, NodeEvent::Message { from, msg })
+                    }
+                    BatchItem::Timer { id } => self.forward(to, NodeEvent::Timer { id }),
+                }
+            } else if !items.is_empty() {
+                self.stats.delivery_batches += 1;
+                self.forward(to, NodeEvent::Batch(items));
             }
         }
     }
@@ -635,6 +723,7 @@ fn router_main<M: Clone + fmt::Debug + Send + 'static>(
     node_txs: Vec<Sender<NodeEvent<M>>>,
     progress: Arc<Progress>,
 ) -> Trace {
+    let batch = config.batch;
     let mut state = RouterState {
         n,
         start: Instant::now(),
@@ -653,17 +742,29 @@ fn router_main<M: Clone + fmt::Debug + Send + 'static>(
         progress,
         filters: (0..n).map(|_| None).collect(),
         parked: std::collections::HashMap::new(),
+        staged: (0..n).map(|_| Vec::new()).collect(),
+        staged_order: Vec::new(),
     };
     loop {
-        // Fire everything due.
+        // Fire everything due — staged per destination in batch mode, one
+        // channel send per message otherwise.
+        let mut drained = false;
         while let Some(Reverse(top)) = state.heap.peek() {
             if top.at <= Instant::now() {
                 state.progress.idle.store(false, Ordering::Release);
                 let Reverse(item) = state.heap.pop().expect("peeked");
-                state.fire_due(item.due);
+                if batch {
+                    state.stage_due(item.due);
+                    drained = true;
+                } else {
+                    state.fire_due(item.due);
+                }
             } else {
                 break;
             }
+        }
+        if drained {
+            state.flush_staged();
         }
         let wait = state
             .heap
@@ -929,6 +1030,78 @@ mod tests {
         assert!(trace.crashed().contains(&ProcessId::new(1)));
         assert!(registry.is_crashed(ProcessId::new(1)));
         assert_eq!(registry.iter_crashed().count(), 1);
+    }
+
+    #[test]
+    fn batched_router_coalesces_and_preserves_fifo() {
+        // A 30-message flood behind a 10 ms link delay: all 30 come due in
+        // the same heap drain, so the batching router must coalesce them
+        // into (at least one) NodeEvent batch while keeping per-message
+        // trace events and strict FIFO delivery order.
+        struct Flood;
+        impl Process<u32> for Flood {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                for k in 0..30u32 {
+                    ctx.send(ProcessId::new(1), k);
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+        }
+        struct Quiet;
+        impl Process<u32> for Quiet {
+            fn on_start(&mut self, _: &mut Context<'_, u32>) {}
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+        }
+        let config = RuntimeConfig {
+            batch: true,
+            delay: Some(Box::new(|_, _| Duration::from_millis(10))),
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::spawn(2, config, |pid| {
+            if pid.index() == 0 {
+                Box::new(Flood) as Box<dyn Process<u32> + Send>
+            } else {
+                Box::new(Quiet)
+            }
+        });
+        assert!(rt.drain(Duration::from_secs(5)), "flood must quiesce");
+        let trace = rt.shutdown();
+        assert_eq!(trace.stats().messages_delivered, 30);
+        let seqs: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Recv { by, msg, .. } if by == ProcessId::new(1) => Some(msg.seq()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, (0..30).collect::<Vec<u64>>(), "FIFO through batching");
+        assert!(
+            trace.stats().delivery_batches >= 1,
+            "a same-instant flood must actually coalesce; stats: {:?}",
+            trace.stats()
+        );
+    }
+
+    #[test]
+    fn batched_ping_pong_and_drain_handshake() {
+        // Request/response traffic under batching: the combined action
+        // replies must keep the forwarded/processed counters matched so
+        // the drain handshake still detects quiescence.
+        let config = RuntimeConfig {
+            batch: true,
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::spawn(2, config, |pid| {
+            Box::new(PingPong {
+                is_pinger: pid.index() == 0,
+                rounds: 0,
+            })
+        });
+        assert!(rt.drain(Duration::from_secs(5)), "ping-pong must quiesce");
+        let trace = rt.shutdown();
+        assert_eq!(trace.stats().messages_sent, 10);
+        assert_eq!(trace.stats().messages_delivered, 10);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! B6 — batched vs unbatched delivery (ISSUE E11 satellite): the same
+//! traffic through the threaded router's per-destination coalescing fast
+//! path and through the one-channel-send-per-message baseline, plus the
+//! simulator's flush-grouping twin.
+//!
+//! The threaded workload is an all-to-all broadcast storm behind a small
+//! link delay, so every drain of the router heap finds many same-instant
+//! same-destination deliveries — the shape batching exists for (a
+//! detection round is exactly such a storm).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sfs_asys::net::{Runtime, RuntimeConfig};
+use sfs_asys::{Context, Process, ProcessId, Sim, TimerId};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Broadcasts `rounds` waves to every peer, one wave per timer tick.
+struct Storm {
+    rounds: u32,
+    sent: u32,
+}
+
+impl Process<u32> for Storm {
+    fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+        ctx.set_timer(2);
+    }
+    fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_, u32>, _: TimerId) {
+        ctx.broadcast(self.sent, false);
+        self.sent += 1;
+        if self.sent < self.rounds {
+            ctx.set_timer(2);
+        }
+    }
+}
+
+/// Broadcasts `waves` waves to every peer immediately on start: behind
+/// the link delay they all come due in one router drain, which is the
+/// batching fast path's target shape (a detection round is such a storm,
+/// at Θ(n²) messages).
+struct FloodAll {
+    waves: u32,
+}
+
+impl Process<u32> for FloodAll {
+    fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+        for k in 0..self.waves {
+            ctx.broadcast(k, false);
+        }
+    }
+    fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+}
+
+fn bench_router_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_delivery");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    let n = 8;
+    let waves = 300; // 300 · 8 · 7 = 16 800 same-instant deliveries
+    for batch in [false, true] {
+        let id = format!(
+            "same_instant_flood_n8/{}",
+            if batch { "batched" } else { "plain" }
+        );
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let config = RuntimeConfig {
+                    batch,
+                    delay: Some(Box::new(|_, _| Duration::from_millis(5))),
+                    ..RuntimeConfig::default()
+                };
+                let rt = Runtime::spawn(n, config, |_| {
+                    Box::new(FloodAll { waves }) as Box<dyn Process<u32> + Send>
+                });
+                assert!(rt.drain(Duration::from_secs(20)), "flood must quiesce");
+                let trace = rt.shutdown();
+                debug_assert_eq!(
+                    trace.stats().messages_delivered,
+                    u64::from(waves) * (n as u64) * (n as u64 - 1)
+                );
+                black_box(trace.stats().messages_delivered)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_flush(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_delivery");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(4));
+    let n = 16;
+    let rounds = 50;
+    for batch in [false, true] {
+        let id = format!(
+            "broadcast_storm_n16/{}",
+            if batch { "batched" } else { "plain" }
+        );
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let sim = Sim::<u32>::builder(n)
+                    .seed(7)
+                    .batch_deliveries(batch)
+                    .build(|_| Box::new(Storm { rounds, sent: 0 }));
+                let trace = sim.run();
+                black_box(trace.stats().messages_delivered)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_router_batching, bench_sim_flush);
+criterion_main!(benches);

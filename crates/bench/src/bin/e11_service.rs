@@ -1,0 +1,96 @@
+//! E11 — sharded service scale: N ∈ {64, 256, 1024} total processes as
+//! independent 16-process quorum groups behind a replicated directory,
+//! on both backends, batched and unbatched (see EXPERIMENTS.md §E11).
+//!
+//! CLI: `e11_service [max_n] [ops_per_proc]`. The CI smoke job runs
+//! `e11_service 64 2` (only the N=64 cells, small op budget); the full
+//! sweep defaults to `1024 4`.
+//!
+//! Writes `BENCH_E11.json` carrying the standard wall/events record
+//! *plus* a per-cell table with throughput, detection-latency, and
+//! batched-vs-unbatched speedup columns. Exits nonzero if any cell
+//! completes zero ops (throughput regression to zero).
+
+use std::fmt::Write as _;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let max_n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let ops_per_proc: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let mut rows = None;
+    // Writes the standard BENCH_E11.json record (wall, events, rate).
+    // E11 runs one fixed seed per cell (the op budget is in the configs
+    // string, not the seeds field).
+    let configs = format!(
+        "N in {{64,256,1024}} capped at {max_n} x {{sim,threaded}} x {{batch off,on}}, \
+         t=2, 16-process shards, ops_per_proc={ops_per_proc}"
+    );
+    let record = sfs_bench::run_with_report("E11", &configs, 1, || {
+        let (table, r) = sfs_bench::run_e11(max_n, ops_per_proc);
+        rows = Some(r);
+        table
+    });
+    let rows = rows.expect("run_e11 ran");
+    // ...then extends it in place with the per-cell measurement table the
+    // experiment is actually about.
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"experiment\": \"E11\",");
+    let _ = writeln!(
+        json,
+        "  \"configs\": \"{}\",",
+        record.configs.escape_default()
+    );
+    let _ = writeln!(json, "  \"seeds\": {},", record.seeds);
+    let _ = writeln!(json, "  \"wall_ms\": {:.3},", record.wall_ms);
+    let _ = writeln!(json, "  \"events\": {},", record.events);
+    let _ = writeln!(
+        json,
+        "  \"events_per_sec\": {:.1},",
+        record.events_per_sec()
+    );
+    let _ = writeln!(json, "  \"threads\": {},", record.threads);
+    let _ = writeln!(json, "  \"rows\": {},", record.rows);
+    let _ = writeln!(json, "  \"table\": [");
+    for (i, (row, speedup_wall, speedup_serving)) in rows.iter().enumerate() {
+        let sep = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {}{sep}",
+            row.to_json(*speedup_wall, *speedup_serving)
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push('}');
+    let out_dir = std::env::var_os("SFS_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let path = out_dir.join("BENCH_E11.json");
+    match std::fs::write(&path, json + "\n") {
+        Ok(()) => eprintln!(
+            "[bench] E11 table -> {} ({} cells)",
+            path.display(),
+            rows.len()
+        ),
+        Err(e) => {
+            // The results file IS the experiment's deliverable: losing it
+            // after a long sweep must not look like success.
+            eprintln!(
+                "[bench] E11 FAILED: could not write {}: {e}",
+                path.display()
+            );
+            std::process::exit(1);
+        }
+    }
+    let stalled: Vec<String> = rows
+        .iter()
+        .filter(|(r, _, _)| r.ops_completed == 0)
+        .map(|(r, _, _)| format!("(n={}, {}, batch={})", r.n, r.backend, r.batch))
+        .collect();
+    if !stalled.is_empty() {
+        eprintln!(
+            "[bench] E11 FAILED: zero throughput in {}",
+            stalled.join(", ")
+        );
+        std::process::exit(1);
+    }
+}

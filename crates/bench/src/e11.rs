@@ -1,0 +1,239 @@
+//! E11 — service-layer scale: sharded sFS deployments at N ∈ {64, 256,
+//! 1024} total processes, on both backends, batched and unbatched (see
+//! EXPERIMENTS.md §E11).
+//!
+//! Each cell plans `N/16` shards of 16 processes tolerating `t = 2`
+//! locally, exhausts shard 0's budget with two scripted crashes, and
+//! drives two epochs of closed-loop client ops through the
+//! `sfs-service` engine — epoch 2 running on the directory's rebalanced
+//! table. Measured per cell: completed ops, wall-clock throughput,
+//! message rate, the crash→detection latency distribution, and the
+//! batching fast path's speedup (wall-clock for the simulator's engine
+//! overhead, serving-window for the threaded runtime, whose wall time is
+//! dominated by the fixed drain budget).
+
+use crate::report::note_events;
+use crate::table::Table;
+use sfs::HeartbeatConfig;
+use sfs_service::{
+    percentile, plan_shards, run_service, Backend, LoadProfile, ServiceReport, ServiceSpec,
+};
+
+/// One measured E11 cell.
+#[derive(Debug, Clone)]
+pub struct E11Row {
+    /// Total processes.
+    pub n: usize,
+    /// Shards in the plan.
+    pub shards: usize,
+    /// Backend.
+    pub backend: Backend,
+    /// Batching fast path on?
+    pub batch: bool,
+    /// Distinct client ops completed (both epochs).
+    pub ops_completed: u64,
+    /// Distinct client ops issued.
+    pub ops_issued: u64,
+    /// Wall-clock for the whole service run.
+    pub wall_ms: f64,
+    /// Completed ops per wall second.
+    pub ops_per_sec: f64,
+    /// Messages sent across all shard runs.
+    pub messages: u64,
+    /// Messages per wall second.
+    pub msgs_per_sec: f64,
+    /// Summed first-issue→last-completion windows (ticks).
+    pub serving_ticks: u64,
+    /// Detection-latency percentiles (ticks): p50.
+    pub det_p50: u64,
+    /// p95.
+    pub det_p95: u64,
+    /// Maximum.
+    pub det_max: u64,
+    /// Coalesced delivery batches (0 when batching is off).
+    pub delivery_batches: u64,
+    /// Shards that exhausted their budget (must be exactly shard 0).
+    pub exhausted: usize,
+}
+
+impl E11Row {
+    fn from_report(r: &ServiceReport) -> Self {
+        let lat = r.detection_latencies();
+        E11Row {
+            n: r.total,
+            shards: r.shard_count,
+            backend: r.backend,
+            batch: r.batch,
+            ops_completed: r.ops_completed(),
+            ops_issued: r.ops_issued(),
+            wall_ms: r.wall_ms,
+            ops_per_sec: r.ops_per_sec(),
+            messages: r.messages(),
+            msgs_per_sec: r.msgs_per_sec(),
+            serving_ticks: r.serving_ticks(),
+            det_p50: percentile(&lat, 50),
+            det_p95: percentile(&lat, 95),
+            det_max: lat.last().copied().unwrap_or(0),
+            delivery_batches: r.delivery_batches(),
+            exhausted: r.exhausted.len(),
+        }
+    }
+
+    /// One JSON object for the `BENCH_E11.json` table array.
+    pub fn to_json(&self, speedup_wall: f64, speedup_serving: f64) -> String {
+        format!(
+            "{{\"n\": {}, \"shards\": {}, \"backend\": \"{}\", \"batch\": {}, \
+             \"ops_completed\": {}, \"ops_per_sec\": {:.1}, \"messages\": {}, \
+             \"msgs_per_sec\": {:.1}, \"wall_ms\": {:.1}, \"serving_ticks\": {}, \
+             \"det_p50\": {}, \"det_p95\": {}, \"det_max\": {}, \
+             \"delivery_batches\": {}, \"speedup_wall\": {:.3}, \
+             \"speedup_serving\": {:.3}}}",
+            self.n,
+            self.shards,
+            self.backend,
+            self.batch,
+            self.ops_completed,
+            self.ops_per_sec,
+            self.messages,
+            self.msgs_per_sec,
+            self.wall_ms,
+            self.serving_ticks,
+            self.det_p50,
+            self.det_p95,
+            self.det_max,
+            self.delivery_batches,
+            speedup_wall,
+            speedup_serving,
+        )
+    }
+}
+
+/// The spec for one E11 cell.
+fn e11_spec(n: usize, backend: Backend, batch: bool, ops_per_proc: u64) -> ServiceSpec {
+    // Shard 0's first two members crash early, exhausting its t = 2 and
+    // forcing an epoch-2 rebalance; the plan is deterministic, so the
+    // victims are nameable up front.
+    let plan = plan_shards(n, 2, 16, 11).expect("E11 shapes are feasible");
+    let victims: Vec<usize> = plan.shards[0].members.iter().take(2).copied().collect();
+    ServiceSpec::new(n, 2, 16)
+        .seed(11)
+        .backend(backend)
+        .batched(batch)
+        // Fast heartbeats keep crash→detection latency (and the threaded
+        // drain budget riding on it) small.
+        .heartbeat(Some(HeartbeatConfig {
+            interval: 10,
+            timeout: 60,
+            check_every: 15,
+        }))
+        .max_time(600)
+        .load(LoadProfile::closed(ops_per_proc * n as u64, 8))
+        .crash(victims[0], 40)
+        .crash(victims[1], 55)
+}
+
+/// Runs the E11 sweep. `max_n` bounds the deployment sizes swept (the CI
+/// smoke job passes 64); `ops_per_proc` scales the per-epoch op count.
+/// Returns the printable table and the rows (with per-pair speedups) for
+/// `BENCH_E11.json`.
+pub fn run_e11(max_n: usize, ops_per_proc: u64) -> (Table, Vec<(E11Row, f64, f64)>) {
+    let mut table = Table::new(
+        "E11 — sharded service scale (t=2 per shard, shard 0 exhausted, 2 epochs)",
+        &[
+            "N", "shards", "backend", "batch", "ops", "ops/s", "msgs", "msg/s", "det p50",
+            "det p95", "det max", "batches", "speedup",
+        ],
+    );
+    let mut rows = Vec::new();
+    for n in [64usize, 256, 1024] {
+        if n > max_n {
+            continue;
+        }
+        for backend in [Backend::Sim, Backend::Threaded] {
+            let mut baseline: Option<E11Row> = None;
+            for batch in [false, true] {
+                let spec = e11_spec(n, backend, batch, ops_per_proc);
+                let report = run_service(&spec).unwrap_or_else(|e| {
+                    panic!("E11 cell (n={n}, {backend}, batch={batch}) failed: {e}")
+                });
+                note_events(report.events());
+                let row = E11Row::from_report(&report);
+                // Speedup of this (batched) row against its unbatched
+                // sibling: wall-clock for the simulator (engine overhead
+                // is the wall), serving-window for the threaded runtime
+                // (its wall is dominated by the fixed drain budget).
+                let (speedup_wall, speedup_serving) = match &baseline {
+                    Some(b) if batch => (
+                        safe_ratio(b.wall_ms, row.wall_ms),
+                        safe_ratio(b.serving_ticks as f64, row.serving_ticks as f64),
+                    ),
+                    _ => (1.0, 1.0),
+                };
+                let speedup_cell = if batch {
+                    match backend {
+                        Backend::Sim => format!("{speedup_wall:.2}x wall"),
+                        Backend::Threaded => format!("{speedup_serving:.2}x serve"),
+                    }
+                } else {
+                    "-".to_owned()
+                };
+                table.row([
+                    row.n.to_string(),
+                    row.shards.to_string(),
+                    row.backend.to_string(),
+                    if row.batch { "on" } else { "off" }.to_owned(),
+                    row.ops_completed.to_string(),
+                    format!("{:.0}", row.ops_per_sec),
+                    row.messages.to_string(),
+                    format!("{:.0}", row.msgs_per_sec),
+                    row.det_p50.to_string(),
+                    row.det_p95.to_string(),
+                    row.det_max.to_string(),
+                    row.delivery_batches.to_string(),
+                    speedup_cell,
+                ]);
+                if !batch {
+                    baseline = Some(row.clone());
+                }
+                rows.push((row, speedup_wall, speedup_serving));
+            }
+        }
+    }
+    table.note(
+        "speedup: batched vs unbatched sibling — sim compares engine wall time, \
+         threaded compares the serving window (first issue to last completion; \
+         threaded wall time is drain-budget-bound by design)",
+    );
+    table.note("detection latency in ticks (sim: virtual; threaded: milliseconds)");
+    (table, rows)
+}
+
+fn safe_ratio(a: f64, b: f64) -> f64 {
+    if b <= 0.0 {
+        1.0
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_smoke_runs_the_smallest_cell() {
+        // One N=64 sweep on the simulator only is cheap enough for the
+        // unit suite and pins the cell invariants: full completion,
+        // measured detections, exactly one exhausted shard.
+        let spec = e11_spec(64, Backend::Sim, true, 1);
+        let report = run_service(&spec).unwrap();
+        let row = E11Row::from_report(&report);
+        assert_eq!(row.shards, 4);
+        assert_eq!(row.exhausted, 1);
+        assert_eq!(row.ops_completed, 2 * 64, "both epochs complete");
+        assert!(row.det_p50 > 0, "detections were measured");
+        assert!(row.delivery_batches > 0, "batching engaged");
+        let json = row.to_json(1.0, 1.0);
+        assert!(json.contains("\"backend\": \"sim\""));
+    }
+}

@@ -9,7 +9,7 @@ use crate::app::{Application, NullApp};
 use crate::config::{HeartbeatConfig, SfsConfig};
 use crate::msg::{Control, SfsMsg};
 use crate::protocol::SfsProcess;
-use crate::quorum::QuorumPolicy;
+use crate::quorum::{QuorumError, QuorumPolicy};
 use sfs_asys::net::{Runtime, RuntimeConfig};
 use sfs_asys::{
     CrashRegistry, FaultPlan, LatencyModel, ProcessId, Sim, Trace, UniformLatency, VirtualTime,
@@ -64,6 +64,13 @@ pub struct ClusterSpec {
     /// Scripted erroneous suspicions `(suspector, suspect, at)` — the
     /// paper's "spontaneous" suspicions.
     pub suspicions: Vec<(ProcessId, ProcessId, u64)>,
+    /// Batched delivery fast path on both backends: the simulator's
+    /// same-instant flush grouping and the threaded router's
+    /// per-destination event coalescing. Semantically invisible to the
+    /// happens-before model (see `SimConfig::batch_flush` and
+    /// `RuntimeConfig::batch` in `sfs-asys`); the `sfs-service` layer and
+    /// experiment E11 measure its throughput effect.
+    pub batch: bool,
 }
 
 impl ClusterSpec {
@@ -83,7 +90,47 @@ impl ClusterSpec {
             max_events: 1_000_000,
             crashes: Vec::new(),
             suspicions: Vec::new(),
+            batch: false,
         }
+    }
+
+    /// Enables (or disables) the batched delivery fast path on whichever
+    /// backend the spec is run on.
+    pub fn batched(mut self, on: bool) -> Self {
+        self.batch = on;
+        self
+    }
+
+    /// Validates the spec against the paper's feasibility bounds without
+    /// running anything: `n ≥ 1`, and — for [`ModeSpec::SfsOneRound`] —
+    /// the quorum policy must be able to make progress against `t`
+    /// failures (Corollary 8's `n > t²` for the fixed minimum quorum).
+    ///
+    /// Every `try_*` runner calls this first, so infeasible shapes
+    /// surface as typed [`QuorumError`]s instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`QuorumError::NoProcesses`] when `n == 0`;
+    /// [`QuorumError::Infeasible`](crate::quorum::QuorumError::Infeasible)
+    /// when the quorum cannot survive `t` failures.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sfs::ClusterSpec;
+    ///
+    /// assert!(ClusterSpec::new(10, 3).validate().is_ok());
+    /// assert!(ClusterSpec::new(9, 3).validate().is_err()); // 9 = 3², not > 3²
+    /// ```
+    pub fn validate(&self) -> Result<(), QuorumError> {
+        if self.n == 0 {
+            return Err(QuorumError::NoProcesses);
+        }
+        if matches!(self.mode, ModeSpec::SfsOneRound) {
+            self.quorum.validated(self.n, self.t)?;
+        }
+        Ok(())
     }
 
     /// Sets the detector.
@@ -166,26 +213,51 @@ impl ClusterSpec {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is infeasible (use
-    /// [`QuorumPolicy::validated`](crate::quorum::QuorumPolicy::validated)
-    /// beforehand to handle that case gracefully).
+    /// Panics if the configuration is infeasible; [`ClusterSpec::try_run`]
+    /// returns the typed [`QuorumError`] instead.
     pub fn run(self) -> Trace {
+        self.try_run().expect("infeasible cluster configuration")
+    }
+
+    /// Fallible twin of [`ClusterSpec::run`]: infeasible shapes (`n = 0`,
+    /// or `n ≤ t²` under the fixed minimum quorum) come back as typed
+    /// errors instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ClusterSpec::validate`] reports.
+    pub fn try_run(self) -> Result<Trace, QuorumError> {
         let (min, max) = self.latency;
-        self.run_with_latency(UniformLatency::new(min, max), |_| NullApp)
+        self.try_run_with_latency(UniformLatency::new(min, max), |_| NullApp)
     }
 
     /// Runs the cluster with an application per process.
     ///
     /// # Panics
     ///
-    /// Panics on infeasible configurations.
+    /// Panics on infeasible configurations; see
+    /// [`ClusterSpec::try_run_apps`].
     pub fn run_apps<A, F>(self, make_app: F) -> Trace
     where
         A: Application,
         F: FnMut(ProcessId) -> A,
     {
+        self.try_run_apps(make_app)
+            .expect("infeasible cluster configuration")
+    }
+
+    /// Fallible twin of [`ClusterSpec::run_apps`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ClusterSpec::validate`] reports.
+    pub fn try_run_apps<A, F>(self, make_app: F) -> Result<Trace, QuorumError>
+    where
+        A: Application,
+        F: FnMut(ProcessId) -> A,
+    {
         let (min, max) = self.latency;
-        self.run_with_latency(UniformLatency::new(min, max), make_app)
+        self.try_run_with_latency(UniformLatency::new(min, max), make_app)
     }
 
     /// Runs the cluster with a custom latency model (e.g. the adversarial
@@ -194,13 +266,32 @@ impl ClusterSpec {
     ///
     /// # Panics
     ///
-    /// Panics on infeasible configurations.
+    /// Panics on infeasible configurations; see
+    /// [`ClusterSpec::try_run_with_latency`].
     pub fn run_with_latency<A, F>(self, latency: impl LatencyModel + 'static, make_app: F) -> Trace
     where
         A: Application,
         F: FnMut(ProcessId) -> A,
     {
-        self.build_with_latency(latency, make_app).run()
+        self.try_run_with_latency(latency, make_app)
+            .expect("infeasible cluster configuration")
+    }
+
+    /// Fallible twin of [`ClusterSpec::run_with_latency`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ClusterSpec::validate`] reports.
+    pub fn try_run_with_latency<A, F>(
+        self,
+        latency: impl LatencyModel + 'static,
+        make_app: F,
+    ) -> Result<Trace, QuorumError>
+    where
+        A: Application,
+        F: FnMut(ProcessId) -> A,
+    {
+        Ok(self.try_build_with_latency(latency, make_app)?.run())
     }
 
     /// Builds the cluster's simulator **without running it** — the hook
@@ -211,20 +302,41 @@ impl ClusterSpec {
     ///
     /// # Panics
     ///
-    /// Panics on infeasible configurations.
+    /// Panics on infeasible configurations; see
+    /// [`ClusterSpec::try_build_with_latency`].
     pub fn build_with_latency<A, F>(
         self,
         latency: impl LatencyModel + 'static,
-        mut make_app: F,
+        make_app: F,
     ) -> Sim<SfsMsg<A::Msg>>
     where
         A: Application,
         F: FnMut(ProcessId) -> A,
     {
+        self.try_build_with_latency(latency, make_app)
+            .expect("infeasible cluster configuration")
+    }
+
+    /// Fallible twin of [`ClusterSpec::build_with_latency`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ClusterSpec::validate`] reports.
+    pub fn try_build_with_latency<A, F>(
+        self,
+        latency: impl LatencyModel + 'static,
+        mut make_app: F,
+    ) -> Result<Sim<SfsMsg<A::Msg>>, QuorumError>
+    where
+        A: Application,
+        F: FnMut(ProcessId) -> A,
+    {
+        self.validate()?;
         let builder = Sim::<SfsMsg<A::Msg>>::builder(self.n)
             .seed(self.seed)
             .max_time(self.max_time)
             .max_events(self.max_events)
+            .batch_deliveries(self.batch)
             .latency(latency)
             // Obituaries and heartbeats are the detector's own mechanism,
             // beneath the paper's formal model; only App messages are
@@ -246,12 +358,12 @@ impl ClusterSpec {
                 .gate_app_messages(spec.gate_app_messages)
                 .crash_on_own_obituary(spec.crash_on_own_obituary)
         };
-        builder.build(|pid| {
+        Ok(builder.build(|pid| {
             let config = config_of(&self);
-            let process =
-                SfsProcess::new(config, make_app(pid)).expect("infeasible cluster configuration");
+            let process = SfsProcess::new(config, make_app(pid))
+                .expect("validate() already admitted this shape");
             Box::new(process)
-        })
+        }))
     }
 
     /// Spawns the cluster on the **threaded runtime** — identical protocol
@@ -268,13 +380,33 @@ impl ClusterSpec {
     ///
     /// # Panics
     ///
-    /// Panics on infeasible configurations, as the simulator builds do.
-    pub fn spawn_runtime<A, F>(&self, mut make_app: F) -> Runtime<SfsMsg<A::Msg>>
+    /// Panics on infeasible configurations, as the simulator builds do;
+    /// see [`ClusterSpec::try_spawn_runtime`].
+    pub fn spawn_runtime<A, F>(&self, make_app: F) -> Runtime<SfsMsg<A::Msg>>
     where
         A: Application + Send + 'static,
         A::Msg: Send,
         F: FnMut(ProcessId) -> A,
     {
+        self.try_spawn_runtime(make_app)
+            .expect("infeasible cluster configuration")
+    }
+
+    /// Fallible twin of [`ClusterSpec::spawn_runtime`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ClusterSpec::validate`] reports.
+    pub fn try_spawn_runtime<A, F>(
+        &self,
+        mut make_app: F,
+    ) -> Result<Runtime<SfsMsg<A::Msg>>, QuorumError>
+    where
+        A: Application + Send + 'static,
+        A::Msg: Send,
+        F: FnMut(ProcessId) -> A,
+    {
+        self.validate()?;
         let registry = CrashRegistry::new(self.n);
         let config = RuntimeConfig {
             seed: self.seed,
@@ -282,9 +414,10 @@ impl ClusterSpec {
             record_payloads: false,
             classify: Some(Box::new(|m: &SfsMsg<A::Msg>| !m.is_app())),
             registry: Some(registry.clone()),
+            batch: self.batch,
         };
         let spec = self.clone();
-        Runtime::spawn(self.n, config, move |pid| {
+        Ok(Runtime::spawn(self.n, config, move |pid| {
             let mode = match spec.mode {
                 ModeSpec::SfsOneRound => crate::config::DetectionMode::SfsOneRound,
                 ModeSpec::Unilateral => crate::config::DetectionMode::Unilateral,
@@ -297,10 +430,10 @@ impl ClusterSpec {
                 .heartbeat(spec.heartbeat)
                 .gate_app_messages(spec.gate_app_messages)
                 .crash_on_own_obituary(spec.crash_on_own_obituary);
-            let process =
-                SfsProcess::new(config, make_app(pid)).expect("infeasible cluster configuration");
+            let process = SfsProcess::new(config, make_app(pid))
+                .expect("validate() already admitted this shape");
             Box::new(process)
-        })
+        }))
     }
 
     /// Runs the cluster on the threaded runtime: spawns it, drives the
@@ -312,7 +445,8 @@ impl ClusterSpec {
     ///
     /// # Panics
     ///
-    /// Panics on infeasible configurations.
+    /// Panics on infeasible configurations; see
+    /// [`ClusterSpec::try_run_threaded`].
     pub fn run_threaded<A, F>(&self, make_app: F, settle: Duration) -> Trace
     where
         A: Application + Send + 'static,
@@ -320,6 +454,24 @@ impl ClusterSpec {
         F: FnMut(ProcessId) -> A,
     {
         self.run_threaded_quiesced(make_app, settle).0
+    }
+
+    /// Fallible twin of [`ClusterSpec::run_threaded`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ClusterSpec::validate`] reports.
+    pub fn try_run_threaded<A, F>(
+        &self,
+        make_app: F,
+        settle: Duration,
+    ) -> Result<Trace, QuorumError>
+    where
+        A: Application + Send + 'static,
+        A::Msg: Send,
+        F: FnMut(ProcessId) -> A,
+    {
+        Ok(self.try_run_threaded_quiesced(make_app, settle)?.0)
     }
 
     /// [`ClusterSpec::run_threaded`], also reporting whether the system
@@ -341,14 +493,34 @@ impl ClusterSpec {
     ///
     /// # Panics
     ///
-    /// Panics on infeasible configurations.
+    /// Panics on infeasible configurations; see
+    /// [`ClusterSpec::try_run_threaded_quiesced`].
     pub fn run_threaded_quiesced<A, F>(&self, make_app: F, settle: Duration) -> (Trace, bool)
     where
         A: Application + Send + 'static,
         A::Msg: Send,
         F: FnMut(ProcessId) -> A,
     {
-        let rt = self.spawn_runtime(make_app);
+        self.try_run_threaded_quiesced(make_app, settle)
+            .expect("infeasible cluster configuration")
+    }
+
+    /// Fallible twin of [`ClusterSpec::run_threaded_quiesced`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ClusterSpec::validate`] reports.
+    pub fn try_run_threaded_quiesced<A, F>(
+        &self,
+        make_app: F,
+        settle: Duration,
+    ) -> Result<(Trace, bool), QuorumError>
+    where
+        A: Application + Send + 'static,
+        A::Msg: Send,
+        F: FnMut(ProcessId) -> A,
+    {
+        let rt = self.try_spawn_runtime(make_app)?;
         let start = Instant::now();
         let mut items = self.fault_plan::<A::Msg>().into_items();
         items.sort_by_key(|&(at, _, _)| at);
@@ -363,7 +535,7 @@ impl ClusterSpec {
             }
         }
         let quiesced = rt.drain(settle);
-        (rt.shutdown(), quiesced)
+        Ok((rt.shutdown(), quiesced))
     }
 }
 
@@ -492,6 +664,77 @@ mod tests {
         assert_eq!(
             properties::check_fs2(&History::from_trace(&trace)).verdict,
             Verdict::Holds
+        );
+    }
+
+    #[test]
+    fn infeasible_shapes_return_typed_errors_not_panics() {
+        use crate::quorum::QuorumError;
+
+        // n = t² sits exactly on the wrong side of Corollary 8.
+        let err = ClusterSpec::new(9, 3).try_run().unwrap_err();
+        assert_eq!(
+            err,
+            QuorumError::Infeasible {
+                n: 9,
+                t: 3,
+                required: 7
+            }
+        );
+        // Every fallible entry point reports the same typed error.
+        assert!(ClusterSpec::new(9, 3).try_run_apps(|_| NullApp).is_err());
+        assert!(ClusterSpec::new(9, 3)
+            .try_build_with_latency(UniformLatency::new(1, 10), |_| NullApp)
+            .is_err());
+        assert!(ClusterSpec::new(9, 3)
+            .try_spawn_runtime(|_| NullApp)
+            .is_err());
+        assert!(ClusterSpec::new(9, 3)
+            .try_run_threaded(|_| NullApp, Duration::from_millis(10))
+            .is_err());
+        // The empty system is its own error, caught before any engine
+        // (whose constructors assert n > 0) can panic.
+        assert_eq!(
+            ClusterSpec::new(0, 0).try_run().unwrap_err(),
+            QuorumError::NoProcesses
+        );
+        // Non-quorum modes skip the Corollary 8 check, as in SfsConfig.
+        assert!(ClusterSpec::new(9, 3)
+            .mode(ModeSpec::Unilateral)
+            .validate()
+            .is_ok());
+        // WaitForAll only needs t < n.
+        assert!(ClusterSpec::new(9, 3)
+            .quorum(QuorumPolicy::WaitForAll)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn batched_spec_produces_equivalent_runs_on_sim() {
+        // The batch switch must not change what any process observes:
+        // detection outcome, crash set, and per-process event order are
+        // identical; only cross-process interleaving within an instant
+        // may differ (pinned in full by the HB fingerprint test in
+        // sfs-apps).
+        let spec = |batch: bool| {
+            ClusterSpec::new(6, 2)
+                .seed(9)
+                .batched(batch)
+                .suspect(p(1), p(0), 10)
+        };
+        let plain = spec(false).run();
+        let batched = spec(true).run();
+        let sorted = |mut v: Vec<_>| {
+            v.sort();
+            v
+        };
+        assert_eq!(plain.crashed(), batched.crashed());
+        assert_eq!(sorted(plain.detections()), sorted(batched.detections()));
+        assert_eq!(plain.stop_reason(), batched.stop_reason());
+        assert_eq!(
+            plain.stats().messages_delivered,
+            batched.stats().messages_delivered
         );
     }
 

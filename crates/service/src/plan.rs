@@ -1,0 +1,274 @@
+//! The shard planner: partitioning a large deployment into independent
+//! quorum groups that each satisfy the paper's feasibility bound.
+//!
+//! The §5 one-round protocol is all-to-all, so a flat group pays Θ(n²)
+//! messages per detection round — fine at n = 10, hopeless at n = 1024.
+//! The service layer instead runs many small groups ("shards"), each
+//! locally obeying Corollary 8's `n > t²`, and composes them behind a
+//! [directory](crate::directory). This module computes that partition:
+//! deterministically for a given seed, and with every shard's shape
+//! validated through the same `sfs::quorum` arithmetic the protocol
+//! itself uses — infeasible requests come back as typed errors, never
+//! panics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sfs::quorum::{min_quorum, QuorumError};
+use std::fmt;
+
+/// Identifier of one shard (quorum group) within a [`ShardPlan`].
+pub type ShardId = usize;
+
+/// Why a deployment could not be planned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// The deployment has no processes.
+    NoProcesses,
+    /// The requested shard shape violates the quorum arithmetic (e.g. a
+    /// target size `≤ t²` under the fixed minimum quorum).
+    Quorum(QuorumError),
+    /// The deployment is too small to form even one feasible shard.
+    TooSmall {
+        /// Total processes available.
+        total: usize,
+        /// Per-shard failure bound requested.
+        t: usize,
+        /// The minimum feasible shard size (`t² + 1`).
+        needed: usize,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PlanError::NoProcesses => write!(f, "a deployment needs at least one process"),
+            PlanError::Quorum(e) => write!(f, "infeasible shard shape: {e}"),
+            PlanError::TooSmall { total, t, needed } => write!(
+                f,
+                "{total} processes cannot form one shard tolerating t={t} \
+                 (needs at least {needed} = t²+1 processes)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<QuorumError> for PlanError {
+    fn from(e: QuorumError) -> Self {
+        PlanError::Quorum(e)
+    }
+}
+
+/// One planned quorum group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Position in the plan (and default routing slot).
+    pub id: ShardId,
+    /// Global process indices (`0..total`) composing this shard; the
+    /// position within the vector is the member's shard-local
+    /// `ProcessId`.
+    pub members: Vec<usize>,
+    /// Shard-local failure bound.
+    pub t: usize,
+}
+
+impl ShardSpec {
+    /// Shard size.
+    pub fn n(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The shard-local index of global process `g`, if it is a member.
+    pub fn local_of(&self, g: usize) -> Option<usize> {
+        self.members.iter().position(|&m| m == g)
+    }
+}
+
+/// A full partition of `total` processes into feasible quorum groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Total processes partitioned.
+    pub total: usize,
+    /// Per-shard failure bound.
+    pub t: usize,
+    /// The seed the member shuffle was derived from.
+    pub seed: u64,
+    /// The shards; every global process appears in exactly one.
+    pub shards: Vec<ShardSpec>,
+}
+
+impl ShardPlan {
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the plan is empty (it never is for a successful plan).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard containing global process `g`, if any.
+    pub fn shard_of(&self, g: usize) -> Option<ShardId> {
+        self.shards
+            .iter()
+            .find(|s| s.members.contains(&g))
+            .map(|s| s.id)
+    }
+}
+
+/// Plans a deployment: partitions `total` processes into shards of
+/// roughly `target` members, each tolerating `t` local failures.
+///
+/// Member assignment is a seeded Fisher–Yates shuffle sliced into
+/// contiguous runs, so the plan is a pure function of
+/// `(total, t, target, seed)` — re-planning with the same inputs yields
+/// the identical partition (the property tests pin this). Every shard is
+/// validated against [`min_quorum`]'s arithmetic: each gets at least
+/// `max(target, t²+1)` members, so `n > t²` holds shard-locally.
+///
+/// # Errors
+///
+/// [`PlanError::NoProcesses`] for an empty deployment,
+/// [`PlanError::Quorum`] when `target ≤ t²` (the requested shape itself
+/// is infeasible), and [`PlanError::TooSmall`] when `total < t² + 1`.
+///
+/// # Examples
+///
+/// ```
+/// use sfs_service::plan_shards;
+///
+/// let plan = plan_shards(64, 2, 16, 7).unwrap();
+/// assert_eq!(plan.len(), 4);
+/// assert!(plan.shards.iter().all(|s| s.n() > s.t * s.t));
+/// assert!(plan_shards(64, 4, 16, 7).is_err()); // 16 = 4², not > 4²
+/// ```
+pub fn plan_shards(
+    total: usize,
+    t: usize,
+    target: usize,
+    seed: u64,
+) -> Result<ShardPlan, PlanError> {
+    let min_n = t * t + 1;
+    if total == 0 {
+        return Err(PlanError::NoProcesses);
+    }
+    if target < min_n {
+        return Err(PlanError::Quorum(QuorumError::Infeasible {
+            n: target,
+            t,
+            required: min_quorum(target.max(1), t),
+        }));
+    }
+    if total < min_n {
+        return Err(PlanError::TooSmall {
+            total,
+            t,
+            needed: min_n,
+        });
+    }
+    // As many ~target-size groups as the population allows. `g ≥ 1`, and
+    // `base = total / g ≥ target ≥ min_n`, so every group is feasible
+    // even before the remainder is spread.
+    let g = (total / target).max(1);
+    let base = total / g;
+    let extra = total % g;
+    // Seeded shuffle: which processes land in which shard is the planner's
+    // only degree of freedom, and it is a pure function of the seed.
+    let mut ids: Vec<usize> = (0..total).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5a7d_11ce);
+    for i in (1..ids.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        ids.swap(i, j);
+    }
+    let mut shards = Vec::with_capacity(g);
+    let mut cursor = 0;
+    for id in 0..g {
+        let size = base + usize::from(id < extra);
+        let mut members: Vec<usize> = ids[cursor..cursor + size].to_vec();
+        members.sort_unstable();
+        cursor += size;
+        shards.push(ShardSpec { id, members, t });
+    }
+    debug_assert_eq!(cursor, total);
+    Ok(ShardPlan {
+        total,
+        t,
+        seed,
+        shards,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_cover_every_process_exactly_once() {
+        let plan = plan_shards(100, 2, 10, 3).unwrap();
+        let mut seen = vec![0usize; 100];
+        for s in &plan.shards {
+            for &m in &s.members {
+                seen[m] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+        assert_eq!(plan.len(), 10);
+    }
+
+    #[test]
+    fn every_shard_is_feasible() {
+        for &(total, t, target) in &[(64usize, 2usize, 16usize), (256, 2, 16), (1024, 3, 32)] {
+            let plan = plan_shards(total, t, target, 1).unwrap();
+            for s in &plan.shards {
+                assert!(
+                    s.n() > s.t * s.t,
+                    "shard {} has n={} t={}",
+                    s.id,
+                    s.n(),
+                    s.t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_requests_are_typed_errors() {
+        assert_eq!(plan_shards(0, 2, 16, 0), Err(PlanError::NoProcesses));
+        assert!(matches!(
+            plan_shards(64, 4, 16, 0),
+            Err(PlanError::Quorum(_))
+        ));
+        assert_eq!(
+            plan_shards(3, 2, 16, 0),
+            Err(PlanError::TooSmall {
+                total: 3,
+                t: 2,
+                needed: 5
+            })
+        );
+        let msg = plan_shards(64, 4, 16, 0).unwrap_err().to_string();
+        assert!(msg.contains("infeasible"), "{msg}");
+    }
+
+    #[test]
+    fn planning_is_deterministic_per_seed() {
+        let a = plan_shards(64, 2, 16, 42).unwrap();
+        let b = plan_shards(64, 2, 16, 42).unwrap();
+        assert_eq!(a, b);
+        let c = plan_shards(64, 2, 16, 43).unwrap();
+        assert_ne!(a, c, "different seeds should shuffle differently");
+    }
+
+    #[test]
+    fn shard_of_and_local_of_agree() {
+        let plan = plan_shards(30, 2, 10, 9).unwrap();
+        for g in 0..30 {
+            let sid = plan.shard_of(g).expect("covered");
+            let local = plan.shards[sid].local_of(g).expect("member");
+            assert_eq!(plan.shards[sid].members[local], g);
+        }
+        assert_eq!(plan.shard_of(30), None);
+    }
+}

@@ -1,0 +1,668 @@
+//! The service engine: epochs of sharded load, health reporting, and
+//! directory-driven rebalancing, on either execution backend.
+//!
+//! One [`ServiceSpec`] describes a deployment: total processes, the
+//! per-shard failure bound, the load profile, scripted crashes, and the
+//! backend (deterministic simulator or the threaded runtime). Running it
+//! executes two epochs:
+//!
+//! 1. **Epoch 1** — the [directory](crate::directory) decides an initial
+//!    routing table (every shard healthy), the client key space is routed
+//!    over it, and every shard runs its slice of the load while the
+//!    scripted crashes land. Shards run concurrently (one rayon task
+//!    each), so a 1024-process deployment is 64 independent 16-process
+//!    groups, not one Θ(n²) broadcast domain.
+//! 2. **Epoch 2** — each shard's detections are summarized as
+//!    [`ShardReport`]s; the directory rebalances (exhausted shards lose
+//!    their slots to healthy donors) and the next batch of ops runs over
+//!    the new table. The rebalancing invariant — no op is ever routed to
+//!    a shard whose failure budget is exhausted — is pinned by property
+//!    tests.
+//!
+//! The per-shard traces fold into a [`ServiceReport`] carrying
+//! throughput, message counts, and the detection-latency distribution —
+//! the measured quantities behind experiment E11.
+
+use crate::directory::{Directory, DirectoryError, DirectorySpec, RoutingTable, ShardReport};
+use crate::load::{analyze_load, LoadGenApp, LoadOutcome, LoadProfile};
+use crate::plan::{plan_shards, PlanError, ShardId, ShardPlan, ShardSpec};
+use rayon::prelude::*;
+use sfs::{ClusterSpec, HeartbeatConfig, QuorumError};
+use sfs_asys::{ProcessId, SimStats, Trace, TraceEventKind};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which engine executes the shard groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The deterministic discrete-event simulator (virtual time).
+    Sim,
+    /// The threaded runtime: real OS threads, wall-clock milliseconds.
+    Threaded,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::Sim => "sim",
+            Backend::Threaded => "threaded",
+        })
+    }
+}
+
+/// Declarative description of one sharded service deployment.
+#[derive(Debug, Clone)]
+pub struct ServiceSpec {
+    /// Total processes across all shards.
+    pub total: usize,
+    /// Per-shard failure bound.
+    pub t: usize,
+    /// Target shard size (must exceed `t²`).
+    pub shard_target: usize,
+    /// The directory group's own shape.
+    pub dir: DirectorySpec,
+    /// Base seed (shards derive per-shard seeds from it).
+    pub seed: u64,
+    /// Execution backend for the shard groups.
+    pub backend: Backend,
+    /// Batched delivery fast path on/off (both backends).
+    pub batch: bool,
+    /// Ops per epoch, routed over the whole key space.
+    pub load: LoadProfile,
+    /// Heartbeats for the shard groups (needed for crash detection).
+    pub heartbeat: Option<HeartbeatConfig>,
+    /// Scripted crashes `(global process, tick)` landing in epoch 1.
+    pub crashes: Vec<(usize, u64)>,
+    /// Virtual-time horizon per shard run.
+    pub max_time: u64,
+    /// Threaded-backend drain budget per shard run, in milliseconds.
+    pub settle_ms: u64,
+}
+
+impl ServiceSpec {
+    /// A service of `total` processes in shards of about `shard_target`,
+    /// each tolerating `t` failures, with a modest closed-loop load.
+    pub fn new(total: usize, t: usize, shard_target: usize) -> Self {
+        ServiceSpec {
+            total,
+            t,
+            shard_target,
+            dir: DirectorySpec::default(),
+            seed: 0,
+            backend: Backend::Sim,
+            batch: false,
+            load: LoadProfile::closed(total as u64, 4),
+            heartbeat: Some(HeartbeatConfig::default()),
+            crashes: Vec::new(),
+            max_time: 5_000,
+            settle_ms: 150,
+        }
+    }
+
+    /// Sets or disables shard heartbeats. Without them, crash-free runs
+    /// quiesce (nice for tests); with them, crashes are actually
+    /// detected (required whenever [`ServiceSpec::crash`] is used).
+    pub fn heartbeat(mut self, hb: Option<HeartbeatConfig>) -> Self {
+        self.heartbeat = hb;
+        self
+    }
+
+    /// Sets the virtual-time horizon per shard run.
+    pub fn max_time(mut self, t: u64) -> Self {
+        self.max_time = t;
+        self
+    }
+
+    /// Sets the backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Toggles the batching fast path.
+    pub fn batched(mut self, on: bool) -> Self {
+        self.batch = on;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-epoch load.
+    pub fn load(mut self, load: LoadProfile) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Schedules a crash of global process `g` at `tick` (epoch 1).
+    pub fn crash(mut self, g: usize, tick: u64) -> Self {
+        self.crashes.push((g, tick));
+        self
+    }
+}
+
+/// Why a service run failed before producing a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The deployment could not be partitioned.
+    Plan(PlanError),
+    /// A shard group's shape was rejected (should be impossible for a
+    /// successful plan; surfaced rather than unwrapped).
+    Quorum(QuorumError),
+    /// The directory could not decide a routing table.
+    Directory(DirectoryError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Plan(e) => write!(f, "planning failed: {e}"),
+            ServiceError::Quorum(e) => write!(f, "shard rejected: {e}"),
+            ServiceError::Directory(e) => write!(f, "directory failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<PlanError> for ServiceError {
+    fn from(e: PlanError) -> Self {
+        ServiceError::Plan(e)
+    }
+}
+impl From<QuorumError> for ServiceError {
+    fn from(e: QuorumError) -> Self {
+        ServiceError::Quorum(e)
+    }
+}
+impl From<DirectoryError> for ServiceError {
+    fn from(e: DirectoryError) -> Self {
+        ServiceError::Directory(e)
+    }
+}
+
+/// What one shard's run in one epoch amounted to.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// The shard.
+    pub shard: ShardId,
+    /// Members.
+    pub n: usize,
+    /// Ops routed to it this epoch.
+    pub ops_routed: u64,
+    /// The load outcome.
+    pub load: LoadOutcome,
+    /// Engine counters for the run.
+    pub stats: SimStats,
+    /// Recorded events.
+    pub events: u64,
+    /// Distinct members detected failed during the run.
+    pub detected: usize,
+    /// Crash→detection latencies in ticks (one per detector per crash).
+    pub detection_latencies: Vec<u64>,
+}
+
+/// One epoch: the table it ran under and every shard's outcome.
+#[derive(Debug, Clone)]
+pub struct EpochOutcome {
+    /// Epoch number (1-based).
+    pub epoch: u64,
+    /// The routing table in force.
+    pub table: RoutingTable,
+    /// Per-shard outcomes (only shards that served ops, plus — in epoch
+    /// 1 — shards with scripted crashes).
+    pub shards: Vec<ShardOutcome>,
+    /// Wall-clock duration of the epoch's shard runs.
+    pub wall_ms: f64,
+}
+
+/// The full report of a service run.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Total processes.
+    pub total: usize,
+    /// Shard count of the plan.
+    pub shard_count: usize,
+    /// Backend the shards ran on.
+    pub backend: Backend,
+    /// Whether the batching fast path was on.
+    pub batch: bool,
+    /// The two epochs.
+    pub epochs: Vec<EpochOutcome>,
+    /// Shards that exhausted their budget in epoch 1.
+    pub exhausted: Vec<ShardId>,
+    /// End-to-end wall time (planning, directory, both epochs).
+    pub wall_ms: f64,
+}
+
+impl ServiceReport {
+    /// Distinct ops completed across all epochs and shards.
+    pub fn ops_completed(&self) -> u64 {
+        self.epochs
+            .iter()
+            .flat_map(|e| &e.shards)
+            .map(|s| s.load.completed)
+            .sum()
+    }
+
+    /// Distinct ops issued across all epochs and shards.
+    pub fn ops_issued(&self) -> u64 {
+        self.epochs
+            .iter()
+            .flat_map(|e| &e.shards)
+            .map(|s| s.load.issued)
+            .sum()
+    }
+
+    /// Messages sent across all shard runs.
+    pub fn messages(&self) -> u64 {
+        self.epochs
+            .iter()
+            .flat_map(|e| &e.shards)
+            .map(|s| s.stats.messages_sent)
+            .sum()
+    }
+
+    /// Trace events across all shard runs.
+    pub fn events(&self) -> u64 {
+        self.epochs
+            .iter()
+            .flat_map(|e| &e.shards)
+            .map(|s| s.events)
+            .sum()
+    }
+
+    /// Coalesced delivery batches across all shard runs.
+    pub fn delivery_batches(&self) -> u64 {
+        self.epochs
+            .iter()
+            .flat_map(|e| &e.shards)
+            .map(|s| s.stats.delivery_batches)
+            .sum()
+    }
+
+    /// All crash→detection latencies, ascending.
+    pub fn detection_latencies(&self) -> Vec<u64> {
+        let mut all: Vec<u64> = self
+            .epochs
+            .iter()
+            .flat_map(|e| &e.shards)
+            .flat_map(|s| s.detection_latencies.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all
+    }
+
+    /// Total serving time in ticks, summed over shard runs: each shard's
+    /// first-issue → last-completion window. Wall-clock comparisons on
+    /// the threaded backend use this (ticks are milliseconds there), so
+    /// the figure measures the *serving* path and not the drain budget
+    /// idling after quiescence.
+    pub fn serving_ticks(&self) -> u64 {
+        self.epochs
+            .iter()
+            .flat_map(|e| &e.shards)
+            .filter_map(|s| match (s.load.first_issue, s.load.last_done) {
+                (Some(a), Some(b)) => Some(b.ticks().saturating_sub(a.ticks())),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Completed ops per wall-clock second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.ops_completed() as f64 / (self.wall_ms / 1_000.0)
+    }
+
+    /// Messages per wall-clock second.
+    pub fn msgs_per_sec(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            return 0.0;
+        }
+        self.messages() as f64 / (self.wall_ms / 1_000.0)
+    }
+}
+
+/// The `q`-th percentile (0–100) of a sorted sample, by nearest-rank.
+pub fn percentile(sorted: &[u64], q: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q as usize * sorted.len()).div_ceil(100).max(1) - 1;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Runs one service deployment; see the module docs for the epoch
+/// structure.
+///
+/// # Errors
+///
+/// See [`ServiceError`].
+pub fn run_service(spec: &ServiceSpec) -> Result<ServiceReport, ServiceError> {
+    let started = Instant::now();
+    let plan = plan_shards(spec.total, spec.t, spec.shard_target, spec.seed)?;
+    let all_healthy: Vec<ShardReport> = (0..plan.len())
+        .map(|shard| ShardReport {
+            shard,
+            detections: 0,
+            t: spec.t,
+        })
+        .collect();
+    let table1 = Directory::decide(&spec.dir, 1, &all_healthy)?;
+    let epoch1 = run_epoch(spec, &plan, 1, &table1, &BTreeMap::new())?;
+    // Summarize shard health out of epoch 1; shards that served nothing
+    // and crashed nothing report their planner-known shape untouched.
+    let detected_of: BTreeMap<ShardId, usize> = epoch1
+        .shards
+        .iter()
+        .map(|s| (s.shard, s.detected))
+        .collect();
+    let reports: Vec<ShardReport> = (0..plan.len())
+        .map(|shard| ShardReport {
+            shard,
+            detections: detected_of.get(&shard).copied().unwrap_or(0),
+            t: spec.t,
+        })
+        .collect();
+    let exhausted: Vec<ShardId> = reports
+        .iter()
+        .filter(|r| r.exhausted())
+        .map(|r| r.shard)
+        .collect();
+    let table2 = Directory::decide(&spec.dir, 2, &reports)?;
+    let epoch2 = run_epoch(spec, &plan, 2, &table2, &detected_of)?;
+    Ok(ServiceReport {
+        total: spec.total,
+        shard_count: plan.len(),
+        backend: spec.backend,
+        batch: spec.batch,
+        epochs: vec![epoch1, epoch2],
+        exhausted,
+        wall_ms: started.elapsed().as_secs_f64() * 1_000.0,
+    })
+}
+
+/// Routes this epoch's ops over `table` and runs every involved shard.
+/// `dead` carries the per-shard count of members detected failed in
+/// earlier epochs: failures are permanent (sFS2a — a detected process
+/// really is gone), so later epochs run each shard as its *survivors*
+/// with the *remaining* failure budget, never with resurrected members.
+fn run_epoch(
+    spec: &ServiceSpec,
+    plan: &ShardPlan,
+    epoch: u64,
+    table: &RoutingTable,
+    dead: &BTreeMap<ShardId, usize>,
+) -> Result<EpochOutcome, ServiceError> {
+    let started = Instant::now();
+    let mut routed: BTreeMap<ShardId, u64> = BTreeMap::new();
+    for op in 0..spec.load.ops {
+        *routed.entry(table.route(op)).or_insert(0) += 1;
+    }
+    // Scripted crashes land in epoch 1 only; map global pids onto their
+    // shard-local identities.
+    let mut crashes: BTreeMap<ShardId, Vec<(usize, u64)>> = BTreeMap::new();
+    if epoch == 1 {
+        for &(g, tick) in &spec.crashes {
+            if let Some(sid) = plan.shard_of(g) {
+                let local = plan.shards[sid].local_of(g).expect("member");
+                crashes.entry(sid).or_default().push((local, tick));
+            }
+        }
+    }
+    let involved: Vec<&ShardSpec> = plan
+        .shards
+        .iter()
+        .filter(|s| routed.contains_key(&s.id) || crashes.contains_key(&s.id))
+        .collect();
+    let outcomes: Vec<Result<ShardOutcome, ServiceError>> = involved
+        .par_iter()
+        .map(|shard| {
+            run_shard(
+                spec,
+                shard,
+                epoch,
+                routed.get(&shard.id).copied().unwrap_or(0),
+                crashes.get(&shard.id).cloned().unwrap_or_default(),
+                dead.get(&shard.id).copied().unwrap_or(0),
+            )
+        })
+        .collect();
+    let shards = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(EpochOutcome {
+        epoch,
+        table: table.clone(),
+        shards,
+        wall_ms: started.elapsed().as_secs_f64() * 1_000.0,
+    })
+}
+
+/// Runs one shard group for one epoch on the spec's backend. `dead`
+/// members from earlier epochs are gone for good: the group runs as its
+/// `n - dead` survivors with the remaining budget `t - dead` (always
+/// still feasible: `n > t²` and `d < t` imply `n - d > (t - d)²`).
+fn run_shard(
+    spec: &ServiceSpec,
+    shard: &ShardSpec,
+    epoch: u64,
+    ops: u64,
+    crashes: Vec<(usize, u64)>,
+    dead: usize,
+) -> Result<ShardOutcome, ServiceError> {
+    let n = shard.n() - dead.min(shard.n());
+    let t = shard.t - dead.min(shard.t);
+    let mut cluster = ClusterSpec::new(n, t)
+        .seed(spec.seed ^ (0xE11 * (epoch + 1) + shard.id as u64))
+        .batched(spec.batch)
+        .max_time(spec.max_time);
+    if let Some(hb) = spec.heartbeat {
+        cluster = cluster.heartbeat(hb);
+    }
+    for &(local, tick) in &crashes {
+        cluster = cluster.crash(ProcessId::new(local), tick.max(1));
+    }
+    let profile = LoadProfile {
+        mode: spec.load.mode,
+        ops,
+    };
+    let trace = match spec.backend {
+        Backend::Sim => cluster.try_run_apps(|_| LoadGenApp::new(profile))?,
+        Backend::Threaded => {
+            let settle = Duration::from_millis(spec.settle_ms);
+            cluster.try_run_threaded(|_| LoadGenApp::new(profile), settle)?
+        }
+    };
+    Ok(summarize_shard(shard.id, n, ops, &trace))
+}
+
+/// Folds one shard trace into its outcome. `n` is the size the group
+/// actually ran at (survivors only, in epochs after losses).
+fn summarize_shard(shard: ShardId, n: usize, ops: u64, trace: &Trace) -> ShardOutcome {
+    let load = analyze_load(trace);
+    // Crash → detection latency: every Failed{of = v} after Crash{v}.
+    let mut crash_at: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut latencies = Vec::new();
+    for e in trace.events() {
+        match e.kind {
+            TraceEventKind::Crash { pid } => {
+                crash_at.entry(pid.index()).or_insert(e.time.ticks());
+            }
+            TraceEventKind::Failed { of, .. } => {
+                if let Some(&c) = crash_at.get(&of.index()) {
+                    latencies.push(e.time.ticks().saturating_sub(c));
+                }
+            }
+            _ => {}
+        }
+    }
+    let detected: std::collections::BTreeSet<ProcessId> =
+        trace.detections().into_iter().map(|(_, of)| of).collect();
+    ShardOutcome {
+        shard,
+        n,
+        ops_routed: ops,
+        load,
+        stats: trace.stats(),
+        events: trace.events().len() as u64,
+        detected: detected.len(),
+        detection_latencies: latencies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = vec![10, 20, 30, 40];
+        assert_eq!(percentile(&v, 50), 20);
+        assert_eq!(percentile(&v, 95), 40);
+        assert_eq!(percentile(&v, 100), 40);
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+    }
+
+    #[test]
+    fn small_service_completes_all_ops_on_sim() {
+        let spec = ServiceSpec::new(20, 2, 10)
+            .heartbeat(None)
+            .load(LoadProfile::closed(40, 4));
+        let report = run_service(&spec).unwrap();
+        assert_eq!(report.shard_count, 2);
+        assert_eq!(report.epochs.len(), 2);
+        // 40 ops per epoch, all completed.
+        assert_eq!(report.ops_completed(), 80);
+        assert!(report.exhausted.is_empty());
+        assert!(report.messages() > 0);
+    }
+
+    #[test]
+    fn service_runs_are_deterministic_on_sim() {
+        let spec = ServiceSpec::new(20, 2, 10)
+            .seed(5)
+            .heartbeat(None)
+            .load(LoadProfile::open(30, 3, 2));
+        let a = run_service(&spec).unwrap();
+        let b = run_service(&spec).unwrap();
+        assert_eq!(a.ops_completed(), b.ops_completed());
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.messages(), b.messages());
+        assert_eq!(a.detection_latencies(), b.detection_latencies());
+    }
+
+    #[test]
+    fn crashes_are_detected_and_exhausted_shards_lose_their_slots() {
+        // Crash t = 2 members of shard 0 (plan is deterministic, so we
+        // can name them): epoch 2 must route nothing there.
+        let plan = plan_shards(20, 2, 10, 3).unwrap();
+        let victims: Vec<usize> = plan.shards[0].members.iter().take(2).copied().collect();
+        let spec = ServiceSpec::new(20, 2, 10)
+            .seed(3)
+            .max_time(1_500)
+            .load(LoadProfile::closed(30, 4))
+            .crash(victims[0], 40)
+            .crash(victims[1], 60);
+        let report = run_service(&spec).unwrap();
+        assert_eq!(report.exhausted, vec![0], "shard 0 must exhaust its t");
+        let epoch2 = &report.epochs[1];
+        assert!(!epoch2.table.healthy.contains(&0));
+        for s in &epoch2.shards {
+            assert!(
+                s.shard != 0 || s.ops_routed == 0,
+                "epoch 2 routed ops to the exhausted shard"
+            );
+        }
+        // Detection latencies were measured.
+        assert!(!report.detection_latencies().is_empty());
+        // Epoch 2 still completes its whole batch on the surviving shard.
+        let done2: u64 = epoch2.shards.iter().map(|s| s.load.completed).sum();
+        assert_eq!(done2, 30);
+    }
+
+    #[test]
+    fn fault_intolerant_service_serves_without_failures() {
+        // t = 0 is a legal, fault-intolerant deployment: with zero
+        // detections every shard stays healthy and both epochs serve.
+        let spec = ServiceSpec::new(8, 0, 4)
+            .heartbeat(None)
+            .load(LoadProfile::closed(16, 2));
+        let report = run_service(&spec).unwrap();
+        assert_eq!(report.shard_count, 2);
+        assert_eq!(report.ops_completed(), 32);
+        assert!(report.exhausted.is_empty());
+    }
+
+    #[test]
+    fn partially_damaged_shards_serve_later_epochs_as_survivors() {
+        // One crash (< t) leaves the shard healthy and routed — but its
+        // dead member must NOT resurrect in epoch 2: the group re-runs
+        // as its 9 survivors with the remaining budget t - 1.
+        let plan = plan_shards(20, 2, 10, 6).unwrap();
+        let victim = plan.shards[1].members[0];
+        let spec = ServiceSpec::new(20, 2, 10)
+            .seed(6)
+            .max_time(1_500)
+            .load(LoadProfile::closed(30, 4))
+            .crash(victim, 40);
+        let report = run_service(&spec).unwrap();
+        assert!(report.exhausted.is_empty(), "one crash < t stays healthy");
+        let e1 = report.epochs[0]
+            .shards
+            .iter()
+            .find(|s| s.shard == 1)
+            .expect("shard 1 served epoch 1");
+        assert_eq!(e1.n, 10);
+        assert_eq!(e1.detected, 1, "the crash was detected");
+        let e2 = report.epochs[1]
+            .shards
+            .iter()
+            .find(|s| s.shard == 1)
+            .expect("still routed in epoch 2");
+        assert_eq!(
+            e2.n, 9,
+            "epoch 2 runs the survivors, not resurrected members"
+        );
+        let done2: u64 = report.epochs[1]
+            .shards
+            .iter()
+            .map(|s| s.load.completed)
+            .sum();
+        assert_eq!(done2, 30, "survivors still serve the whole epoch-2 batch");
+    }
+
+    #[test]
+    fn batching_changes_no_outcome_on_sim() {
+        // Heartbeats stay on: their synchronized broadcasts guarantee
+        // same-instant same-destination deliveries, so the batched run
+        // demonstrably coalesces while changing nothing observable.
+        let spec = ServiceSpec::new(20, 2, 10)
+            .seed(8)
+            .max_time(800)
+            .load(LoadProfile::closed(24, 3));
+        let plain = run_service(&spec.clone().batched(false)).unwrap();
+        let batched = run_service(&spec.batched(true)).unwrap();
+        assert_eq!(plain.ops_completed(), batched.ops_completed());
+        assert_eq!(plain.messages(), batched.messages());
+        assert!(batched.delivery_batches() > 0);
+        assert_eq!(plain.delivery_batches(), 0);
+    }
+
+    #[test]
+    fn threaded_backend_serves_a_small_service() {
+        let spec = ServiceSpec::new(10, 1, 5)
+            .backend(Backend::Threaded)
+            .heartbeat(None)
+            .load(LoadProfile::closed(10, 2));
+        let report = run_service(&spec).unwrap();
+        assert_eq!(report.shard_count, 2);
+        assert_eq!(report.ops_completed(), 20, "all ops served on threads");
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the shard planner and the directory's rebalancing
+//! invariant (ISSUE E11 satellites):
+//!
+//! * every planned shard satisfies `n > t²`;
+//! * planning is a pure function of `(total, t, target, seed)`;
+//! * after any pattern of crashes, a rebalanced routing table never
+//!   assigns a client op to a shard whose failure budget is exhausted.
+
+use proptest::prelude::*;
+use sfs_service::{plan_shards, RoutingTable, ShardReport};
+
+/// `(total, t, target, seed)` with `target > t²` and enough processes
+/// for 1–40 shards.
+fn arb_plan_inputs() -> impl Strategy<Value = (usize, usize, usize, u64)> {
+    (1usize..=3, 0usize..=11, 0u64..1_000).prop_flat_map(|(t, extra, seed)| {
+        let target = t * t + 1 + extra;
+        (target..=target * 40).prop_map(move |total| (total, t, target, seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_planned_shard_satisfies_the_corollary8_bound(
+        inputs in arb_plan_inputs()
+    ) {
+        let (total, t, target, seed) = inputs;
+        let plan = plan_shards(total, t, target, seed).expect("inputs are feasible");
+        // Partition: every process in exactly one shard.
+        let mut seen = vec![false; total];
+        for shard in &plan.shards {
+            prop_assert!(shard.n() > t * t,
+                "shard {} has n={} for t={}", shard.id, shard.n(), t);
+            for &m in &shard.members {
+                prop_assert!(!seen[m], "process {} planned twice", m);
+                seen[m] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some process unplanned");
+    }
+
+    #[test]
+    fn planning_is_deterministic_for_a_given_seed(
+        inputs in arb_plan_inputs()
+    ) {
+        let (total, t, target, seed) = inputs;
+        let a = plan_shards(total, t, target, seed).expect("feasible");
+        let b = plan_shards(total, t, target, seed).expect("feasible");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rebalancing_never_routes_to_an_exhausted_shard(
+        detections in prop::collection::vec(0usize..=4, 1..24),
+        t in 1usize..=3,
+        epoch in 1u64..100,
+    ) {
+        let reports: Vec<ShardReport> = detections
+            .iter()
+            .enumerate()
+            .map(|(shard, &d)| ShardReport { shard, detections: d, t })
+            .collect();
+        let any_healthy = reports.iter().any(|r| !r.exhausted());
+        match RoutingTable::rebalance(epoch, &reports) {
+            None => prop_assert!(!any_healthy,
+                "rebalance gave up although a healthy shard exists"),
+            Some(table) => {
+                prop_assert!(any_healthy);
+                // The decisive invariant: no key routes to an exhausted
+                // shard, and every slot is served.
+                prop_assert_eq!(table.slots.len(), reports.len());
+                for key in 0..(4 * reports.len() as u64) {
+                    let serving = table.route(key);
+                    let report = reports.iter().find(|r| r.shard == serving).unwrap();
+                    prop_assert!(!report.exhausted(),
+                        "key {} routed to exhausted shard {}", key, serving);
+                }
+                // Healthy shards keep their native slots (stability).
+                for r in reports.iter().filter(|r| !r.exhausted()) {
+                    prop_assert_eq!(table.slots[r.shard], r.shard);
+                }
+            }
+        }
+    }
+}

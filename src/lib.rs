@@ -12,6 +12,7 @@
 //! | [`explore`] | schedule-space exploration: bounded-exhaustive DFS with partial-order pruning, random-walk fallback, replayable witnesses |
 //! | [`core`] (as [`sfs`]) | the one-round simulated-fail-stop protocol, quorum bounds, comparator detectors |
 //! | [`apps`] | leader election, last-to-fail recovery, membership, the Appendix A.3 adversary, exploration scenarios |
+//! | [`service`] | scale-out layer: shard planner, replicated cross-shard directory, load generation, the E11 engine |
 //!
 //! This facade re-exports each crate under a short name; depend on it for
 //! everything, or on the individual crates for narrower builds.
@@ -45,6 +46,7 @@ pub use sfs_apps as apps;
 pub use sfs_asys as asys;
 pub use sfs_explore as explore;
 pub use sfs_history as history;
+pub use sfs_service as service;
 pub use sfs_tlogic as tlogic;
 
 /// The protocol crate, re-exported under its package name.
@@ -63,6 +65,9 @@ pub mod prelude {
     pub use sfs_explore::{explore, random_walks, ExploreConfig, Pruning, WalkConfig};
     pub use sfs_history::{
         rearrange_by_swaps, rearrange_to_fs, Event, FailedBefore, HappensBefore, History,
+    };
+    pub use sfs_service::{
+        plan_shards, run_service, Backend, LoadProfile, ServiceReport, ServiceSpec,
     };
     pub use sfs_tlogic::{properties, Formula, PropertyReport, Verdict};
 }
