@@ -30,8 +30,11 @@
 //! `⌊n(t-1)/t⌋ + 1`, no victim can complete its round and the attack
 //! fails — the bound is tight.
 
-use sfs::{ClusterSpec, ModeSpec, NullApp, QuorumPolicy, SfsMsg};
-use sfs_asys::{ChoiceTrace, FixedLatency, OverrideLatency, ProcessId, Sim, Trace};
+use sfs::{ClusterSpec, ModeSpec, NetSpec, NullApp, ProbeConfig, QuorumPolicy, SfsMsg};
+use sfs_asys::{
+    ChoiceTrace, FixedLatency, OverrideLatency, PartitionSchedule, ProcessId, Sim, Trace,
+    VirtualTime,
+};
 use sfs_explore::{
     class_fingerprint, explore, random_walks, replay, replay_fidelity, shrink, DifferentialOracle,
     Divergence, Envelope, ExploreConfig, ExploreStats, PropertyEnvelope, Pruning, ScheduleRun,
@@ -478,6 +481,121 @@ impl ExploreInstance {
     }
 }
 
+// ---- faulty-network scenarios (experiment E12) --------------------------
+
+/// One adversarial network condition for a transport-backed cluster run:
+/// the scenario family behind experiment E12 and the faulty-net behaviour
+/// suites of the election/membership/workpool applications.
+///
+/// Every scenario runs the §5 protocol inside the `sfs-transport` ARQ
+/// layer with heartbeat probing, so **all** suspicions are endogenous
+/// (missed-heartbeat timeouts), never scripted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetScenario {
+    /// I.i.d. per-message loss at the given rate.
+    Loss(f64),
+    /// I.i.d. per-message duplication at the given rate.
+    Duplicate(f64),
+    /// A transmit-side blackout: the first `island` processes cannot
+    /// *send* for `[cut_at, heal_at)` (their inbound links stay up — the
+    /// gray-failure shape: alive but silent, exactly the "erroneous
+    /// suspicion" the paper's model admits). Survivors' probes time out,
+    /// the protocol detects the island and kills it cleanly; a
+    /// sufficiently short cut is harmless. `island` must stay within the
+    /// failure bound `t` for the run to stay within the paper's model.
+    HealedPartition {
+        /// Number of silenced processes (ids `0..island`).
+        island: usize,
+        /// Cut start (ticks).
+        cut_at: u64,
+        /// Heal time (ticks).
+        heal_at: u64,
+    },
+    /// Membership churn: `crashes` staggered real crashes, one every
+    /// `every` ticks starting at 100, victims from the top of the id
+    /// space. Detection is endogenous (probe timeouts).
+    Churn {
+        /// Number of crashes (keep `<= t`).
+        crashes: usize,
+        /// Tick gap between consecutive crashes.
+        every: u64,
+    },
+}
+
+impl NetScenario {
+    /// A short, stable label for tables and test names.
+    pub fn label(&self) -> String {
+        match self {
+            NetScenario::Loss(p) => format!("loss {:.0}%", p * 100.0),
+            NetScenario::Duplicate(p) => format!("dup {:.0}%", p * 100.0),
+            NetScenario::HealedPartition {
+                island,
+                cut_at,
+                heal_at,
+            } => format!("cut {island} [{cut_at},{heal_at})"),
+            NetScenario::Churn { crashes, every } => format!("churn {crashes}/{every}"),
+        }
+    }
+
+    /// The transport-backed cluster spec for this scenario over `(n, t)`:
+    /// probe-driven endogenous detection, a horizon long enough for
+    /// every scenario of this family to settle, and — for the crash-ful
+    /// scenarios — one real crash at tick 100 so detection latency is
+    /// measurable.
+    ///
+    /// The probe timeout is provisioned for the family's worst tested
+    /// loss rate (250 ticks ≈ 12 heartbeat intervals: at 20% i.i.d.
+    /// loss the chance of losing a whole window of pings is ~10⁻⁸).
+    /// An *under*provisioned timeout is not a bug in the transport but
+    /// physics: enough consecutive losses are indistinguishable from a
+    /// crash, the prober suspects a live peer, and each such false
+    /// suspicion spends one unit of the failure budget `t` — beyond
+    /// which the paper's guarantees genuinely end.
+    pub fn spec(&self, n: usize, t: usize, seed: u64) -> ClusterSpec {
+        let probe = ProbeConfig {
+            interval: 20,
+            timeout: 250,
+            check_every: 25,
+        };
+        let mut net = NetSpec::faultless().probe(probe);
+        let mut spec = ClusterSpec::new(n, t).seed(seed).max_time(6_000);
+        match *self {
+            NetScenario::Loss(p) => {
+                net = net.loss(p);
+                spec = spec.crash(ProcessId::new(n - 1), 100);
+            }
+            NetScenario::Duplicate(p) => {
+                net = net.duplicate(p);
+                spec = spec.crash(ProcessId::new(n - 1), 100);
+            }
+            NetScenario::HealedPartition {
+                island,
+                cut_at,
+                heal_at,
+            } => {
+                let outbound: Vec<(ProcessId, ProcessId)> = (0..island)
+                    .flat_map(|i| {
+                        (0..n)
+                            .filter(move |&j| j != i)
+                            .map(move |j| (ProcessId::new(i), ProcessId::new(j)))
+                    })
+                    .collect();
+                net = net.partitions(PartitionSchedule::new().cut_links(
+                    VirtualTime::from_ticks(cut_at),
+                    VirtualTime::from_ticks(heal_at),
+                    &outbound,
+                ));
+            }
+            NetScenario::Churn { crashes, every } => {
+                for i in 0..crashes {
+                    spec = spec.crash(ProcessId::new(n - 1 - i), 100 + i as u64 * every);
+                }
+            }
+        }
+        spec.net(net)
+    }
+}
+
 // ---- differential conformance ------------------------------------------
 
 /// Budgets for one differential-conformance check of one instance.
@@ -489,6 +607,11 @@ pub struct ConformanceConfig {
     /// Repetitions on the threaded runtime (real-concurrency
     /// nondeterminism: every repetition is a fresh schedule).
     pub threaded_runs: usize,
+    /// Transport-backed simulator runs (`sim:transport`): the instance
+    /// on the loss-free faulty-net leg — §5 inside the `sfs-transport`
+    /// ARQ layer — whose model-level history must land in the bare
+    /// exploration's envelope. Seeds `seed..seed + transport_runs`.
+    pub transport_runs: usize,
     /// Wall-clock settle window per threaded run, after the last
     /// injection, in milliseconds.
     pub settle_ms: u64,
@@ -503,6 +626,7 @@ impl Default for ConformanceConfig {
         ConformanceConfig {
             random_runs: 8,
             threaded_runs: 2,
+            transport_runs: 2,
             settle_ms: 250,
             seed: 1,
             shrink: ShrinkConfig::default(),
@@ -726,6 +850,26 @@ impl ExploreInstance {
             threaded.absorb_run(complete, oracle.check("threaded", &trace, complete));
         }
         backends.push(threaded);
+
+        // Backend 4: the transport-backed leg — the same instance with
+        // its channels *emulated* (ARQ over a loss-free faulty link)
+        // rather than assumed. Its model-level history must land in the
+        // bare exploration's envelope: same class set, same verdict
+        // bounds. This is what pins "the transport earns the §2 channel
+        // axioms" differentially rather than axiomatically.
+        let mut transport = BackendReport::new("sim:transport");
+        for i in 0..config.transport_runs {
+            let trace = self
+                .spec
+                .clone()
+                .seed(config.seed.wrapping_add(i as u64))
+                .net(NetSpec::faultless())
+                .try_run_net(|_| NullApp)
+                .expect("explored instance is feasible");
+            let complete = trace.stop_reason().is_complete();
+            transport.absorb_run(complete, oracle.check("sim:transport", &trace, complete));
+        }
+        backends.push(transport);
 
         // Minimize every reference witness.
         let shrunk = reference
@@ -1085,6 +1229,7 @@ mod tests {
         ConformanceConfig {
             random_runs: 4,
             threaded_runs: 1,
+            transport_runs: 1,
             settle_ms: 250,
             seed: 7,
             shrink: ShrinkConfig {
@@ -1106,7 +1251,7 @@ mod tests {
             out.divergences().collect::<Vec<_>>()
         );
         assert!(out.replay_checks >= 5, "{}", out.replay_checks);
-        assert_eq!(out.total_runs(), 1 + 4 + 5 + 1, "{:#?}", out.backends);
+        assert_eq!(out.total_runs(), 1 + 4 + 5 + 1 + 1, "{:#?}", out.backends);
         // Nothing was violated, so nothing was shrunk.
         assert!(out.shrunk.is_empty());
     }

@@ -1,0 +1,161 @@
+//! Application behaviour over the faulty network (ISSUE E12): the
+//! election, membership, and work-pool apps run unchanged on the
+//! transport-backed legs of the [`NetScenario`] family — message loss,
+//! duplication, healed transmit blackouts, and crash churn — with every
+//! suspicion *endogenous* (transport heartbeat timeouts), never scripted.
+//!
+//! These suites pin the end-to-end claim of the transport layer: the
+//! fail-stop programming model the apps were written against survives
+//! the move from assumed channels to emulated ones.
+
+use sfs_apps::election::{analyze_election, ElectionApp};
+use sfs_apps::membership::{check_convergence, MembershipApp};
+use sfs_apps::scenarios::NetScenario;
+use sfs_apps::workpool::{analyze_workpool, WorkPoolApp};
+use sfs_asys::ProcessId;
+use sfs_history::History;
+use sfs_tlogic::properties;
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+#[test]
+fn workpool_loses_no_tasks_under_message_loss() {
+    // 15% i.i.d. loss plus a real worker crash: reassignment relies on
+    // sFS2a, which the transport-backed protocol keeps.
+    let trace = NetScenario::Loss(0.15)
+        .spec(6, 2, 3)
+        .try_run_net(|_| WorkPoolApp::new(12))
+        .expect("feasible");
+    assert!(trace.stats().messages_dropped > 0, "scenario was not lossy");
+    assert_eq!(trace.crashed(), vec![p(5)], "{}", trace.to_pretty_string());
+    let outcome = analyze_workpool(&trace);
+    assert_eq!(
+        outcome.tasks_executed.len(),
+        12,
+        "lost tasks:\n{}",
+        trace.to_pretty_string()
+    );
+    assert!(outcome.all_done_observed, "completion never observed");
+}
+
+#[test]
+fn workpool_survives_a_healed_coordinator_blackout() {
+    // p0 — the initial coordinator — goes transmit-silent for a window
+    // long past the probe timeout: an endogenous FALSE suspicion kills
+    // it cleanly (it is alive!), failover reassigns, nothing is lost.
+    let trace = NetScenario::HealedPartition {
+        island: 1,
+        cut_at: 50,
+        heal_at: 1_200,
+    }
+    .spec(6, 2, 7)
+    .try_run_net(|_| WorkPoolApp::new(10))
+    .expect("feasible");
+    assert_eq!(
+        trace.crashed(),
+        vec![p(0)],
+        "the silenced coordinator must be killed:\n{}",
+        trace.to_pretty_string()
+    );
+    let outcome = analyze_workpool(&trace);
+    assert_eq!(outcome.tasks_executed.len(), 10, "lost tasks");
+    assert!(outcome.all_done_observed, "failover never completed");
+    // The false suspicion stayed a *clean* kill: the full safety suite
+    // holds on the prefix.
+    let h = History::from_trace(&trace);
+    assert!(h.validate().is_ok());
+    for r in properties::check_sfs_suite(&h, false) {
+        assert!(r.is_ok(), "{r}\n{}", trace.to_pretty_string());
+    }
+}
+
+#[test]
+fn election_stays_anomaly_free_under_loss_and_duplication() {
+    for scenario in [NetScenario::Loss(0.2), NetScenario::Duplicate(0.25)] {
+        let trace = scenario
+            .spec(5, 2, 11)
+            .try_run_net(|_| ElectionApp::new())
+            .expect("feasible");
+        let outcome = analyze_election(&trace);
+        assert_eq!(
+            outcome.observed_anomalies,
+            0,
+            "{}: FS-impossible observation\n{}",
+            scenario.label(),
+            trace.to_pretty_string()
+        );
+        assert!(
+            !outcome.claims.is_empty(),
+            "{}: nobody ever led",
+            scenario.label()
+        );
+    }
+}
+
+#[test]
+fn election_fails_over_across_a_healed_leader_blackout() {
+    // The leader p0 goes transmit-silent; the survivors elect p1 and no
+    // FS-impossible observation occurs even after the network heals and
+    // p0's stale traffic arrives.
+    let trace = NetScenario::HealedPartition {
+        island: 1,
+        cut_at: 80,
+        heal_at: 1_000,
+    }
+    .spec(5, 2, 5)
+    .try_run_net(|_| ElectionApp::new())
+    .expect("feasible");
+    assert_eq!(trace.crashed(), vec![p(0)], "{}", trace.to_pretty_string());
+    let outcome = analyze_election(&trace);
+    assert_eq!(outcome.observed_anomalies, 0);
+    let claimants: Vec<ProcessId> = outcome.claims.iter().map(|&(_, c)| c).collect();
+    assert!(
+        claimants.contains(&p(1)),
+        "no failover claim: {claimants:?}\n{}",
+        trace.to_pretty_string()
+    );
+}
+
+#[test]
+fn membership_converges_under_churn() {
+    // Two staggered real crashes, detected endogenously: every survivor
+    // must install the same final view.
+    let trace = NetScenario::Churn {
+        crashes: 2,
+        every: 400,
+    }
+    .spec(7, 2, 9)
+    .try_run_net(|_| MembershipApp::new())
+    .expect("feasible");
+    assert_eq!(trace.crashed().len(), 2, "{}", trace.to_pretty_string());
+    check_convergence(&trace).unwrap_or_else(|(a, b)| {
+        panic!(
+            "views diverged between {a} and {b}:\n{}",
+            trace.to_pretty_string()
+        )
+    });
+}
+
+#[test]
+fn membership_converges_under_loss_with_churn() {
+    // Loss and churn together: the composed worst case of this family.
+    let mut spec = NetScenario::Churn {
+        crashes: 2,
+        every: 500,
+    }
+    .spec(7, 2, 13);
+    let net = spec.net.take().expect("churn spec carries a net");
+    let trace = spec
+        .net(net.loss(0.1))
+        .try_run_net(|_| MembershipApp::new())
+        .expect("feasible");
+    assert!(trace.stats().messages_dropped > 0);
+    check_convergence(&trace).unwrap_or_else(|(a, b)| {
+        panic!(
+            "views diverged between {a} and {b}:\n{}",
+            trace.to_pretty_string()
+        )
+    });
+}

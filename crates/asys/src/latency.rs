@@ -18,6 +18,30 @@ use rand::Rng;
 /// finite experiment" — the finite-prefix rendering of *indefinitely*.
 pub const NEVER: u64 = u64::MAX / 4;
 
+/// Why a latency-model configuration is rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyError {
+    /// The range is inverted: `min > max`.
+    InvertedRange {
+        /// Requested minimum delay.
+        min: u64,
+        /// Requested maximum delay.
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for LatencyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            LatencyError::InvertedRange { min, max } => {
+                write!(f, "uniform latency requires min <= max, got [{min}, {max}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LatencyError {}
+
 /// Chooses a delivery delay (in ticks) for each sent message.
 pub trait LatencyModel {
     /// Delay for a message sent `from -> to` at time `now`.
@@ -56,13 +80,36 @@ impl UniformLatency {
     ///
     /// # Panics
     ///
-    /// Panics if `min > max`.
+    /// Panics if `min > max`; [`UniformLatency::try_new`] returns the
+    /// typed [`LatencyError`] instead.
     pub fn new(min: u64, max: u64) -> Self {
-        assert!(
-            min <= max,
-            "uniform latency requires min <= max, got [{min}, {max}]"
-        );
-        UniformLatency { min, max }
+        Self::try_new(min, max).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible twin of [`UniformLatency::new`]: an inverted range comes
+    /// back as a typed error instead of a panic, so configuration layers
+    /// (e.g. `ClusterSpec::validate` in `sfs`) can surface it.
+    ///
+    /// # Errors
+    ///
+    /// [`LatencyError::InvertedRange`] when `min > max`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sfs_asys::{LatencyError, UniformLatency};
+    ///
+    /// assert!(UniformLatency::try_new(1, 10).is_ok());
+    /// assert_eq!(
+    ///     UniformLatency::try_new(5, 2),
+    ///     Err(LatencyError::InvertedRange { min: 5, max: 2 })
+    /// );
+    /// ```
+    pub fn try_new(min: u64, max: u64) -> Result<Self, LatencyError> {
+        if min > max {
+            return Err(LatencyError::InvertedRange { min, max });
+        }
+        Ok(UniformLatency { min, max })
     }
 }
 
@@ -144,7 +191,10 @@ where
     }
 }
 
-impl std::fmt::Debug for FnLatency<fn(ProcessId, ProcessId, VirtualTime, &mut StdRng) -> u64> {
+// Generic over every closure type, not just the bare fn-pointer
+// instantiation, so runs configured with capturing closures stay
+// derivable-`Debug` all the way up the generic stack.
+impl<F> std::fmt::Debug for FnLatency<F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FnLatency").finish_non_exhaustive()
     }
@@ -193,6 +243,29 @@ mod tests {
     #[should_panic(expected = "min <= max")]
     fn uniform_latency_rejects_inverted_range() {
         let _ = UniformLatency::new(5, 2);
+    }
+
+    #[test]
+    fn try_new_reports_inverted_ranges_as_typed_errors() {
+        assert_eq!(UniformLatency::try_new(2, 9), Ok(UniformLatency::new(2, 9)));
+        assert_eq!(
+            UniformLatency::try_new(9, 2),
+            Err(LatencyError::InvertedRange { min: 9, max: 2 })
+        );
+        assert_eq!(
+            LatencyError::InvertedRange { min: 9, max: 2 }.to_string(),
+            "uniform latency requires min <= max, got [9, 2]"
+        );
+    }
+
+    #[test]
+    fn fn_latency_is_debug_for_capturing_closures() {
+        // The Debug impl must cover arbitrary closure types, not just the
+        // bare fn-pointer instantiation: a capturing closure exercises it.
+        let base = 3u64;
+        let m =
+            FnLatency(move |_: ProcessId, _: ProcessId, _: VirtualTime, _: &mut StdRng| base + 1);
+        assert!(format!("{m:?}").contains("FnLatency"));
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * [`LatencyModel`] implementations — the explicit asynchrony adversary,
 //!   from benign random delay to the scripted "delayed indefinitely"
 //!   constructions of Appendix A.3;
+//! * [`LinkModel`] / [`FaultyLink`] / [`PartitionSchedule`] — the faulty
+//!   network *beneath* the paper's channel axioms: per-message
+//!   deliver/drop/duplicate verdicts and scripted partitions, over which
+//!   the `sfs-transport` crate re-earns reliable FIFO;
 //! * [`FaultPlan`] — crash and stimulus injection;
 //! * [`Trace`] — the total order of observed events, consumed by the
 //!   `sfs-history` and `sfs-tlogic` crates;
@@ -61,6 +65,7 @@
 mod fault;
 mod id;
 mod latency;
+mod link;
 mod note;
 mod process;
 mod sim;
@@ -73,7 +78,10 @@ pub mod net;
 
 pub use fault::{FaultPlan, Injection};
 pub use id::{MsgId, ProcessId, TimerId};
-pub use latency::{FixedLatency, FnLatency, LatencyModel, OverrideLatency, UniformLatency, NEVER};
+pub use latency::{
+    FixedLatency, FnLatency, LatencyError, LatencyModel, OverrideLatency, UniformLatency, NEVER,
+};
+pub use link::{FaultyLink, FnLink, LinkModel, LinkVerdict, PartitionSchedule};
 pub use note::{Note, NOTE_LEADER, NOTE_QUORUM};
 pub use process::{Action, Context, Process, ReceiveFilter};
 pub use sim::{CrashRegistry, Sim, SimBuilder, SimConfig};

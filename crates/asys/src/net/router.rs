@@ -1,6 +1,7 @@
 //! The router-serialized threaded runtime.
 
 use crate::id::{MsgId, ProcessId, TimerId};
+use crate::link::{LinkModel, LinkVerdict};
 use crate::process::{Action, Context, Process, ReceiveFilter};
 use crate::sim::CrashRegistry;
 use crate::time::VirtualTime;
@@ -50,7 +51,16 @@ pub struct RuntimeConfig<M = ()> {
     pub seed: u64,
     /// Optional artificial per-link delay applied by the router before
     /// forwarding a message, modelling a slow asynchronous network.
+    /// Ignored when [`RuntimeConfig::link`] is set.
     pub delay: Option<LinkDelay>,
+    /// Optional faulty-network model: the threaded mirror of the
+    /// simulator's link seam. The router consults it once per send, in
+    /// send order, with its own seeded rng; ticks map to wall-clock
+    /// milliseconds (the runtime's clock convention), so the *same*
+    /// [`LinkModel`] drives both backends — what E10's transport-backed
+    /// conformance leg relies on. Takes precedence over
+    /// [`RuntimeConfig::delay`].
+    pub link: Option<Box<dyn LinkModel + Send>>,
     /// Whether to record payload `Debug` text in the trace.
     pub record_payloads: bool,
     /// Optional classifier marking payloads as infrastructure (`true`)
@@ -79,6 +89,7 @@ impl<M> Default for RuntimeConfig<M> {
         RuntimeConfig {
             seed: 0,
             delay: None,
+            link: None,
             record_payloads: false,
             classify: None,
             registry: None,
@@ -92,6 +103,7 @@ impl<M> fmt::Debug for RuntimeConfig<M> {
         f.debug_struct("RuntimeConfig")
             .field("seed", &self.seed)
             .field("has_delay", &self.delay.is_some())
+            .field("has_link", &self.link.is_some())
             .field("record_payloads", &self.record_payloads)
             .field("batch", &self.batch)
             .finish()
@@ -438,6 +450,10 @@ struct RouterState<M> {
     stats: SimStats,
     node_txs: Vec<Sender<NodeEvent<M>>>,
     delay: Option<LinkDelay>,
+    link: Option<Box<dyn LinkModel + Send>>,
+    /// Rng feeding link-model verdicts (seeded from the config; node rngs
+    /// are independent, so link draws never perturb process behaviour).
+    link_rng: StdRng,
     classify: Option<Classify<M>>,
     registry: Option<CrashRegistry>,
     progress: Arc<Progress>,
@@ -519,23 +535,57 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
                         payload: repr.clone(),
                     });
                     self.stats.messages_sent += 1;
-                    let delay = self
-                        .delay
-                        .as_ref()
-                        .map(|f| f(from, to))
-                        .unwrap_or(Duration::ZERO);
-                    let at = Instant::now() + delay;
-                    self.push(
-                        at,
-                        Due::Deliver {
-                            from,
-                            to,
-                            msg: id,
-                            payload: msg,
-                            repr,
-                            infra,
-                        },
-                    );
+                    // The link seam, mirroring the simulator: a LinkModel
+                    // verdict (ticks = milliseconds here) when one is
+                    // installed, else the legacy per-link delay fn.
+                    let now = VirtualTime::from_ticks(self.start.elapsed().as_millis() as u64);
+                    let verdict = match &mut self.link {
+                        Some(link) => link.verdict(from, to, now, &mut self.link_rng),
+                        None => {
+                            let delay = self
+                                .delay
+                                .as_ref()
+                                .map(|f| f(from, to))
+                                .unwrap_or(Duration::ZERO);
+                            LinkVerdict::Deliver(delay.as_millis() as u64)
+                        }
+                    };
+                    match verdict {
+                        LinkVerdict::Deliver(ms) => {
+                            let at = Instant::now() + Duration::from_millis(ms);
+                            self.push(
+                                at,
+                                Due::Deliver {
+                                    from,
+                                    to,
+                                    msg: id,
+                                    payload: msg,
+                                    repr,
+                                    infra,
+                                },
+                            );
+                        }
+                        LinkVerdict::Drop => {
+                            self.stats.messages_dropped += 1;
+                        }
+                        LinkVerdict::Duplicate(ms1, ms2) => {
+                            self.stats.messages_duplicated += 1;
+                            for ms in [ms1, ms2] {
+                                let at = Instant::now() + Duration::from_millis(ms);
+                                self.push(
+                                    at,
+                                    Due::Deliver {
+                                        from,
+                                        to,
+                                        msg: id,
+                                        payload: msg.clone(),
+                                        repr: repr.clone(),
+                                        infra,
+                                    },
+                                );
+                            }
+                        }
+                    }
                 }
                 Action::SetTimer { id, delay } => {
                     let at = Instant::now() + Duration::from_millis(delay);
@@ -557,6 +607,24 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
                 Action::SetReceiveFilter(filter) => {
                     self.filters[from.index()] = filter;
                     self.drain_parked_to(from);
+                }
+                Action::ModelSend { to, msg } => {
+                    self.record(TraceEventKind::Send {
+                        from,
+                        to,
+                        msg,
+                        infra: false,
+                        payload: None,
+                    });
+                }
+                Action::ModelRecv { from: source, msg } => {
+                    self.record(TraceEventKind::Recv {
+                        by: from,
+                        from: source,
+                        msg,
+                        infra: false,
+                        payload: None,
+                    });
                 }
             }
         }
@@ -737,6 +805,8 @@ fn router_main<M: Clone + fmt::Debug + Send + 'static>(
         stats: SimStats::default(),
         node_txs,
         delay: config.delay,
+        link: config.link,
+        link_rng: StdRng::seed_from_u64(config.seed ^ 0x11AC_C01D),
         classify: config.classify,
         registry: config.registry,
         progress,
@@ -1102,6 +1172,56 @@ mod tests {
         let trace = rt.shutdown();
         assert_eq!(trace.stats().messages_sent, 10);
         assert_eq!(trace.stats().messages_delivered, 10);
+    }
+
+    #[test]
+    fn router_link_model_drops_and_duplicates() {
+        use crate::link::{FnLink, LinkVerdict};
+        use rand::rngs::StdRng;
+
+        // Scripted verdicts, mirroring the sim test: drop the 1st send,
+        // duplicate the 2nd, deliver the rest.
+        struct Flood;
+        impl Process<u32> for Flood {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                for k in 0..3u32 {
+                    ctx.send(ProcessId::new(1), k);
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+        }
+        struct Quiet;
+        impl Process<u32> for Quiet {
+            fn on_start(&mut self, _: &mut Context<'_, u32>) {}
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+        }
+        let mut k = 0u32;
+        let config = RuntimeConfig {
+            link: Some(Box::new(FnLink(move |_, _, _, _: &mut StdRng| {
+                k += 1;
+                match k {
+                    1 => LinkVerdict::Drop,
+                    2 => LinkVerdict::Duplicate(1, 2),
+                    _ => LinkVerdict::Deliver(1),
+                }
+            }))),
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::spawn(2, config, |pid| {
+            if pid.index() == 0 {
+                Box::new(Flood) as Box<dyn Process<u32> + Send>
+            } else {
+                Box::new(Quiet)
+            }
+        });
+        assert!(rt.drain(Duration::from_secs(5)), "flood must settle");
+        let trace = rt.shutdown();
+        let stats = trace.stats();
+        assert_eq!(stats.messages_sent, 3);
+        assert_eq!(stats.messages_dropped, 1);
+        assert_eq!(stats.messages_duplicated, 1);
+        assert_eq!(stats.messages_delivered, 3, "{}", trace.to_pretty_string());
+        assert!(trace.channels_drained());
     }
 
     #[test]

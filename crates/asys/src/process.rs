@@ -8,7 +8,7 @@
 //! model where an event changes the state of one process and at most one
 //! incident channel.
 
-use crate::id::{ProcessId, TimerId};
+use crate::id::{MsgId, ProcessId, TimerId};
 use crate::note::Note;
 use rand::rngs::StdRng;
 use rand::RngCore;
@@ -87,6 +87,28 @@ pub enum Action<M> {
     /// Replace the process's receive filter. `None` accepts everything
     /// (the default).
     SetReceiveFilter(Option<ReceiveFilter<M>>),
+    /// Trace-only: record a **model-level send** executed by a layered
+    /// protocol (e.g. the `sfs-transport` ARQ wrapper) on behalf of its
+    /// inner process. The engine records a non-infrastructure `Send`
+    /// trace event with the given id and applies no other effect — the
+    /// layer itself moves the bytes (as infrastructure frames) and is
+    /// responsible for the ids forming a valid model history.
+    ModelSend {
+        /// Logical destination.
+        to: ProcessId,
+        /// Logical message id, allocated by the layer.
+        msg: MsgId,
+    },
+    /// Trace-only twin of [`Action::ModelSend`]: record a **model-level
+    /// receive** at the moment the layered protocol hands the payload to
+    /// its inner process (which may be long after the carrying frame
+    /// arrived, e.g. once a retransmission filled a loss gap).
+    ModelRecv {
+        /// Logical sender.
+        from: ProcessId,
+        /// Logical message id, as carried by the frame.
+        msg: MsgId,
+    },
 }
 
 /// Callback context: identity, time, and an action queue.
@@ -213,6 +235,43 @@ impl<'a, M> Context<'a, M> {
     /// later filter accepts them. Pass `None` to accept everything.
     pub fn set_receive_filter(&mut self, filter: Option<ReceiveFilter<M>>) {
         self.actions.push(Action::SetReceiveFilter(filter));
+    }
+
+    /// Records a model-level send on behalf of a layered inner protocol;
+    /// see [`Action::ModelSend`].
+    pub fn model_send(&mut self, to: ProcessId, msg: MsgId) {
+        self.actions.push(Action::ModelSend { to, msg });
+    }
+
+    /// Records a model-level receive on behalf of a layered inner
+    /// protocol; see [`Action::ModelRecv`].
+    pub fn model_recv(&mut self, from: ProcessId, msg: MsgId) {
+        self.actions.push(Action::ModelRecv { from, msg });
+    }
+
+    /// Appends a raw action to the queue. This is the other half of the
+    /// wrapper seam around [`Context::derive`]: a layering process runs
+    /// its inner automaton against a derived context, then translates the
+    /// inner actions — re-wrapping sends, passing timers and crashes
+    /// through verbatim via this method. Normal processes use the typed
+    /// helpers instead.
+    pub fn push_action(&mut self, action: Action<M>) {
+        self.actions.push(action);
+    }
+
+    /// A sub-context over a different message alphabet, sharing this
+    /// context's identity, clock, rng stream, and timer allocator. This
+    /// is the seam for transport-style wrappers: the wrapper runs its
+    /// inner process against the derived context, then translates the
+    /// inner actions into its own alphabet.
+    pub fn derive<N>(&mut self) -> Context<'_, N> {
+        Context::new(
+            self.id,
+            self.n,
+            self.now,
+            &mut *self.rng,
+            &mut *self.next_timer,
+        )
     }
 
     /// Deterministic per-run randomness for protocol-level choices.

@@ -39,6 +39,7 @@
 use crate::fault::{FaultPlan, Injection};
 use crate::id::{MsgId, ProcessId, TimerId};
 use crate::latency::LatencyModel;
+use crate::link::{LinkModel, LinkVerdict};
 use crate::process::{Action, Context, Process, ReceiveFilter};
 use crate::strategy::{EnabledStep, ScheduleLog, StepKind, StepLog, Strategy, TimeOrderedStrategy};
 use crate::time::VirtualTime;
@@ -242,7 +243,7 @@ pub struct Sim<M> {
     /// Per-channel flag: the head was refused by the receiver's filter and
     /// the channel therefore has no pending heap entry.
     parked: Vec<bool>,
-    latency: Box<dyn LatencyModel>,
+    link: Box<dyn LinkModel>,
     classifier: Option<Classifier<M>>,
     registry: CrashRegistry,
     rng: StdRng,
@@ -280,7 +281,7 @@ impl<M> fmt::Debug for Sim<M> {
 pub struct SimBuilder<M> {
     n: usize,
     config: SimConfig,
-    latency: Box<dyn LatencyModel>,
+    link: Box<dyn LinkModel>,
     classifier: Option<Classifier<M>>,
     plan: FaultPlan<M>,
     registry: CrashRegistry,
@@ -340,9 +341,20 @@ impl<M: Clone + fmt::Debug + 'static> SimBuilder<M> {
         self
     }
 
-    /// Sets the latency model (the asynchrony adversary).
+    /// Sets the latency model (the asynchrony adversary). Every latency
+    /// model is a loss-free [`LinkModel`]; use [`SimBuilder::link`] for a
+    /// faulty network.
     pub fn latency(mut self, model: impl LatencyModel + 'static) -> Self {
-        self.latency = Box::new(model);
+        self.link = Box::new(model);
+        self
+    }
+
+    /// Sets the link model (the faulty-network adversary): per-message
+    /// verdicts of deliver/drop/duplicate, e.g. a
+    /// [`FaultyLink`](crate::link::FaultyLink) with loss, duplication,
+    /// and a partition schedule.
+    pub fn link(mut self, model: impl LinkModel + 'static) -> Self {
+        self.link = Box::new(model);
         self
     }
 
@@ -399,7 +411,7 @@ impl<M: Clone + fmt::Debug + 'static> SimBuilder<M> {
             cancelled: CancelledTimers::new(),
             filters: (0..n).map(|_| None).collect(),
             parked: vec![false; n * n],
-            latency: self.latency,
+            link: self.link,
             classifier: self.classifier,
             registry: self.registry,
             rng: StdRng::seed_from_u64(self.config.seed),
@@ -433,7 +445,7 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
         SimBuilder {
             n,
             config: SimConfig::default(),
-            latency: Box::new(crate::latency::UniformLatency::new(1, 10)),
+            link: Box::new(crate::latency::UniformLatency::new(1, 10)),
             classifier: None,
             plan: FaultPlan::new(),
             registry: CrashRegistry::with_capacity(n),
@@ -551,6 +563,24 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
                     self.filters[pid.index()] = filter;
                     self.unpark_channels_to(pid);
                 }
+                Action::ModelSend { to, msg } => {
+                    self.record(TraceEventKind::Send {
+                        from: pid,
+                        to,
+                        msg,
+                        infra: false,
+                        payload: None,
+                    });
+                }
+                Action::ModelRecv { from, msg } => {
+                    self.record(TraceEventKind::Recv {
+                        by: pid,
+                        from,
+                        msg,
+                        infra: false,
+                        payload: None,
+                    });
+                }
             }
         }
     }
@@ -592,11 +622,34 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
             payload: repr,
         });
         self.stats.messages_sent += 1;
-        let delay = self
-            .latency
-            .latency(from, to, self.now, &mut self.rng)
-            .max(1);
-        let deliver_at = self.now.saturating_add(delay);
+        match self.link.verdict(from, to, self.now, &mut self.rng) {
+            LinkVerdict::Deliver(delay) => self.enqueue(from, to, msg, payload, delay, infra),
+            LinkVerdict::Drop => {
+                // The network loses the message: the send is recorded (it
+                // happened), but no copy enters the channel. Reliability
+                // above this point is the transport layer's job.
+                self.stats.messages_dropped += 1;
+            }
+            LinkVerdict::Duplicate(d1, d2) => {
+                self.stats.messages_duplicated += 1;
+                self.enqueue(from, to, msg, payload.clone(), d1, infra);
+                self.enqueue(from, to, msg, payload, d2, infra);
+            }
+        }
+    }
+
+    /// Appends one in-flight copy to channel `from -> to`, scheduling a
+    /// delivery attempt if the channel was idle.
+    fn enqueue(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        msg: MsgId,
+        payload: M,
+        delay: u64,
+        infra: bool,
+    ) {
+        let deliver_at = self.now.saturating_add(delay.max(1));
         let ch = self.channel_index(from, to);
         let was_empty = self.channels[ch].is_empty();
         self.channels[ch].push_back(InFlight {
@@ -1521,6 +1574,94 @@ mod tests {
             plain.stats().messages_to_crashed,
             batched.stats().messages_to_crashed
         );
+    }
+
+    #[test]
+    fn link_model_drops_and_duplicates_at_send_time() {
+        use crate::link::{FnLink, LinkVerdict};
+
+        // Scripted verdicts: drop the 1st send, duplicate the 2nd,
+        // deliver the 3rd — the sim must count and deliver accordingly.
+        let mut k = 0u32;
+        let link = FnLink(move |_, _, _, _: &mut StdRng| {
+            k += 1;
+            match k {
+                1 => LinkVerdict::Drop,
+                2 => LinkVerdict::Duplicate(1, 2),
+                _ => LinkVerdict::Deliver(1),
+            }
+        });
+        let sim = Sim::<u32>::builder(2).link(link).build(|pid| {
+            if pid.index() == 0 {
+                Box::new(Flooder {
+                    count: 3,
+                    target: ProcessId::new(1),
+                }) as Box<dyn Process<u32>>
+            } else {
+                Box::new(Sink {
+                    received: Vec::new(),
+                })
+            }
+        });
+        let trace = sim.run();
+        let stats = trace.stats();
+        assert_eq!(stats.messages_sent, 3);
+        assert_eq!(stats.messages_dropped, 1);
+        assert_eq!(stats.messages_duplicated, 1);
+        // One send lost, one delivered twice, one delivered once.
+        assert_eq!(stats.messages_delivered, 3);
+        assert!(trace.channels_drained());
+        let seqs: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Recv { msg, .. } => Some(msg.seq()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, vec![1, 1, 2], "dup copies arrive back to back");
+    }
+
+    #[test]
+    fn healed_partition_drops_during_the_window_only() {
+        use crate::link::{FaultyLink, PartitionSchedule};
+
+        // p0 re-sends every 10 ticks; {p0 | p1} are split for [0, 35), so
+        // the first sends are lost and later ones arrive.
+        struct Resender;
+        impl Process<u32> for Resender {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.send(ProcessId::new(1), 0);
+                ctx.set_timer(10);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, u32>, _: TimerId) {
+                ctx.send(ProcessId::new(1), 1);
+                if ctx.now() < VirtualTime::from_ticks(60) {
+                    ctx.set_timer(10);
+                }
+            }
+        }
+        let link = FaultyLink::new(FixedLatency(1)).partitions(PartitionSchedule::new().split(
+            VirtualTime::ZERO,
+            VirtualTime::from_ticks(35),
+            &[ProcessId::new(0)],
+        ));
+        let sim = Sim::<u32>::builder(2).link(link).build(|pid| {
+            if pid.index() == 0 {
+                Box::new(Resender) as Box<dyn Process<u32>>
+            } else {
+                Box::new(Sink {
+                    received: Vec::new(),
+                })
+            }
+        });
+        let trace = sim.run();
+        let stats = trace.stats();
+        // Sends at 0, 10, 20, 30 are severed; 40, 50, 60 get through.
+        assert_eq!(stats.messages_dropped, 4, "{}", trace.to_pretty_string());
+        assert_eq!(stats.messages_delivered, 3);
+        assert_eq!(trace.stop_reason(), StopReason::Quiescent);
     }
 
     #[test]

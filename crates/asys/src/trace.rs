@@ -161,6 +161,20 @@ pub struct SimStats {
     pub messages_delivered: u64,
     /// Messages that reached a crashed process and were discarded.
     pub messages_to_crashed: u64,
+    /// Messages lost by the link model ([`LinkVerdict::Drop`]) — severed
+    /// partitions and i.i.d. loss both count here. Always zero under a
+    /// pure latency model.
+    ///
+    /// [`LinkVerdict::Drop`]: crate::link::LinkVerdict::Drop
+    pub messages_dropped: u64,
+    /// Messages duplicated by the link model
+    /// ([`LinkVerdict::Duplicate`]): one per duplicated send (the extra
+    /// copy is not re-counted in [`SimStats::messages_sent`], which
+    /// counts sends, but each delivered copy counts in
+    /// [`SimStats::messages_delivered`]).
+    ///
+    /// [`LinkVerdict::Duplicate`]: crate::link::LinkVerdict::Duplicate
+    pub messages_duplicated: u64,
     /// Timer firings delivered.
     pub timers_fired: u64,
     /// Crash events (injected or self-inflicted).
@@ -254,7 +268,12 @@ impl Trace {
     /// receive filter counts as undrained, as it should: the system was
     /// still waiting on it.
     pub fn channels_drained(&self) -> bool {
-        self.stats.messages_sent == self.stats.messages_delivered + self.stats.messages_to_crashed
+        // Each send puts 0 (dropped), 1, or 2 (duplicated) copies on a
+        // channel; drained means every copy was consumed.
+        self.stats.messages_sent + self.stats.messages_duplicated
+            == self.stats.messages_delivered
+                + self.stats.messages_to_crashed
+                + self.stats.messages_dropped
     }
 
     /// Processes that crashed during the run, in crash order.

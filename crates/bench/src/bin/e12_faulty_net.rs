@@ -1,0 +1,45 @@
+//! E12 — reliable-FIFO transport and endogenous failure detection over a
+//! faulty network: FS1/sFS2a–d verdicts, detection latency, and message
+//! cost as functions of loss rate and partition duration, with the §5
+//! protocol's channels *emulated* by `sfs-transport` rather than assumed
+//! (see EXPERIMENTS.md §E12).
+//!
+//! The optional CLI argument sets the seeds per scenario cell. Exits
+//! nonzero when any cell fails to certify the suite, when FS1 is missed,
+//! or when no scenario demonstrates an endogenous false-suspicion kill —
+//! this is the CI `e12-faulty-net-smoke` entry point.
+fn main() {
+    let seeds = sfs_bench::seeds_arg(12);
+    let mut cells = None;
+    sfs_bench::run_with_report(
+        "E12",
+        "9 net scenarios (loss 0-20%, dup 25%, 3 partition durations, churn) x (6,2)",
+        seeds,
+        || {
+            let (table, c) = sfs_bench::run_e12(seeds);
+            cells = Some(c);
+            table
+        },
+    );
+    let cells = cells.expect("run_e12 ran");
+    let mut failed = false;
+    for c in &cells {
+        // The sub-timeout cut kills nobody; every triggering scenario
+        // must certify the full suite and FS1 on every seed.
+        if c.suite_ok != c.runs || c.all_detect != c.runs {
+            eprintln!(
+                "[bench] E12 FAILED: {} certified {}/{} (FS1 {}/{})",
+                c.scenario, c.suite_ok, c.runs, c.all_detect, c.runs
+            );
+            failed = true;
+        }
+    }
+    let endogenous: usize = cells.iter().map(|c| c.endogenous_kills).sum();
+    if endogenous == 0 {
+        eprintln!("[bench] E12 FAILED: no endogenous false-suspicion kill demonstrated");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

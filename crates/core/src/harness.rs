@@ -12,9 +12,117 @@ use crate::protocol::SfsProcess;
 use crate::quorum::{QuorumError, QuorumPolicy};
 use sfs_asys::net::{Runtime, RuntimeConfig};
 use sfs_asys::{
-    CrashRegistry, FaultPlan, LatencyModel, ProcessId, Sim, Trace, UniformLatency, VirtualTime,
+    CrashRegistry, FaultPlan, FaultyLink, LatencyError, LinkModel, PartitionSchedule, ProcessId,
+    Sim, Trace, UniformLatency, VirtualTime,
 };
+use sfs_transport::{ArqConfig, ProbeConfig, Reliable, TransportMsg};
+use std::fmt;
 use std::time::{Duration, Instant};
+
+/// Why a [`ClusterSpec`] is rejected before anything runs: the union of
+/// the quorum-arithmetic errors (Corollary 8) and the latency/link
+/// configuration errors, so every `try_*` runner reports one typed error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The quorum policy cannot make progress for `(n, t)`.
+    Quorum(QuorumError),
+    /// The latency bounds are malformed (e.g. `min > max`).
+    Latency(LatencyError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Quorum(e) => write!(f, "{e}"),
+            SpecError::Latency(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<QuorumError> for SpecError {
+    fn from(e: QuorumError) -> Self {
+        SpecError::Quorum(e)
+    }
+}
+
+impl From<LatencyError> for SpecError {
+    fn from(e: LatencyError) -> Self {
+        SpecError::Latency(e)
+    }
+}
+
+/// Declarative description of the network beneath one cluster run: the
+/// faulty-link parameters plus whether the `sfs-transport` ARQ layer is
+/// interposed to earn the §2 channel axioms back. The harness leg next
+/// to [`ClusterSpec::build_with_latency`]; see [`ClusterSpec::net`].
+#[derive(Debug, Clone)]
+pub struct NetSpec {
+    /// I.i.d. per-message loss probability.
+    pub loss: f64,
+    /// I.i.d. per-message duplication probability.
+    pub duplicate: f64,
+    /// Scripted cut/heal of link sets over virtual time.
+    pub partitions: PartitionSchedule,
+    /// ARQ parameters for the transport-wrapped legs.
+    pub arq: ArqConfig,
+    /// Transport-level heartbeat probing: when set, missed-heartbeat
+    /// timeouts become *endogenous* `Control::Suspect` stimuli to the
+    /// protocol — the deployable replacement for scripted suspicions.
+    pub probe: Option<ProbeConfig>,
+}
+
+impl Default for NetSpec {
+    fn default() -> Self {
+        NetSpec {
+            loss: 0.0,
+            duplicate: 0.0,
+            partitions: PartitionSchedule::new(),
+            arq: ArqConfig::default(),
+            probe: None,
+        }
+    }
+}
+
+impl NetSpec {
+    /// A loss-free, unpartitioned network with default ARQ parameters and
+    /// no probing — transport-wrapped runs over it are HB-equivalent to
+    /// bare runs (the `batch_equiv`-style pin in `sfs-apps`).
+    pub fn faultless() -> Self {
+        NetSpec::default()
+    }
+
+    /// Sets the i.i.d. loss probability.
+    pub fn loss(mut self, p: f64) -> Self {
+        self.loss = p;
+        self
+    }
+
+    /// Sets the i.i.d. duplication probability.
+    pub fn duplicate(mut self, p: f64) -> Self {
+        self.duplicate = p;
+        self
+    }
+
+    /// Installs the partition script.
+    pub fn partitions(mut self, sched: PartitionSchedule) -> Self {
+        self.partitions = sched;
+        self
+    }
+
+    /// Sets the ARQ parameters.
+    pub fn arq(mut self, arq: ArqConfig) -> Self {
+        self.arq = arq;
+        self
+    }
+
+    /// Enables transport-level heartbeat probing (endogenous suspicions).
+    pub fn probe(mut self, probe: ProbeConfig) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+}
 
 /// Which detector the cluster runs (the harness-level mirror of
 /// [`DetectionMode`](crate::DetectionMode), without the oracle's registry
@@ -71,6 +179,12 @@ pub struct ClusterSpec {
     /// `RuntimeConfig::batch` in `sfs-asys`); the `sfs-service` layer and
     /// experiment E11 measure its throughput effect.
     pub batch: bool,
+    /// The faulty network beneath the run, for the `*_net` legs: link
+    /// faults (loss/duplication/partitions) plus the `sfs-transport` ARQ
+    /// and probe parameters. `None` behaves as [`NetSpec::faultless`].
+    /// Ignored by the bare (`run`/`run_threaded`/...) legs, which assume
+    /// the §2 channel axioms directly.
+    pub net: Option<NetSpec>,
 }
 
 impl ClusterSpec {
@@ -91,7 +205,15 @@ impl ClusterSpec {
             crashes: Vec::new(),
             suspicions: Vec::new(),
             batch: false,
+            net: None,
         }
+    }
+
+    /// Installs the network description for the `*_net` legs (see
+    /// [`ClusterSpec::run_net`] and friends).
+    pub fn net(mut self, net: NetSpec) -> Self {
+        self.net = Some(net);
+        self
     }
 
     /// Enables (or disables) the batched delivery fast path on whichever
@@ -102,18 +224,22 @@ impl ClusterSpec {
     }
 
     /// Validates the spec against the paper's feasibility bounds without
-    /// running anything: `n ≥ 1`, and — for [`ModeSpec::SfsOneRound`] —
-    /// the quorum policy must be able to make progress against `t`
-    /// failures (Corollary 8's `n > t²` for the fixed minimum quorum).
+    /// running anything: `n ≥ 1`; for [`ModeSpec::SfsOneRound`] the
+    /// quorum policy must be able to make progress against `t` failures
+    /// (Corollary 8's `n > t²` for the fixed minimum quorum); and the
+    /// latency bounds must form a real interval
+    /// ([`UniformLatency::try_new`]).
     ///
     /// Every `try_*` runner calls this first, so infeasible shapes
-    /// surface as typed [`QuorumError`]s instead of panics.
+    /// surface as typed [`SpecError`]s instead of panics.
     ///
     /// # Errors
     ///
-    /// [`QuorumError::NoProcesses`] when `n == 0`;
+    /// [`SpecError::Quorum`] with
+    /// [`QuorumError::NoProcesses`] when `n == 0` or
     /// [`QuorumError::Infeasible`](crate::quorum::QuorumError::Infeasible)
-    /// when the quorum cannot survive `t` failures.
+    /// when the quorum cannot survive `t` failures;
+    /// [`SpecError::Latency`] when `latency.0 > latency.1`.
     ///
     /// # Examples
     ///
@@ -122,15 +248,32 @@ impl ClusterSpec {
     ///
     /// assert!(ClusterSpec::new(10, 3).validate().is_ok());
     /// assert!(ClusterSpec::new(9, 3).validate().is_err()); // 9 = 3², not > 3²
+    /// assert!(ClusterSpec::new(10, 3).latency(9, 2).validate().is_err());
     /// ```
-    pub fn validate(&self) -> Result<(), QuorumError> {
+    pub fn validate(&self) -> Result<(), SpecError> {
         if self.n == 0 {
-            return Err(QuorumError::NoProcesses);
+            return Err(QuorumError::NoProcesses.into());
         }
         if matches!(self.mode, ModeSpec::SfsOneRound) {
             self.quorum.validated(self.n, self.t)?;
         }
+        UniformLatency::try_new(self.latency.0, self.latency.1)?;
         Ok(())
+    }
+
+    /// The spec's uniform latency model, after validation.
+    fn latency_model(&self) -> Result<UniformLatency, SpecError> {
+        Ok(UniformLatency::try_new(self.latency.0, self.latency.1)?)
+    }
+
+    /// The faulty-link model the spec's [`NetSpec`] describes, over the
+    /// spec's uniform latency.
+    fn link_model(&self) -> Result<FaultyLink<UniformLatency>, SpecError> {
+        let net = self.net.clone().unwrap_or_default();
+        Ok(FaultyLink::new(self.latency_model()?)
+            .loss(net.loss)
+            .duplicate(net.duplicate)
+            .partitions(net.partitions))
     }
 
     /// Sets the detector.
@@ -193,7 +336,29 @@ impl ClusterSpec {
         self
     }
 
-    fn fault_plan<M: Clone>(&self) -> FaultPlan<SfsMsg<M>> {
+    /// The per-process protocol configuration this spec describes, with
+    /// oracle mode wired to `registry` — the one construction site every
+    /// build path (sim, threaded, and their net legs) shares.
+    fn sfs_config(&self, registry: &CrashRegistry) -> SfsConfig {
+        let mode = match self.mode {
+            ModeSpec::SfsOneRound => crate::config::DetectionMode::SfsOneRound,
+            ModeSpec::Unilateral => crate::config::DetectionMode::Unilateral,
+            ModeSpec::CheapBroadcast => crate::config::DetectionMode::CheapBroadcast,
+            ModeSpec::Oracle => crate::config::DetectionMode::Oracle(registry.clone()),
+        };
+        SfsConfig::new(self.n, self.t)
+            .mode(mode)
+            .quorum(self.quorum)
+            .heartbeat(self.heartbeat)
+            .gate_app_messages(self.gate_app_messages)
+            .crash_on_own_obituary(self.crash_on_own_obituary)
+    }
+
+    /// The scripted crashes and suspicions as a fault plan over an
+    /// arbitrary wire alphabet: `wrap` embeds each suspicion stimulus
+    /// (bare legs use `SfsMsg::Control`; net legs add the transport
+    /// envelope).
+    fn fault_plan_wrapped<P: Clone>(&self, wrap: impl Fn(Control) -> P) -> FaultPlan<P> {
         let mut plan = FaultPlan::new();
         for &(victim, at) in &self.crashes {
             plan = plan.crash_at(victim, VirtualTime::from_ticks(at));
@@ -202,10 +367,14 @@ impl ClusterSpec {
             plan = plan.external_at(
                 by,
                 VirtualTime::from_ticks(at),
-                SfsMsg::Control(Control::Suspect { suspect }),
+                wrap(Control::Suspect { suspect }),
             );
         }
         plan
+    }
+
+    fn fault_plan<M: Clone>(&self) -> FaultPlan<SfsMsg<M>> {
+        self.fault_plan_wrapped(SfsMsg::Control)
     }
 
     /// Runs the cluster with [`NullApp`] on every process and the spec's
@@ -225,10 +394,10 @@ impl ClusterSpec {
     ///
     /// # Errors
     ///
-    /// Whatever [`ClusterSpec::validate`] reports.
-    pub fn try_run(self) -> Result<Trace, QuorumError> {
-        let (min, max) = self.latency;
-        self.try_run_with_latency(UniformLatency::new(min, max), |_| NullApp)
+    /// Whatever [`ClusterSpec::validate`] reports ([`SpecError`]).
+    pub fn try_run(self) -> Result<Trace, SpecError> {
+        let latency = self.latency_model()?;
+        self.try_run_with_latency(latency, |_| NullApp)
     }
 
     /// Runs the cluster with an application per process.
@@ -250,14 +419,14 @@ impl ClusterSpec {
     ///
     /// # Errors
     ///
-    /// Whatever [`ClusterSpec::validate`] reports.
-    pub fn try_run_apps<A, F>(self, make_app: F) -> Result<Trace, QuorumError>
+    /// Whatever [`ClusterSpec::validate`] reports ([`SpecError`]).
+    pub fn try_run_apps<A, F>(self, make_app: F) -> Result<Trace, SpecError>
     where
         A: Application,
         F: FnMut(ProcessId) -> A,
     {
-        let (min, max) = self.latency;
-        self.try_run_with_latency(UniformLatency::new(min, max), make_app)
+        let latency = self.latency_model()?;
+        self.try_run_with_latency(latency, make_app)
     }
 
     /// Runs the cluster with a custom latency model (e.g. the adversarial
@@ -268,7 +437,7 @@ impl ClusterSpec {
     ///
     /// Panics on infeasible configurations; see
     /// [`ClusterSpec::try_run_with_latency`].
-    pub fn run_with_latency<A, F>(self, latency: impl LatencyModel + 'static, make_app: F) -> Trace
+    pub fn run_with_latency<A, F>(self, latency: impl LinkModel + 'static, make_app: F) -> Trace
     where
         A: Application,
         F: FnMut(ProcessId) -> A,
@@ -281,12 +450,12 @@ impl ClusterSpec {
     ///
     /// # Errors
     ///
-    /// Whatever [`ClusterSpec::validate`] reports.
+    /// Whatever [`ClusterSpec::validate`] reports ([`SpecError`]).
     pub fn try_run_with_latency<A, F>(
         self,
-        latency: impl LatencyModel + 'static,
+        latency: impl LinkModel + 'static,
         make_app: F,
-    ) -> Result<Trace, QuorumError>
+    ) -> Result<Trace, SpecError>
     where
         A: Application,
         F: FnMut(ProcessId) -> A,
@@ -306,7 +475,7 @@ impl ClusterSpec {
     /// [`ClusterSpec::try_build_with_latency`].
     pub fn build_with_latency<A, F>(
         self,
-        latency: impl LatencyModel + 'static,
+        latency: impl LinkModel + 'static,
         make_app: F,
     ) -> Sim<SfsMsg<A::Msg>>
     where
@@ -321,12 +490,12 @@ impl ClusterSpec {
     ///
     /// # Errors
     ///
-    /// Whatever [`ClusterSpec::validate`] reports.
+    /// Whatever [`ClusterSpec::validate`] reports ([`SpecError`]).
     pub fn try_build_with_latency<A, F>(
         self,
-        latency: impl LatencyModel + 'static,
+        latency: impl LinkModel + 'static,
         mut make_app: F,
-    ) -> Result<Sim<SfsMsg<A::Msg>>, QuorumError>
+    ) -> Result<Sim<SfsMsg<A::Msg>>, SpecError>
     where
         A: Application,
         F: FnMut(ProcessId) -> A,
@@ -337,29 +506,15 @@ impl ClusterSpec {
             .max_time(self.max_time)
             .max_events(self.max_events)
             .batch_deliveries(self.batch)
-            .latency(latency)
+            .link(latency)
             // Obituaries and heartbeats are the detector's own mechanism,
             // beneath the paper's formal model; only App messages are
             // model-level events.
             .classify(|m: &SfsMsg<A::Msg>| !m.is_app())
             .faults(self.fault_plan());
         let registry = builder.crash_registry();
-        let config_of = |spec: &ClusterSpec| {
-            let mode = match spec.mode {
-                ModeSpec::SfsOneRound => crate::config::DetectionMode::SfsOneRound,
-                ModeSpec::Unilateral => crate::config::DetectionMode::Unilateral,
-                ModeSpec::CheapBroadcast => crate::config::DetectionMode::CheapBroadcast,
-                ModeSpec::Oracle => crate::config::DetectionMode::Oracle(registry.clone()),
-            };
-            SfsConfig::new(spec.n, spec.t)
-                .mode(mode)
-                .quorum(spec.quorum)
-                .heartbeat(spec.heartbeat)
-                .gate_app_messages(spec.gate_app_messages)
-                .crash_on_own_obituary(spec.crash_on_own_obituary)
-        };
         Ok(builder.build(|pid| {
-            let config = config_of(&self);
+            let config = self.sfs_config(&registry);
             let process = SfsProcess::new(config, make_app(pid))
                 .expect("validate() already admitted this shape");
             Box::new(process)
@@ -396,11 +551,11 @@ impl ClusterSpec {
     ///
     /// # Errors
     ///
-    /// Whatever [`ClusterSpec::validate`] reports.
+    /// Whatever [`ClusterSpec::validate`] reports ([`SpecError`]).
     pub fn try_spawn_runtime<A, F>(
         &self,
         mut make_app: F,
-    ) -> Result<Runtime<SfsMsg<A::Msg>>, QuorumError>
+    ) -> Result<Runtime<SfsMsg<A::Msg>>, SpecError>
     where
         A: Application + Send + 'static,
         A::Msg: Send,
@@ -411,6 +566,7 @@ impl ClusterSpec {
         let config = RuntimeConfig {
             seed: self.seed,
             delay: None,
+            link: None,
             record_payloads: false,
             classify: Some(Box::new(|m: &SfsMsg<A::Msg>| !m.is_app())),
             registry: Some(registry.clone()),
@@ -418,18 +574,7 @@ impl ClusterSpec {
         };
         let spec = self.clone();
         Ok(Runtime::spawn(self.n, config, move |pid| {
-            let mode = match spec.mode {
-                ModeSpec::SfsOneRound => crate::config::DetectionMode::SfsOneRound,
-                ModeSpec::Unilateral => crate::config::DetectionMode::Unilateral,
-                ModeSpec::CheapBroadcast => crate::config::DetectionMode::CheapBroadcast,
-                ModeSpec::Oracle => crate::config::DetectionMode::Oracle(registry.clone()),
-            };
-            let config = SfsConfig::new(spec.n, spec.t)
-                .mode(mode)
-                .quorum(spec.quorum)
-                .heartbeat(spec.heartbeat)
-                .gate_app_messages(spec.gate_app_messages)
-                .crash_on_own_obituary(spec.crash_on_own_obituary);
+            let config = spec.sfs_config(&registry);
             let process = SfsProcess::new(config, make_app(pid))
                 .expect("validate() already admitted this shape");
             Box::new(process)
@@ -460,12 +605,8 @@ impl ClusterSpec {
     ///
     /// # Errors
     ///
-    /// Whatever [`ClusterSpec::validate`] reports.
-    pub fn try_run_threaded<A, F>(
-        &self,
-        make_app: F,
-        settle: Duration,
-    ) -> Result<Trace, QuorumError>
+    /// Whatever [`ClusterSpec::validate`] reports ([`SpecError`]).
+    pub fn try_run_threaded<A, F>(&self, make_app: F, settle: Duration) -> Result<Trace, SpecError>
     where
         A: Application + Send + 'static,
         A::Msg: Send,
@@ -509,33 +650,195 @@ impl ClusterSpec {
     ///
     /// # Errors
     ///
-    /// Whatever [`ClusterSpec::validate`] reports.
+    /// Whatever [`ClusterSpec::validate`] reports ([`SpecError`]).
     pub fn try_run_threaded_quiesced<A, F>(
         &self,
         make_app: F,
         settle: Duration,
-    ) -> Result<(Trace, bool), QuorumError>
+    ) -> Result<(Trace, bool), SpecError>
     where
         A: Application + Send + 'static,
         A::Msg: Send,
         F: FnMut(ProcessId) -> A,
     {
         let rt = self.try_spawn_runtime(make_app)?;
-        let start = Instant::now();
-        let mut items = self.fault_plan::<A::Msg>().into_items();
-        items.sort_by_key(|&(at, _, _)| at);
-        for (at, pid, injection) in items {
-            let due = start + Duration::from_millis(at.ticks());
-            if let Some(wait) = due.checked_duration_since(Instant::now()) {
-                std::thread::sleep(wait);
-            }
-            match injection {
-                sfs_asys::Injection::Crash => rt.crash(pid),
-                sfs_asys::Injection::External(payload) => rt.inject_external(pid, payload),
-            }
-        }
+        drive_plan(&rt, self.fault_plan::<A::Msg>());
         let quiesced = rt.drain(settle);
         Ok((rt.shutdown(), quiesced))
+    }
+
+    // ---- the faulty-network (transport-backed) legs ----------------------
+
+    /// The spec's fault plan over the transport wire alphabet: crashes
+    /// unchanged; suspicions wrapped as [`TransportMsg::Ctl`] stimuli the
+    /// ARQ wrapper unwraps to the protocol's `on_external`.
+    fn fault_plan_net<M: Clone>(&self) -> FaultPlan<TransportMsg<SfsMsg<M>>> {
+        self.fault_plan_wrapped(|c| TransportMsg::Ctl(SfsMsg::Control(c)))
+    }
+
+    /// One transport-wrapped protocol process, as the net legs build it:
+    /// the §5 automaton inside the ARQ layer, with inner-payload
+    /// classification (only `App` messages are model-level) and — when
+    /// the [`NetSpec`] enables probing — endogenous suspicion wired to
+    /// `Control::Suspect`.
+    fn wrap_process<A: Application>(
+        &self,
+        net: &NetSpec,
+        registry: &CrashRegistry,
+        app: A,
+    ) -> Reliable<SfsProcess<A>, SfsMsg<A::Msg>> {
+        let process = SfsProcess::new(self.sfs_config(registry), app)
+            .expect("validate() already admitted this shape");
+        let mut wrapped =
+            Reliable::new(process, net.arq).classify(|m: &SfsMsg<A::Msg>| !m.is_app());
+        if let Some(probe) = net.probe {
+            wrapped = wrapped.suspicion(probe, |peer| {
+                SfsMsg::Control(Control::Suspect { suspect: peer })
+            });
+        }
+        wrapped
+    }
+
+    /// Builds the **transport-backed** simulator for this spec — the §5
+    /// protocol wrapped in the `sfs-transport` ARQ layer, over the
+    /// faulty link the spec's [`NetSpec`] describes — without running
+    /// it. The net-leg mirror of [`ClusterSpec::build_with_latency`]:
+    /// schedule exploration and conformance re-execute from here.
+    ///
+    /// All wire frames are classified as infrastructure; the model-level
+    /// history comes from the wrapper's logical send/receive events, so
+    /// the usual projections and property checkers apply unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ClusterSpec::validate`] reports ([`SpecError`]).
+    pub fn try_build_net<A, F>(
+        &self,
+        mut make_app: F,
+    ) -> Result<Sim<TransportMsg<SfsMsg<A::Msg>>>, SpecError>
+    where
+        A: Application,
+        F: FnMut(ProcessId) -> A,
+    {
+        self.validate()?;
+        let net = self.net.clone().unwrap_or_default();
+        let link = self.link_model()?;
+        let builder = Sim::<TransportMsg<SfsMsg<A::Msg>>>::builder(self.n)
+            .seed(self.seed)
+            .max_time(self.max_time)
+            .max_events(self.max_events)
+            .batch_deliveries(self.batch)
+            .link(link)
+            // Every wire frame is transport infrastructure; the model
+            // alphabet is reconstructed from the wrapper's logical events.
+            .classify(|_| true)
+            .faults(self.fault_plan_net());
+        let registry = builder.crash_registry();
+        Ok(builder.build(|pid| Box::new(self.wrap_process(&net, &registry, make_app(pid)))))
+    }
+
+    /// Runs the transport-backed cluster on the simulator; panicking twin
+    /// of [`ClusterSpec::try_run_net`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on infeasible configurations.
+    pub fn run_net(self) -> Trace {
+        self.try_run_net(|_| NullApp)
+            .expect("infeasible cluster configuration")
+    }
+
+    /// Runs the transport-backed cluster with an application per process.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ClusterSpec::validate`] reports ([`SpecError`]).
+    pub fn try_run_net<A, F>(&self, make_app: F) -> Result<Trace, SpecError>
+    where
+        A: Application,
+        F: FnMut(ProcessId) -> A,
+    {
+        Ok(self.try_build_net(make_app)?.run())
+    }
+
+    /// Spawns the transport-backed cluster on the **threaded runtime**:
+    /// the same ARQ-wrapped processes on real OS threads, with the
+    /// spec's [`NetSpec`] driving the router's link seam (ticks map to
+    /// wall-clock milliseconds). The caller injects stimuli and shuts
+    /// down; most callers want [`ClusterSpec::try_run_threaded_net`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ClusterSpec::validate`] reports ([`SpecError`]).
+    pub fn try_spawn_net_runtime<A, F>(
+        &self,
+        mut make_app: F,
+    ) -> Result<Runtime<TransportMsg<SfsMsg<A::Msg>>>, SpecError>
+    where
+        A: Application + Send + 'static,
+        A::Msg: Send,
+        F: FnMut(ProcessId) -> A,
+    {
+        self.validate()?;
+        let net = self.net.clone().unwrap_or_default();
+        let registry = CrashRegistry::new(self.n);
+        let config = RuntimeConfig {
+            seed: self.seed,
+            delay: None,
+            link: Some(Box::new(self.link_model()?)),
+            record_payloads: false,
+            classify: Some(Box::new(|_: &TransportMsg<SfsMsg<A::Msg>>| true)),
+            registry: Some(registry.clone()),
+            batch: self.batch,
+        };
+        let spec = self.clone();
+        Ok(Runtime::spawn(self.n, config, move |pid| {
+            Box::new(spec.wrap_process(&net, &registry, make_app(pid)))
+        }))
+    }
+
+    /// Runs the transport-backed cluster on the threaded runtime,
+    /// driving the scripted crashes and suspicions over wall clock and
+    /// reporting whether the run quiesced — the net-leg mirror of
+    /// [`ClusterSpec::run_threaded_quiesced`].
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ClusterSpec::validate`] reports ([`SpecError`]).
+    pub fn try_run_threaded_net<A, F>(
+        &self,
+        make_app: F,
+        settle: Duration,
+    ) -> Result<(Trace, bool), SpecError>
+    where
+        A: Application + Send + 'static,
+        A::Msg: Send,
+        F: FnMut(ProcessId) -> A,
+    {
+        let rt = self.try_spawn_net_runtime(make_app)?;
+        drive_plan(&rt, self.fault_plan_net::<A::Msg>());
+        let quiesced = rt.drain(settle);
+        Ok((rt.shutdown(), quiesced))
+    }
+}
+
+/// Drives a fault plan against a running threaded runtime over wall
+/// clock: one virtual tick = one millisecond, injections delivered at
+/// their scheduled times in order. Shared by the bare and net threaded
+/// runners.
+fn drive_plan<P: Clone + std::fmt::Debug + Send + 'static>(rt: &Runtime<P>, plan: FaultPlan<P>) {
+    let start = Instant::now();
+    let mut items = plan.into_items();
+    items.sort_by_key(|&(at, _, _)| at);
+    for (at, pid, injection) in items {
+        let due = start + Duration::from_millis(at.ticks());
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        match injection {
+            sfs_asys::Injection::Crash => rt.crash(pid),
+            sfs_asys::Injection::External(payload) => rt.inject_external(pid, payload),
+        }
     }
 }
 
@@ -675,11 +978,11 @@ mod tests {
         let err = ClusterSpec::new(9, 3).try_run().unwrap_err();
         assert_eq!(
             err,
-            QuorumError::Infeasible {
+            SpecError::Quorum(QuorumError::Infeasible {
                 n: 9,
                 t: 3,
                 required: 7
-            }
+            })
         );
         // Every fallible entry point reports the same typed error.
         assert!(ClusterSpec::new(9, 3).try_run_apps(|_| NullApp).is_err());
@@ -696,7 +999,13 @@ mod tests {
         // (whose constructors assert n > 0) can panic.
         assert_eq!(
             ClusterSpec::new(0, 0).try_run().unwrap_err(),
-            QuorumError::NoProcesses
+            SpecError::Quorum(QuorumError::NoProcesses)
+        );
+        // Inverted latency bounds are the other class of spec error,
+        // surfaced through the same validation (never a panic).
+        assert_eq!(
+            ClusterSpec::new(10, 3).latency(9, 2).try_run().unwrap_err(),
+            SpecError::Latency(sfs_asys::LatencyError::InvertedRange { min: 9, max: 2 })
         );
         // Non-quorum modes skip the Corollary 8 check, as in SfsConfig.
         assert!(ClusterSpec::new(9, 3)
@@ -736,6 +1045,101 @@ mod tests {
             plain.stats().messages_delivered,
             batched.stats().messages_delivered
         );
+    }
+
+    #[test]
+    fn net_leg_loss_free_run_matches_the_bare_outcome() {
+        // The transport-wrapped run of a faultless net must reproduce the
+        // bare run's observable outcome: same victim, full sFS suite.
+        let spec = ClusterSpec::new(5, 2).seed(3).suspect(p(1), p(0), 10);
+        let bare = spec.clone().run();
+        let net = spec.net(NetSpec::faultless()).run_net();
+        assert_eq!(net.stop_reason(), StopReason::Quiescent);
+        assert_eq!(net.crashed(), bare.crashed());
+        let h = History::from_trace(&net);
+        assert!(h.validate().is_ok(), "{h}", h = h.to_pretty_string());
+        for r in properties::check_sfs_suite(&h, true) {
+            assert!(r.is_ok(), "{r}\n{}", net.to_pretty_string());
+        }
+        let detectors: std::collections::BTreeSet<_> =
+            net.detections().into_iter().map(|(by, _)| by).collect();
+        assert_eq!(detectors.len(), 4);
+    }
+
+    #[test]
+    fn net_leg_keeps_every_sfs_clause_under_heavy_loss() {
+        // 25% i.i.d. loss: the ARQ layer must reconstruct the reliable
+        // channels and the protocol must keep all sFS clauses.
+        for seed in [1, 7, 23] {
+            let trace = ClusterSpec::new(5, 2)
+                .seed(seed)
+                .suspect(p(1), p(0), 10)
+                .net(NetSpec::faultless().loss(0.25))
+                .run_net();
+            assert_eq!(trace.crashed(), vec![p(0)], "seed {seed}");
+            assert!(trace.stats().messages_dropped > 0, "seed {seed}: not lossy");
+            let h = History::from_trace(&trace);
+            assert!(h.validate().is_ok(), "seed {seed}");
+            let complete = trace.stop_reason().is_complete();
+            for r in properties::check_sfs_suite(&h, complete) {
+                assert!(r.is_ok(), "seed {seed}: {r}\n{}", trace.to_pretty_string());
+            }
+        }
+    }
+
+    #[test]
+    fn endogenous_false_suspicion_becomes_a_clean_sfs_kill() {
+        // No scripted suspicions, no crashes: p0's outbound links are
+        // severed for [50, 600), so its transport heartbeats stop
+        // arriving while p0 itself stays perfectly alive. The probers on
+        // the other side time out — an endogenous FALSE suspicion — and
+        // the §5 protocol converts it into a clean kill: quorum detection
+        // by every survivor plus crash-by-own-obituary for p0 (whose
+        // inbound links still work).
+        let outbound: Vec<_> = (1..5).map(|j| (p(0), p(j))).collect();
+        let trace = ClusterSpec::new(5, 2)
+            .seed(11)
+            .max_time(3_000)
+            .net(
+                NetSpec::faultless()
+                    .probe(sfs_transport::ProbeConfig::default())
+                    .partitions(PartitionSchedule::new().cut_links(
+                        VirtualTime::from_ticks(50),
+                        VirtualTime::from_ticks(600),
+                        &outbound,
+                    )),
+            )
+            .run_net();
+        assert_eq!(trace.crashed(), vec![p(0)], "{}", trace.to_pretty_string());
+        let detectors: std::collections::BTreeSet<_> = trace
+            .detections()
+            .into_iter()
+            .map(|(by, of)| {
+                assert_eq!(of, p(0), "only the isolated process is detected");
+                by
+            })
+            .collect();
+        assert_eq!(detectors.len(), 4, "every survivor detects p0");
+        let h = History::from_trace(&trace);
+        assert!(h.validate().is_ok());
+        // Probing re-arms forever, so the run is horizon-bounded; all
+        // safety clauses must hold on the prefix.
+        for r in properties::check_sfs_suite(&h, false) {
+            assert!(r.is_ok(), "{r}\n{}", trace.to_pretty_string());
+        }
+    }
+
+    #[test]
+    fn net_leg_runs_on_the_threaded_backend() {
+        let (trace, _quiesced) = ClusterSpec::new(4, 1)
+            .suspect(p(1), p(0), 10)
+            .net(NetSpec::faultless())
+            .try_run_threaded_net(|_| NullApp, Duration::from_millis(400))
+            .expect("feasible spec");
+        assert_eq!(trace.crashed(), vec![p(0)], "{}", trace.to_pretty_string());
+        let h = History::from_trace(&trace);
+        assert!(h.validate().is_ok(), "{}", h.to_pretty_string());
+        assert_eq!(properties::check_sfs2b(&h).verdict, Verdict::Holds);
     }
 
     #[test]

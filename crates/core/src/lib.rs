@@ -71,7 +71,10 @@ pub mod quorum;
 
 pub use app::{AppApi, Application, NullApp};
 pub use config::{DetectionMode, HeartbeatConfig, SfsConfig};
-pub use harness::{ClusterSpec, ModeSpec};
+pub use harness::{ClusterSpec, ModeSpec, NetSpec, SpecError};
+// Re-exported so harness users can parameterize a `NetSpec` without
+// depending on `sfs-transport` directly.
 pub use msg::{Control, SfsMsg};
 pub use protocol::SfsProcess;
 pub use quorum::{QuorumError, QuorumPolicy};
+pub use sfs_transport::{ArqConfig, ProbeConfig, TransportMsg};

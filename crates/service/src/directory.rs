@@ -19,7 +19,7 @@
 
 use crate::plan::ShardId;
 use serde::{Deserialize, Serialize};
-use sfs::{AppApi, Application, ClusterSpec, QuorumError};
+use sfs::{AppApi, Application, ClusterSpec, QuorumError, SpecError};
 use sfs_asys::{Note, ProcessId};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -273,6 +273,9 @@ impl Application for DirectoryApp {
 pub enum DirectoryError {
     /// The directory group's own shape is infeasible.
     Quorum(QuorumError),
+    /// The directory group's cluster configuration was rejected for a
+    /// non-quorum reason (e.g. inverted latency bounds).
+    Spec(SpecError),
     /// Every shard has exhausted its failure budget — there is nowhere
     /// left to route.
     AllShardsExhausted,
@@ -288,6 +291,7 @@ impl fmt::Display for DirectoryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DirectoryError::Quorum(e) => write!(f, "directory group infeasible: {e}"),
+            DirectoryError::Spec(e) => write!(f, "directory group rejected: {e}"),
             DirectoryError::AllShardsExhausted => {
                 write!(f, "every shard has exhausted its failure budget")
             }
@@ -304,6 +308,17 @@ impl std::error::Error for DirectoryError {}
 impl From<QuorumError> for DirectoryError {
     fn from(e: QuorumError) -> Self {
         DirectoryError::Quorum(e)
+    }
+}
+
+impl From<SpecError> for DirectoryError {
+    fn from(e: SpecError) -> Self {
+        // Quorum infeasibility keeps its dedicated variant; everything
+        // else surfaces as the spec error it is.
+        match e {
+            SpecError::Quorum(q) => DirectoryError::Quorum(q),
+            other => DirectoryError::Spec(other),
+        }
     }
 }
 

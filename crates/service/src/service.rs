@@ -27,7 +27,7 @@ use crate::directory::{Directory, DirectoryError, DirectorySpec, RoutingTable, S
 use crate::load::{analyze_load, LoadGenApp, LoadOutcome, LoadProfile};
 use crate::plan::{plan_shards, PlanError, ShardId, ShardPlan, ShardSpec};
 use rayon::prelude::*;
-use sfs::{ClusterSpec, HeartbeatConfig, QuorumError};
+use sfs::{ClusterSpec, HeartbeatConfig, NetSpec, QuorumError, SpecError};
 use sfs_asys::{ProcessId, SimStats, Trace, TraceEventKind};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -78,6 +78,12 @@ pub struct ServiceSpec {
     pub max_time: u64,
     /// Threaded-backend drain budget per shard run, in milliseconds.
     pub settle_ms: u64,
+    /// The network beneath every shard group, for faulty-net
+    /// deployments: when set, each shard runs transport-backed
+    /// (`sfs-transport` ARQ over the described faulty link) instead of
+    /// on assumed-reliable channels. Partition schedules are expressed
+    /// in **shard-local** process ids and apply to every shard alike.
+    pub net: Option<NetSpec>,
 }
 
 impl ServiceSpec {
@@ -97,7 +103,15 @@ impl ServiceSpec {
             crashes: Vec::new(),
             max_time: 5_000,
             settle_ms: 150,
+            net: None,
         }
+    }
+
+    /// Installs a faulty network beneath every shard (see
+    /// [`ServiceSpec::net`]).
+    pub fn net(mut self, net: NetSpec) -> Self {
+        self.net = Some(net);
+        self
     }
 
     /// Sets or disables shard heartbeats. Without them, crash-free runs
@@ -153,6 +167,9 @@ pub enum ServiceError {
     /// A shard group's shape was rejected (should be impossible for a
     /// successful plan; surfaced rather than unwrapped).
     Quorum(QuorumError),
+    /// A shard group's cluster configuration was rejected for a
+    /// non-quorum reason (e.g. inverted latency bounds).
+    Spec(SpecError),
     /// The directory could not decide a routing table.
     Directory(DirectoryError),
 }
@@ -162,6 +179,7 @@ impl fmt::Display for ServiceError {
         match self {
             ServiceError::Plan(e) => write!(f, "planning failed: {e}"),
             ServiceError::Quorum(e) => write!(f, "shard rejected: {e}"),
+            ServiceError::Spec(e) => write!(f, "shard rejected: {e}"),
             ServiceError::Directory(e) => write!(f, "directory failed: {e}"),
         }
     }
@@ -177,6 +195,15 @@ impl From<PlanError> for ServiceError {
 impl From<QuorumError> for ServiceError {
     fn from(e: QuorumError) -> Self {
         ServiceError::Quorum(e)
+    }
+}
+
+impl From<SpecError> for ServiceError {
+    fn from(e: SpecError) -> Self {
+        match e {
+            SpecError::Quorum(q) => ServiceError::Quorum(q),
+            other => ServiceError::Spec(other),
+        }
     }
 }
 impl From<DirectoryError> for ServiceError {
@@ -472,11 +499,24 @@ fn run_shard(
         mode: spec.load.mode,
         ops,
     };
-    let trace = match spec.backend {
-        Backend::Sim => cluster.try_run_apps(|_| LoadGenApp::new(profile))?,
-        Backend::Threaded => {
+    let trace = match (&spec.net, spec.backend) {
+        (None, Backend::Sim) => cluster.try_run_apps(|_| LoadGenApp::new(profile))?,
+        (None, Backend::Threaded) => {
             let settle = Duration::from_millis(spec.settle_ms);
             cluster.try_run_threaded(|_| LoadGenApp::new(profile), settle)?
+        }
+        // Faulty-net deployment: the shard group runs transport-backed,
+        // its channels emulated by the ARQ layer over the described
+        // link instead of assumed reliable.
+        (Some(net), Backend::Sim) => cluster
+            .net(net.clone())
+            .try_run_net(|_| LoadGenApp::new(profile))?,
+        (Some(net), Backend::Threaded) => {
+            let settle = Duration::from_millis(spec.settle_ms);
+            cluster
+                .net(net.clone())
+                .try_run_threaded_net(|_| LoadGenApp::new(profile), settle)?
+                .0
         }
     };
     Ok(summarize_shard(shard.id, n, ops, &trace))
@@ -585,6 +625,68 @@ mod tests {
         // Epoch 2 still completes its whole batch on the surviving shard.
         let done2: u64 = epoch2.shards.iter().map(|s| s.load.completed).sum();
         assert_eq!(done2, 30);
+    }
+
+    #[test]
+    fn service_completes_all_ops_over_a_lossy_network() {
+        // Every shard transport-backed over a 10% lossy link: the ARQ
+        // layer must reconstruct the channels and the service must
+        // complete every op in both epochs.
+        let spec = ServiceSpec::new(20, 2, 10)
+            .heartbeat(None)
+            .net(NetSpec::faultless().loss(0.1))
+            .seed(4)
+            .load(LoadProfile::closed(40, 4));
+        let report = run_service(&spec).unwrap();
+        assert_eq!(report.ops_completed(), 80, "ops lost to the network");
+        assert!(
+            report
+                .epochs
+                .iter()
+                .flat_map(|e| &e.shards)
+                .any(|s| s.stats.messages_dropped > 0),
+            "the network was supposed to be lossy"
+        );
+        assert!(report.exhausted.is_empty());
+    }
+
+    #[test]
+    fn shards_keep_serving_across_a_healed_partition() {
+        // In every shard, the local p0 goes transmit-silent for
+        // [50, 900) — a healed blackout. The probers detect it, the
+        // protocol kills it cleanly (one loss per shard, within t = 2),
+        // and both epochs complete their full op batch: the service
+        // keeps serving across the cut and after the heal.
+        let cut = sfs_asys::PartitionSchedule::new().cut_links(
+            sfs_asys::VirtualTime::from_ticks(50),
+            sfs_asys::VirtualTime::from_ticks(900),
+            &(1..10)
+                .map(|j| (ProcessId::new(0), ProcessId::new(j)))
+                .collect::<Vec<_>>(),
+        );
+        let spec = ServiceSpec::new(20, 2, 10)
+            .heartbeat(None)
+            .net(
+                NetSpec::faultless()
+                    .probe(sfs::ProbeConfig::default())
+                    .partitions(cut),
+            )
+            .seed(8)
+            .max_time(4_000)
+            .load(LoadProfile::closed(40, 4));
+        let report = run_service(&spec).unwrap();
+        assert_eq!(report.ops_completed(), 80, "service stalled on the cut");
+        // Each shard detected (and killed) its silenced member...
+        let epoch1 = &report.epochs[0];
+        for s in &epoch1.shards {
+            assert_eq!(s.detected, 1, "shard {} missed the blackout", s.shard);
+        }
+        // ...but one loss is within budget: nothing is exhausted and
+        // epoch 2 still routes to every shard.
+        assert!(report.exhausted.is_empty());
+        let epoch2 = &report.epochs[1];
+        let done2: u64 = epoch2.shards.iter().map(|s| s.load.completed).sum();
+        assert_eq!(done2, 40, "epoch 2 must serve its whole batch");
     }
 
     #[test]

@@ -1,0 +1,956 @@
+//! # sfs-transport — earning the reliable-FIFO channel abstraction
+//!
+//! The paper's §2 model *assumes* a reliable, infinite-buffer FIFO channel
+//! between every ordered pair of processes, and leaves the source of
+//! suspicions abstract ("e.g. due to a timeout at a lower level"). This
+//! crate is the layer that **earns** both assumptions over a faulty
+//! network (the [`LinkModel`](sfs_asys::LinkModel) seam in `sfs-asys`:
+//! loss, duplication, partitions):
+//!
+//! * [`Reliable`] — a sliding-window ARQ wrapper around any
+//!   [`Process<M>`]: per-channel sequence numbers, cumulative acks,
+//!   retransmission on timeout, duplicate suppression, and in-order
+//!   release. The wrapped process observes exactly the §2 contract —
+//!   every payload delivered exactly once, per-channel FIFO — no matter
+//!   what the link does (as long as it is *fair*: a message retransmitted
+//!   forever is eventually delivered; a never-healing partition
+//!   suspends the channel, exactly like the paper's unbounded delay).
+//! * [`ProbeConfig`] + [`Reliable::suspicion`] — a heartbeat prober that
+//!   turns missed-heartbeat timeouts into the `on_external` suspicions
+//!   the §5 protocol otherwise only receives by script: the *endogenous*
+//!   FS1 mechanism.
+//!
+//! ## Model-level events
+//!
+//! Trace consumers (the `sfs-history` projection, every property checker)
+//! must see the *inner* protocol's sends and receives, not the wire
+//! frames: a payload is received when the ARQ layer releases it in order,
+//! which may be long after its first carrying frame arrived — or several
+//! frames later, once a retransmission fills a loss gap. The wrapper
+//! therefore emits [`Context::model_send`]/[`Context::model_recv`] events
+//! with **logical** message ids that mirror the engine's own numbering
+//! (one per inner send, in action order), while all wire frames are
+//! classified as infrastructure. A loss-free transport-wrapped run
+//! projects to a history isomorphic to the bare run's — pinned by the
+//! `sfs-apps` HB-fingerprint equivalence test.
+//!
+//! # Examples
+//!
+//! Wrapping a trivial process and running it over a lossy link:
+//!
+//! ```
+//! use sfs_asys::{Context, FaultyLink, Process, ProcessId, Sim, UniformLatency};
+//! use sfs_transport::{ArqConfig, Reliable, TransportMsg};
+//!
+//! struct Echo;
+//! impl Process<u32> for Echo {
+//!     fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+//!         if ctx.id().index() == 0 {
+//!             ctx.send(ProcessId::new(1), 7);
+//!         }
+//!     }
+//!     fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: ProcessId, msg: u32) {
+//!         if msg > 0 {
+//!             ctx.send(from, msg - 1);
+//!         }
+//!     }
+//! }
+//!
+//! let link = FaultyLink::new(UniformLatency::new(1, 5)).loss(0.2);
+//! let sim = Sim::<TransportMsg<u32>>::builder(2)
+//!     .seed(42)
+//!     .link(link)
+//!     .classify(|_| true) // wire frames are infrastructure
+//!     .build(|_| Box::new(Reliable::new(Echo, ArqConfig::default())));
+//! let trace = sim.run();
+//! // Despite 20% loss, every payload ping-pongs through: 8 logical
+//! // receives (7, 6, ..., 0), reconstructed by retransmission.
+//! let model_recvs = trace.events().iter().filter(|e| {
+//!     matches!(e.kind, sfs_asys::TraceEventKind::Recv { infra: false, .. })
+//! }).count();
+//! assert_eq!(model_recvs, 8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use sfs_asys::{Action, Context, MsgId, Process, ProcessId, ReceiveFilter, TimerId, VirtualTime};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+/// The wire alphabet of the transport: what actually crosses the faulty
+/// network when the inner protocol speaks `M`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportMsg<M> {
+    /// A sequenced data frame of channel `sender -> receiver`.
+    Data {
+        /// Per-channel sequence number (starting at 1).
+        seq: u64,
+        /// The sender's logical message counter at the inner send — the
+        /// model-level [`MsgId`] sequence, mirroring the engine's own
+        /// numbering so histories line up with bare runs.
+        logical: u64,
+        /// The inner payload.
+        payload: M,
+    },
+    /// Cumulative acknowledgement: "I have contiguously received your
+    /// frames up to `upto`" on the channel sender → acknowledger.
+    Ack {
+        /// Highest contiguously received sequence number.
+        upto: u64,
+    },
+    /// Transport-level liveness beacon (not sequenced, not acked, not
+    /// retransmitted): the raw material of endogenous suspicion.
+    Ping,
+    /// Environment stimulus passthrough: delivered via injection only
+    /// (never sent on a channel); the wrapper unwraps it to the inner
+    /// process's `on_external`.
+    Ctl(M),
+}
+
+/// Sliding-window ARQ parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArqConfig {
+    /// Maximum unacknowledged frames in flight per channel; further sends
+    /// queue in a backlog until the window slides. Clamped to at least 1
+    /// by [`Reliable::new`] — a zero window could transmit nothing, ever.
+    pub window: usize,
+    /// Ticks after which unacknowledged frames are retransmitted (one
+    /// shared timer; every unacked frame on every channel is resent).
+    /// Clamped to at least 1 by [`Reliable::new`].
+    pub retransmit_after: u64,
+}
+
+impl Default for ArqConfig {
+    fn default() -> Self {
+        ArqConfig {
+            window: 32,
+            retransmit_after: 40,
+        }
+    }
+}
+
+/// Heartbeat-probe parameters for endogenous failure suspicion: the
+/// transport-level mirror of the protocol's own FS1 mechanism, living
+/// *below* the model like the paper's "timeout at a lower level".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeConfig {
+    /// Ticks between [`TransportMsg::Ping`] broadcasts.
+    pub interval: u64,
+    /// Silence (in ticks) after which a peer is suspected.
+    pub timeout: u64,
+    /// Ticks between timeout scans.
+    pub check_every: u64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            interval: 20,
+            timeout: 100,
+            check_every: 25,
+        }
+    }
+}
+
+/// Outbound ARQ state of one channel `self -> peer`.
+#[derive(Debug)]
+struct OutChannel<M> {
+    /// Next sequence number to assign (frames are numbered from 1).
+    next_seq: u64,
+    /// Sent frames not yet cumulatively acknowledged, ascending by seq.
+    inflight: VecDeque<(u64, u64, M)>,
+    /// Frames awaiting a window slot, ascending by seq (already
+    /// numbered: ordering is fixed at the inner send).
+    backlog: VecDeque<(u64, u64, M)>,
+}
+
+impl<M> Default for OutChannel<M> {
+    fn default() -> Self {
+        OutChannel {
+            next_seq: 1,
+            inflight: VecDeque::new(),
+            backlog: VecDeque::new(),
+        }
+    }
+}
+
+/// Inbound ARQ state of one channel `peer -> self`.
+#[derive(Debug)]
+struct InChannel<M> {
+    /// Lowest sequence number not yet contiguously received.
+    next_seq: u64,
+    /// Frames received ahead of a gap, by seq.
+    ooo: BTreeMap<u64, (u64, M)>,
+    /// In-order payloads not yet released to the inner process (held by
+    /// its receive filter — the sFS2d gate, honoured per channel exactly
+    /// like the engine's own parking).
+    ready: VecDeque<(u64, M)>,
+}
+
+impl<M> Default for InChannel<M> {
+    fn default() -> Self {
+        InChannel {
+            next_seq: 1,
+            ooo: BTreeMap::new(),
+            ready: VecDeque::new(),
+        }
+    }
+}
+
+type Classifier<M> = Box<dyn Fn(&M) -> bool + Send>;
+type SuspicionSource<M> = Box<dyn Fn(ProcessId) -> M + Send>;
+
+/// The reliable-FIFO transport wrapper: runs any inner [`Process<M>`]
+/// over the wire alphabet [`TransportMsg<M>`], re-exporting the §2
+/// channel contract the inner process assumes. See the crate docs.
+pub struct Reliable<P, M> {
+    inner: P,
+    config: ArqConfig,
+    probe: Option<ProbeConfig>,
+    /// `true` = the inner payload is infrastructure (no model events);
+    /// mirrors `SimBuilder::classify` one layer up.
+    classify: Option<Classifier<M>>,
+    /// Builds the `on_external` suspicion stimulus for a silent peer.
+    suspect: Option<SuspicionSource<M>>,
+    out: Vec<OutChannel<M>>,
+    inp: Vec<InChannel<M>>,
+    /// The model-level send counter, mirroring the engine's per-process
+    /// `msg_seq`: incremented once per inner send action, in order.
+    logical_seq: u64,
+    /// The inner process's receive filter, applied at *release* time.
+    inner_filter: Option<ReceiveFilter<M>>,
+    retx_timer: Option<TimerId>,
+    hb_timer: Option<TimerId>,
+    check_timer: Option<TimerId>,
+    last_heard: Vec<VirtualTime>,
+    suspected: Vec<bool>,
+    /// Peers the inner protocol has declared failed (`failed_i(j)`). By
+    /// sFS2a a detected process really does crash, so the transport
+    /// **abandons** their channels: pending frames are discarded, later
+    /// sends go out untracked (fire-and-forget), retransmission and
+    /// probing stop. This is the fail-stop knowledge that lets a
+    /// reliable transport terminate: without it, frames to a dead peer
+    /// would be retransmitted forever.
+    given_up: Vec<bool>,
+}
+
+impl<P: fmt::Debug, M> fmt::Debug for Reliable<P, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Reliable")
+            .field("inner", &self.inner)
+            .field("config", &self.config)
+            .field("logical_seq", &self.logical_seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P, M> Reliable<P, M> {
+    /// Wraps `inner` with the given ARQ parameters, no probe, and no
+    /// payload classification (every inner message is model-level).
+    /// Degenerate parameters are clamped into the workable range: a
+    /// window of 0 (which could never transmit anything) becomes 1, and
+    /// a retransmit interval of 0 (a busy-loop timer) becomes 1.
+    pub fn new(inner: P, config: ArqConfig) -> Self {
+        let config = ArqConfig {
+            window: config.window.max(1),
+            retransmit_after: config.retransmit_after.max(1),
+        };
+        Reliable {
+            inner,
+            config,
+            probe: None,
+            classify: None,
+            suspect: None,
+            out: Vec::new(),
+            inp: Vec::new(),
+            logical_seq: 0,
+            inner_filter: None,
+            retx_timer: None,
+            hb_timer: None,
+            check_timer: None,
+            last_heard: Vec::new(),
+            suspected: Vec::new(),
+            given_up: Vec::new(),
+        }
+    }
+
+    /// Installs an infrastructure classifier for *inner* payloads:
+    /// `true` marks a payload as protocol-internal, excluded from
+    /// model-level trace events (the transport mirror of
+    /// `SimBuilder::classify`).
+    pub fn classify(mut self, f: impl Fn(&M) -> bool + Send + 'static) -> Self {
+        self.classify = Some(Box::new(f));
+        self
+    }
+
+    /// Enables heartbeat probing with `probe`, delivering
+    /// `make_suspicion(peer)` to the inner process's `on_external` when a
+    /// peer falls silent past the timeout — the endogenous replacement
+    /// for scripted `Injection::External` suspicions.
+    pub fn suspicion(
+        mut self,
+        probe: ProbeConfig,
+        make_suspicion: impl Fn(ProcessId) -> M + Send + 'static,
+    ) -> Self {
+        self.probe = Some(probe);
+        self.suspect = Some(Box::new(make_suspicion));
+        self
+    }
+
+    /// Read access to the wrapped inner process.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    fn is_infra(&self, payload: &M) -> bool {
+        self.classify.as_ref().is_some_and(|f| f(payload))
+    }
+}
+
+impl<P, M> Reliable<P, M>
+where
+    P: Process<M>,
+    M: Clone + 'static,
+{
+    fn ensure_init(&mut self, n: usize, now: VirtualTime) {
+        if self.out.len() == n {
+            return;
+        }
+        self.out = (0..n).map(|_| OutChannel::default()).collect();
+        self.inp = (0..n).map(|_| InChannel::default()).collect();
+        self.last_heard = vec![now; n];
+        self.suspected = vec![false; n];
+        self.given_up = vec![false; n];
+    }
+
+    /// Runs one inner callback against a derived context and translates
+    /// the resulting actions into the wire alphabet.
+    fn dispatch_inner(
+        &mut self,
+        ctx: &mut Context<'_, TransportMsg<M>>,
+        f: impl FnOnce(&mut P, &mut Context<'_, M>),
+    ) {
+        let actions = {
+            let mut inner_ctx = ctx.derive::<M>();
+            f(&mut self.inner, &mut inner_ctx);
+            inner_ctx.take_actions()
+        };
+        self.translate(ctx, actions);
+    }
+
+    /// Translates inner actions: sends go through the ARQ layer (with a
+    /// model-level send event for non-infrastructure payloads); filter
+    /// changes are absorbed (the gate lives here, not at the engine);
+    /// everything else passes through verbatim.
+    fn translate(&mut self, ctx: &mut Context<'_, TransportMsg<M>>, actions: Vec<Action<M>>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let logical = self.logical_seq;
+                    self.logical_seq += 1;
+                    if !self.is_infra(&msg) {
+                        ctx.model_send(to, MsgId::new(ctx.id(), logical));
+                    }
+                    let ch = &mut self.out[to.index()];
+                    let seq = ch.next_seq;
+                    ch.next_seq += 1;
+                    if self.given_up[to.index()] {
+                        // Fire-and-forget to a detected-failed peer: the
+                        // send still happens (the inner protocol asked for
+                        // it), but reliability to a crashed process is
+                        // vacuous, so nothing is tracked or retransmitted.
+                        ctx.send(
+                            to,
+                            TransportMsg::Data {
+                                seq,
+                                logical,
+                                payload: msg,
+                            },
+                        );
+                    } else if ch.inflight.len() < self.config.window {
+                        ch.inflight.push_back((seq, logical, msg.clone()));
+                        ctx.send(
+                            to,
+                            TransportMsg::Data {
+                                seq,
+                                logical,
+                                payload: msg,
+                            },
+                        );
+                        self.arm_retx(ctx);
+                    } else {
+                        ch.backlog.push_back((seq, logical, msg));
+                        self.arm_retx(ctx);
+                    }
+                }
+                Action::DeclareFailed { of } => {
+                    // failed_self(of): by sFS2a the peer really does
+                    // crash, so abandon its channel — discard pending
+                    // frames and stop retransmitting/probing it.
+                    self.given_up[of.index()] = true;
+                    self.suspected[of.index()] = true;
+                    self.out[of.index()].inflight.clear();
+                    self.out[of.index()].backlog.clear();
+                    self.maybe_cancel_retx(ctx);
+                    ctx.push_action(Action::DeclareFailed { of });
+                }
+                Action::SetReceiveFilter(filter) => {
+                    self.inner_filter = filter;
+                    // The gate may have opened: release what it now admits.
+                    self.pump(ctx);
+                }
+                other @ (Action::SetTimer { .. }
+                | Action::CancelTimer { .. }
+                | Action::CrashSelf
+                | Action::Annotate(_)
+                | Action::ModelSend { .. }
+                | Action::ModelRecv { .. }) => {
+                    ctx.push_action(retype(other));
+                }
+            }
+        }
+    }
+
+    fn arm_retx(&mut self, ctx: &mut Context<'_, TransportMsg<M>>) {
+        if self.retx_timer.is_none() {
+            self.retx_timer = Some(ctx.set_timer(self.config.retransmit_after));
+        }
+    }
+
+    /// Cancels the retransmit timer once nothing remains unacknowledged.
+    fn maybe_cancel_retx(&mut self, ctx: &mut Context<'_, TransportMsg<M>>) {
+        if !self.has_unacked() {
+            if let Some(t) = self.retx_timer.take() {
+                ctx.cancel_timer(t);
+            }
+        }
+    }
+
+    /// Whether any channel still has unacknowledged or backlogged frames.
+    fn has_unacked(&self) -> bool {
+        self.out
+            .iter()
+            .any(|ch| !ch.inflight.is_empty() || !ch.backlog.is_empty())
+    }
+
+    /// Releases in-order payloads to the inner process, per channel in
+    /// FIFO order, honouring the inner receive filter at the head (a
+    /// refused head blocks its own channel only, like engine parking).
+    fn pump(&mut self, ctx: &mut Context<'_, TransportMsg<M>>) {
+        for s in 0..self.inp.len() {
+            loop {
+                let admit = match self.inp[s].ready.front() {
+                    None => false,
+                    Some((_, payload)) => self
+                        .inner_filter
+                        .as_ref()
+                        .is_none_or(|f| f.accepts(payload)),
+                };
+                if !admit {
+                    break;
+                }
+                let (logical, payload) = self.inp[s].ready.pop_front().expect("head admitted");
+                let from = ProcessId::new(s);
+                if !self.is_infra(&payload) {
+                    ctx.model_recv(from, MsgId::new(from, logical));
+                }
+                self.dispatch_inner(ctx, |p, c| p.on_message(c, from, payload));
+            }
+        }
+    }
+
+    fn handle_data(
+        &mut self,
+        ctx: &mut Context<'_, TransportMsg<M>>,
+        from: ProcessId,
+        seq: u64,
+        logical: u64,
+        payload: M,
+    ) {
+        let ch = &mut self.inp[from.index()];
+        if seq >= ch.next_seq {
+            // New or ahead-of-gap frame; duplicates of buffered frames
+            // are absorbed by the map insert.
+            ch.ooo.entry(seq).or_insert((logical, payload));
+            while let Some(entry) = ch.ooo.remove(&ch.next_seq) {
+                ch.ready.push_back(entry);
+                ch.next_seq += 1;
+            }
+        }
+        // Cumulative ack — also re-sent for stale duplicates, so a lost
+        // ack is recovered by the very retransmission it failed to stop.
+        let upto = self.inp[from.index()].next_seq - 1;
+        ctx.send(from, TransportMsg::Ack { upto });
+        self.pump(ctx);
+    }
+
+    fn handle_ack(&mut self, ctx: &mut Context<'_, TransportMsg<M>>, from: ProcessId, upto: u64) {
+        if self.given_up[from.index()] {
+            return;
+        }
+        let window = self.config.window;
+        let ch = &mut self.out[from.index()];
+        while ch.inflight.front().is_some_and(|&(seq, _, _)| seq <= upto) {
+            ch.inflight.pop_front();
+        }
+        // The window slid: promote backlogged frames.
+        while ch.inflight.len() < window {
+            let Some((seq, logical, payload)) = ch.backlog.pop_front() else {
+                break;
+            };
+            ch.inflight.push_back((seq, logical, payload.clone()));
+            ctx.send(
+                from,
+                TransportMsg::Data {
+                    seq,
+                    logical,
+                    payload,
+                },
+            );
+        }
+        self.maybe_cancel_retx(ctx);
+    }
+
+    /// Retransmits every unacknowledged in-flight frame on every channel.
+    fn retransmit_all(&mut self, ctx: &mut Context<'_, TransportMsg<M>>) {
+        for (to, ch) in self.out.iter().enumerate() {
+            for &(seq, logical, ref payload) in &ch.inflight {
+                ctx.send(
+                    ProcessId::new(to),
+                    TransportMsg::Data {
+                        seq,
+                        logical,
+                        payload: payload.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    fn run_probe_checks(&mut self, ctx: &mut Context<'_, TransportMsg<M>>) {
+        let Some(probe) = self.probe else { return };
+        let me = ctx.id();
+        let now = ctx.now();
+        for j in 0..self.last_heard.len() {
+            let peer = ProcessId::new(j);
+            if peer == me || self.suspected[j] || self.given_up[j] {
+                continue;
+            }
+            if now.since(self.last_heard[j]) > probe.timeout {
+                self.suspected[j] = true;
+                if let Some(make) = &self.suspect {
+                    let stimulus = make(peer);
+                    self.dispatch_inner(ctx, |p, c| p.on_external(c, stimulus));
+                }
+            }
+        }
+    }
+}
+
+/// Re-types a payload-free `Action<M>` into `Action<TransportMsg<M>>`.
+/// `Send`, `SetReceiveFilter`, and `DeclareFailed` never reach here:
+/// the translator handles each in its own arm (the first two carry `M`
+/// payloads; the third triggers channel abandonment).
+fn retype<M>(action: Action<M>) -> Action<TransportMsg<M>> {
+    match action {
+        Action::SetTimer { id, delay } => Action::SetTimer { id, delay },
+        Action::CancelTimer { id } => Action::CancelTimer { id },
+        Action::CrashSelf => Action::CrashSelf,
+        Action::Annotate(note) => Action::Annotate(note),
+        Action::ModelSend { to, msg } => Action::ModelSend { to, msg },
+        Action::ModelRecv { from, msg } => Action::ModelRecv { from, msg },
+        Action::Send { .. } | Action::SetReceiveFilter(_) | Action::DeclareFailed { .. } => {
+            unreachable!("handled by the translator's dedicated arms")
+        }
+    }
+}
+
+impl<P, M> Process<TransportMsg<M>> for Reliable<P, M>
+where
+    P: Process<M>,
+    M: Clone + fmt::Debug + 'static,
+{
+    fn on_start(&mut self, ctx: &mut Context<'_, TransportMsg<M>>) {
+        self.ensure_init(ctx.n(), ctx.now());
+        if let Some(probe) = self.probe {
+            ctx.broadcast(TransportMsg::Ping, false);
+            self.hb_timer = Some(ctx.set_timer(probe.interval));
+            self.check_timer = Some(ctx.set_timer(probe.check_every));
+        }
+        self.dispatch_inner(ctx, |p, c| p.on_start(c));
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, TransportMsg<M>>,
+        from: ProcessId,
+        msg: TransportMsg<M>,
+    ) {
+        self.ensure_init(ctx.n(), ctx.now());
+        self.last_heard[from.index()] = ctx.now();
+        match msg {
+            TransportMsg::Data {
+                seq,
+                logical,
+                payload,
+            } => self.handle_data(ctx, from, seq, logical, payload),
+            TransportMsg::Ack { upto } => self.handle_ack(ctx, from, upto),
+            TransportMsg::Ping => {}
+            TransportMsg::Ctl(_) => {
+                // Control stimuli arrive via injection, never on a channel.
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, TransportMsg<M>>, timer: TimerId) {
+        if Some(timer) == self.retx_timer {
+            self.retx_timer = None;
+            if self.has_unacked() {
+                self.retransmit_all(ctx);
+                self.arm_retx(ctx);
+            }
+        } else if Some(timer) == self.hb_timer {
+            ctx.broadcast(TransportMsg::Ping, false);
+            if let Some(probe) = self.probe {
+                self.hb_timer = Some(ctx.set_timer(probe.interval));
+            }
+        } else if Some(timer) == self.check_timer {
+            self.run_probe_checks(ctx);
+            if let Some(probe) = self.probe {
+                self.check_timer = Some(ctx.set_timer(probe.check_every));
+            }
+        } else {
+            self.dispatch_inner(ctx, |p, c| p.on_timer(c, timer));
+        }
+    }
+
+    fn on_external(&mut self, ctx: &mut Context<'_, TransportMsg<M>>, payload: TransportMsg<M>) {
+        self.ensure_init(ctx.n(), ctx.now());
+        match payload {
+            TransportMsg::Ctl(m) | TransportMsg::Data { payload: m, .. } => {
+                self.dispatch_inner(ctx, |p, c| p.on_external(c, m));
+            }
+            TransportMsg::Ack { .. } | TransportMsg::Ping => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_asys::{
+        FaultyLink, FixedLatency, FnLink, LinkVerdict, PartitionSchedule, Sim, StopReason,
+        TraceEventKind, UniformLatency,
+    };
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// p0 floods `count` numbered payloads to p1 on start.
+    struct Flood {
+        count: u32,
+    }
+    impl Process<u32> for Flood {
+        fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+            for k in 0..self.count {
+                ctx.send(p(1), k);
+            }
+        }
+        fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+    }
+
+    struct Quiet;
+    impl Process<u32> for Quiet {
+        fn on_start(&mut self, _: &mut Context<'_, u32>) {}
+        fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+    }
+
+    /// The logical receives at `by`, as (from, seq) pairs in trace order.
+    fn model_recvs(trace: &sfs_asys::Trace, by: ProcessId) -> Vec<(ProcessId, u64)> {
+        trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::Recv {
+                    by: b,
+                    from,
+                    msg,
+                    infra: false,
+                    ..
+                } if b == by => Some((from, msg.seq())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn flood_sim(
+        count: u32,
+        link: impl sfs_asys::LinkModel + 'static,
+        seed: u64,
+    ) -> Sim<TransportMsg<u32>> {
+        Sim::<TransportMsg<u32>>::builder(2)
+            .seed(seed)
+            .link(link)
+            .classify(|_| true)
+            .build(move |pid| {
+                if pid.index() == 0 {
+                    Box::new(Reliable::new(Flood { count }, ArqConfig::default()))
+                } else {
+                    Box::new(Reliable::new(Quiet, ArqConfig::default()))
+                }
+            })
+    }
+
+    #[test]
+    fn loss_free_link_delivers_in_order_and_quiesces() {
+        let trace = flood_sim(20, FixedLatency(1), 0).run();
+        assert_eq!(trace.stop_reason(), StopReason::Quiescent);
+        let recvs = model_recvs(&trace, p(1));
+        assert_eq!(recvs.len(), 20);
+        assert!(recvs.windows(2).all(|w| w[0].1 < w[1].1), "{recvs:?}");
+    }
+
+    #[test]
+    fn heavy_loss_is_repaired_by_retransmission() {
+        for seed in 0..10 {
+            let link = FaultyLink::new(UniformLatency::new(1, 8)).loss(0.4);
+            let trace = flood_sim(25, link, seed).run();
+            let recvs = model_recvs(&trace, p(1));
+            assert_eq!(recvs.len(), 25, "seed {seed}: lost payloads");
+            assert!(
+                recvs.windows(2).all(|w| w[0].1 < w[1].1),
+                "seed {seed}: out of order: {recvs:?}"
+            );
+            assert!(
+                trace.stats().messages_dropped > 0,
+                "seed {seed}: the link was supposed to be lossy"
+            );
+        }
+    }
+
+    #[test]
+    fn duplication_is_suppressed() {
+        for seed in 0..10 {
+            let link = FaultyLink::new(UniformLatency::new(1, 8)).duplicate(0.5);
+            let trace = flood_sim(25, link, seed).run();
+            let recvs = model_recvs(&trace, p(1));
+            assert_eq!(recvs.len(), 25, "seed {seed}: dup leaked or lost");
+        }
+    }
+
+    #[test]
+    fn healed_partition_suspends_then_releases_the_channel() {
+        // The link is cut for [0, 200); the flood happens at time 0. All
+        // payloads must arrive after the heal, in order.
+        let link = FaultyLink::new(FixedLatency(1)).partitions(PartitionSchedule::new().split(
+            VirtualTime::ZERO,
+            VirtualTime::from_ticks(200),
+            &[p(0)],
+        ));
+        let trace = flood_sim(10, link, 3).run();
+        let recvs = model_recvs(&trace, p(1));
+        assert_eq!(recvs.len(), 10, "{}", trace.to_pretty_string());
+        let first_recv_at = trace
+            .events()
+            .iter()
+            .find(|e| matches!(e.kind, TraceEventKind::Recv { infra: false, .. }))
+            .expect("a model recv")
+            .time;
+        assert!(
+            first_recv_at >= VirtualTime::from_ticks(200),
+            "delivered across the cut at {first_recv_at}"
+        );
+    }
+
+    #[test]
+    fn never_healing_partition_never_delivers() {
+        let link = FaultyLink::new(FixedLatency(1)).partitions(PartitionSchedule::new().split(
+            VirtualTime::ZERO,
+            VirtualTime::MAX,
+            &[p(0)],
+        ));
+        let sim = flood_sim(5, link, 1);
+        let trace = sim.run();
+        // The run only ends at the horizon (retransmission never stops).
+        assert_eq!(trace.stop_reason(), StopReason::MaxTime);
+        assert!(model_recvs(&trace, p(1)).is_empty());
+    }
+
+    #[test]
+    fn zero_window_is_clamped_not_livelocked() {
+        // A window of 0 could never transmit anything; the constructor
+        // clamps it to 1 so the flood still completes.
+        let config = ArqConfig {
+            window: 0,
+            retransmit_after: 0,
+        };
+        let sim = Sim::<TransportMsg<u32>>::builder(2)
+            .seed(1)
+            .latency(FixedLatency(1))
+            .classify(|_| true)
+            .build(move |pid| {
+                if pid.index() == 0 {
+                    Box::new(Reliable::new(Flood { count: 5 }, config))
+                        as Box<dyn Process<TransportMsg<u32>>>
+                } else {
+                    Box::new(Reliable::new(Quiet, config))
+                }
+            });
+        let trace = sim.run();
+        assert_eq!(trace.stop_reason(), StopReason::Quiescent);
+        assert_eq!(model_recvs(&trace, p(1)).len(), 5);
+    }
+
+    #[test]
+    fn window_backlog_preserves_order_under_a_tiny_window() {
+        let config = ArqConfig {
+            window: 2,
+            retransmit_after: 30,
+        };
+        let link = FaultyLink::new(UniformLatency::new(1, 6)).loss(0.3);
+        let sim = Sim::<TransportMsg<u32>>::builder(2)
+            .seed(7)
+            .link(link)
+            .classify(|_| true)
+            .build(move |pid| {
+                if pid.index() == 0 {
+                    Box::new(Reliable::new(Flood { count: 30 }, config))
+                } else {
+                    Box::new(Reliable::new(Quiet, config))
+                }
+            });
+        let trace = sim.run();
+        let recvs = model_recvs(&trace, p(1));
+        assert_eq!(recvs.len(), 30);
+        assert!(recvs.windows(2).all(|w| w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn inner_receive_filter_gates_release_per_channel() {
+        // The inner process refuses payloads >= 10 until it has seen 5.
+        // The transport must hold channel heads without losing anything.
+        struct Picky {
+            seen: Vec<u32>,
+        }
+        impl Process<u32> for Picky {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_receive_filter(Some(ReceiveFilter::new(|m: &u32| *m < 10)));
+            }
+            fn on_message(&mut self, ctx: &mut Context<'_, u32>, _: ProcessId, msg: u32) {
+                self.seen.push(msg);
+                if msg == 5 {
+                    ctx.set_receive_filter(None);
+                }
+            }
+        }
+        // p0 sends 20 (refused: blocks the channel), then 5 (would lift
+        // the gate, but FIFO holds it behind 20) — p2 sends 5 on its own
+        // channel, which lifts the gate and releases p0's queue.
+        struct S0;
+        impl Process<u32> for S0 {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.send(p(1), 20);
+                ctx.send(p(1), 7);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+        }
+        struct S2;
+        impl Process<u32> for S2 {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_timer(50);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, u32>, _: TimerId) {
+                ctx.send(p(1), 5);
+            }
+        }
+        let sim = Sim::<TransportMsg<u32>>::builder(3)
+            .seed(2)
+            .latency(FixedLatency(1))
+            .classify(|_| true)
+            .build(|pid| match pid.index() {
+                0 => Box::new(Reliable::new(S0, ArqConfig::default()))
+                    as Box<dyn Process<TransportMsg<u32>>>,
+                1 => Box::new(Reliable::new(
+                    Picky { seen: Vec::new() },
+                    ArqConfig::default(),
+                )),
+                _ => Box::new(Reliable::new(S2, ArqConfig::default())),
+            });
+        let trace = sim.run();
+        let recvs = model_recvs(&trace, p(1));
+        // p2's 5 first (gate lifts), then p0's 20 and 7 in channel order.
+        assert_eq!(recvs.len(), 3, "{}", trace.to_pretty_string());
+        let from_p0: Vec<u64> = recvs
+            .iter()
+            .filter(|(f, _)| *f == p(0))
+            .map(|&(_, s)| s)
+            .collect();
+        assert_eq!(from_p0, vec![0, 1], "FIFO through the held gate");
+        assert_eq!(recvs[0].0, p(2), "the gate-lifting payload releases first");
+    }
+
+    #[test]
+    fn endogenous_suspicion_fires_for_a_silent_peer_only() {
+        // Two wrapped processes with probing; p1 crashes at t=50 (via the
+        // fault plan). p0's prober must suspect p1 — and nothing must
+        // ever suspect the live p0.
+        #[derive(Debug, Default)]
+        struct Recorder {
+            suspicions: Vec<ProcessId>,
+        }
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        enum Msg {
+            Suspect(ProcessId),
+        }
+        impl Process<Msg> for Recorder {
+            fn on_start(&mut self, _: &mut Context<'_, Msg>) {}
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: ProcessId, _: Msg) {}
+            fn on_external(&mut self, ctx: &mut Context<'_, Msg>, payload: Msg) {
+                let Msg::Suspect(peer) = payload;
+                self.suspicions.push(peer);
+                ctx.annotate(sfs_asys::Note::key_val("suspect", peer));
+            }
+        }
+        let plan = sfs_asys::FaultPlan::new().crash_at(p(1), VirtualTime::from_ticks(50));
+        let sim = Sim::<TransportMsg<Msg>>::builder(2)
+            .seed(4)
+            .latency(FixedLatency(1))
+            .max_time(VirtualTime::from_ticks(2_000))
+            .classify(|_| true)
+            .faults(plan)
+            .build(|_| {
+                Box::new(
+                    Reliable::new(Recorder::default(), ArqConfig::default())
+                        .suspicion(ProbeConfig::default(), Msg::Suspect),
+                )
+            });
+        let trace = sim.run();
+        let notes: Vec<_> = trace.notes_with_key("suspect").collect();
+        assert_eq!(notes.len(), 1, "{}", trace.to_pretty_string());
+        let (_, by, note) = notes[0];
+        assert_eq!(by, p(0));
+        assert_eq!(*note, sfs_asys::Note::key_val("suspect", p(1)));
+    }
+
+    #[test]
+    fn scripted_drop_patterns_from_fn_link_are_survived() {
+        // Drop every other data frame (acks pass): a worst-case regular
+        // loss pattern.
+        let mut k = 0u32;
+        let link = FnLink(move |_, _, _, _: &mut rand::rngs::StdRng| {
+            k += 1;
+            if k.is_multiple_of(2) {
+                LinkVerdict::Drop
+            } else {
+                LinkVerdict::Deliver(1)
+            }
+        });
+        let trace = flood_sim(15, link, 5).run();
+        let recvs = model_recvs(&trace, p(1));
+        assert_eq!(recvs.len(), 15, "{}", trace.to_pretty_string());
+        assert!(recvs.windows(2).all(|w| w[0].1 < w[1].1));
+    }
+}
