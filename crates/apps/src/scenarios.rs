@@ -871,6 +871,27 @@ impl ExploreInstance {
         }
         backends.push(transport);
 
+        // Backend 5: the transport-backed leg again, with adaptive
+        // timeouts. Jacobson RTO estimation and learned suspicion
+        // thresholds must be model-invisible on the loss-free link, so
+        // the adaptive run's history lands in the same bare envelope.
+        let mut adaptive = BackendReport::new("sim:transport-adaptive");
+        for i in 0..config.transport_runs {
+            let trace = self
+                .spec
+                .clone()
+                .seed(config.seed.wrapping_add(i as u64))
+                .net(NetSpec::faultless().adaptive(sfs::AdaptiveConfig::default()))
+                .try_run_net(|_| NullApp)
+                .expect("explored instance is feasible");
+            let complete = trace.stop_reason().is_complete();
+            adaptive.absorb_run(
+                complete,
+                oracle.check("sim:transport-adaptive", &trace, complete),
+            );
+        }
+        backends.push(adaptive);
+
         // Minimize every reference witness.
         let shrunk = reference
             .properties
@@ -1251,7 +1272,14 @@ mod tests {
             out.divergences().collect::<Vec<_>>()
         );
         assert!(out.replay_checks >= 5, "{}", out.replay_checks);
-        assert_eq!(out.total_runs(), 1 + 4 + 5 + 1 + 1, "{:#?}", out.backends);
+        // time-ordered + random + replay + threaded + transport +
+        // transport-adaptive.
+        assert_eq!(
+            out.total_runs(),
+            1 + 4 + 5 + 1 + 1 + 1,
+            "{:#?}",
+            out.backends
+        );
         // Nothing was violated, so nothing was shrunk.
         assert!(out.shrunk.is_empty());
     }

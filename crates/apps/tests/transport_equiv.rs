@@ -13,7 +13,7 @@
 //! model. Any future change that renumbers, reorders, or double-releases
 //! payloads fails here.
 
-use sfs::{ClusterSpec, NetSpec};
+use sfs::{AdaptiveConfig, ClusterSpec, NetSpec};
 use sfs_apps::workpool::WorkPoolApp;
 use sfs_asys::ProcessId;
 use sfs_explore::class_fingerprint;
@@ -84,6 +84,65 @@ fn transport_is_hb_invisible_under_an_app_workload() {
             class_fingerprint(&h_bare),
             class_fingerprint(&h_wrapped),
             "seed {seed}: transport changed the app-level HB class\nbare:\n{}\nwrapped:\n{}",
+            h_bare.to_pretty_string(),
+            h_wrapped.to_pretty_string(),
+        );
+    }
+}
+
+#[test]
+fn adaptive_transport_is_hb_invisible_when_loss_free() {
+    // The E13 acceptance pin: adaptive timeouts (Jacobson RTO +
+    // learned suspicion thresholds) change *when* the transport would
+    // retransmit or suspect — on a loss-free link neither ever fires,
+    // so the adaptive run must land in the same HB class as the bare
+    // run, jitter rng and all.
+    for seed in 0..10 {
+        let spec = ClusterSpec::new(6, 2)
+            .seed(seed)
+            .latency(1, 1)
+            .suspect(p(1), p(0), 10)
+            .suspect(p(4), p(3), 25);
+        let bare = spec.clone().run();
+        let wrapped = spec
+            .net(NetSpec::faultless().adaptive(AdaptiveConfig::default()))
+            .run_net();
+        assert!(bare.stop_reason().is_complete());
+        assert!(wrapped.stop_reason().is_complete());
+        assert_eq!(
+            model_fingerprint(&bare),
+            model_fingerprint(&wrapped),
+            "seed {seed}: the adaptive transport changed the HB class\nbare:\n{}\nwrapped:\n{}",
+            History::from_trace(&bare).to_pretty_string(),
+            History::from_trace(&wrapped).to_pretty_string(),
+        );
+    }
+}
+
+#[test]
+fn adaptive_transport_is_hb_invisible_under_an_app_workload() {
+    // Same pin under a real application: work-pool ops must pair and
+    // order identically whether the ARQ deadlines are fixed or
+    // RTT-estimated, as long as the link never forces a decision.
+    for seed in 0..10 {
+        let spec = ClusterSpec::new(5, 2)
+            .seed(seed)
+            .latency(1, 1)
+            .suspect(p(2), p(0), 40)
+            .max_time(20_000);
+        let bare = spec.clone().run_apps(|_| WorkPoolApp::new(6));
+        let wrapped = spec
+            .net(NetSpec::faultless().adaptive(AdaptiveConfig::default()))
+            .try_run_net(|_| WorkPoolApp::new(6))
+            .expect("feasible");
+        assert!(bare.stop_reason().is_complete(), "seed {seed}");
+        assert!(wrapped.stop_reason().is_complete(), "seed {seed}");
+        let (h_bare, h_wrapped) = (History::from_trace(&bare), History::from_trace(&wrapped));
+        assert!(h_wrapped.validate().is_ok(), "seed {seed}");
+        assert_eq!(
+            class_fingerprint(&h_bare),
+            class_fingerprint(&h_wrapped),
+            "seed {seed}: the adaptive transport changed the app-level HB class\nbare:\n{}\nwrapped:\n{}",
             h_bare.to_pretty_string(),
             h_wrapped.to_pretty_string(),
         );

@@ -81,7 +81,7 @@ pub use id::{MsgId, ProcessId, TimerId};
 pub use latency::{
     FixedLatency, FnLatency, LatencyError, LatencyModel, OverrideLatency, UniformLatency, NEVER,
 };
-pub use link::{FaultyLink, FnLink, LinkModel, LinkVerdict, PartitionSchedule};
+pub use link::{FaultyLink, FnLink, LinkModel, LinkVerdict, PartitionSchedule, StormSchedule};
 pub use note::{Note, NOTE_LEADER, NOTE_QUORUM};
 pub use process::{Action, Context, Process, ReceiveFilter};
 pub use sim::{CrashRegistry, Sim, SimBuilder, SimConfig};

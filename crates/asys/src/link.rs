@@ -176,6 +176,103 @@ impl PartitionSchedule {
     }
 }
 
+/// One scripted delay storm: messages on `links` pay `extra` additional
+/// ticks of delay while `[from, until)` is in effect.
+#[derive(Debug, Clone)]
+struct Storm {
+    from: VirtualTime,
+    until: VirtualTime,
+    links: LinkSet,
+    extra: u64,
+}
+
+/// A delay-storm script: windows of virtual time during which chosen link
+/// sets pay a flat delay surcharge on top of the base latency model.
+///
+/// Storms model congestion and gray failure — links that stay *up* (no
+/// loss is introduced) but get slow enough to look dead to a poorly
+/// provisioned timeout. Overlapping storms stack additively. Like
+/// [`PartitionSchedule`], windows are half-open `[from, until)` and the
+/// surcharge applies to messages *sent* during the window (in-flight
+/// traffic is unaffected).
+///
+/// # Examples
+///
+/// ```
+/// use sfs_asys::{ProcessId, StormSchedule, VirtualTime};
+///
+/// let p = |i| ProcessId::new(i);
+/// let t = VirtualTime::from_ticks;
+/// let storms = StormSchedule::new()
+///     // p0's outbound traffic crawls (+120 ticks) from 100 to 200.
+///     .surge_links(t(100), t(200), &[(p(0), p(1)), (p(0), p(2))], 120);
+/// assert_eq!(storms.surcharge(p(0), p(1), t(150)), 120);
+/// assert_eq!(storms.surcharge(p(0), p(1), t(200)), 0);
+/// assert_eq!(storms.surcharge(p(1), p(0), t(150)), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StormSchedule {
+    storms: Vec<Storm>,
+}
+
+impl StormSchedule {
+    /// An empty schedule: no link ever pays a surcharge.
+    pub fn new() -> Self {
+        StormSchedule::default()
+    }
+
+    /// Adds `extra` ticks to the directed links `pairs` for
+    /// `[from, until)`.
+    pub fn surge_links(
+        mut self,
+        from: VirtualTime,
+        until: VirtualTime,
+        pairs: &[(ProcessId, ProcessId)],
+        extra: u64,
+    ) -> Self {
+        self.storms.push(Storm {
+            from,
+            until,
+            links: LinkSet::Pairs(pairs.to_vec()),
+            extra,
+        });
+        self
+    }
+
+    /// Adds `extra` ticks to every link crossing the boundary between
+    /// `group` and its complement (both directions) for `[from, until)`.
+    pub fn surge_split(
+        mut self,
+        from: VirtualTime,
+        until: VirtualTime,
+        group: &[ProcessId],
+        extra: u64,
+    ) -> Self {
+        self.storms.push(Storm {
+            from,
+            until,
+            links: LinkSet::Split(group.to_vec()),
+            extra,
+        });
+        self
+    }
+
+    /// The total surcharge on `from -> to` at `now` (overlapping storms
+    /// stack).
+    pub fn surcharge(&self, from: ProcessId, to: ProcessId, now: VirtualTime) -> u64 {
+        self.storms
+            .iter()
+            .filter(|s| now >= s.from && now < s.until && s.links.severs(from, to))
+            .map(|s| s.extra)
+            .sum()
+    }
+
+    /// Whether the schedule contains no storms at all.
+    pub fn is_empty(&self) -> bool {
+        self.storms.is_empty()
+    }
+}
+
 /// A faulty network: a base latency model composed with i.i.d. message
 /// loss, i.i.d. duplication, and a [`PartitionSchedule`].
 ///
@@ -202,18 +299,20 @@ pub struct FaultyLink<B> {
     loss: f64,
     duplicate: f64,
     partitions: PartitionSchedule,
+    storms: StormSchedule,
 }
 
 impl<B: LatencyModel> FaultyLink<B> {
     /// A loss-free, unpartitioned faulty link over `base` — configure
-    /// with [`FaultyLink::loss`], [`FaultyLink::duplicate`], and
-    /// [`FaultyLink::partitions`].
+    /// with [`FaultyLink::loss`], [`FaultyLink::duplicate`],
+    /// [`FaultyLink::partitions`], and [`FaultyLink::storms`].
     pub fn new(base: B) -> Self {
         FaultyLink {
             base,
             loss: 0.0,
             duplicate: 0.0,
             partitions: PartitionSchedule::new(),
+            storms: StormSchedule::new(),
         }
     }
 
@@ -235,6 +334,15 @@ impl<B: LatencyModel> FaultyLink<B> {
         self.partitions = sched;
         self
     }
+
+    /// Installs the delay-storm script. Surcharges are added to the base
+    /// model's delay (both copies of a duplicate pay it) and consume no
+    /// randomness, so a storm-free schedule leaves the rng stream — and
+    /// hence every existing run — untouched.
+    pub fn storms(mut self, sched: StormSchedule) -> Self {
+        self.storms = sched;
+        self
+    }
 }
 
 impl<B: LatencyModel> LinkModel for FaultyLink<B> {
@@ -251,12 +359,13 @@ impl<B: LatencyModel> LinkModel for FaultyLink<B> {
         if self.loss > 0.0 && rng.gen_bool(self.loss) {
             return LinkVerdict::Drop;
         }
+        let extra = self.storms.surcharge(from, to, now);
         if self.duplicate > 0.0 && rng.gen_bool(self.duplicate) {
             let d1 = self.base.latency(from, to, now, rng);
             let d2 = self.base.latency(from, to, now, rng);
-            return LinkVerdict::Duplicate(d1, d2);
+            return LinkVerdict::Duplicate(d1 + extra, d2 + extra);
         }
-        LinkVerdict::Deliver(self.base.latency(from, to, now, rng))
+        LinkVerdict::Deliver(self.base.latency(from, to, now, rng) + extra)
     }
 }
 
@@ -398,6 +507,111 @@ mod tests {
         use rand::RngCore;
         let mut r2 = StdRng::seed_from_u64(5);
         assert_eq!(r1.next_u64(), r2.next_u64(), "no rng consumed on a cut");
+    }
+
+    #[test]
+    fn overlapping_cuts_sever_while_any_window_is_open() {
+        // Two overlapping cuts of the same link: the union of windows
+        // severs, and healing one cut does not heal the link early.
+        let sched = PartitionSchedule::new()
+            .cut_links(t(10), t(30), &[(p(0), p(1))])
+            .cut_links(t(20), t(50), &[(p(0), p(1))]);
+        assert!(!sched.severed(p(0), p(1), t(9)));
+        assert!(sched.severed(p(0), p(1), t(15)));
+        assert!(sched.severed(p(0), p(1), t(25)), "overlap region");
+        assert!(
+            sched.severed(p(0), p(1), t(35)),
+            "first cut healed, second holds"
+        );
+        assert!(!sched.severed(p(0), p(1), t(50)));
+        assert_eq!(sched.healed_at(), Some(t(50)));
+    }
+
+    #[test]
+    fn heal_before_cut_ordering_is_an_empty_window() {
+        // A cut whose heal precedes (or equals) its start never severs
+        // anything: [from, until) with until <= from is empty.
+        let inverted = PartitionSchedule::new().cut_links(t(40), t(10), &[(p(0), p(1))]);
+        for tick in 0..60 {
+            assert!(!inverted.severed(p(0), p(1), t(tick)), "tick {tick}");
+        }
+        let degenerate = PartitionSchedule::new().split(t(25), t(25), &[p(0)]);
+        assert!(!degenerate.severed(p(0), p(1), t(25)));
+    }
+
+    #[test]
+    fn cut_at_tick_zero_severs_from_the_first_instant() {
+        let sched = PartitionSchedule::new().split(t(0), t(5), &[p(0)]);
+        assert!(sched.severed(p(0), p(1), t(0)), "tick 0 is inside [0, 5)");
+        assert!(sched.severed(p(1), p(0), t(4)));
+        assert!(!sched.severed(p(0), p(1), t(5)));
+    }
+
+    #[test]
+    fn empty_link_sets_sever_nothing() {
+        // A cut over zero pairs and a split of the empty group both name
+        // no links; the schedule is non-empty but severs nothing.
+        let sched = PartitionSchedule::new()
+            .cut_links(t(0), t(100), &[])
+            .split(t(0), t(100), &[]);
+        assert!(!sched.is_empty());
+        for (a, b) in [(0, 1), (1, 0), (2, 3)] {
+            assert!(!sched.severed(p(a), p(b), t(50)));
+        }
+        // A split of the *full* group also crosses no boundary.
+        let all = PartitionSchedule::new().split(t(0), t(100), &[p(0), p(1)]);
+        assert!(!all.severed(p(0), p(1), t(50)));
+    }
+
+    #[test]
+    fn storms_surcharge_delays_without_touching_the_rng() {
+        let storms = StormSchedule::new()
+            .surge_links(t(100), t(200), &[(p(0), p(1))], 120)
+            .surge_split(t(150), t(250), &[p(0)], 30);
+        let mut link = FaultyLink::new(FixedLatency(3)).storms(storms);
+        let mut r1 = StdRng::seed_from_u64(11);
+        // Outside every window: base delay.
+        assert_eq!(
+            link.verdict(p(0), p(1), t(50), &mut r1),
+            LinkVerdict::Deliver(3)
+        );
+        // Inside the pair storm only.
+        assert_eq!(
+            link.verdict(p(0), p(1), t(120), &mut r1),
+            LinkVerdict::Deliver(123)
+        );
+        // Overlap region: surcharges stack.
+        assert_eq!(
+            link.verdict(p(0), p(1), t(160), &mut r1),
+            LinkVerdict::Deliver(153)
+        );
+        // The split half also covers the reverse direction.
+        assert_eq!(
+            link.verdict(p(1), p(0), t(160), &mut r1),
+            LinkVerdict::Deliver(33)
+        );
+        // Half-open: the boundary tick is storm-free for the pair window.
+        assert_eq!(
+            link.verdict(p(0), p(1), t(200), &mut r1),
+            LinkVerdict::Deliver(33)
+        );
+        // Rng untouched: FixedLatency consumes none, and neither do storms.
+        use rand::RngCore;
+        let mut r2 = StdRng::seed_from_u64(11);
+        assert_eq!(r1.next_u64(), r2.next_u64(), "storms consume no rng");
+    }
+
+    #[test]
+    fn storm_surcharge_applies_to_both_duplicate_copies() {
+        let storms = StormSchedule::new().surge_links(t(0), t(10), &[(p(0), p(1))], 5);
+        let mut link = FaultyLink::new(FixedLatency(7))
+            .duplicate(1.0)
+            .storms(storms);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            link.verdict(p(0), p(1), t(0), &mut rng),
+            LinkVerdict::Duplicate(12, 12)
+        );
     }
 
     #[test]

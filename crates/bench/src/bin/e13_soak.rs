@@ -1,0 +1,53 @@
+//! E13 — the chaos soak: sharded sFS deployments at N ∈ {64, 256} under
+//! Poisson crash arrivals, flapping partitions, delay storms, and a
+//! lossy link, three service epochs per seed, with fixed and adaptive
+//! transport timeouts compared head to head (see EXPERIMENTS.md §E13).
+//!
+//! The optional CLI argument sets the seeds per cell. Exits nonzero when
+//! any soak fails to certify FS1/sFS2a–d on every kept shard trace, or
+//! when the adaptive rows do not show *strictly fewer* false suspicions
+//! than the fixed rows at the same N — this is the CI `e13-soak-smoke`
+//! entry point.
+fn main() {
+    let seeds = sfs_bench::seeds_arg(4);
+    let mut cells = None;
+    sfs_bench::run_with_report(
+        "E13",
+        "(64,2) and (256,2) x 3 epochs x {fixed, adaptive} timeouts, chaos overlay per seed",
+        seeds,
+        || {
+            let (table, c) = sfs_bench::run_e13(seeds);
+            cells = Some(c);
+            table
+        },
+    );
+    let cells = cells.expect("run_e13 ran");
+    let mut failed = false;
+    for c in &cells {
+        if c.suite_ok != c.runs {
+            eprintln!(
+                "[bench] E13 FAILED: n={} {} certified {}/{} soaks",
+                c.n,
+                if c.adaptive { "adaptive" } else { "fixed" },
+                c.suite_ok,
+                c.runs
+            );
+            failed = true;
+        }
+    }
+    for n in [64usize, 256] {
+        let fixed = cells.iter().find(|c| c.n == n && !c.adaptive).unwrap();
+        let adaptive = cells.iter().find(|c| c.n == n && c.adaptive).unwrap();
+        if adaptive.false_suspicions >= fixed.false_suspicions {
+            eprintln!(
+                "[bench] E13 FAILED: n={n} adaptive false suspicions not strictly lower \
+                 ({} vs {})",
+                adaptive.false_suspicions, fixed.false_suspicions
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

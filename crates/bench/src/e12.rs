@@ -54,6 +54,13 @@ pub struct E12Cell {
     pub dropped: f64,
     /// Mean frames duplicated by the link per run.
     pub duplicated: f64,
+    /// Mean *false* suspicions per run: `probe-suspect` annotations
+    /// whose target had not crashed when the note was recorded (the
+    /// islanded-but-alive victims of the partition scenarios).
+    pub false_susp: f64,
+    /// Mean frames retransmitted by the ARQ layer per run (summed from
+    /// the `retx` burst annotations).
+    pub retx: f64,
 }
 
 /// When this scenario's environment first misbehaves — the latency
@@ -77,6 +84,32 @@ fn ingest(cell: &mut E12Cell, scenario: &NetScenario, trace: &Trace) {
 
     let crashed: BTreeSet<ProcessId> = trace.crashed().into_iter().collect();
     cell.kills += crashed.len();
+
+    // Transport diagnostics, from the execution-neutral annotations: a
+    // suspicion is *false* when its target had not crashed yet at the
+    // moment the prober raised it (event order is causal order here),
+    // and every `retx` note carries the size of one resend burst.
+    let mut crashed_so_far: BTreeSet<usize> = BTreeSet::new();
+    for e in trace.events() {
+        match &e.kind {
+            TraceEventKind::Crash { pid } => {
+                crashed_so_far.insert(pid.index());
+            }
+            TraceEventKind::Note { note, .. } => match note {
+                sfs_asys::Note::KeyVal { key, val } if key == sfs::NOTE_PROBE_SUSPECT => {
+                    let target = val.strip_prefix('p').and_then(|v| v.parse::<usize>().ok());
+                    if target.is_none_or(|g| !crashed_so_far.contains(&g)) {
+                        cell.false_susp += 1.0;
+                    }
+                }
+                sfs_asys::Note::KeyVal { key, val } if key == sfs::NOTE_RETX => {
+                    cell.retx += val.parse::<f64>().unwrap_or(0.0);
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
 
     // FS1, empirically: every survivor detected every killed process.
     let survivors: Vec<ProcessId> = ProcessId::all(trace.n())
@@ -152,6 +185,8 @@ pub fn e12_cell(scenario: &NetScenario, n: usize, t: usize, seeds: u64) -> E12Ce
         frames: 0.0,
         dropped: 0.0,
         duplicated: 0.0,
+        false_susp: 0.0,
+        retx: 0.0,
     };
     for trace in &traces {
         ingest(&mut cell, scenario, trace);
@@ -165,6 +200,8 @@ pub fn e12_cell(scenario: &NetScenario, n: usize, t: usize, seeds: u64) -> E12Ce
     cell.frames /= cell.runs.max(1) as f64;
     cell.dropped /= cell.runs.max(1) as f64;
     cell.duplicated /= cell.runs.max(1) as f64;
+    cell.false_susp /= cell.runs.max(1) as f64;
+    cell.retx /= cell.runs.max(1) as f64;
     cell
 }
 
@@ -224,6 +261,8 @@ pub fn run_e12(seeds: u64) -> (Table, Vec<E12Cell>) {
             "frames/run",
             "drop/run",
             "dup/run",
+            "f-susp/run",
+            "retx/run",
         ],
     );
     for c in &cells {
@@ -240,6 +279,8 @@ pub fn run_e12(seeds: u64) -> (Table, Vec<E12Cell>) {
             format!("{:.0}", c.frames),
             format!("{:.0}", c.dropped),
             format!("{:.1}", c.duplicated),
+            format!("{:.1}", c.false_susp),
+            format!("{:.0}", c.retx),
         ]);
     }
     table.note(
@@ -247,7 +288,9 @@ pub fn run_e12(seeds: u64) -> (Table, Vec<E12Cell>) {
          eventuality already discharged within the horizon; det lat is trigger -> last \
          detection in ticks; endog counts runs whose kills were triggered by heartbeat \
          timeouts alone (the cut-[50,100) row is deliberately sub-timeout: no trigger, \
-         no kill, nothing to certify beyond safety).",
+         no kill, nothing to certify beyond safety); f-susp counts suspicions of \
+         still-live targets (the partition rows' islanded victims), retx the ARQ \
+         frames resent against the link.",
     );
     (table, cells)
 }
@@ -287,6 +330,23 @@ mod tests {
         );
         assert_eq!(cell.endogenous_kills, 2);
         assert_eq!(cell.kills, 2, "one converted false-suspicion kill per run");
+        // The islanded victim is alive when suspected: the diagnostics
+        // column must classify at least one suspicion per run as false.
+        assert!(
+            cell.false_susp >= 1.0,
+            "partition suspicions are false by construction (got {})",
+            cell.false_susp
+        );
+    }
+
+    #[test]
+    fn e12_lossy_link_forces_retransmissions() {
+        let cell = e12_cell(&NetScenario::Loss(0.2), 6, 2, 2);
+        assert!(
+            cell.retx > 0.0,
+            "a 20% lossy link must force ARQ resends (got {})",
+            cell.retx
+        );
     }
 
     #[test]

@@ -1,0 +1,298 @@
+//! Experiment E13 — the chaos soak: a sharded sFS service under Poisson
+//! crash arrivals, flapping partitions, delay storms, and a lossy link,
+//! with adaptive transport timeouts compared against fixed ones (see
+//! EXPERIMENTS.md §E13).
+//!
+//! Each cell runs `N ∈ {64, 256}` processes as `N/16` shards of 16
+//! (`t = 2` locally) through three service epochs over a 2%-loss,
+//! 2%-duplication link, with one [`ChaosSpec`] overlay per seed: a
+//! Poisson crash stream (plus the deterministic floor crash), an epoch-1
+//! *training flap* — a 70-tick cut of each shard's local p0 outbound
+//! links, long enough to teach the adaptive prober that this peer can
+//! fall silent, short enough that nobody suspects — and a 110-tick delay
+//! storm that pushes the heartbeat gap past the fixed 100-tick timeout
+//! but *not* past the learned threshold. The fixed rows therefore spend
+//! one unit of every shard's failure budget on a false suspicion
+//! (converted into a clean sFS kill, as the protocol demands); the
+//! adaptive rows ride the storm out. Every kept shard trace is certified
+//! against FS1/sFS2a–d on every seed, in both modes — chaos changes the
+//! cost, never the properties.
+
+use crate::report::note_trace;
+use crate::table::Table;
+use rayon::prelude::*;
+use sfs::{AdaptiveConfig, NetSpec, ProbeConfig, NOTE_PROBE_SUSPECT};
+use sfs_asys::{Note, TraceEventKind};
+use sfs_chaos::ChaosSpec;
+use sfs_history::History;
+use sfs_service::{run_service, LoadProfile, ServiceReport, ServiceSpec};
+use sfs_tlogic::properties;
+use std::collections::BTreeSet;
+
+/// Epochs per soak.
+const EPOCHS: u64 = 3;
+/// Per-shard failure bound.
+const T: usize = 2;
+/// Shard size target (16-process shards, as in E11).
+const SHARD: usize = 16;
+/// The fixed heartbeat probe: 20-tick pings, 100-tick timeout, checked
+/// every 5 ticks so a storm-length silence is never missed.
+const PROBE: ProbeConfig = ProbeConfig {
+    interval: 20,
+    timeout: 100,
+    check_every: 5,
+};
+/// The training flap: cut [150, 220) — observed gap ≈ 71–96 ticks,
+/// under the fixed timeout (nobody suspects) but enough for the
+/// adaptive prober to learn a ≈2× larger threshold.
+const FLAP: (u64, u64) = (150, 220);
+/// The delay storm: +110 ticks on [400, 560) — observed gap ≈ 111–136
+/// ticks, over the fixed timeout (false suspicion) but under the
+/// learned one.
+const STORM: (u64, u64, u64) = (400, 560, 110);
+
+/// One `(N, timeout mode)` cell of the E13 sweep, aggregated over seeds.
+#[derive(Debug, Clone)]
+pub struct E13Cell {
+    /// Total processes.
+    pub n: usize,
+    /// Shards in the plan.
+    pub shards: usize,
+    /// `true` = adaptive (Jacobson RTO + learned suspicion threshold),
+    /// `false` = fixed `ProbeConfig` timeouts.
+    pub adaptive: bool,
+    /// Seeds run.
+    pub runs: usize,
+    /// Runs on which *every* kept shard trace certified the full suite
+    /// (FS1, sFS2a–d, Conditions 1–3) with eventualities discharged.
+    pub suite_ok: usize,
+    /// Shard traces certified across all runs (main + rescue passes).
+    pub shard_runs: usize,
+    /// Total kills across runs: Poisson/floor crashes plus converted
+    /// false suspicions.
+    pub kills: usize,
+    /// Suspicions of still-live targets across runs (the storm's toll on
+    /// the fixed prober; the adaptive rows must stay strictly lower).
+    pub false_suspicions: usize,
+    /// Detection events across runs (one per surviving detector per
+    /// kill).
+    pub detections: usize,
+    /// Wire frames sent across runs.
+    pub frames: u64,
+    /// Distinct client ops completed across runs.
+    pub ops_completed: u64,
+    /// Ops rescued onto healthy donors after mid-epoch exhaustions.
+    pub rescued_ops: u64,
+    /// Shard-exhaustion events across runs (shards marked degraded).
+    pub degraded: usize,
+}
+
+impl E13Cell {
+    /// False suspicions per run.
+    pub fn false_susp_rate(&self) -> f64 {
+        self.false_suspicions as f64 / self.runs.max(1) as f64
+    }
+
+    /// Wire frames per detection event — the message cost of one unit of
+    /// failure-detection work.
+    pub fn msgs_per_detection(&self) -> f64 {
+        self.frames as f64 / self.detections.max(1) as f64
+    }
+}
+
+/// The service deployment of one E13 run: `n` processes, three epochs,
+/// a lossy/duplicating link probed at fixed or adaptive timeouts, and
+/// the per-seed chaos overlay described in the module docs.
+pub fn e13_spec(n: usize, adaptive: bool, seed: u64) -> ServiceSpec {
+    let shards = n / SHARD;
+    let chaos = ChaosSpec::new(shards, T)
+        .seed(0xE13 ^ seed)
+        .horizon(EPOCHS as usize, 1_000)
+        .flaps(vec![FLAP])
+        .storm(STORM.0, STORM.1, STORM.2);
+    let mut net = NetSpec::faultless().loss(0.02).duplicate(0.02).probe(PROBE);
+    if adaptive {
+        net = net.adaptive(AdaptiveConfig::default());
+    }
+    ServiceSpec::new(n, T, SHARD)
+        .seed(0xE13 ^ seed)
+        // Detection is endogenous: the transport probe suspects, the
+        // protocol kills. The model-level heartbeat detector stays off
+        // so the two timeout disciplines are compared in isolation.
+        .heartbeat(None)
+        .epochs(EPOCHS)
+        .max_time(2_000)
+        .keep_traces(true)
+        .load(LoadProfile::closed(2 * n as u64, 8))
+        .net(net)
+        .chaos(chaos)
+}
+
+/// Folds one service run (all epochs, all shard traces) into the cell.
+fn ingest(cell: &mut E13Cell, report: &ServiceReport) {
+    cell.runs += 1;
+    let mut all_ok = true;
+    for s in report.epochs.iter().flat_map(|e| &e.shards) {
+        let trace = s.trace.as_ref().expect("E13 runs keep traces");
+        note_trace(trace);
+        cell.shard_runs += 1;
+        let h = History::from_trace(trace);
+        all_ok &= properties::suite_ok(&properties::check_sfs_suite(&h, true));
+        cell.kills += trace.crashed().len();
+        cell.detections += trace.detections().len();
+        cell.frames += trace.stats().messages_sent;
+        // A suspicion is false when its target had not crashed yet at
+        // the moment the prober annotated it (event order is causal).
+        let mut crashed_so_far: BTreeSet<usize> = BTreeSet::new();
+        for e in trace.events() {
+            match &e.kind {
+                TraceEventKind::Crash { pid } => {
+                    crashed_so_far.insert(pid.index());
+                }
+                TraceEventKind::Note {
+                    note: Note::KeyVal { key, val },
+                    ..
+                } if key == NOTE_PROBE_SUSPECT => {
+                    let target = val.strip_prefix('p').and_then(|v| v.parse::<usize>().ok());
+                    if target.is_none_or(|g| !crashed_so_far.contains(&g)) {
+                        cell.false_suspicions += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    cell.suite_ok += usize::from(all_ok);
+    cell.ops_completed += report.ops_completed();
+    cell.rescued_ops += report.epochs.iter().map(|e| e.rescued_ops).sum::<u64>();
+    cell.degraded += report.exhausted.len();
+}
+
+/// Runs one `(n, mode)` cell: `seeds` independent soaks, one rayon task
+/// per seed (each soak fans out its own shard runs), folded in seed
+/// order.
+pub fn e13_cell(n: usize, adaptive: bool, seeds: u64) -> E13Cell {
+    let reports: Vec<ServiceReport> = (0..seeds)
+        .into_par_iter()
+        .map(|seed| run_service(&e13_spec(n, adaptive, seed)).expect("E13 specs are feasible"))
+        .collect();
+    let mut cell = E13Cell {
+        n,
+        shards: n / SHARD,
+        adaptive,
+        runs: 0,
+        suite_ok: 0,
+        shard_runs: 0,
+        kills: 0,
+        false_suspicions: 0,
+        detections: 0,
+        frames: 0,
+        ops_completed: 0,
+        rescued_ops: 0,
+        degraded: 0,
+    };
+    for report in &reports {
+        ingest(&mut cell, report);
+    }
+    cell
+}
+
+/// Runs the full E13 table: `{64, 256} × {fixed, adaptive}`, every cell
+/// over the same seeds (and so the same chaos plans — the comparison
+/// isolates the timeout discipline).
+pub fn run_e13(seeds: u64) -> (Table, Vec<E13Cell>) {
+    let grid = [(64usize, false), (64, true), (256, false), (256, true)];
+    let cells: Vec<E13Cell> = grid
+        .par_iter()
+        .map(|&(n, adaptive)| e13_cell(n, adaptive, seeds))
+        .collect();
+    let mut table = Table::new(
+        "E13 — chaos soak: Poisson crashes + flapping partitions + delay storms + 2% loss, \
+         fixed vs adaptive transport timeouts, FS1/sFS2a-d certified on every seed",
+        &[
+            "n",
+            "shards",
+            "timeouts",
+            "runs",
+            "suite ok",
+            "kills",
+            "f-susp/run",
+            "msgs/det",
+            "ops done",
+            "rescued",
+            "degraded",
+        ],
+    );
+    for c in &cells {
+        table.row([
+            c.n.to_string(),
+            c.shards.to_string(),
+            if c.adaptive { "adaptive" } else { "fixed" }.to_string(),
+            c.runs.to_string(),
+            format!("{}/{}", c.suite_ok, c.runs),
+            c.kills.to_string(),
+            format!("{:.1}", c.false_susp_rate()),
+            format!("{:.0}", c.msgs_per_detection()),
+            c.ops_completed.to_string(),
+            c.rescued_ops.to_string(),
+            c.degraded.to_string(),
+        ]);
+    }
+    table.note(
+        "suite ok counts soaks on which every shard trace (main and rescue passes, all \
+         epochs) certified FS1 + sFS2a-d with eventualities discharged; f-susp counts \
+         suspicions of still-live targets (the delay storm pushes the heartbeat gap past \
+         the fixed 100-tick timeout, while the adaptive prober, trained by the earlier \
+         sub-timeout flap, rides it out); degraded counts shards that exhausted their \
+         budget and were shed by the directory, their stranded ops rescued onto donors.",
+    );
+    (table, cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e13_smoke_certifies_and_separates_the_timeout_modes() {
+        // One seed at N = 64 in both modes: everything certifies, the
+        // storm costs the fixed prober false suspicions (one per shard),
+        // and the adaptive prober strictly fewer.
+        let fixed = e13_cell(64, false, 1);
+        let adaptive = e13_cell(64, true, 1);
+        for c in [&fixed, &adaptive] {
+            assert_eq!(c.runs, 1);
+            assert_eq!(
+                c.suite_ok,
+                1,
+                "{} mode failed to certify the suite",
+                if c.adaptive { "adaptive" } else { "fixed" }
+            );
+            assert!(c.ops_completed > 0);
+        }
+        assert!(
+            fixed.false_suspicions >= fixed.shards,
+            "the storm must falsely suspect every shard's p0 under fixed timeouts \
+             (got {} over {} shards)",
+            fixed.false_suspicions,
+            fixed.shards
+        );
+        assert!(
+            adaptive.false_suspicions < fixed.false_suspicions,
+            "adaptive timeouts must strictly reduce false suspicions \
+             ({} vs {})",
+            adaptive.false_suspicions,
+            fixed.false_suspicions
+        );
+    }
+
+    #[test]
+    fn e13_chaos_plan_is_shared_between_modes() {
+        // The same seed must hand both modes the same chaos plan: the
+        // comparison isolates the timeout discipline.
+        let a = e13_spec(64, false, 7).chaos.unwrap().plan();
+        let b = e13_spec(64, true, 7).chaos.unwrap().plan();
+        assert_eq!(a, b);
+        assert!(a.total_crashes() >= 1, "the crash floor guarantees one");
+    }
+}

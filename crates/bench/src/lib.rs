@@ -1,6 +1,6 @@
 //! # sfs-bench — experiment harness for the reproduction
 //!
-//! One experiment function per table in EXPERIMENTS.md (E1–E12), shared
+//! One experiment function per table in EXPERIMENTS.md (E1–E13), shared
 //! by the `e*` binaries and the integration tests, plus the Criterion
 //! microbenchmarks under `benches/`. Seed sweeps (E1–E8) fan out one
 //! rayon task per seed, the E9 schedule exploration one rayon task per
@@ -19,7 +19,7 @@
 //! for e in e1_sfs_properties e2_witness_bound e3_replication_frontier \
 //!          e4_necessary_conditions e5_cost_of_detection e6_last_to_fail \
 //!          e7_election e8_transitivity e9_explore e10_conformance \
-//!          e11_service e12_faulty_net; do \
+//!          e11_service e12_faulty_net e13_soak; do \
 //!     cargo run --release -p sfs-bench --bin $e; done
 //! cargo bench --workspace
 //! ```
@@ -28,12 +28,14 @@
 
 pub mod e11;
 pub mod e12;
+pub mod e13;
 pub mod experiments;
 pub mod report;
 pub mod table;
 
 pub use e11::{run_e11, E11Row};
 pub use e12::{e12_cell, e12_scenarios, run_e12, E12Cell};
+pub use e13::{e13_cell, e13_spec, run_e13, E13Cell};
 pub use experiments::{
     detection_cost, e10_cell, e1_cell, e9_cell, e9_instances, random_sfs_run, run_e1, run_e10,
     run_e2, run_e3, run_e4, run_e5, run_e6, run_e7, run_e8, run_e9, DetectionCost, E10Summary,

@@ -13,9 +13,11 @@ use crate::quorum::{QuorumError, QuorumPolicy};
 use sfs_asys::net::{Runtime, RuntimeConfig};
 use sfs_asys::{
     CrashRegistry, FaultPlan, FaultyLink, LatencyError, LinkModel, PartitionSchedule, ProcessId,
-    Sim, Trace, UniformLatency, VirtualTime,
+    Sim, StormSchedule, Trace, UniformLatency, VirtualTime,
 };
-use sfs_transport::{ArqConfig, ProbeConfig, Reliable, TransportMsg};
+use sfs_transport::{
+    AdaptiveConfig, ArqConfig, ProbeConfig, Reliable, TransportError, TransportMsg,
+};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -28,6 +30,9 @@ pub enum SpecError {
     Quorum(QuorumError),
     /// The latency bounds are malformed (e.g. `min > max`).
     Latency(LatencyError),
+    /// The transport configuration is malformed (e.g. a zero ARQ window
+    /// or inverted adaptive RTO bounds).
+    Transport(TransportError),
 }
 
 impl fmt::Display for SpecError {
@@ -35,6 +40,7 @@ impl fmt::Display for SpecError {
         match self {
             SpecError::Quorum(e) => write!(f, "{e}"),
             SpecError::Latency(e) => write!(f, "{e}"),
+            SpecError::Transport(e) => write!(f, "{e}"),
         }
     }
 }
@@ -53,6 +59,12 @@ impl From<LatencyError> for SpecError {
     }
 }
 
+impl From<TransportError> for SpecError {
+    fn from(e: TransportError) -> Self {
+        SpecError::Transport(e)
+    }
+}
+
 /// Declarative description of the network beneath one cluster run: the
 /// faulty-link parameters plus whether the `sfs-transport` ARQ layer is
 /// interposed to earn the §2 channel axioms back. The harness leg next
@@ -65,12 +77,18 @@ pub struct NetSpec {
     pub duplicate: f64,
     /// Scripted cut/heal of link sets over virtual time.
     pub partitions: PartitionSchedule,
+    /// Scripted delay-surcharge windows (gray failure).
+    pub storms: StormSchedule,
     /// ARQ parameters for the transport-wrapped legs.
     pub arq: ArqConfig,
     /// Transport-level heartbeat probing: when set, missed-heartbeat
     /// timeouts become *endogenous* `Control::Suspect` stimuli to the
     /// protocol — the deployable replacement for scripted suspicions.
     pub probe: Option<ProbeConfig>,
+    /// Adaptive transport timeouts: when set, RTT estimation drives the
+    /// retransmit deadlines and a learned per-peer threshold (floored at
+    /// the fixed probe timeout) drives suspicion.
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 impl Default for NetSpec {
@@ -79,8 +97,10 @@ impl Default for NetSpec {
             loss: 0.0,
             duplicate: 0.0,
             partitions: PartitionSchedule::new(),
+            storms: StormSchedule::new(),
             arq: ArqConfig::default(),
             probe: None,
+            adaptive: None,
         }
     }
 }
@@ -120,6 +140,18 @@ impl NetSpec {
     /// Enables transport-level heartbeat probing (endogenous suspicions).
     pub fn probe(mut self, probe: ProbeConfig) -> Self {
         self.probe = Some(probe);
+        self
+    }
+
+    /// Installs the delay-storm script.
+    pub fn storms(mut self, storms: StormSchedule) -> Self {
+        self.storms = storms;
+        self
+    }
+
+    /// Enables adaptive transport timeouts.
+    pub fn adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
+        self.adaptive = Some(adaptive);
         self
     }
 }
@@ -258,6 +290,15 @@ impl ClusterSpec {
             self.quorum.validated(self.n, self.t)?;
         }
         UniformLatency::try_new(self.latency.0, self.latency.1)?;
+        if let Some(net) = &self.net {
+            net.arq.validate()?;
+            if let Some(probe) = &net.probe {
+                probe.validate()?;
+            }
+            if let Some(adaptive) = &net.adaptive {
+                adaptive.validate()?;
+            }
+        }
         Ok(())
     }
 
@@ -273,7 +314,8 @@ impl ClusterSpec {
         Ok(FaultyLink::new(self.latency_model()?)
             .loss(net.loss)
             .duplicate(net.duplicate)
-            .partitions(net.partitions))
+            .partitions(net.partitions)
+            .storms(net.storms))
     }
 
     /// Sets the detector.
@@ -696,6 +738,9 @@ impl ClusterSpec {
                 SfsMsg::Control(Control::Suspect { suspect: peer })
             });
         }
+        if let Some(adaptive) = net.adaptive {
+            wrapped = wrapped.adaptive(adaptive);
+        }
         wrapped
     }
 
@@ -1006,6 +1051,41 @@ mod tests {
         assert_eq!(
             ClusterSpec::new(10, 3).latency(9, 2).try_run().unwrap_err(),
             SpecError::Latency(sfs_asys::LatencyError::InvertedRange { min: 9, max: 2 })
+        );
+        // Degenerate transport configurations surface as typed spec
+        // errors through the same validation, like latency errors.
+        assert_eq!(
+            ClusterSpec::new(10, 3)
+                .net(NetSpec::faultless().arq(ArqConfig {
+                    window: 0,
+                    retransmit_after: 40,
+                }))
+                .validate()
+                .unwrap_err(),
+            SpecError::Transport(TransportError::ZeroWindow)
+        );
+        assert_eq!(
+            ClusterSpec::new(10, 3)
+                .net(NetSpec::faultless().probe(ProbeConfig {
+                    interval: 20,
+                    timeout: 0,
+                    check_every: 25,
+                }))
+                .validate()
+                .unwrap_err(),
+            SpecError::Transport(TransportError::ZeroTimeout)
+        );
+        assert_eq!(
+            ClusterSpec::new(10, 3)
+                .net(NetSpec::faultless().adaptive(AdaptiveConfig {
+                    min_rto: 50,
+                    max_rto: 20,
+                    jitter: 5,
+                    max_suspicion: 1_000,
+                }))
+                .validate()
+                .unwrap_err(),
+            SpecError::Transport(TransportError::InvertedRtoBounds { min: 50, max: 20 })
         );
         // Non-quorum modes skip the Corollary 8 check, as in SfsConfig.
         assert!(ClusterSpec::new(9, 3)

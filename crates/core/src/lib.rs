@@ -77,4 +77,7 @@ pub use harness::{ClusterSpec, ModeSpec, NetSpec, SpecError};
 pub use msg::{Control, SfsMsg};
 pub use protocol::SfsProcess;
 pub use quorum::{QuorumError, QuorumPolicy};
-pub use sfs_transport::{ArqConfig, ProbeConfig, TransportMsg};
+pub use sfs_transport::{
+    AdaptiveConfig, ArqConfig, ProbeConfig, TransportError, TransportMsg, NOTE_PROBE_SUSPECT,
+    NOTE_RETX,
+};

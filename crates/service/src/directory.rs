@@ -65,6 +65,10 @@ pub struct RoutingTable {
     /// then hashes over the reported shards only — and every slot always
     /// names a healthy shard.
     pub slots: Vec<ShardId>,
+    /// Shards whose failure budget is exhausted, ascending: still listed
+    /// in the table (operators and donors need to know who shed load),
+    /// but never routed to. Disjoint from `healthy` by construction.
+    pub degraded: Vec<ShardId>,
 }
 
 impl RoutingTable {
@@ -75,6 +79,7 @@ impl RoutingTable {
             epoch: 0,
             healthy: (0..shards).collect(),
             slots: (0..shards).collect(),
+            degraded: Vec::new(),
         }
     }
 
@@ -99,6 +104,11 @@ impl RoutingTable {
             .filter(|r| !r.exhausted())
             .map(|r| r.shard)
             .collect();
+        let degraded: Vec<ShardId> = sorted
+            .iter()
+            .filter(|r| r.exhausted())
+            .map(|r| r.shard)
+            .collect();
         if healthy.is_empty() {
             return None;
         }
@@ -119,6 +129,7 @@ impl RoutingTable {
             epoch,
             healthy,
             slots,
+            degraded,
         })
     }
 
@@ -131,10 +142,11 @@ impl RoutingTable {
                 .join(",")
         };
         format!(
-            "e{}|h{}|s{}",
+            "e{}|h{}|s{}|d{}",
             self.epoch,
             join(&self.healthy),
-            join(&self.slots)
+            join(&self.slots),
+            join(&self.degraded)
         )
     }
 
@@ -151,10 +163,12 @@ impl RoutingTable {
         };
         let healthy = list(parts.next()?, 'h')?;
         let slots = list(parts.next()?, 's')?;
+        let degraded = list(parts.next()?, 'd')?;
         Some(RoutingTable {
             epoch,
             healthy,
             slots,
+            degraded,
         })
     }
 }
@@ -432,6 +446,7 @@ mod tests {
         let table =
             RoutingTable::rebalance(3, &reports(&[(0, 2), (2, 2), (1, 2), (2, 2)])).unwrap();
         assert_eq!(table.healthy, vec![0, 2]);
+        assert_eq!(table.degraded, vec![1, 3]);
         assert_eq!(table.slots[0], 0);
         assert_eq!(table.slots[2], 2);
         // Exhausted shards 1 and 3 round-robin over {0, 2}.
@@ -482,6 +497,7 @@ mod tests {
         ];
         let table = RoutingTable::rebalance(4, &reports).unwrap();
         assert_eq!(table.healthy, vec![2, 5]);
+        assert_eq!(table.degraded, vec![0]);
         assert_eq!(table.slots, vec![2, 2, 5], "slot order = ascending id");
         for key in 0..50 {
             assert!(table.healthy.contains(&table.route(key)));
@@ -499,8 +515,12 @@ mod tests {
             epoch: 7,
             healthy: vec![0, 3],
             slots: vec![0, 3, 0, 3],
+            degraded: vec![1, 2],
         };
         assert_eq!(RoutingTable::parse(&t.render()), Some(t));
+        // A degradation-free table round-trips through the empty list.
+        let clean = RoutingTable::identity(3);
+        assert_eq!(RoutingTable::parse(&clean.render()), Some(clean));
     }
 
     #[test]
@@ -509,6 +529,7 @@ mod tests {
         let table = Directory::decide(&spec, 1, &reports(&[(0, 2), (2, 2), (0, 2)])).unwrap();
         assert_eq!(table.epoch, 1);
         assert_eq!(table.healthy, vec![0, 2]);
+        assert_eq!(table.degraded, vec![1]);
         assert_eq!(table.slots, vec![0, 0, 2]);
     }
 

@@ -80,6 +80,15 @@ proptest! {
                 for r in reports.iter().filter(|r| !r.exhausted()) {
                     prop_assert_eq!(table.slots[r.shard], r.shard);
                 }
+                // The degraded list is exactly the exhausted report set,
+                // and disjoint from the healthy list.
+                let exhausted: Vec<usize> = reports
+                    .iter()
+                    .filter(|r| r.exhausted())
+                    .map(|r| r.shard)
+                    .collect();
+                prop_assert_eq!(&table.degraded, &exhausted);
+                prop_assert!(table.degraded.iter().all(|s| !table.healthy.contains(s)));
             }
         }
     }

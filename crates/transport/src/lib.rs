@@ -74,7 +74,9 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use sfs_asys::{Action, Context, MsgId, Process, ProcessId, ReceiveFilter, TimerId, VirtualTime};
+use sfs_asys::{
+    Action, Context, MsgId, Note, Process, ProcessId, ReceiveFilter, TimerId, VirtualTime,
+};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
@@ -108,6 +110,62 @@ pub enum TransportMsg<M> {
     Ctl(M),
 }
 
+/// Why a transport configuration was rejected by the `try_new`
+/// constructors. The plain `new` constructors instead clamp degenerate
+/// values; validating call sites (`ClusterSpec::validate`) surface this
+/// error like `LatencyError`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// An ARQ window of 0 could never transmit anything.
+    ZeroWindow,
+    /// A retransmit interval of 0 is a busy-loop timer.
+    ZeroRetransmit,
+    /// A heartbeat interval of 0 is a busy-loop broadcaster.
+    ZeroInterval,
+    /// A suspicion timeout of 0 suspects every peer instantly.
+    ZeroTimeout,
+    /// A check interval of 0 is a busy-loop scanner.
+    ZeroCheck,
+    /// An adaptive RTO floor of 0 permits busy-loop retransmission.
+    ZeroMinRto,
+    /// The adaptive RTO bounds are inverted: `max < min`.
+    InvertedRtoBounds {
+        /// The configured floor.
+        min: u64,
+        /// The configured ceiling.
+        max: u64,
+    },
+    /// An adaptive suspicion ceiling of 0 suspects every peer instantly.
+    ZeroMaxSuspicion,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::ZeroWindow => write!(f, "ARQ window must be at least 1"),
+            TransportError::ZeroRetransmit => {
+                write!(f, "retransmit interval must be at least 1 tick")
+            }
+            TransportError::ZeroInterval => {
+                write!(f, "heartbeat interval must be at least 1 tick")
+            }
+            TransportError::ZeroTimeout => {
+                write!(f, "suspicion timeout must be at least 1 tick")
+            }
+            TransportError::ZeroCheck => write!(f, "check interval must be at least 1 tick"),
+            TransportError::ZeroMinRto => write!(f, "adaptive RTO floor must be at least 1 tick"),
+            TransportError::InvertedRtoBounds { min, max } => {
+                write!(f, "adaptive RTO bounds inverted: max {max} < min {min}")
+            }
+            TransportError::ZeroMaxSuspicion => {
+                write!(f, "adaptive suspicion ceiling must be at least 1 tick")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
 /// Sliding-window ARQ parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArqConfig {
@@ -119,6 +177,33 @@ pub struct ArqConfig {
     /// shared timer; every unacked frame on every channel is resent).
     /// Clamped to at least 1 by [`Reliable::new`].
     pub retransmit_after: u64,
+}
+
+impl ArqConfig {
+    /// Validating constructor: rejects the degenerate values that
+    /// [`Reliable::new`] would otherwise clamp silently.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::ZeroWindow`] / [`TransportError::ZeroRetransmit`].
+    pub fn try_new(window: usize, retransmit_after: u64) -> Result<Self, TransportError> {
+        if window == 0 {
+            return Err(TransportError::ZeroWindow);
+        }
+        if retransmit_after == 0 {
+            return Err(TransportError::ZeroRetransmit);
+        }
+        Ok(ArqConfig {
+            window,
+            retransmit_after,
+        })
+    }
+
+    /// Re-validates an already-built config (the `ClusterSpec::validate`
+    /// entry point, where configs arrive via struct literals).
+    pub fn validate(&self) -> Result<(), TransportError> {
+        Self::try_new(self.window, self.retransmit_after).map(|_| ())
+    }
 }
 
 impl Default for ArqConfig {
@@ -143,6 +228,36 @@ pub struct ProbeConfig {
     pub check_every: u64,
 }
 
+impl ProbeConfig {
+    /// Validating constructor: rejects zero intervals and timeouts.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::ZeroInterval`] / [`TransportError::ZeroTimeout`]
+    /// / [`TransportError::ZeroCheck`].
+    pub fn try_new(interval: u64, timeout: u64, check_every: u64) -> Result<Self, TransportError> {
+        if interval == 0 {
+            return Err(TransportError::ZeroInterval);
+        }
+        if timeout == 0 {
+            return Err(TransportError::ZeroTimeout);
+        }
+        if check_every == 0 {
+            return Err(TransportError::ZeroCheck);
+        }
+        Ok(ProbeConfig {
+            interval,
+            timeout,
+            check_every,
+        })
+    }
+
+    /// Re-validates an already-built config.
+    pub fn validate(&self) -> Result<(), TransportError> {
+        Self::try_new(self.interval, self.timeout, self.check_every).map(|_| ())
+    }
+}
+
 impl Default for ProbeConfig {
     fn default() -> Self {
         ProbeConfig {
@@ -152,6 +267,93 @@ impl Default for ProbeConfig {
         }
     }
 }
+
+/// Adaptive-timeout parameters: Jacobson-style RTT estimation drives
+/// per-channel retransmit deadlines (with exponential backoff and seeded
+/// jitter), and per-peer heartbeat inter-arrival statistics drive the
+/// suspicion threshold.
+///
+/// The learned suspicion threshold is **floored at the fixed
+/// [`ProbeConfig::timeout`]** — adaptation only ever *extends* patience,
+/// so an adaptive run never suspects earlier than the fixed config it
+/// replaces — and capped at [`AdaptiveConfig::max_suspicion`] so a
+/// genuinely dead peer is still detected in bounded time.
+///
+/// Jitter is drawn from the transport's own per-process rng (seeded from
+/// the process id), never from the run's shared rng, so enabling
+/// adaptation leaves the simulator's random stream — and hence every
+/// loss-free run's HB fingerprint — untouched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveConfig {
+    /// Floor of the computed RTO, in ticks.
+    pub min_rto: u64,
+    /// Ceiling of the computed (and backed-off) RTO, in ticks.
+    pub max_rto: u64,
+    /// Maximum seeded jitter added to each deadline, in ticks.
+    pub jitter: u64,
+    /// Ceiling of the learned suspicion threshold, in ticks.
+    pub max_suspicion: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            min_rto: 20,
+            max_rto: 2_000,
+            jitter: 5,
+            max_suspicion: 1_000,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// Validating constructor.
+    ///
+    /// # Errors
+    ///
+    /// [`TransportError::ZeroMinRto`] /
+    /// [`TransportError::InvertedRtoBounds`] /
+    /// [`TransportError::ZeroMaxSuspicion`].
+    pub fn try_new(
+        min_rto: u64,
+        max_rto: u64,
+        jitter: u64,
+        max_suspicion: u64,
+    ) -> Result<Self, TransportError> {
+        if min_rto == 0 {
+            return Err(TransportError::ZeroMinRto);
+        }
+        if max_rto < min_rto {
+            return Err(TransportError::InvertedRtoBounds {
+                min: min_rto,
+                max: max_rto,
+            });
+        }
+        if max_suspicion == 0 {
+            return Err(TransportError::ZeroMaxSuspicion);
+        }
+        Ok(AdaptiveConfig {
+            min_rto,
+            max_rto,
+            jitter,
+            max_suspicion,
+        })
+    }
+
+    /// Re-validates an already-built config.
+    pub fn validate(&self) -> Result<(), TransportError> {
+        Self::try_new(self.min_rto, self.max_rto, self.jitter, self.max_suspicion).map(|_| ())
+    }
+}
+
+/// Trace-note key under which the prober annotates each suspicion it
+/// raises: `probe-suspect = <peer>`. Notes are invisible to the history
+/// projection, so counting them never perturbs HB fingerprints.
+pub const NOTE_PROBE_SUSPECT: &str = "probe-suspect";
+
+/// Trace-note key under which the ARQ layer annotates each retransmission
+/// burst: `retx = <frames resent>`.
+pub const NOTE_RETX: &str = "retx";
 
 /// Outbound ARQ state of one channel `self -> peer`.
 #[derive(Debug)]
@@ -163,6 +365,20 @@ struct OutChannel<M> {
     /// Frames awaiting a window slot, ascending by seq (already
     /// numbered: ordering is fixed at the inner send).
     backlog: VecDeque<(u64, u64, M)>,
+    /// Adaptive mode: smoothed round-trip time over this channel, in
+    /// ticks (`None` until the first sample).
+    srtt: Option<u64>,
+    /// Adaptive mode: smoothed RTT deviation.
+    rttvar: u64,
+    /// Adaptive mode: consecutive retransmissions without progress
+    /// (exponent of the backoff multiplier).
+    backoff: u32,
+    /// Adaptive mode: this channel's retransmit deadline, if armed.
+    deadline: Option<VirtualTime>,
+    /// Adaptive mode: the frame currently being timed for an RTT sample,
+    /// as `(seq, sent_at)`. Cleared on retransmission (Karn's rule: an
+    /// ack for a retransmitted frame is ambiguous).
+    pending_sample: Option<(u64, VirtualTime)>,
 }
 
 impl<M> Default for OutChannel<M> {
@@ -171,8 +387,26 @@ impl<M> Default for OutChannel<M> {
             next_seq: 1,
             inflight: VecDeque::new(),
             backlog: VecDeque::new(),
+            srtt: None,
+            rttvar: 0,
+            backoff: 0,
+            deadline: None,
+            pending_sample: None,
         }
     }
+}
+
+/// Adaptive mode: Jacobson-style statistics over a peer's heartbeat
+/// inter-arrival gaps, feeding the learned suspicion threshold.
+#[derive(Debug, Clone, Copy, Default)]
+struct GapStats {
+    /// Smoothed inter-arrival gap (`None` until the first gap).
+    srtt: Option<u64>,
+    /// Smoothed gap deviation.
+    var: u64,
+    /// Largest gap ever survived — the peer proved it can fall this
+    /// silent and still be alive.
+    max: u64,
 }
 
 /// Inbound ARQ state of one channel `peer -> self`.
@@ -208,6 +442,17 @@ pub struct Reliable<P, M> {
     inner: P,
     config: ArqConfig,
     probe: Option<ProbeConfig>,
+    /// Adaptive-timeout mode, if enabled. `None` leaves every fixed-mode
+    /// code path untouched.
+    adaptive: Option<AdaptiveConfig>,
+    /// Adaptive mode: the transport's own jitter rng, seeded from the
+    /// process id — never the run's shared rng.
+    jitter_rng: Option<rand::rngs::StdRng>,
+    /// Adaptive mode: per-peer heartbeat gap statistics.
+    gap_stats: Vec<GapStats>,
+    /// Adaptive mode: the deadline the shared retx timer is currently
+    /// set for (earliest across channels).
+    retx_deadline: Option<VirtualTime>,
     /// `true` = the inner payload is infrastructure (no model events);
     /// mirrors `SimBuilder::classify` one layer up.
     classify: Option<Classifier<M>>,
@@ -260,6 +505,10 @@ impl<P, M> Reliable<P, M> {
             inner,
             config,
             probe: None,
+            adaptive: None,
+            jitter_rng: None,
+            gap_stats: Vec::new(),
+            retx_deadline: None,
             classify: None,
             suspect: None,
             out: Vec::new(),
@@ -273,6 +522,15 @@ impl<P, M> Reliable<P, M> {
             suspected: Vec::new(),
             given_up: Vec::new(),
         }
+    }
+
+    /// Enables adaptive timeouts: RTT-driven per-channel retransmit
+    /// deadlines (exponential backoff, Karn's rule, seeded jitter) and a
+    /// learned per-peer suspicion threshold floored at the fixed
+    /// [`ProbeConfig::timeout`]. See [`AdaptiveConfig`].
+    pub fn adaptive(mut self, config: AdaptiveConfig) -> Self {
+        self.adaptive = Some(config);
+        self
     }
 
     /// Installs an infrastructure classifier for *inner* payloads:
@@ -313,7 +571,7 @@ where
     P: Process<M>,
     M: Clone + 'static,
 {
-    fn ensure_init(&mut self, n: usize, now: VirtualTime) {
+    fn ensure_init(&mut self, n: usize, now: VirtualTime, me: ProcessId) {
         if self.out.len() == n {
             return;
         }
@@ -322,6 +580,15 @@ where
         self.last_heard = vec![now; n];
         self.suspected = vec![false; n];
         self.given_up = vec![false; n];
+        self.gap_stats = vec![GapStats::default(); n];
+        if self.adaptive.is_some() && self.jitter_rng.is_none() {
+            // Own rng, own seed: jitter must not perturb the run's
+            // shared random stream (HB-fingerprint identity).
+            use rand::SeedableRng;
+            self.jitter_rng = Some(rand::rngs::StdRng::seed_from_u64(
+                0xADA7_71E0_u64 ^ (me.index() as u64),
+            ));
+        }
     }
 
     /// Runs one inner callback against a derived context and translates
@@ -352,6 +619,8 @@ where
                     if !self.is_infra(&msg) {
                         ctx.model_send(to, MsgId::new(ctx.id(), logical));
                     }
+                    let adaptive = self.adaptive.is_some();
+                    let now = ctx.now();
                     let ch = &mut self.out[to.index()];
                     let seq = ch.next_seq;
                     ch.next_seq += 1;
@@ -370,6 +639,9 @@ where
                         );
                     } else if ch.inflight.len() < self.config.window {
                         ch.inflight.push_back((seq, logical, msg.clone()));
+                        if adaptive && ch.pending_sample.is_none() {
+                            ch.pending_sample = Some((seq, now));
+                        }
                         ctx.send(
                             to,
                             TransportMsg::Data {
@@ -378,10 +650,10 @@ where
                                 payload: msg,
                             },
                         );
-                        self.arm_retx(ctx);
+                        self.arm_retx_for(ctx, to.index());
                     } else {
                         ch.backlog.push_back((seq, logical, msg));
-                        self.arm_retx(ctx);
+                        self.arm_retx_for(ctx, to.index());
                     }
                 }
                 Action::DeclareFailed { of } => {
@@ -418,9 +690,76 @@ where
         }
     }
 
+    /// Arms retransmission for `peer`'s channel: the fixed-mode shared
+    /// timer, or (adaptive mode) the channel's own RTO deadline folded
+    /// into the shared timer's earliest-deadline schedule.
+    fn arm_retx_for(&mut self, ctx: &mut Context<'_, TransportMsg<M>>, peer: usize) {
+        if self.adaptive.is_some() {
+            if self.out[peer].deadline.is_none() {
+                let rto = self.channel_rto(peer);
+                self.out[peer].deadline = Some(ctx.now().saturating_add(rto));
+            }
+            self.rearm_retx_timer(ctx);
+        } else {
+            self.arm_retx(ctx);
+        }
+    }
+
+    /// Adaptive mode: this channel's current retransmission timeout —
+    /// Jacobson `srtt + 4·rttvar` clamped into `[min_rto, max_rto]`,
+    /// doubled per unproductive retransmission (capped at `max_rto`),
+    /// plus seeded jitter. Before the first RTT sample, the fixed
+    /// `retransmit_after` seeds the estimate.
+    fn channel_rto(&mut self, peer: usize) -> u64 {
+        use rand::Rng;
+        let Some(acfg) = self.adaptive else {
+            return self.config.retransmit_after;
+        };
+        let ch = &self.out[peer];
+        let base = match ch.srtt {
+            Some(srtt) => srtt + 4 * ch.rttvar.max(1),
+            None => self.config.retransmit_after,
+        };
+        let backed = base
+            .clamp(acfg.min_rto, acfg.max_rto)
+            .saturating_mul(1u64 << ch.backoff.min(20))
+            .min(acfg.max_rto);
+        let jitter = match &mut self.jitter_rng {
+            Some(rng) if acfg.jitter > 0 => rng.gen_range(0..=acfg.jitter),
+            _ => 0,
+        };
+        backed + jitter
+    }
+
+    /// Adaptive mode: points the shared retx timer at the earliest
+    /// per-channel deadline (cancelling and re-setting only when the
+    /// earliest actually moved).
+    fn rearm_retx_timer(&mut self, ctx: &mut Context<'_, TransportMsg<M>>) {
+        let earliest = self.out.iter().filter_map(|ch| ch.deadline).min();
+        if earliest == self.retx_deadline && (earliest.is_none() || self.retx_timer.is_some()) {
+            return;
+        }
+        if let Some(t) = self.retx_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.retx_deadline = earliest;
+        if let Some(deadline) = earliest {
+            let delay = deadline.since(ctx.now()).max(1);
+            self.retx_timer = Some(ctx.set_timer(delay));
+        }
+    }
+
     /// Cancels the retransmit timer once nothing remains unacknowledged.
     fn maybe_cancel_retx(&mut self, ctx: &mut Context<'_, TransportMsg<M>>) {
-        if !self.has_unacked() {
+        if self.adaptive.is_some() {
+            for ch in self.out.iter_mut() {
+                if ch.inflight.is_empty() && ch.backlog.is_empty() {
+                    ch.deadline = None;
+                    ch.pending_sample = None;
+                }
+            }
+            self.rearm_retx_timer(ctx);
+        } else if !self.has_unacked() {
             if let Some(t) = self.retx_timer.take() {
                 ctx.cancel_timer(t);
             }
@@ -489,10 +828,39 @@ where
         if self.given_up[from.index()] {
             return;
         }
+        let adaptive = self.adaptive.is_some();
+        let now = ctx.now();
         let window = self.config.window;
         let ch = &mut self.out[from.index()];
+        if adaptive {
+            // RTT sample, if this ack covers the timed frame. Karn's
+            // rule holds by construction: pending_sample is cleared on
+            // retransmission, so only a first-transmission ack samples.
+            if let Some((seq, sent_at)) = ch.pending_sample {
+                if seq <= upto {
+                    let sample = now.since(sent_at).max(1);
+                    match ch.srtt {
+                        None => {
+                            ch.srtt = Some(sample);
+                            ch.rttvar = (sample / 2).max(1);
+                        }
+                        Some(srtt) => {
+                            let delta = srtt.abs_diff(sample);
+                            ch.rttvar = (3 * ch.rttvar + delta) / 4;
+                            ch.srtt = Some((7 * srtt + sample) / 8);
+                        }
+                    }
+                    ch.pending_sample = None;
+                }
+            }
+        }
+        let before = ch.inflight.len();
         while ch.inflight.front().is_some_and(|&(seq, _, _)| seq <= upto) {
             ch.inflight.pop_front();
+        }
+        if adaptive && ch.inflight.len() < before {
+            // The window slid — progress, so the backoff resets.
+            ch.backoff = 0;
         }
         // The window slid: promote backlogged frames.
         while ch.inflight.len() < window {
@@ -500,6 +868,9 @@ where
                 break;
             };
             ch.inflight.push_back((seq, logical, payload.clone()));
+            if adaptive && ch.pending_sample.is_none() {
+                ch.pending_sample = Some((seq, now));
+            }
             ctx.send(
                 from,
                 TransportMsg::Data {
@@ -509,11 +880,29 @@ where
                 },
             );
         }
-        self.maybe_cancel_retx(ctx);
+        if adaptive {
+            let empty = {
+                let ch = &self.out[from.index()];
+                ch.inflight.is_empty() && ch.backlog.is_empty()
+            };
+            self.out[from.index()].deadline = if empty {
+                None
+            } else {
+                // Progress restarts the RTO from now (standard RFC 6298
+                // timer management).
+                let rto = self.channel_rto(from.index());
+                Some(now.saturating_add(rto))
+            };
+            self.rearm_retx_timer(ctx);
+        } else {
+            self.maybe_cancel_retx(ctx);
+        }
     }
 
-    /// Retransmits every unacknowledged in-flight frame on every channel.
+    /// Retransmits every unacknowledged in-flight frame on every channel
+    /// (the fixed-mode shared-timer path), annotating the burst size.
     fn retransmit_all(&mut self, ctx: &mut Context<'_, TransportMsg<M>>) {
+        let mut count = 0u64;
         for (to, ch) in self.out.iter().enumerate() {
             for &(seq, logical, ref payload) in &ch.inflight {
                 ctx.send(
@@ -524,6 +913,52 @@ where
                         payload: payload.clone(),
                     },
                 );
+                count += 1;
+            }
+        }
+        if count > 0 {
+            ctx.annotate(Note::key_val(NOTE_RETX, count));
+        }
+    }
+
+    /// Adaptive mode: retransmits one channel's in-flight frames,
+    /// annotating the burst size. Returns the number of frames resent.
+    fn retransmit_channel(&mut self, ctx: &mut Context<'_, TransportMsg<M>>, peer: usize) -> u64 {
+        let mut count = 0u64;
+        for &(seq, logical, ref payload) in &self.out[peer].inflight {
+            ctx.send(
+                ProcessId::new(peer),
+                TransportMsg::Data {
+                    seq,
+                    logical,
+                    payload: payload.clone(),
+                },
+            );
+            count += 1;
+        }
+        if count > 0 {
+            ctx.annotate(Note::key_val(NOTE_RETX, count));
+        }
+        count
+    }
+
+    /// The silence (in ticks) after which peer `j` is suspected: the
+    /// fixed `probe.timeout`, or — in adaptive mode, once gap statistics
+    /// exist — the learned `gap_srtt + 4·gap_var + interval`, raised to
+    /// twice the largest gap the peer ever survived, clamped into
+    /// `[probe.timeout, max_suspicion]`. The floor means adaptation only
+    /// ever *extends* patience; the ceiling bounds detection latency for
+    /// a genuinely dead peer.
+    fn suspicion_threshold(&self, j: usize, probe: ProbeConfig) -> u64 {
+        match self.adaptive {
+            None => probe.timeout,
+            Some(acfg) => {
+                let gs = self.gap_stats[j];
+                let learned = match gs.srtt {
+                    None => probe.timeout,
+                    Some(srtt) => (srtt + 4 * gs.var.max(1) + probe.interval).max(2 * gs.max),
+                };
+                learned.clamp(probe.timeout, acfg.max_suspicion)
             }
         }
     }
@@ -537,8 +972,9 @@ where
             if peer == me || self.suspected[j] || self.given_up[j] {
                 continue;
             }
-            if now.since(self.last_heard[j]) > probe.timeout {
+            if now.since(self.last_heard[j]) > self.suspicion_threshold(j, probe) {
                 self.suspected[j] = true;
+                ctx.annotate(Note::key_val(NOTE_PROBE_SUSPECT, peer));
                 if let Some(make) = &self.suspect {
                     let stimulus = make(peer);
                     self.dispatch_inner(ctx, |p, c| p.on_external(c, stimulus));
@@ -572,7 +1008,7 @@ where
     M: Clone + fmt::Debug + 'static,
 {
     fn on_start(&mut self, ctx: &mut Context<'_, TransportMsg<M>>) {
-        self.ensure_init(ctx.n(), ctx.now());
+        self.ensure_init(ctx.n(), ctx.now(), ctx.id());
         if let Some(probe) = self.probe {
             ctx.broadcast(TransportMsg::Ping, false);
             self.hb_timer = Some(ctx.set_timer(probe.interval));
@@ -587,7 +1023,27 @@ where
         from: ProcessId,
         msg: TransportMsg<M>,
     ) {
-        self.ensure_init(ctx.n(), ctx.now());
+        self.ensure_init(ctx.n(), ctx.now(), ctx.id());
+        if self.adaptive.is_some() {
+            // Learn the peer's inter-arrival gap distribution *before*
+            // refreshing last_heard — the gap just closed is the sample.
+            let gap = ctx.now().since(self.last_heard[from.index()]);
+            if gap > 0 {
+                let gs = &mut self.gap_stats[from.index()];
+                match gs.srtt {
+                    None => {
+                        gs.srtt = Some(gap);
+                        gs.var = (gap / 2).max(1);
+                    }
+                    Some(srtt) => {
+                        let delta = srtt.abs_diff(gap);
+                        gs.var = (3 * gs.var + delta) / 4;
+                        gs.srtt = Some((7 * srtt + gap) / 8);
+                    }
+                }
+                gs.max = gs.max.max(gap);
+            }
+        }
         self.last_heard[from.index()] = ctx.now();
         match msg {
             TransportMsg::Data {
@@ -606,7 +1062,26 @@ where
     fn on_timer(&mut self, ctx: &mut Context<'_, TransportMsg<M>>, timer: TimerId) {
         if Some(timer) == self.retx_timer {
             self.retx_timer = None;
-            if self.has_unacked() {
+            if self.adaptive.is_some() {
+                self.retx_deadline = None;
+                let now = ctx.now();
+                for peer in 0..self.out.len() {
+                    if self.out[peer].deadline.is_none_or(|d| d > now) {
+                        continue;
+                    }
+                    if self.retransmit_channel(ctx, peer) > 0 {
+                        let ch = &mut self.out[peer];
+                        ch.backoff = ch.backoff.saturating_add(1);
+                        // Karn: a retransmitted frame's ack is ambiguous.
+                        ch.pending_sample = None;
+                        let rto = self.channel_rto(peer);
+                        self.out[peer].deadline = Some(now.saturating_add(rto));
+                    } else {
+                        self.out[peer].deadline = None;
+                    }
+                }
+                self.rearm_retx_timer(ctx);
+            } else if self.has_unacked() {
                 self.retransmit_all(ctx);
                 self.arm_retx(ctx);
             }
@@ -626,7 +1101,7 @@ where
     }
 
     fn on_external(&mut self, ctx: &mut Context<'_, TransportMsg<M>>, payload: TransportMsg<M>) {
-        self.ensure_init(ctx.n(), ctx.now());
+        self.ensure_init(ctx.n(), ctx.now(), ctx.id());
         match payload {
             TransportMsg::Ctl(m) | TransportMsg::Data { payload: m, .. } => {
                 self.dispatch_inner(ctx, |p, c| p.on_external(c, m));
@@ -933,6 +1408,182 @@ mod tests {
         let (_, by, note) = notes[0];
         assert_eq!(by, p(0));
         assert_eq!(*note, sfs_asys::Note::key_val("suspect", p(1)));
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_configs() {
+        assert_eq!(ArqConfig::try_new(0, 40), Err(TransportError::ZeroWindow));
+        assert_eq!(
+            ArqConfig::try_new(32, 0),
+            Err(TransportError::ZeroRetransmit)
+        );
+        assert_eq!(ArqConfig::try_new(32, 40), Ok(ArqConfig::default()));
+        assert_eq!(
+            ProbeConfig::try_new(0, 100, 25),
+            Err(TransportError::ZeroInterval)
+        );
+        assert_eq!(
+            ProbeConfig::try_new(20, 0, 25),
+            Err(TransportError::ZeroTimeout)
+        );
+        assert_eq!(
+            ProbeConfig::try_new(20, 100, 0),
+            Err(TransportError::ZeroCheck)
+        );
+        assert_eq!(
+            AdaptiveConfig::try_new(0, 100, 5, 500),
+            Err(TransportError::ZeroMinRto)
+        );
+        assert_eq!(
+            AdaptiveConfig::try_new(50, 20, 5, 500),
+            Err(TransportError::InvertedRtoBounds { min: 50, max: 20 })
+        );
+        assert_eq!(
+            AdaptiveConfig::try_new(20, 2_000, 5, 0),
+            Err(TransportError::ZeroMaxSuspicion)
+        );
+        assert!(AdaptiveConfig::default().validate().is_ok());
+        assert!(ProbeConfig::default().validate().is_ok());
+    }
+
+    fn adaptive_flood_sim(
+        count: u32,
+        link: impl sfs_asys::LinkModel + 'static,
+        seed: u64,
+    ) -> Sim<TransportMsg<u32>> {
+        Sim::<TransportMsg<u32>>::builder(2)
+            .seed(seed)
+            .link(link)
+            .classify(|_| true)
+            .build(move |pid| {
+                let arq = ArqConfig::default();
+                let adaptive = AdaptiveConfig::default();
+                if pid.index() == 0 {
+                    Box::new(Reliable::new(Flood { count }, arq).adaptive(adaptive))
+                } else {
+                    Box::new(Reliable::new(Quiet, arq).adaptive(adaptive))
+                }
+            })
+    }
+
+    #[test]
+    fn adaptive_transport_repairs_heavy_loss() {
+        for seed in 0..10 {
+            let link = FaultyLink::new(UniformLatency::new(1, 8)).loss(0.4);
+            let trace = adaptive_flood_sim(25, link, seed).run();
+            let recvs = model_recvs(&trace, p(1));
+            assert_eq!(recvs.len(), 25, "seed {seed}: lost payloads");
+            assert!(
+                recvs.windows(2).all(|w| w[0].1 < w[1].1),
+                "seed {seed}: out of order: {recvs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_loss_free_runs_deliver_identically_to_fixed() {
+        for seed in 0..5 {
+            let fixed = flood_sim(20, FixedLatency(1), seed).run();
+            let adaptive = adaptive_flood_sim(20, FixedLatency(1), seed).run();
+            assert_eq!(adaptive.stop_reason(), StopReason::Quiescent);
+            assert_eq!(
+                model_recvs(&fixed, p(1)),
+                model_recvs(&adaptive, p(1)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_retransmissions_back_off_exponentially() {
+        // A never-healing cut: every retransmission is unproductive, so
+        // consecutive retx bursts must spread out (doubling RTO), unlike
+        // the fixed mode's metronome.
+        let link = FaultyLink::new(FixedLatency(1)).partitions(PartitionSchedule::new().split(
+            VirtualTime::ZERO,
+            VirtualTime::MAX,
+            &[p(0)],
+        ));
+        let trace = adaptive_flood_sim(3, link, 2).run();
+        let times: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceEventKind::Note {
+                    note: sfs_asys::Note::KeyVal { key, .. },
+                    ..
+                } if key == NOTE_RETX => Some(e.time.ticks()),
+                _ => None,
+            })
+            .collect();
+        assert!(times.len() >= 3, "expected several retx bursts: {times:?}");
+        let gaps: Vec<u64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(
+            gaps.last().unwrap() >= &(2 * gaps.first().unwrap()),
+            "no backoff visible in gaps {gaps:?}"
+        );
+    }
+
+    /// The E13 discriminator in miniature: flapping cuts train the
+    /// adaptive prober's gap statistics, then a delay storm opens an
+    /// onset gap that overruns the fixed timeout but stays inside the
+    /// learned threshold. Fixed mode falsely suspects the (live) peer;
+    /// adaptive mode rides it out.
+    #[test]
+    fn adaptive_suspicion_survives_a_storm_that_fools_the_fixed_timeout() {
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        enum Msg {
+            Suspect(ProcessId),
+        }
+        #[derive(Debug, Default)]
+        struct Recorder;
+        impl Process<Msg> for Recorder {
+            fn on_start(&mut self, _: &mut Context<'_, Msg>) {}
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: ProcessId, _: Msg) {}
+            fn on_external(&mut self, _: &mut Context<'_, Msg>, _: Msg) {}
+        }
+        let t = VirtualTime::from_ticks;
+        let gray_link = || {
+            // Training flaps on p1 -> p0 (60 severed, 80 healed, x3),
+            // then a +120 surcharge storm on the same link.
+            let pairs = [(p(1), p(0))];
+            let parts = PartitionSchedule::new()
+                .cut_links(t(200), t(260), &pairs)
+                .cut_links(t(340), t(400), &pairs)
+                .cut_links(t(480), t(540), &pairs);
+            let storms = sfs_asys::StormSchedule::new().surge_links(t(700), t(900), &pairs, 120);
+            FaultyLink::new(FixedLatency(1))
+                .partitions(parts)
+                .storms(storms)
+        };
+        let run = |adaptive: bool| {
+            let sim = Sim::<TransportMsg<Msg>>::builder(2)
+                .seed(6)
+                .link(gray_link())
+                .max_time(t(1_200))
+                .classify(|_| true)
+                .build(move |_| {
+                    let base = Reliable::new(Recorder, ArqConfig::default())
+                        .suspicion(ProbeConfig::default(), Msg::Suspect);
+                    if adaptive {
+                        Box::new(base.adaptive(AdaptiveConfig::default()))
+                            as Box<dyn Process<TransportMsg<Msg>>>
+                    } else {
+                        Box::new(base)
+                    }
+                });
+            let trace = sim.run();
+            trace.notes_with_key(NOTE_PROBE_SUSPECT).count()
+        };
+        assert!(
+            run(false) >= 1,
+            "the fixed timeout should falsely suspect the stormed peer"
+        );
+        assert_eq!(
+            run(true),
+            0,
+            "the trained adaptive threshold must ride out the storm"
+        );
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Property-based tests for the adaptive prober: under a *fair* link —
+//! bounded delay, no permanent loss — it never suspects a live peer, and
+//! once its gap statistics have converged it even rides out delay spikes
+//! that overrun the fixed timeout it is floored at.
+
+use proptest::prelude::*;
+use sfs_asys::{
+    Context, FaultyLink, PartitionSchedule, Process, ProcessId, Sim, StormSchedule, UniformLatency,
+    VirtualTime,
+};
+use sfs_transport::{
+    AdaptiveConfig, ArqConfig, ProbeConfig, Reliable, TransportMsg, NOTE_PROBE_SUSPECT,
+};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Msg {
+    Suspect(ProcessId),
+}
+
+#[derive(Debug, Default)]
+struct Idle;
+impl Process<Msg> for Idle {
+    fn on_start(&mut self, _: &mut Context<'_, Msg>) {}
+    fn on_message(&mut self, _: &mut Context<'_, Msg>, _: ProcessId, _: Msg) {}
+    fn on_external(&mut self, _: &mut Context<'_, Msg>, _: Msg) {}
+}
+
+/// Runs two adaptively-probed idle processes over `link` and returns the
+/// number of suspicions raised anywhere.
+fn suspicions(link: FaultyLink<UniformLatency>, seed: u64, horizon: u64) -> usize {
+    let sim = Sim::<TransportMsg<Msg>>::builder(2)
+        .seed(seed)
+        .link(link)
+        .max_time(VirtualTime::from_ticks(horizon))
+        .classify(|_| true)
+        .build(|_| {
+            Box::new(
+                Reliable::new(Idle, ArqConfig::default())
+                    .suspicion(ProbeConfig::default(), Msg::Suspect)
+                    .adaptive(AdaptiveConfig::default()),
+            )
+        });
+    sim.run().notes_with_key(NOTE_PROBE_SUSPECT).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES").ok().and_then(|s| s.parse().ok()).unwrap_or(128)
+    ))]
+
+    /// Fair link, bounded delay: heartbeats arrive at most
+    /// `interval + d_max` apart, under the fixed-timeout floor, so the
+    /// adaptive prober (whose threshold never drops below that floor)
+    /// must never suspect a live peer — regardless of convergence.
+    #[test]
+    fn bounded_delay_never_suspects_a_live_peer(
+        d_max in 1u64..60,
+        seed in 0u64..1_000,
+    ) {
+        let link = FaultyLink::new(UniformLatency::new(1, d_max));
+        prop_assert_eq!(suspicions(link, seed, 2_000), 0);
+    }
+
+    /// Convergence: after a training cut of length `g` teaches the gap
+    /// statistics that the peer can survive ~`g` of silence, a delay
+    /// storm whose onset gap exceeds the fixed timeout (extra > 80 ⇒
+    /// gap > 100) but stays inside the learned `2·gap_max` bound is
+    /// ridden out without a single suspicion.
+    #[test]
+    fn converged_estimates_survive_supra_floor_delay_spikes(
+        g in 66u64..70,
+        extra_off in 0u64..13,
+        d_max in 1u64..5,
+        seed in 0u64..500,
+    ) {
+        // extra ∈ [85, 2g - 34]: above the fixed timeout's reach (the
+        // onset gap is at least interval + extra + 1 - d_max > 100),
+        // below the trained threshold (gap_max ≥ g - d_max + 1, so the
+        // threshold is at least 2g - 8, and the onset gap is at most
+        // extra + interval + 1 + d_max ≤ 2g - 8).
+        let extra = 85 + extra_off.min(2 * g - 34 - 85);
+        let pairs = [(ProcessId::new(1), ProcessId::new(0))];
+        let t = VirtualTime::from_ticks;
+        let link = FaultyLink::new(UniformLatency::new(1, d_max))
+            .partitions(PartitionSchedule::new().cut_links(t(300), t(300 + g), &pairs))
+            .storms(StormSchedule::new().surge_links(t(700), t(900), &pairs, extra));
+        prop_assert_eq!(suspicions(link, seed, 1_400), 0);
+    }
+}
