@@ -612,8 +612,9 @@ pub struct ConformanceConfig {
     /// ARQ layer — whose model-level history must land in the bare
     /// exploration's envelope. Seeds `seed..seed + transport_runs`.
     pub transport_runs: usize,
-    /// Wall-clock settle window per threaded run, after the last
-    /// injection, in milliseconds.
+    /// Wall-clock drain timeout per threaded run, in milliseconds.
+    /// Purely an upper bound on waiting: the event-driven runtime
+    /// answers as soon as the run quiesces or stalls at its bounds.
     pub settle_ms: u64,
     /// Base seed for the random-strategy runs.
     pub seed: u64,
@@ -638,7 +639,8 @@ impl Default for ConformanceConfig {
 #[derive(Debug, Clone)]
 pub struct BackendReport {
     /// Backend label (`"sim:time-ordered"`, `"sim:random"`, `"replay"`,
-    /// `"threaded"`).
+    /// `"threaded:event"`, `"threaded:event+net"`, `"sim:transport"`,
+    /// `"sim:transport-adaptive"`).
     pub backend: &'static str,
     /// Runs executed on this backend.
     pub runs: usize,
@@ -754,10 +756,11 @@ impl ExploreOutcome {
 }
 
 impl ExploreInstance {
-    /// Runs the cluster on the threaded runtime, driving the spec's
-    /// scripted injections over wall clock, and reports the trace plus
-    /// whether the run was maximal. Maximality comes from the runtime's
-    /// drain handshake (every forwarded event fully dispatched, nothing
+    /// Runs the cluster on the event-driven threaded runtime — the
+    /// spec's scripted injections ride the router's timer wheel and fire
+    /// at their exact virtual ticks — and reports the trace plus whether
+    /// the run was maximal. Maximality comes from the runtime's drain
+    /// handshake (every forwarded event fully dispatched, nothing
     /// pending) — not from trace-level accounting, which cannot see an
     /// event whose handler was still running at shutdown.
     pub fn run_threaded(&self, settle: Duration) -> (Trace, bool) {
@@ -775,7 +778,15 @@ impl ExploreInstance {
     ///    [`RandomStrategy`](sfs_asys::RandomStrategy);
     /// 3. `replay` — every recorded schedule from (1) and (2) strictly
     ///    re-executed and byte-compared;
-    /// 4. `threaded` — `threaded_runs` executions on real OS threads.
+    /// 4. `threaded:event` — `threaded_runs` executions on real OS
+    ///    threads under the event-driven virtual clock;
+    /// 5. `threaded:event+net` — `threaded_runs` threaded executions
+    ///    over the router's link seam (ARQ-wrapped processes on a
+    ///    loss-free [`NetSpec`]), so real concurrency and the emulated
+    ///    transport are exercised *together*;
+    /// 6. `sim:transport` / `sim:transport-adaptive` — the simulated
+    ///    transport-backed legs, pinning that the ARQ layer re-earns the
+    ///    §2 channel axioms.
     ///
     /// Reference witnesses are then minimized by the delta-debugging
     /// shrinker, each shrink candidate re-validated by replay.
@@ -843,13 +854,32 @@ impl ExploreInstance {
         backends.push(random);
         backends.push(replay_report);
 
-        // Backend 3: real concurrency.
-        let mut threaded = BackendReport::new("threaded");
+        // Backend 3: real concurrency on the event-driven runtime.
+        let mut threaded = BackendReport::new("threaded:event");
         for _ in 0..config.threaded_runs {
             let (trace, complete) = self.run_threaded(Duration::from_millis(config.settle_ms));
-            threaded.absorb_run(complete, oracle.check("threaded", &trace, complete));
+            threaded.absorb_run(complete, oracle.check("threaded:event", &trace, complete));
         }
         backends.push(threaded);
+
+        // Backend 3b: real concurrency *and* the emulated transport at
+        // once — the ARQ-wrapped processes over the threaded router's
+        // loss-free link seam. Its model-level history must land in the
+        // same bare envelope.
+        let mut threaded_net = BackendReport::new("threaded:event+net");
+        for _ in 0..config.threaded_runs {
+            let (trace, complete) = self
+                .spec
+                .clone()
+                .net(NetSpec::faultless())
+                .try_run_threaded_net(|_| NullApp, Duration::from_millis(config.settle_ms))
+                .expect("explored instance is feasible");
+            threaded_net.absorb_run(
+                complete,
+                oracle.check("threaded:event+net", &trace, complete),
+            );
+        }
+        backends.push(threaded_net);
 
         // Backend 4: the transport-backed leg — the same instance with
         // its channels *emulated* (ARQ over a loss-free faulty link)
@@ -1272,11 +1302,11 @@ mod tests {
             out.divergences().collect::<Vec<_>>()
         );
         assert!(out.replay_checks >= 5, "{}", out.replay_checks);
-        // time-ordered + random + replay + threaded + transport +
-        // transport-adaptive.
+        // time-ordered + random + replay + threaded:event +
+        // threaded:event+net + transport + transport-adaptive.
         assert_eq!(
             out.total_runs(),
-            1 + 4 + 5 + 1 + 1 + 1,
+            1 + 4 + 5 + 1 + 1 + 1 + 1,
             "{:#?}",
             out.backends
         );

@@ -73,6 +73,7 @@ pub mod strategy;
 mod time;
 mod timers;
 mod trace;
+mod wheel;
 
 pub mod net;
 
@@ -91,3 +92,4 @@ pub use strategy::{
 };
 pub use time::VirtualTime;
 pub use trace::{SimStats, StopReason, Trace, TraceEvent, TraceEventKind};
+pub use wheel::{TimerWheel, WheelEntryId};

@@ -1,14 +1,23 @@
-//! Threaded runtime: the same [`Process`](crate::Process) automata over
-//! real OS threads.
+//! Event-driven threaded runtime: the same [`Process`](crate::Process)
+//! automata over real OS threads, on a virtual clock.
 //!
 //! The simulator in [`Sim`](crate::Sim) explores adversarial schedules
 //! deterministically; this module runs the *identical* protocol code on
 //! real concurrency — one thread per process, crossbeam channels as the
-//! FIFO links, wall-clock timers — so the examples can demonstrate the
-//! protocol outside the simulator. A central router thread serializes all
-//! effects, which both preserves per-channel FIFO order (the property the
-//! paper's sFS2d argument depends on) and lets the runtime record a single
-//! coherent [`Trace`](crate::Trace).
+//! FIFO links. A central router thread serializes all effects, which both
+//! preserves per-channel FIFO order (the property the paper's sFS2d
+//! argument depends on) and lets the runtime record a single coherent
+//! [`Trace`](crate::Trace).
+//!
+//! Time is logical, not wall-clock: the router owns a hierarchical
+//! [`TimerWheel`](crate::TimerWheel) holding every pending deadline
+//! (message deliveries, timer fires, scheduled fault injections) and
+//! advances its virtual clock straight to the next due instant whenever
+//! nothing is in flight. All events due at one instant dispatch
+//! concurrently across node threads; the clock never moves while a
+//! handler's action reply is outstanding. A run's wall cost is therefore
+//! proportional to the events it executes, not the virtual span it
+//! covers — the property experiment E11 benchmarks.
 //!
 //! The repro substitutes threads + crossbeam for the async-executor
 //! plumbing a modern implementation might use (tokio is outside the
@@ -34,11 +43,11 @@
 //! }
 //!
 //! let rt = Runtime::spawn(3, RuntimeConfig::default(), |_| Box::new(Greeter));
-//! rt.run_for(Duration::from_millis(50));
+//! assert!(rt.drain(Duration::from_secs(5)), "greeting quiesces");
 //! let trace = rt.shutdown();
 //! assert_eq!(trace.stats().messages_sent, 6);
 //! ```
 
 mod router;
 
-pub use router::{Runtime, RuntimeConfig};
+pub use router::{Injector, Runtime, RuntimeConfig};

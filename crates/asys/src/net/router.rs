@@ -1,5 +1,33 @@
-//! The router-serialized threaded runtime.
+//! The router-serialized, event-driven threaded runtime.
+//!
+//! Processes run on real OS threads and exchange messages through a router
+//! thread, but *time* is logical: the router owns a hierarchical
+//! [`TimerWheel`] holding every pending deadline — message deliveries, timer
+//! fires, scheduled fault-plan injections — and advances its virtual clock
+//! directly to the next due instant whenever nothing is in flight. Nothing
+//! ever sleeps through empty ticks, so a run's wall-clock cost is
+//! proportional to the work it does, not to the virtual span it covers.
+//!
+//! # Quiescence protocol
+//!
+//! The router tracks `outstanding`: the number of node events it has
+//! forwarded whose action replies it has not yet received (every node
+//! answers every event, even with an empty action batch). Because the
+//! router is the only dispatcher, the system is quiescent exactly when,
+//! in one router observation: the inbox is empty, `outstanding == 0`, and
+//! the wheel holds no deadline. [`Runtime::drain`] is a handshake against
+//! that single-threaded judgement — no settle-polling, no grace windows.
+//!
+//! # Virtual-clock advancement
+//!
+//! The clock only advances while `outstanding == 0` and the inbox is
+//! empty: any pending reply may schedule new work at the *current* instant,
+//! so advancing earlier could fire a later deadline first. All events due
+//! at one instant are dispatched concurrently (real parallelism across
+//! destinations); delay-zero follow-ups land at the same instant and are
+//! dispatched before the clock moves again.
 
+use crate::fault::{FaultPlan, Injection};
 use crate::id::{MsgId, ProcessId, TimerId};
 use crate::link::{LinkModel, LinkVerdict};
 use crate::process::{Action, Context, Process, ReceiveFilter};
@@ -7,38 +35,17 @@ use crate::sim::CrashRegistry;
 use crate::time::VirtualTime;
 use crate::timers::CancelledTimers;
 use crate::trace::{SimStats, StopReason, Trace, TraceEvent, TraceEventKind};
+use crate::wheel::TimerWheel;
 use crossbeam::channel::{self, Receiver, Sender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Shared progress counters behind [`Runtime::drain`]'s quiescence
-/// handshake: the router counts every node event it forwards, each node
-/// counts every event it has fully dispatched (handler run **and** its
-/// action batch sent back to the router), and the router publishes
-/// whether its own queue and heap are empty. The system is quiescent
-/// exactly when the router is idle and the two counters agree — no step
-/// is pending, in flight, or mid-dispatch.
-#[derive(Debug, Default)]
-struct Progress {
-    /// Node events (messages, timers, externals) the router handed to
-    /// node channels.
-    forwarded: AtomicU64,
-    /// Node events fully dispatched by node threads, action batches
-    /// included.
-    processed: AtomicU64,
-    /// Router saw an empty inbox and an empty heap on its last poll.
-    idle: AtomicBool,
-}
-
-/// Per-link artificial delay chosen by the router before forwarding.
-pub type LinkDelay = Box<dyn Fn(ProcessId, ProcessId) -> Duration + Send>;
+/// Per-link artificial delay, in virtual ticks, chosen by the router
+/// before forwarding.
+pub type LinkDelay = Box<dyn Fn(ProcessId, ProcessId) -> u64 + Send>;
 
 /// Predicate marking payloads as infrastructure; the threaded mirror of
 /// `SimBuilder::classify`.
@@ -49,17 +56,16 @@ pub struct RuntimeConfig<M = ()> {
     /// Seed feeding each node's deterministic rng (node `i` uses
     /// `seed + i`). Scheduling itself is real-concurrency nondeterminism.
     pub seed: u64,
-    /// Optional artificial per-link delay applied by the router before
-    /// forwarding a message, modelling a slow asynchronous network.
-    /// Ignored when [`RuntimeConfig::link`] is set.
+    /// Optional artificial per-link delay, in virtual ticks, applied by
+    /// the router before forwarding a message, modelling a slow
+    /// asynchronous network. Ignored when [`RuntimeConfig::link`] is set.
     pub delay: Option<LinkDelay>,
     /// Optional faulty-network model: the threaded mirror of the
     /// simulator's link seam. The router consults it once per send, in
-    /// send order, with its own seeded rng; ticks map to wall-clock
-    /// milliseconds (the runtime's clock convention), so the *same*
-    /// [`LinkModel`] drives both backends — what E10's transport-backed
-    /// conformance leg relies on. Takes precedence over
-    /// [`RuntimeConfig::delay`].
+    /// send order, with its own seeded rng; verdict delays are virtual
+    /// ticks on the router's wheel, so the *same* [`LinkModel`] drives
+    /// both backends — what E10's transport-backed conformance leg relies
+    /// on. Takes precedence over [`RuntimeConfig::delay`].
     pub link: Option<Box<dyn LinkModel + Send>>,
     /// Whether to record payload `Debug` text in the trace.
     pub record_payloads: bool,
@@ -71,17 +77,33 @@ pub struct RuntimeConfig<M = ()> {
     /// so oracle-configured processes (which poll a
     /// [`CrashRegistry`]) can run on real threads too.
     pub registry: Option<CrashRegistry>,
-    /// Batching fast path: when the router drains its due heap, deliveries
-    /// and timer fires aimed at the same destination are coalesced into a
-    /// single node-event batch — one channel send and one reply per
-    /// flush-destination instead of one per message. Trace events are
-    /// still recorded per message, in pop order, and each destination
-    /// receives its events in exactly the order the unbatched router
-    /// would have forwarded them, so per-process delivery order (and with
-    /// it the happens-before model) is untouched. This is what lets one
-    /// router serve Θ(n²) detection-round traffic at scale (experiment
-    /// E11).
+    /// Batching fast path: when the router dispatches a due instant,
+    /// deliveries and timer fires aimed at the same destination are
+    /// coalesced into a single node-event batch — one channel send and one
+    /// reply per flush-destination instead of one per message. Trace
+    /// events are still recorded per message, in firing order, and each
+    /// destination receives its events in exactly the order the unbatched
+    /// router would have forwarded them, so per-process delivery order
+    /// (and with it the happens-before model) is untouched. This is what
+    /// lets one router serve Θ(n²) detection-round traffic at scale
+    /// (experiment E11).
     pub batch: bool,
+    /// Scheduled crash/external injections, placed on the wheel at
+    /// construction. Entries take the earliest insertion sequence numbers
+    /// at their instants, so an injection at tick `T` is applied before
+    /// any delivery or timer due at `T` — the threaded mirror of the
+    /// simulator pushing plan entries at build time.
+    pub faults: FaultPlan<M>,
+    /// Virtual-time horizon: the wheel never advances past it. Raw
+    /// runtimes driven by hand default to [`VirtualTime::MAX`]
+    /// (effectively unbounded); spec-driven runs wire their configured
+    /// horizon here.
+    pub max_time: VirtualTime,
+    /// Event budget: once the trace holds this many events the wheel
+    /// stops advancing (directly injected events are still recorded). The
+    /// backstop that bounds free-running systems — self-rearming
+    /// heartbeats would otherwise burn CPU forever at virtual speed.
+    pub max_events: usize,
 }
 
 impl<M> Default for RuntimeConfig<M> {
@@ -94,6 +116,9 @@ impl<M> Default for RuntimeConfig<M> {
             classify: None,
             registry: None,
             batch: false,
+            faults: FaultPlan::new(),
+            max_time: VirtualTime::MAX,
+            max_events: 1_000_000,
         }
     }
 }
@@ -106,24 +131,33 @@ impl<M> fmt::Debug for RuntimeConfig<M> {
             .field("has_link", &self.link.is_some())
             .field("record_payloads", &self.record_payloads)
             .field("batch", &self.batch)
+            .field("faults", &self.faults.len())
+            .field("max_time", &self.max_time)
+            .field("max_events", &self.max_events)
             .finish()
     }
 }
 
 enum NodeEvent<M> {
     Message {
+        at: VirtualTime,
         from: ProcessId,
         msg: M,
     },
     Timer {
+        at: VirtualTime,
         id: TimerId,
     },
     External {
+        at: VirtualTime,
         payload: M,
     },
     /// A coalesced run of events for one destination, in the exact order
     /// the unbatched router would have forwarded them individually.
-    Batch(Vec<BatchItem<M>>),
+    Batch {
+        at: VirtualTime,
+        items: Vec<BatchItem<M>>,
+    },
     Halt,
 }
 
@@ -147,6 +181,13 @@ enum ToRouter<M> {
     InjectCrash {
         pid: ProcessId,
     },
+    /// Quiescence handshake: the router answers `true` the moment it
+    /// observes genuine quiescence (empty inbox, no outstanding replies,
+    /// empty wheel) and `false` the moment it stalls instead (deadlines
+    /// remain but lie beyond the horizon or the event budget is spent).
+    WaitQuiescent {
+        reply: Sender<bool>,
+    },
     Shutdown,
 }
 
@@ -163,29 +204,11 @@ enum Due<M> {
         pid: ProcessId,
         id: TimerId,
     },
-}
-
-struct HeapItem<M> {
-    at: Instant,
-    order: u64,
-    due: Due<M>,
-}
-
-impl<M> PartialEq for HeapItem<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.order == other.order
-    }
-}
-impl<M> Eq for HeapItem<M> {}
-impl<M> PartialOrd for HeapItem<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for HeapItem<M> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.order).cmp(&(other.at, other.order))
-    }
+    /// A scheduled fault-plan entry.
+    Plan {
+        pid: ProcessId,
+        injection: Injection<M>,
+    },
 }
 
 /// A running system of `n` process threads plus a router thread.
@@ -198,7 +221,6 @@ pub struct Runtime<M> {
     to_router: Sender<ToRouter<M>>,
     router: Option<JoinHandle<Trace>>,
     nodes: Vec<JoinHandle<()>>,
-    progress: Arc<Progress>,
 }
 
 impl<M> fmt::Debug for Runtime<M> {
@@ -221,7 +243,6 @@ impl<M: Clone + fmt::Debug + Send + 'static> Runtime<M> {
     {
         assert!(n > 0, "a system needs at least one process");
         let (to_router, router_rx) = channel::unbounded::<ToRouter<M>>();
-        let progress = Arc::new(Progress::default());
         let mut node_txs = Vec::with_capacity(n);
         let mut nodes = Vec::with_capacity(n);
         let record_payloads = config.record_payloads;
@@ -231,36 +252,22 @@ impl<M: Clone + fmt::Debug + Send + 'static> Runtime<M> {
             let process = make(pid);
             let to_router = to_router.clone();
             let seed = config.seed.wrapping_add(pid.index() as u64);
-            let progress = progress.clone();
             nodes.push(
                 std::thread::Builder::new()
                     .name(format!("node-{}", pid.index()))
-                    .spawn(move || {
-                        node_main(
-                            pid,
-                            n,
-                            process,
-                            rx,
-                            to_router,
-                            seed,
-                            record_payloads,
-                            progress,
-                        )
-                    })
+                    .spawn(move || node_main(pid, n, process, rx, to_router, seed, record_payloads))
                     .expect("spawn node thread"),
             );
         }
-        let router_progress = progress.clone();
         let router = std::thread::Builder::new()
             .name("router".to_owned())
-            .spawn(move || router_main(n, config, router_rx, node_txs, router_progress))
+            .spawn(move || router_main(n, config, router_rx, node_txs))
             .expect("spawn router thread");
         Runtime {
             n,
             to_router,
             router: Some(router),
             nodes,
-            progress,
         }
     }
 
@@ -269,7 +276,19 @@ impl<M: Clone + fmt::Debug + Send + 'static> Runtime<M> {
         self.n
     }
 
+    /// A cloneable, `Send` handle for injecting stimuli from other
+    /// threads while this runtime keeps running — the concurrent twin of
+    /// [`Runtime::inject_external`] / [`Runtime::crash`].
+    pub fn injector(&self) -> Injector<M> {
+        Injector {
+            to_router: self.to_router.clone(),
+        }
+    }
+
     /// Delivers an external stimulus to `pid` (e.g. a forced suspicion).
+    /// It is applied at whatever virtual instant the router's clock has
+    /// reached when the injection is handled; scripted injections at
+    /// exact virtual times belong in [`RuntimeConfig::faults`].
     pub fn inject_external(&self, pid: ProcessId, payload: M) {
         let repr = Some(format!("{payload:?}"));
         let _ = self
@@ -277,52 +296,44 @@ impl<M: Clone + fmt::Debug + Send + 'static> Runtime<M> {
             .send(ToRouter::InjectExternal { pid, payload, repr });
     }
 
-    /// Crashes `pid` permanently.
+    /// Crashes `pid` permanently, at the router's current virtual
+    /// instant. Scripted crashes at exact virtual times belong in
+    /// [`RuntimeConfig::faults`].
     pub fn crash(&self, pid: ProcessId) {
         let _ = self.to_router.send(ToRouter::InjectCrash { pid });
     }
 
-    /// Lets the system run for the given wall-clock duration.
+    /// Lets the system run for the given wall-clock duration. The router
+    /// advances virtual time at compute speed the whole while (bounded by
+    /// [`RuntimeConfig::max_time`] and [`RuntimeConfig::max_events`]);
+    /// this is only useful to leave room for wall-clock-timed injections.
     pub fn run_for(&self, d: Duration) {
         std::thread::sleep(d);
     }
 
-    /// Blocks until the system is **quiescent** — the router's inbox and
-    /// heap are empty, and every node event the router ever forwarded has
-    /// been fully dispatched (handler run, its action batch received) —
-    /// or until `timeout` elapses. Returns whether quiescence was
-    /// reached.
+    /// Blocks until the system is **quiescent** — the router observed, in
+    /// one step, an empty inbox, zero outstanding node replies, and an
+    /// empty wheel — or until the run can no longer progress, or until
+    /// `timeout` elapses. Returns whether genuine quiescence was reached.
     ///
-    /// Quiescence is judged by a stability double-check of shared
-    /// progress counters, so a `true` here guarantees the trace a
-    /// subsequent [`Runtime::shutdown`] returns is *maximal*: no recorded
-    /// receive is missing its handler's effects, and the run is
-    /// comparable to a [`Quiescent`](StopReason::Quiescent) simulator
-    /// run. Systems with self-rearming timers (heartbeats, oracle polls)
-    /// never quiesce; this returns `false` for them after the full
-    /// timeout.
+    /// A `true` guarantees the trace a subsequent [`Runtime::shutdown`]
+    /// returns is *maximal*: no recorded receive is missing its handler's
+    /// effects, and the run is comparable to a
+    /// [`Quiescent`](StopReason::Quiescent) simulator run. Systems with
+    /// self-rearming timers (heartbeats, oracle polls) never quiesce;
+    /// for them this returns `false` as soon as the run stalls at its
+    /// horizon or event budget (or when `timeout` elapses, whichever
+    /// comes first).
     pub fn drain(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
-        loop {
-            let processed = self.progress.processed.load(Ordering::Acquire);
-            let forwarded = self.progress.forwarded.load(Ordering::Acquire);
-            if self.progress.idle.load(Ordering::Acquire) && processed == forwarded {
-                // Candidate quiescence: hold it across a settling pause to
-                // rule out having read the counters mid-flight.
-                std::thread::sleep(Duration::from_millis(5));
-                if self.progress.idle.load(Ordering::Acquire)
-                    && self.progress.processed.load(Ordering::Acquire) == processed
-                    && self.progress.forwarded.load(Ordering::Acquire) == forwarded
-                {
-                    return true;
-                }
-            } else {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            if Instant::now() >= deadline {
-                return false;
-            }
+        let (reply, done) = channel::unbounded();
+        if self
+            .to_router
+            .send(ToRouter::WaitQuiescent { reply })
+            .is_err()
+        {
+            return false;
         }
+        done.recv_timeout(timeout).unwrap_or(false)
     }
 
     /// Stops all threads and returns the recorded trace.
@@ -345,7 +356,46 @@ impl<M: Clone + fmt::Debug + Send + 'static> Runtime<M> {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+/// A cloneable handle for injecting stimuli into a running [`Runtime`]
+/// from arbitrary threads; obtained via [`Runtime::injector`]. Injections
+/// land at whatever virtual instant the router's clock has reached when
+/// they are handled — scripted injections at exact virtual times belong
+/// in [`RuntimeConfig::faults`]. Sends after shutdown are silently
+/// dropped.
+pub struct Injector<M> {
+    to_router: Sender<ToRouter<M>>,
+}
+
+impl<M> Clone for Injector<M> {
+    fn clone(&self) -> Self {
+        Injector {
+            to_router: self.to_router.clone(),
+        }
+    }
+}
+
+impl<M> fmt::Debug for Injector<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Injector").finish_non_exhaustive()
+    }
+}
+
+impl<M: Clone + fmt::Debug + Send + 'static> Injector<M> {
+    /// Delivers an external stimulus to `pid`; see
+    /// [`Runtime::inject_external`].
+    pub fn inject_external(&self, pid: ProcessId, payload: M) {
+        let repr = Some(format!("{payload:?}"));
+        let _ = self
+            .to_router
+            .send(ToRouter::InjectExternal { pid, payload, repr });
+    }
+
+    /// Crashes `pid` permanently; see [`Runtime::crash`].
+    pub fn crash(&self, pid: ProcessId) {
+        let _ = self.to_router.send(ToRouter::InjectCrash { pid });
+    }
+}
+
 fn node_main<M: Clone + fmt::Debug + Send + 'static>(
     pid: ProcessId,
     n: usize,
@@ -354,9 +404,7 @@ fn node_main<M: Clone + fmt::Debug + Send + 'static>(
     to_router: Sender<ToRouter<M>>,
     seed: u64,
     record_payloads: bool,
-    progress: Arc<Progress>,
 ) {
-    let start = Instant::now();
     let mut rng = StdRng::seed_from_u64(seed);
     // Namespace timer ids by process so they are globally unique.
     let mut next_timer: u64 = (pid.index() as u64) << 40;
@@ -375,19 +423,29 @@ fn node_main<M: Clone + fmt::Debug + Send + 'static>(
         });
     }
 
-    'events: while let Ok(event) = rx.recv() {
-        let now = VirtualTime::from_ticks(start.elapsed().as_millis() as u64);
+    // Every event is answered with exactly one action batch (possibly
+    // empty): the router's `outstanding` count — and with it the whole
+    // quiescence protocol — depends on it. `Halt` is the one exception:
+    // the router never counts it.
+    while let Ok(event) = rx.recv() {
+        let now = match &event {
+            NodeEvent::Message { at, .. }
+            | NodeEvent::Timer { at, .. }
+            | NodeEvent::External { at, .. }
+            | NodeEvent::Batch { at, .. } => *at,
+            NodeEvent::Halt => break,
+        };
         let mut ctx = Context::new(pid, n, now, &mut rng, &mut next_timer);
         match event {
-            NodeEvent::Message { from, msg } => process.on_message(&mut ctx, from, msg),
-            NodeEvent::Timer { id } => process.on_timer(&mut ctx, id),
-            NodeEvent::External { payload } => process.on_external(&mut ctx, payload),
+            NodeEvent::Message { from, msg, .. } => process.on_message(&mut ctx, from, msg),
+            NodeEvent::Timer { id, .. } => process.on_timer(&mut ctx, id),
+            NodeEvent::External { payload, .. } => process.on_external(&mut ctx, payload),
             // A coalesced flush: run every handler back to back on one
             // context and answer with ONE combined action batch. The
             // actions accumulate in callback order, so the router applies
             // exactly what a one-reply-per-event node would have sent, in
             // the same order.
-            NodeEvent::Batch(items) => {
+            NodeEvent::Batch { items, .. } => {
                 for item in items {
                     match item {
                         BatchItem::Message { from, msg } => process.on_message(&mut ctx, from, msg),
@@ -395,7 +453,7 @@ fn node_main<M: Clone + fmt::Debug + Send + 'static>(
                     }
                 }
             }
-            NodeEvent::Halt => break 'events,
+            NodeEvent::Halt => unreachable!("handled above"),
         }
         let actions = ctx.take_actions();
         let payload_reprs = render_payloads(&actions, record_payloads);
@@ -404,10 +462,6 @@ fn node_main<M: Clone + fmt::Debug + Send + 'static>(
             actions,
             payload_reprs,
         });
-        // Count the event only after its action batch is on the router
-        // channel: `processed == forwarded` then means no handler effect
-        // is still in flight (the drain handshake's invariant).
-        progress.processed.fetch_add(1, Ordering::Release);
     }
 }
 
@@ -439,12 +493,18 @@ struct Parked<M> {
 
 struct RouterState<M> {
     n: usize,
-    start: Instant,
     crashed: Vec<bool>,
     failed_flags: Vec<bool>,
     cancelled: CancelledTimers,
-    heap: BinaryHeap<Reverse<HeapItem<M>>>,
-    order: u64,
+    /// Every pending deadline — deliveries, timer fires, plan injections.
+    wheel: TimerWheel<Due<M>>,
+    /// Node events forwarded whose action replies are still pending.
+    outstanding: u64,
+    /// Parked [`ToRouter::WaitQuiescent`] callers, answered at the next
+    /// quiescence-or-stall observation.
+    waiters: Vec<Sender<bool>>,
+    max_time: VirtualTime,
+    max_events: usize,
     msg_seq: Vec<u64>,
     events: Vec<TraceEvent>,
     stats: SimStats,
@@ -456,14 +516,13 @@ struct RouterState<M> {
     link_rng: StdRng,
     classify: Option<Classify<M>>,
     registry: Option<CrashRegistry>,
-    progress: Arc<Progress>,
     filters: Vec<Option<ReceiveFilter<M>>>,
     /// Per-channel FIFO queues of messages the receiver's filter refused,
     /// indexed `from * n + to`.
     parked: std::collections::HashMap<usize, std::collections::VecDeque<Parked<M>>>,
     /// Per-destination staging buffers for the batching fast path
     /// ([`RuntimeConfig::batch`]); drained by `flush_staged` after every
-    /// heap drain.
+    /// instant dispatch.
     staged: Vec<Vec<BatchItem<M>>>,
     /// Destinations with staged items, in first-staging order.
     staged_order: Vec<ProcessId>,
@@ -471,14 +530,14 @@ struct RouterState<M> {
 
 impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
     fn now(&self) -> VirtualTime {
-        VirtualTime::from_ticks(self.start.elapsed().as_millis() as u64)
+        self.wheel.now()
     }
 
-    /// Hands a node event to its channel, counting it for the drain
-    /// handshake. All Message/Timer/External forwards go through here;
-    /// `Halt` is uncounted on both sides (nodes never ack it).
-    fn forward(&self, pid: ProcessId, event: NodeEvent<M>) {
-        self.progress.forwarded.fetch_add(1, Ordering::Release);
+    /// Hands a node event to its channel, counting it toward
+    /// `outstanding`. All Message/Timer/External/Batch forwards go through
+    /// here; `Halt` is uncounted on both sides (nodes never ack it).
+    fn forward(&mut self, pid: ProcessId, event: NodeEvent<M>) {
+        self.outstanding += 1;
         let _ = self.node_txs[pid.index()].send(event);
     }
 
@@ -488,10 +547,9 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
         self.events.push(TraceEvent { seq, time, kind });
     }
 
-    fn push(&mut self, at: Instant, due: Due<M>) {
-        let order = self.order;
-        self.order += 1;
-        self.heap.push(Reverse(HeapItem { at, order, due }));
+    fn push(&mut self, delay_ticks: u64, due: Due<M>) {
+        let at = self.now().saturating_add(delay_ticks);
+        self.wheel.insert(at, due);
     }
 
     fn crash(&mut self, pid: ProcessId) {
@@ -536,25 +594,20 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
                     });
                     self.stats.messages_sent += 1;
                     // The link seam, mirroring the simulator: a LinkModel
-                    // verdict (ticks = milliseconds here) when one is
-                    // installed, else the legacy per-link delay fn.
-                    let now = VirtualTime::from_ticks(self.start.elapsed().as_millis() as u64);
+                    // verdict (delays in virtual ticks on the wheel) when
+                    // one is installed, else the legacy per-link delay fn.
+                    let now = self.now();
                     let verdict = match &mut self.link {
                         Some(link) => link.verdict(from, to, now, &mut self.link_rng),
                         None => {
-                            let delay = self
-                                .delay
-                                .as_ref()
-                                .map(|f| f(from, to))
-                                .unwrap_or(Duration::ZERO);
-                            LinkVerdict::Deliver(delay.as_millis() as u64)
+                            let ticks = self.delay.as_ref().map(|f| f(from, to)).unwrap_or(0);
+                            LinkVerdict::Deliver(ticks)
                         }
                     };
                     match verdict {
-                        LinkVerdict::Deliver(ms) => {
-                            let at = Instant::now() + Duration::from_millis(ms);
+                        LinkVerdict::Deliver(ticks) => {
                             self.push(
-                                at,
+                                ticks,
                                 Due::Deliver {
                                     from,
                                     to,
@@ -568,12 +621,11 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
                         LinkVerdict::Drop => {
                             self.stats.messages_dropped += 1;
                         }
-                        LinkVerdict::Duplicate(ms1, ms2) => {
+                        LinkVerdict::Duplicate(t1, t2) => {
                             self.stats.messages_duplicated += 1;
-                            for ms in [ms1, ms2] {
-                                let at = Instant::now() + Duration::from_millis(ms);
+                            for ticks in [t1, t2] {
                                 self.push(
-                                    at,
+                                    ticks,
                                     Due::Deliver {
                                         from,
                                         to,
@@ -588,8 +640,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
                     }
                 }
                 Action::SetTimer { id, delay } => {
-                    let at = Instant::now() + Duration::from_millis(delay);
-                    self.push(at, Due::Fire { pid: from, id });
+                    self.push(delay, Due::Fire { pid: from, id });
                 }
                 Action::CancelTimer { id } => {
                     self.cancelled.cancel(id);
@@ -673,9 +724,11 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
                     payload: p.repr,
                 });
                 self.stats.messages_delivered += 1;
+                let at = self.now();
                 self.forward(
                     to,
                     NodeEvent::Message {
+                        at,
                         from: p.from,
                         msg: p.payload,
                     },
@@ -684,14 +737,52 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
         }
     }
 
+    /// Applies a scheduled fault-plan entry at the current instant.
+    fn apply_plan(&mut self, pid: ProcessId, injection: Injection<M>) {
+        match injection {
+            Injection::Crash => self.crash(pid),
+            Injection::External(payload) => {
+                if !self.crashed[pid.index()] {
+                    let repr = Some(format!("{payload:?}"));
+                    self.record(TraceEventKind::External { pid, payload: repr });
+                    let at = self.now();
+                    self.forward(pid, NodeEvent::External { at, payload });
+                }
+            }
+        }
+    }
+
+    /// Dispatches one due instant's entries, in wheel (deadline, seq)
+    /// order. In batch mode Message/Timer admissions are staged per
+    /// destination and flushed at the end; plan injections always apply
+    /// inline, and since they carry the earliest sequence numbers at
+    /// their instant they precede every same-instant admission.
+    fn dispatch(&mut self, due: Vec<Due<M>>, batch: bool) {
+        for item in due {
+            if let Due::Plan { pid, injection } = item {
+                self.apply_plan(pid, injection);
+                continue;
+            }
+            if batch {
+                self.stage_due(item);
+            } else {
+                self.fire_due(item);
+            }
+        }
+        if batch {
+            self.flush_staged();
+        }
+    }
+
     /// Fires one due step immediately (the unbatched path).
     fn fire_due(&mut self, due: Due<M>) {
         if let Some((to, item)) = self.admit_due(due) {
+            let at = self.now();
             match item {
                 BatchItem::Message { from, msg } => {
-                    self.forward(to, NodeEvent::Message { from, msg })
+                    self.forward(to, NodeEvent::Message { at, from, msg })
                 }
-                BatchItem::Timer { id } => self.forward(to, NodeEvent::Timer { id }),
+                BatchItem::Timer { id } => self.forward(to, NodeEvent::Timer { at, id }),
             }
         }
     }
@@ -759,6 +850,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
                 self.stats.timers_fired += 1;
                 Some((pid, BatchItem::Timer { id }))
             }
+            Due::Plan { .. } => unreachable!("plan entries apply inline in dispatch"),
         }
     }
 
@@ -767,20 +859,64 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
     /// one [`NodeEvent::Batch`] — one channel send, one node wakeup, one
     /// combined action reply for the whole run.
     fn flush_staged(&mut self) {
+        let at = self.now();
         for to in std::mem::take(&mut self.staged_order) {
             let mut items = std::mem::take(&mut self.staged[to.index()]);
             if items.len() == 1 {
                 match items.pop().expect("length checked") {
                     BatchItem::Message { from, msg } => {
-                        self.forward(to, NodeEvent::Message { from, msg })
+                        self.forward(to, NodeEvent::Message { at, from, msg })
                     }
-                    BatchItem::Timer { id } => self.forward(to, NodeEvent::Timer { id }),
+                    BatchItem::Timer { id } => self.forward(to, NodeEvent::Timer { at, id }),
                 }
             } else if !items.is_empty() {
                 self.stats.delivery_batches += 1;
-                self.forward(to, NodeEvent::Batch(items));
+                self.forward(to, NodeEvent::Batch { at, items });
             }
         }
+    }
+
+    /// Whether the wheel may keep advancing: the horizon is ahead and the
+    /// event budget is not spent.
+    fn may_advance_to(&self, d: VirtualTime) -> bool {
+        d <= self.max_time && self.events.len() < self.max_events
+    }
+
+    /// Answers every parked drain caller with the current judgement.
+    fn notify_waiters(&mut self, quiescent: bool) {
+        for waiter in self.waiters.drain(..) {
+            let _ = waiter.send(quiescent);
+        }
+    }
+
+    /// Processes one inbox message; returns `true` on shutdown.
+    fn handle(&mut self, msg: ToRouter<M>) -> bool {
+        match msg {
+            ToRouter::Actions {
+                from,
+                actions,
+                payload_reprs,
+            } => {
+                debug_assert!(self.outstanding > 0);
+                self.outstanding -= 1;
+                self.handle_actions(from, actions, payload_reprs);
+            }
+            ToRouter::InjectExternal { pid, payload, repr } => {
+                if !self.crashed[pid.index()] {
+                    self.record(TraceEventKind::External { pid, payload: repr });
+                    let at = self.now();
+                    self.forward(pid, NodeEvent::External { at, payload });
+                }
+            }
+            ToRouter::InjectCrash { pid } => {
+                self.crash(pid);
+            }
+            ToRouter::WaitQuiescent { reply } => {
+                self.waiters.push(reply);
+            }
+            ToRouter::Shutdown => return true,
+        }
+        false
     }
 }
 
@@ -789,17 +925,20 @@ fn router_main<M: Clone + fmt::Debug + Send + 'static>(
     config: RuntimeConfig<M>,
     rx: Receiver<ToRouter<M>>,
     node_txs: Vec<Sender<NodeEvent<M>>>,
-    progress: Arc<Progress>,
 ) -> Trace {
     let batch = config.batch;
     let mut state = RouterState {
         n,
-        start: Instant::now(),
         crashed: vec![false; n],
         failed_flags: vec![false; n * n],
         cancelled: CancelledTimers::new(),
-        heap: BinaryHeap::new(),
-        order: 0,
+        wheel: TimerWheel::new(),
+        // The n unsolicited on_start replies are in flight from the
+        // moment the node threads spawn.
+        outstanding: n as u64,
+        waiters: Vec::new(),
+        max_time: config.max_time,
+        max_events: config.max_events,
         msg_seq: vec![0; n],
         events: Vec::new(),
         stats: SimStats::default(),
@@ -809,70 +948,76 @@ fn router_main<M: Clone + fmt::Debug + Send + 'static>(
         link_rng: StdRng::seed_from_u64(config.seed ^ 0x11AC_C01D),
         classify: config.classify,
         registry: config.registry,
-        progress,
         filters: (0..n).map(|_| None).collect(),
         parked: std::collections::HashMap::new(),
         staged: (0..n).map(|_| Vec::new()).collect(),
         staged_order: Vec::new(),
     };
-    loop {
-        // Fire everything due — staged per destination in batch mode, one
-        // channel send per message otherwise.
-        let mut drained = false;
-        while let Some(Reverse(top)) = state.heap.peek() {
-            if top.at <= Instant::now() {
-                state.progress.idle.store(false, Ordering::Release);
-                let Reverse(item) = state.heap.pop().expect("peeked");
-                if batch {
-                    state.stage_due(item.due);
-                    drained = true;
-                } else {
-                    state.fire_due(item.due);
+    // Plan entries go on the wheel before anything else so they hold the
+    // earliest insertion seqs at their instants: an injection at tick T is
+    // applied before any delivery or timer due at T.
+    for (at, pid, injection) in config.faults.into_items() {
+        state.wheel.insert(at, Due::Plan { pid, injection });
+    }
+
+    let mut shutdown = false;
+    while !shutdown {
+        // 1. Drain the inbox without blocking: replies retire outstanding
+        // counts and schedule follow-up work; injections apply at the
+        // current instant.
+        loop {
+            match rx.try_recv() {
+                Ok(msg) => {
+                    if state.handle(msg) {
+                        shutdown = true;
+                        break;
+                    }
                 }
-            } else {
-                break;
-            }
-        }
-        if drained {
-            state.flush_staged();
-        }
-        let wait = state
-            .heap
-            .peek()
-            .map(|Reverse(item)| item.at.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(50));
-        match rx.recv_timeout(wait.min(Duration::from_millis(50))) {
-            Ok(ToRouter::Actions {
-                from,
-                actions,
-                payload_reprs,
-            }) => {
-                state.progress.idle.store(false, Ordering::Release);
-                state.handle_actions(from, actions, payload_reprs);
-            }
-            Ok(ToRouter::InjectExternal { pid, payload, repr }) => {
-                state.progress.idle.store(false, Ordering::Release);
-                if !state.crashed[pid.index()] {
-                    state.record(TraceEventKind::External { pid, payload: repr });
-                    state.forward(pid, NodeEvent::External { payload });
+                Err(channel::TryRecvError::Empty) => break,
+                Err(channel::TryRecvError::Disconnected) => {
+                    shutdown = true;
+                    break;
                 }
             }
-            Ok(ToRouter::InjectCrash { pid }) => {
-                state.progress.idle.store(false, Ordering::Release);
-                state.crash(pid);
+        }
+        if shutdown {
+            break;
+        }
+        // 2. Dispatch everything due at the current instant (delay-zero
+        // follow-ups from the replies just drained land here).
+        let due = state.wheel.advance_to(state.wheel.now());
+        if !due.is_empty() {
+            state.dispatch(due.into_iter().map(|(_, d)| d).collect(), batch);
+            continue;
+        }
+        // 3. Replies outstanding: the clock must hold (a pending reply may
+        // schedule work at the current instant). Block for one.
+        if state.outstanding > 0 {
+            match rx.recv() {
+                Ok(msg) => shutdown = state.handle(msg),
+                Err(_) => shutdown = true,
             }
-            Ok(ToRouter::Shutdown) => break,
-            Err(channel::RecvTimeoutError::Timeout) => {
-                // Idle is only ever *published* here: an empty inbox poll
-                // with an empty heap. Anything that changes state clears
-                // it first, so a steady `true` plus matched forward/
-                // processed counters is the drain handshake's quiescence.
-                state
-                    .progress
-                    .idle
-                    .store(state.heap.is_empty(), Ordering::Release);
+            continue;
+        }
+        // 4. Idle at this instant: advance the clock to the next due
+        // deadline, or conclude quiescence/stall and park.
+        match state.wheel.next_deadline() {
+            Some(d) if state.may_advance_to(d) => {
+                let due = state.wheel.advance_to(d);
+                state.dispatch(due.into_iter().map(|(_, item)| item).collect(), batch);
             }
-            Err(channel::RecvTimeoutError::Disconnected) => break,
+            next => {
+                // Genuinely quiescent (nothing scheduled at all) or
+                // stalled (deadlines beyond the horizon / event budget
+                // spent). Either way the run cannot progress on its own:
+                // answer drain callers and park until an injection or
+                // shutdown arrives.
+                state.notify_waiters(next.is_none());
+                match rx.recv() {
+                    Ok(msg) => shutdown = state.handle(msg),
+                    Err(_) => shutdown = true,
+                }
+            }
         }
     }
     for tx in &state.node_txs {
@@ -882,6 +1027,10 @@ fn router_main<M: Clone + fmt::Debug + Send + 'static>(
     let all_crashed = state.crashed.iter().all(|&c| c);
     let stop = if all_crashed {
         StopReason::AllCrashed
+    } else if state.wheel.is_empty() && state.outstanding == 0 {
+        StopReason::Quiescent
+    } else if state.events.len() >= state.max_events {
+        StopReason::MaxEvents
     } else {
         StopReason::MaxTime
     };
@@ -931,7 +1080,7 @@ mod tests {
                 rounds: 0,
             })
         });
-        rt.run_for(Duration::from_millis(200));
+        assert!(rt.drain(Duration::from_secs(5)), "ping-pong must quiesce");
         let trace = rt.shutdown();
         // 5 pings and 5 pongs.
         assert_eq!(
@@ -941,6 +1090,7 @@ mod tests {
             trace.to_pretty_string()
         );
         assert_eq!(trace.stats().messages_delivered, 10);
+        assert_eq!(trace.stop_reason(), StopReason::Quiescent);
     }
 
     #[test]
@@ -1019,7 +1169,7 @@ mod tests {
                 Box::new(Sender(pid.index() as u32))
             }
         });
-        rt.run_for(Duration::from_millis(400));
+        assert!(rt.drain(Duration::from_secs(5)), "must quiesce");
         let trace = rt.shutdown();
         // All four messages delivered; p0's arrive at p1 in FIFO order.
         assert_eq!(
@@ -1064,7 +1214,9 @@ mod tests {
         assert_eq!(trace.stats().messages_delivered, 10);
         assert!(trace.channels_drained());
 
-        // A self-rearming timer never quiesces: drain must say so.
+        // A self-rearming timer never quiesces: drain must say so. With a
+        // small event budget the run stalls quickly and drain answers
+        // false well before its timeout.
         struct Ticker;
         impl Process<Msg> for Ticker {
             fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
@@ -1075,9 +1227,41 @@ mod tests {
                 ctx.set_timer(10);
             }
         }
-        let rt = Runtime::spawn(1, RuntimeConfig::default(), |_| Box::new(Ticker));
-        assert!(!rt.drain(Duration::from_millis(150)));
-        let _ = rt.shutdown();
+        let config = RuntimeConfig {
+            max_events: 500,
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::spawn(1, config, |_| Box::new(Ticker));
+        assert!(!rt.drain(Duration::from_secs(5)));
+        let trace = rt.shutdown();
+        assert_eq!(trace.stop_reason(), StopReason::MaxEvents);
+    }
+
+    #[test]
+    fn horizon_caps_virtual_time() {
+        // A perpetual ticker under a virtual-time horizon: the run stalls
+        // exactly at the last firing within the horizon and the clock
+        // never passes it.
+        struct Ticker;
+        impl Process<Msg> for Ticker {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.set_timer(10);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: ProcessId, _: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: TimerId) {
+                ctx.set_timer(10);
+            }
+        }
+        let config = RuntimeConfig {
+            max_time: VirtualTime::from_ticks(95),
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::spawn(1, config, |_| Box::new(Ticker));
+        assert!(!rt.drain(Duration::from_secs(5)), "ticker never quiesces");
+        let trace = rt.shutdown();
+        assert_eq!(trace.stop_reason(), StopReason::MaxTime);
+        assert_eq!(trace.stats().timers_fired, 9, "fires at 10, 20, ..., 90");
+        assert!(trace.end_time() <= VirtualTime::from_ticks(95));
     }
 
     #[test]
@@ -1103,9 +1287,52 @@ mod tests {
     }
 
     #[test]
+    fn fault_plan_entries_fire_on_the_wheel() {
+        // A scripted crash at tick 25 lands at virtual 25 exactly, between
+        // the tick-20 and tick-30 broadcasts — deterministically, with no
+        // wall clock involved.
+        struct Chatter;
+        impl Process<Msg> for Chatter {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.set_timer(10);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, Msg>, _: ProcessId, _: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, _: TimerId) {
+                ctx.broadcast(Msg::Ping, false);
+                ctx.set_timer(10);
+            }
+        }
+        let config: RuntimeConfig<Msg> = RuntimeConfig {
+            faults: FaultPlan::new().crash_at(ProcessId::new(1), VirtualTime::from_ticks(25)),
+            max_time: VirtualTime::from_ticks(60),
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::spawn(2, config, |_| Box::new(Chatter));
+        assert!(!rt.drain(Duration::from_secs(5)), "chatter never quiesces");
+        let trace = rt.shutdown();
+        let crash = trace
+            .events()
+            .iter()
+            .find(|e| matches!(e.kind, TraceEventKind::Crash { pid } if pid == ProcessId::new(1)))
+            .expect("crash recorded");
+        assert_eq!(crash.time, VirtualTime::from_ticks(25));
+        // No event at tick 26+ involves the victim; in particular nothing
+        // is delivered to it and it fires no timers after the crash.
+        for e in trace.events() {
+            if e.time > VirtualTime::from_ticks(25) {
+                match e.kind {
+                    TraceEventKind::Recv { by, .. } => assert_ne!(by, ProcessId::new(1)),
+                    TraceEventKind::TimerFired { pid, .. } => assert_ne!(pid, ProcessId::new(1)),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
     fn batched_router_coalesces_and_preserves_fifo() {
-        // A 30-message flood behind a 10 ms link delay: all 30 come due in
-        // the same heap drain, so the batching router must coalesce them
+        // A 30-message flood behind a 10-tick link delay: all 30 come due
+        // at the same instant, so the batching router must coalesce them
         // into (at least one) NodeEvent batch while keeping per-message
         // trace events and strict FIFO delivery order.
         struct Flood;
@@ -1124,7 +1351,7 @@ mod tests {
         }
         let config = RuntimeConfig {
             batch: true,
-            delay: Some(Box::new(|_, _| Duration::from_millis(10))),
+            delay: Some(Box::new(|_, _| 10)),
             ..RuntimeConfig::default()
         };
         let rt = Runtime::spawn(2, config, |pid| {
@@ -1156,8 +1383,8 @@ mod tests {
     #[test]
     fn batched_ping_pong_and_drain_handshake() {
         // Request/response traffic under batching: the combined action
-        // replies must keep the forwarded/processed counters matched so
-        // the drain handshake still detects quiescence.
+        // replies must keep the outstanding count matched so the drain
+        // handshake still detects quiescence.
         let config = RuntimeConfig {
             batch: true,
             ..RuntimeConfig::default()
@@ -1242,5 +1469,60 @@ mod tests {
             trace.detections(),
             vec![(ProcessId::new(0), ProcessId::new(1))]
         );
+    }
+
+    #[test]
+    fn plan_external_precedes_same_instant_deliveries() {
+        // p0 sends a message that arrives at p1 at tick 5; the plan also
+        // injects an external at p1 at tick 5. The injection must be
+        // observed first (earliest wheel seq at the instant): p1 reacts to
+        // the external before handling the delivery.
+        #[derive(Clone, Debug)]
+        enum E {
+            Data,
+            Mark,
+        }
+        struct Src;
+        impl Process<E> for Src {
+            fn on_start(&mut self, ctx: &mut Context<'_, E>) {
+                ctx.send(ProcessId::new(1), E::Data);
+            }
+            fn on_message(&mut self, _: &mut Context<'_, E>, _: ProcessId, _: E) {}
+        }
+        struct Dst {
+            marked: bool,
+        }
+        impl Process<E> for Dst {
+            fn on_start(&mut self, _: &mut Context<'_, E>) {}
+            fn on_message(&mut self, ctx: &mut Context<'_, E>, _: ProcessId, _: E) {
+                assert!(self.marked, "external must land before the delivery");
+                ctx.annotate(crate::Note::key_val("order", "data-after-mark"));
+            }
+            fn on_external(&mut self, _: &mut Context<'_, E>, _: E) {
+                self.marked = true;
+            }
+        }
+        let config: RuntimeConfig<E> = RuntimeConfig {
+            delay: Some(Box::new(|_, _| 5)),
+            faults: FaultPlan::new().external_at(
+                ProcessId::new(1),
+                VirtualTime::from_ticks(5),
+                E::Mark,
+            ),
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::spawn(2, config, |pid| {
+            if pid.index() == 0 {
+                Box::new(Src) as Box<dyn Process<E> + Send>
+            } else {
+                Box::new(Dst { marked: false })
+            }
+        });
+        assert!(rt.drain(Duration::from_secs(5)), "must quiesce");
+        let trace = rt.shutdown();
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::Note { .. })));
     }
 }

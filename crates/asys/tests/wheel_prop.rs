@@ -1,0 +1,103 @@
+//! Property tests for the hierarchical timer wheel.
+//!
+//! The wheel is the event-driven runtime's single source of truth for
+//! logical deadlines, so its ordering contract is load-bearing for every
+//! threaded run: any finite deadline multiset must drain in nondecreasing
+//! virtual-time order, with insertion order breaking ties, regardless of
+//! how the clock is advanced or which entries are cancelled along the way.
+
+use proptest::prelude::*;
+use sfs_asys::{TimerWheel, VirtualTime};
+
+proptest! {
+    /// Any finite deadline multiset drains in nondecreasing virtual-time
+    /// order, and coincident deadlines drain in insertion order.
+    #[test]
+    fn drains_in_nondecreasing_time_order(
+        deadlines in proptest::collection::vec(0u64..50_000, 0..200),
+    ) {
+        let mut wheel = TimerWheel::new();
+        for (i, &t) in deadlines.iter().enumerate() {
+            wheel.insert(VirtualTime::from_ticks(t), i);
+        }
+        prop_assert_eq!(wheel.len(), deadlines.len());
+
+        let mut drained = Vec::new();
+        while let Some((at, items)) = wheel.pop_next_instant() {
+            for item in items {
+                drained.push((at, item));
+            }
+        }
+        prop_assert!(wheel.is_empty());
+        prop_assert_eq!(drained.len(), deadlines.len());
+
+        // Nondecreasing time; ties in insertion order; every fired entry's
+        // deadline matches what was scheduled.
+        for pair in drained.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0);
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1);
+            }
+        }
+        for &(at, idx) in &drained {
+            prop_assert_eq!(at.ticks(), deadlines[idx]);
+        }
+    }
+
+    /// Incremental advancement (arbitrary target steps) fires exactly the
+    /// entries whose deadlines the clock has passed, in the same global
+    /// order as a single drain.
+    #[test]
+    fn stepwise_advance_agrees_with_full_drain(
+        deadlines in proptest::collection::vec(0u64..10_000, 1..100),
+        steps in proptest::collection::vec(1u64..3_000, 1..20),
+    ) {
+        let mut whole = TimerWheel::new();
+        let mut stepped = TimerWheel::new();
+        for (i, &t) in deadlines.iter().enumerate() {
+            whole.insert(VirtualTime::from_ticks(t), i);
+            stepped.insert(VirtualTime::from_ticks(t), i);
+        }
+        let reference = whole.advance_to(VirtualTime::from_ticks(u64::MAX / 2));
+
+        let mut collected = Vec::new();
+        let mut target = 0u64;
+        for &s in &steps {
+            target += s;
+            collected.extend(stepped.advance_to(VirtualTime::from_ticks(target)));
+        }
+        collected.extend(stepped.advance_to(VirtualTime::from_ticks(u64::MAX / 2)));
+        prop_assert_eq!(collected, reference);
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset: the
+    /// survivors drain completely, in order, and no cancelled entry fires.
+    #[test]
+    fn cancelled_entries_never_fire(
+        deadlines in proptest::collection::vec(0u64..20_000, 1..120),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..120),
+    ) {
+        let mut wheel = TimerWheel::new();
+        let ids: Vec<_> = deadlines
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| wheel.insert(VirtualTime::from_ticks(t), i))
+            .collect();
+        let mut kept = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                prop_assert!(wheel.cancel(*id));
+            } else {
+                kept.push(i);
+            }
+        }
+        prop_assert_eq!(wheel.len(), kept.len());
+
+        let fired = wheel.advance_to(VirtualTime::from_ticks(u64::MAX / 2));
+        let fired_idx: Vec<usize> = fired.iter().map(|&(_, i)| i).collect();
+        let mut expected = kept;
+        expected.sort_by_key(|&i| (deadlines[i], i));
+        prop_assert_eq!(fired_idx, expected);
+        prop_assert!(wheel.is_empty());
+    }
+}

@@ -66,7 +66,7 @@ fn bench_router_batching(c: &mut Criterion) {
             b.iter(|| {
                 let config = RuntimeConfig {
                     batch,
-                    delay: Some(Box::new(|_, _| Duration::from_millis(5))),
+                    delay: Some(Box::new(|_, _| 5)),
                     ..RuntimeConfig::default()
                 };
                 let rt = Runtime::spawn(n, config, |_| {

@@ -1,8 +1,7 @@
-//! B5 — threaded-runtime benchmark: wall-clock round-trip of the same
-//! protocol code over real threads and crossbeam channels.
-//!
-//! This group is intentionally tiny (threads plus real sleeps are slow);
-//! it exists to keep the threaded path covered by `cargo bench`.
+//! B5 — threaded-runtime benchmark: round-trip of the same protocol
+//! code over real threads and crossbeam channels, measured to genuine
+//! quiescence through the runtime's outstanding-count handshake (no
+//! sleeps — the event-driven router finishes at compute speed).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sfs::{NullApp, SfsConfig, SfsProcess};
@@ -27,7 +26,7 @@ fn bench_threaded_spawn_detect(c: &mut Criterion) {
                     suspect: sfs_asys::ProcessId::new(0),
                 }),
             );
-            rt.run_for(Duration::from_millis(30));
+            assert!(rt.drain(Duration::from_secs(10)), "cascade quiesces");
             let trace = rt.shutdown();
             black_box(trace.stats().detections)
         })

@@ -9,8 +9,14 @@
 //! Writes `BENCH_E11.json` carrying the standard wall/events record
 //! *plus* a per-cell table with throughput, detection-latency, and
 //! batched-vs-unbatched speedup columns. Exits nonzero if any cell
-//! completes zero ops (throughput regression to zero).
+//! completes zero ops (throughput regression to zero), or — when
+//! `SFS_E11_THREADED_BUDGET_MS` is set — if the threaded cells together
+//! exceed that wall-clock budget. The budget gate is what CI's
+//! threaded-runtime smoke job pins: the event-driven router's wall cost
+//! must track events executed, so a regression back toward
+//! tick-paced sleeping blows the budget by orders of magnitude.
 
+use sfs_service::Backend;
 use std::fmt::Write as _;
 
 fn main() {
@@ -92,5 +98,25 @@ fn main() {
             stalled.join(", ")
         );
         std::process::exit(1);
+    }
+    if let Some(budget_ms) = std::env::var("SFS_E11_THREADED_BUDGET_MS")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+    {
+        let threaded_wall: f64 = rows
+            .iter()
+            .filter(|(r, _, _)| r.backend == Backend::Threaded)
+            .map(|(r, _, _)| r.wall_ms)
+            .sum();
+        if threaded_wall > budget_ms {
+            eprintln!(
+                "[bench] E11 FAILED: threaded cells took {threaded_wall:.0} ms \
+                 wall, over the SFS_E11_THREADED_BUDGET_MS={budget_ms:.0} budget"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[bench] E11 threaded wall {threaded_wall:.0} ms within budget {budget_ms:.0} ms"
+        );
     }
 }

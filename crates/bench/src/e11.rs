@@ -8,9 +8,12 @@
 //! `sfs-service` engine — epoch 2 running on the directory's rebalanced
 //! table. Measured per cell: completed ops, wall-clock throughput,
 //! message rate, the crash→detection latency distribution, and the
-//! batching fast path's speedup (wall-clock for the simulator's engine
-//! overhead, serving-window for the threaded runtime, whose wall time is
-//! dominated by the fixed drain budget).
+//! batching fast path's wall-clock speedup against the unbatched
+//! sibling. Both backends run the same virtual clock; the event-driven
+//! threaded runtime advances it at compute speed, so its wall time is
+//! proportional to events executed — not to the virtual horizon or a
+//! drain budget — and the batching win (fewer channel handovers per
+//! event) reads directly off its wall column.
 
 use crate::report::note_events;
 use crate::table::Table;
@@ -159,9 +162,14 @@ pub fn run_e11(max_n: usize, ops_per_proc: u64) -> (Table, Vec<(E11Row, f64, f64
                 note_events(report.events());
                 let row = E11Row::from_report(&report);
                 // Speedup of this (batched) row against its unbatched
-                // sibling: wall-clock for the simulator (engine overhead
-                // is the wall), serving-window for the threaded runtime
-                // (its wall is dominated by the fixed drain budget).
+                // sibling, in wall-clock on both backends: the simulator's
+                // wall is engine overhead, and the event-driven threaded
+                // router's wall is compute per event executed — the thing
+                // per-destination coalescing halves. (The serving window
+                // is kept in the JSON but is degenerate on the bare
+                // threaded backend: zero-delay delivery collapses the
+                // message-driven closed loop onto a single virtual
+                // instant.)
                 let (speedup_wall, speedup_serving) = match &baseline {
                     Some(b) if batch => (
                         safe_ratio(b.wall_ms, row.wall_ms),
@@ -170,10 +178,7 @@ pub fn run_e11(max_n: usize, ops_per_proc: u64) -> (Table, Vec<(E11Row, f64, f64
                     _ => (1.0, 1.0),
                 };
                 let speedup_cell = if batch {
-                    match backend {
-                        Backend::Sim => format!("{speedup_wall:.2}x wall"),
-                        Backend::Threaded => format!("{speedup_serving:.2}x serve"),
-                    }
+                    format!("{speedup_wall:.2}x wall")
                 } else {
                     "-".to_owned()
                 };
@@ -200,11 +205,12 @@ pub fn run_e11(max_n: usize, ops_per_proc: u64) -> (Table, Vec<(E11Row, f64, f64
         }
     }
     table.note(
-        "speedup: batched vs unbatched sibling — sim compares engine wall time, \
-         threaded compares the serving window (first issue to last completion; \
-         threaded wall time is drain-budget-bound by design)",
+        "speedup: batched vs unbatched sibling, in wall time on both backends — \
+         the event-driven threaded runtime's wall scales with events executed \
+         (not the virtual horizon), so coalescing channel handovers shows up \
+         directly (~2x on the threaded legs)",
     );
-    table.note("detection latency in ticks (sim: virtual; threaded: milliseconds)");
+    table.note("detection latency in virtual ticks on both backends");
     (table, rows)
 }
 

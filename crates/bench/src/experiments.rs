@@ -1041,9 +1041,10 @@ pub fn e10_cell(instance: &E9Instance, budget: u64, seed: u64) -> ConformanceOut
     inst.conformance(&e10_conformance_config(seed))
 }
 
-/// E10 — differential conformance: all three runtimes (simulator
-/// strategies, schedule replay, threaded) cross-checked per instance,
-/// with counterexample shrinking. One rayon task per instance.
+/// E10 — differential conformance: every runtime (simulator strategies,
+/// schedule replay, event-driven threaded — bare and over the link seam —
+/// and the transport-backed legs) cross-checked per instance, with
+/// counterexample shrinking. One rayon task per instance.
 pub fn run_e10(budget: u64) -> (Table, E10Summary) {
     let mut table = Table::new(
         "E10 — differential conformance across backends (envelope oracle + ddmin shrinking)",
@@ -1051,7 +1052,7 @@ pub fn run_e10(budget: u64) -> (Table, E10Summary) {
             "instance",
             "ref classes",
             "ref complete",
-            "runs to/rnd/rpl/thr",
+            "runs to/rnd/rpl/thr/thr+net/tp/tpa",
             "complete runs",
             "divergent",
             "agreement",
@@ -1124,10 +1125,13 @@ pub fn run_e10(budget: u64) -> (Table, E10Summary) {
     }
     table.note(
         "each instance is explored into a reference envelope (class fingerprints + \
-         certified/universal property bounds), then cross-checked against four backends: \
-         the time-ordered strategy (the default engine's schedule), 24 random-strategy \
-         campaigns, strict byte-compare replay of every recording, and 2 real-thread \
-         executions of the identical protocol code. A divergence is any certified \
+         certified/universal property bounds), then cross-checked against seven \
+         backends: the time-ordered strategy (the default engine's schedule), 24 \
+         random-strategy campaigns, strict byte-compare replay of every recording, \
+         2 executions each on the event-driven threaded runtime (threaded:event) and \
+         on its link-seam variant with ARQ-wrapped processes (threaded:event+net), \
+         and the simulated transport legs (fixed and adaptive timeouts). A \
+         divergence is any certified \
          property violated, any universal violation missed, any unknown happens-before \
          class on a complete run, or any replay that is not byte-identical — each \
          reported with both traces attached. Witness columns show the delta-debugging \
@@ -1256,6 +1260,47 @@ mod tests {
             cycle.outcome.initial_len,
             cycle.outcome.final_len
         );
+    }
+
+    #[test]
+    fn e10_threaded_event_backends_agree_on_every_bounded_instance() {
+        // The event-driven threaded backends (bare and over the link
+        // seam) must produce zero divergences on the WHOLE E9 instance
+        // set — exhaustive and sampling families alike. This is the pin
+        // that the wheel-scheduled injections, the outstanding-count
+        // quiescence protocol, and the virtual-clock horizon reproduce
+        // the simulator's envelope, instance by instance.
+        let config = ConformanceConfig {
+            random_runs: 1,
+            threaded_runs: 2,
+            transport_runs: 1,
+            settle_ms: 2_000,
+            seed: 0x7E57,
+            ..ConformanceConfig::default()
+        };
+        for instance in &e9_instances() {
+            let mut inst = ExploreInstance::new(instance.spec.clone());
+            inst.config = ExploreConfig {
+                max_steps: 600,
+                max_schedules: if instance.exhaustive { 100_000 } else { 2_000 },
+                pruning: Pruning::SleepSets,
+            };
+            let out = inst.conformance(&config);
+            for backend in out
+                .backends
+                .iter()
+                .filter(|b| b.backend.starts_with("threaded:"))
+            {
+                assert_eq!(backend.runs, 2, "{}: {:?}", instance.label, backend);
+                assert!(
+                    backend.divergences.is_empty(),
+                    "{} / {}: {:#?}",
+                    instance.label,
+                    backend.backend,
+                    backend.divergences
+                );
+            }
+        }
     }
 
     #[test]

@@ -19,7 +19,7 @@ use sfs_transport::{
     AdaptiveConfig, ArqConfig, ProbeConfig, Reliable, TransportError, TransportMsg,
 };
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Why a [`ClusterSpec`] is rejected before anything runs: the union of
 /// the quorum-arithmetic errors (Corollary 8) and the latency/link
@@ -564,16 +564,20 @@ impl ClusterSpec {
     }
 
     /// Spawns the cluster on the **threaded runtime** — identical protocol
-    /// code on real OS threads — without driving the fault plan. The
-    /// caller injects stimuli/crashes and shuts the runtime down; most
-    /// callers want [`ClusterSpec::run_threaded`] instead.
+    /// code on real OS threads, on the event-driven virtual clock. The
+    /// spec's scripted crashes and suspicions are seeded onto the
+    /// router's timer wheel at spawn, so they fire at their exact
+    /// virtual ticks (before any message due at the same instant);
+    /// the caller may inject *additional* stimuli and must shut the
+    /// runtime down. Most callers want [`ClusterSpec::run_threaded`].
     ///
     /// The runtime gets the same infrastructure classifier as the
-    /// simulator build (so histories project identically) and a
-    /// [`CrashRegistry`] the router marks, which makes
-    /// [`ModeSpec::Oracle`] work on threads too. Virtual ticks map to
-    /// wall-clock milliseconds (the threaded runtime's own clock unit),
-    /// so heartbeat configs keep their meaning.
+    /// simulator build (so histories project identically), a
+    /// [`CrashRegistry`] the router marks (which makes
+    /// [`ModeSpec::Oracle`] work on threads too), and the spec's
+    /// `max_time`/`max_events` bounds — the same horizon the simulator
+    /// honours, now meaningful on threads because the router's clock is
+    /// logical, not wall-clock.
     ///
     /// # Panics
     ///
@@ -613,6 +617,9 @@ impl ClusterSpec {
             classify: Some(Box::new(|m: &SfsMsg<A::Msg>| !m.is_app())),
             registry: Some(registry.clone()),
             batch: self.batch,
+            faults: self.fault_plan::<A::Msg>(),
+            max_time: self.max_time,
+            max_events: self.max_events,
         };
         let spec = self.clone();
         Ok(Runtime::spawn(self.n, config, move |pid| {
@@ -623,12 +630,12 @@ impl ClusterSpec {
         }))
     }
 
-    /// Runs the cluster on the threaded runtime: spawns it, drives the
-    /// scripted crashes and suspicions at their scheduled times (one
-    /// virtual tick = one wall-clock millisecond), waits up to `settle`
-    /// for quiescence after the last injection, and returns the recorded
-    /// trace. See [`ClusterSpec::run_threaded_quiesced`] for the
-    /// quiescence verdict itself.
+    /// Runs the cluster on the threaded runtime: spawns it with the
+    /// scripted crashes and suspicions on the router's timer wheel (they
+    /// fire at their exact virtual ticks), waits up to `settle` wall
+    /// clock for quiescence, and returns the recorded trace. See
+    /// [`ClusterSpec::run_threaded_quiesced`] for the quiescence verdict
+    /// itself.
     ///
     /// # Panics
     ///
@@ -660,14 +667,16 @@ impl ClusterSpec {
     /// [`ClusterSpec::run_threaded`], also reporting whether the system
     /// **quiesced** before shutdown, via the runtime's drain handshake
     /// ([`Runtime::drain`]): every forwarded event fully dispatched, no
-    /// pending deliveries or timers. A `true` means the trace is maximal
-    /// — no recorded receive is missing its handler's effects — and
-    /// therefore comparable to a quiescent simulator run, which is what
-    /// the conformance oracle's completeness flag requires (the
-    /// wall-clock-bounded threaded stop reason is always
-    /// [`MaxTime`](sfs_asys::StopReason::MaxTime), so completeness cannot
-    /// be read off the trace alone). Heartbeat and oracle configurations
-    /// re-arm timers forever and thus never quiesce.
+    /// pending deliveries, timers, or scheduled injections. A `true`
+    /// means the trace is maximal — no recorded receive is missing its
+    /// handler's effects — and matches a
+    /// [`Quiescent`](sfs_asys::StopReason::Quiescent) stop reason on the
+    /// trace, exactly as on the simulator. Heartbeat and oracle
+    /// configurations re-arm timers forever and thus never quiesce: they
+    /// run to the spec's `max_time` horizon (or `max_events` budget) at
+    /// compute speed and the drain reports `false`. The `settle`
+    /// duration is only a wall-clock upper bound on waiting for either
+    /// outcome, not a pacing parameter.
     ///
     /// This is the third execution backend next to [`ClusterSpec::run`]
     /// (deterministic simulation) and the explorer's scheduled
@@ -704,7 +713,6 @@ impl ClusterSpec {
         F: FnMut(ProcessId) -> A,
     {
         let rt = self.try_spawn_runtime(make_app)?;
-        drive_plan(&rt, self.fault_plan::<A::Msg>());
         let quiesced = rt.drain(settle);
         Ok((rt.shutdown(), quiesced))
     }
@@ -808,9 +816,11 @@ impl ClusterSpec {
 
     /// Spawns the transport-backed cluster on the **threaded runtime**:
     /// the same ARQ-wrapped processes on real OS threads, with the
-    /// spec's [`NetSpec`] driving the router's link seam (ticks map to
-    /// wall-clock milliseconds). The caller injects stimuli and shuts
-    /// down; most callers want [`ClusterSpec::try_run_threaded_net`].
+    /// spec's [`NetSpec`] driving the router's link seam on the virtual
+    /// clock (link-verdict delays are wheel deadlines). The spec's
+    /// fault plan is seeded onto the wheel at spawn; the caller may
+    /// inject additional stimuli and must shut down. Most callers want
+    /// [`ClusterSpec::try_run_threaded_net`].
     ///
     /// # Errors
     ///
@@ -835,6 +845,9 @@ impl ClusterSpec {
             classify: Some(Box::new(|_: &TransportMsg<SfsMsg<A::Msg>>| true)),
             registry: Some(registry.clone()),
             batch: self.batch,
+            faults: self.fault_plan_net::<A::Msg>(),
+            max_time: self.max_time,
+            max_events: self.max_events,
         };
         let spec = self.clone();
         Ok(Runtime::spawn(self.n, config, move |pid| {
@@ -842,10 +855,10 @@ impl ClusterSpec {
         }))
     }
 
-    /// Runs the transport-backed cluster on the threaded runtime,
-    /// driving the scripted crashes and suspicions over wall clock and
-    /// reporting whether the run quiesced — the net-leg mirror of
-    /// [`ClusterSpec::run_threaded_quiesced`].
+    /// Runs the transport-backed cluster on the threaded runtime, with
+    /// the scripted crashes and suspicions firing at their exact virtual
+    /// ticks, and reports whether the run quiesced — the net-leg mirror
+    /// of [`ClusterSpec::run_threaded_quiesced`].
     ///
     /// # Errors
     ///
@@ -861,29 +874,8 @@ impl ClusterSpec {
         F: FnMut(ProcessId) -> A,
     {
         let rt = self.try_spawn_net_runtime(make_app)?;
-        drive_plan(&rt, self.fault_plan_net::<A::Msg>());
         let quiesced = rt.drain(settle);
         Ok((rt.shutdown(), quiesced))
-    }
-}
-
-/// Drives a fault plan against a running threaded runtime over wall
-/// clock: one virtual tick = one millisecond, injections delivered at
-/// their scheduled times in order. Shared by the bare and net threaded
-/// runners.
-fn drive_plan<P: Clone + std::fmt::Debug + Send + 'static>(rt: &Runtime<P>, plan: FaultPlan<P>) {
-    let start = Instant::now();
-    let mut items = plan.into_items();
-    items.sort_by_key(|&(at, _, _)| at);
-    for (at, pid, injection) in items {
-        let due = start + Duration::from_millis(at.ticks());
-        if let Some(wait) = due.checked_duration_since(Instant::now()) {
-            std::thread::sleep(wait);
-        }
-        match injection {
-            sfs_asys::Injection::Crash => rt.crash(pid),
-            sfs_asys::Injection::External(payload) => rt.inject_external(pid, payload),
-        }
     }
 }
 
@@ -992,6 +984,49 @@ mod tests {
         assert!(trace.channels_drained(), "{}", trace.to_pretty_string());
         let h = History::from_trace(&trace);
         assert_eq!(properties::check_sfs2b(&h).verdict, Verdict::Holds);
+    }
+
+    #[test]
+    fn threaded_crash_at_tick_t_precedes_every_event_at_t_plus_one() {
+        // The spec's fault plan rides the router's timer wheel, so a
+        // scripted crash at tick 40 must be recorded at exactly tick 40,
+        // before any event of tick 41 or later, and the victim must act
+        // at no instant after it — the same guarantee the simulator's
+        // build-time fault queue gives. Heartbeats keep the survivors
+        // busy well past the crash so the ordering claim has teeth.
+        use sfs_asys::TraceEventKind;
+
+        let (trace, _quiesced) = ClusterSpec::new(4, 1)
+            .heartbeat(HeartbeatConfig::default())
+            .crash(p(2), 40)
+            .max_time(200)
+            .seed(7)
+            .run_threaded_quiesced(|_| NullApp, Duration::from_secs(10));
+        let crash = trace
+            .events()
+            .iter()
+            .find(|e| matches!(e.kind, TraceEventKind::Crash { pid } if pid == p(2)))
+            .expect("scripted crash is recorded");
+        assert_eq!(crash.time, VirtualTime::from_ticks(40));
+        let mut saw_later_event = false;
+        for e in trace.events() {
+            if e.time > crash.time {
+                saw_later_event = true;
+                assert!(
+                    e.seq > crash.seq,
+                    "event at tick {} recorded before the tick-40 crash:\n{}",
+                    e.time.ticks(),
+                    trace.to_pretty_string()
+                );
+                assert_ne!(
+                    e.kind.process(),
+                    p(2),
+                    "victim acted after its crash:\n{}",
+                    trace.to_pretty_string()
+                );
+            }
+        }
+        assert!(saw_later_event, "run continued past the crash tick");
     }
 
     #[test]

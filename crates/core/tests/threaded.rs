@@ -1,6 +1,13 @@
 //! The protocol on the threaded runtime: same code, real concurrency.
-//! These tests are wall-clock based and intentionally generous with
-//! their windows.
+//! The suspicion tests deliberately drive injections *live*
+//! (`inject_external` racing the running router), exercising the
+//! asynchronous-arrival path that wheel-scheduled fault plans bypass,
+//! then use the quiescence handshake (`drain`) to know the cascade is
+//! complete. The heartbeat test runs the other way: a scripted crash on
+//! the timer wheel at an exact virtual tick, detected by
+//! virtual-clock heartbeats inside a bounded horizon. Exact-tick
+//! injection at the harness level is covered by `ClusterSpec::crash`
+//! tests in `sfs-core`.
 
 use sfs::{Control, HeartbeatConfig, NullApp, SfsConfig, SfsMsg, SfsProcess};
 use sfs_asys::net::{Runtime, RuntimeConfig};
@@ -29,7 +36,10 @@ fn injected_suspicion_detects_and_kills_on_real_threads() {
         Box::new(SfsProcess::new(config, NullApp).expect("feasible"))
     });
     rt.inject_external(p(1), SfsMsg::Control(Control::Suspect { suspect: p(0) }));
-    rt.run_for(Duration::from_millis(300));
+    assert!(
+        rt.drain(Duration::from_secs(10)),
+        "a timerless cascade quiesces"
+    );
     let trace = rt.shutdown();
     assert_eq!(trace.crashed(), vec![p(0)], "{}", trace.to_pretty_string());
     let detectors: std::collections::BTreeSet<_> =
@@ -42,9 +52,14 @@ fn injected_suspicion_detects_and_kills_on_real_threads() {
 }
 
 #[test]
-fn wall_clock_heartbeats_detect_a_real_crash() {
+fn virtual_clock_heartbeats_detect_a_scripted_crash() {
     let n = 4;
-    let rt = Runtime::spawn(n, config_with_classifier::<()>(), |_| {
+    let config = RuntimeConfig {
+        faults: sfs_asys::FaultPlan::new().crash_at(p(2), sfs_asys::VirtualTime::from_ticks(150)),
+        max_time: sfs_asys::VirtualTime::from_ticks(600),
+        ..config_with_classifier::<()>()
+    };
+    let rt = Runtime::spawn(n, config, |_| {
         let config = SfsConfig::new(n, 1).heartbeat(Some(HeartbeatConfig {
             interval: 25,
             timeout: 120,
@@ -52,9 +67,9 @@ fn wall_clock_heartbeats_detect_a_real_crash() {
         }));
         Box::new(SfsProcess::new(config, NullApp).expect("feasible"))
     });
-    rt.run_for(Duration::from_millis(150));
-    rt.crash(p(2));
-    rt.run_for(Duration::from_millis(700));
+    // Self-rearming heartbeats never quiesce: the drain reports the
+    // stall at the 600-tick horizon, which is the maximal bounded run.
+    assert!(!rt.drain(Duration::from_secs(30)));
     let trace = rt.shutdown();
     let victims: std::collections::BTreeSet<_> =
         trace.detections().iter().map(|&(_, of)| of).collect();
@@ -77,7 +92,10 @@ fn mutual_suspicion_on_threads_never_cycles() {
         });
         rt.inject_external(p(0), SfsMsg::Control(Control::Suspect { suspect: p(1) }));
         rt.inject_external(p(1), SfsMsg::Control(Control::Suspect { suspect: p(0) }));
-        rt.run_for(Duration::from_millis(300));
+        assert!(
+            rt.drain(Duration::from_secs(10)),
+            "a timerless cascade quiesces"
+        );
         let trace = rt.shutdown();
         let h = History::from_trace(&trace);
         assert_eq!(

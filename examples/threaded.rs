@@ -1,12 +1,17 @@
 //! The same protocol code on real OS threads: a live sFS cluster over
-//! crossbeam channels, with a real crash and a real (wall-clock) heartbeat
-//! timeout detecting it.
+//! crossbeam channels, with a scripted crash and heartbeat timeouts
+//! detecting it — all in *virtual* time. The event-driven router owns a
+//! timer wheel of logical deadlines and advances the virtual clock at
+//! compute speed, so this run takes milliseconds of wall time while
+//! covering a 600-tick horizon, and the crash lands at exactly tick 200
+//! on every execution.
 //!
 //! Run with: `cargo run --example threaded`
 
 use failstop::prelude::*;
 use sfs::{DetectionMode, SfsConfig};
 use sfs_asys::net::{Runtime, RuntimeConfig};
+use sfs_asys::{FaultPlan, VirtualTime};
 use std::time::Duration;
 
 fn main() {
@@ -14,14 +19,20 @@ fn main() {
     let t = 1;
     println!("spawning {n} sFS process threads (t = {t})...");
     // Mark protocol traffic as infrastructure so the trace projects onto
-    // the paper's model alphabet (see DESIGN.md §8.2).
+    // the paper's model alphabet (see DESIGN.md §8.2). The crash is a
+    // wheel entry: it fires at virtual tick 200, before any message due
+    // at that instant, and the horizon bounds the self-rearming
+    // heartbeats that would otherwise run forever.
     let config = RuntimeConfig {
         classify: Some(Box::new(|m: &SfsMsg<()>| !m.is_app())),
+        faults: FaultPlan::new().crash_at(ProcessId::new(2), VirtualTime::from_ticks(200)),
+        max_time: VirtualTime::from_ticks(600),
         ..RuntimeConfig::default()
     };
     let rt = Runtime::spawn(n, config, |pid| {
-        // Wall-clock heartbeats: beat every 30 ms, suspect after 150 ms of
-        // silence.
+        // Heartbeats in virtual ticks: beat every 30, suspect after 150
+        // of silence — plenty of room to detect the tick-200 crash
+        // before the tick-600 horizon.
         let config = SfsConfig::new(n, t)
             .mode(DetectionMode::SfsOneRound)
             .heartbeat(Some(HeartbeatConfig {
@@ -34,14 +45,11 @@ fn main() {
         Box::new(process)
     });
 
-    // Let heartbeats flow for a moment, then hard-crash p2.
-    rt.run_for(Duration::from_millis(200));
-    println!("crashing p2...");
-    rt.crash(ProcessId::new(2));
-
-    // Give the survivors time to time out, run the one-round protocol,
-    // and detect.
-    rt.run_for(Duration::from_millis(600));
+    // Heartbeating systems never quiesce, so `drain` returns false as
+    // soon as the run stalls at its 600-tick horizon — which is exactly
+    // the maximal bounded run we want.
+    let quiescent = rt.drain(Duration::from_secs(30));
+    assert!(!quiescent, "self-rearming heartbeats stall at the horizon");
     let trace = rt.shutdown();
 
     println!("\ntrace summary:");
@@ -55,7 +63,7 @@ fn main() {
 
     // The recorded trace obeys the same formal properties as simulated
     // runs — check the safety suite (liveness is judged vacuous because a
-    // wall-clock run is always a truncated prefix).
+    // horizon-bounded run is a truncated prefix).
     let run = History::from_trace(&trace);
     for report in [
         properties::check_fs2(&run),
