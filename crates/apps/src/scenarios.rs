@@ -612,9 +612,18 @@ pub struct ConformanceConfig {
     /// ARQ layer — whose model-level history must land in the bare
     /// exploration's envelope. Seeds `seed..seed + transport_runs`.
     pub transport_runs: usize,
+    /// Multi-process UDP backend runs (`net:udp`): the instance across
+    /// real OS processes and localhost datagrams, whose Lamport-merged
+    /// trace must land in the same envelope. Skipped (with a stderr
+    /// note) when the `sfs-udp-node` binary is not built, so library
+    /// test runs stay self-contained.
+    pub udp_runs: usize,
     /// Wall-clock drain timeout per threaded run, in milliseconds.
     /// Purely an upper bound on waiting: the event-driven runtime
     /// answers as soon as the run quiesces or stalls at its bounds.
+    /// UDP runs, whose ticks are real milliseconds, wait at least 5 s
+    /// regardless (the handshake returns as soon as quiescence is
+    /// confirmed, so the floor costs nothing on healthy runs).
     pub settle_ms: u64,
     /// Base seed for the random-strategy runs.
     pub seed: u64,
@@ -628,6 +637,7 @@ impl Default for ConformanceConfig {
             random_runs: 8,
             threaded_runs: 2,
             transport_runs: 2,
+            udp_runs: 0,
             settle_ms: 250,
             seed: 1,
             shrink: ShrinkConfig::default(),
@@ -640,7 +650,7 @@ impl Default for ConformanceConfig {
 pub struct BackendReport {
     /// Backend label (`"sim:time-ordered"`, `"sim:random"`, `"replay"`,
     /// `"threaded:event"`, `"threaded:event+net"`, `"sim:transport"`,
-    /// `"sim:transport-adaptive"`).
+    /// `"sim:transport-adaptive"`, `"net:udp"`).
     pub backend: &'static str,
     /// Runs executed on this backend.
     pub runs: usize,
@@ -786,7 +796,12 @@ impl ExploreInstance {
     ///    transport are exercised *together*;
     /// 6. `sim:transport` / `sim:transport-adaptive` — the simulated
     ///    transport-backed legs, pinning that the ARQ layer re-earns the
-    ///    §2 channel axioms.
+    ///    §2 channel axioms;
+    /// 7. `net:udp` — `udp_runs` executions with every process in its
+    ///    own OS process over real localhost UDP (the `sfs-wire`
+    ///    backend). Trace times are Lamport ticks, so this column pins
+    ///    the causal-order properties; runs are skipped with a stderr
+    ///    note when the `sfs-udp-node` binary is not built.
     ///
     /// Reference witnesses are then minimized by the delta-debugging
     /// shrinker, each shrink candidate re-validated by replay.
@@ -921,6 +936,37 @@ impl ExploreInstance {
             );
         }
         backends.push(adaptive);
+
+        // Backend 6: bytes on a real wire — every process its own OS
+        // process, every frame a real localhost datagram. Real-kernel
+        // nondeterminism (scheduling, socket buffering) replaces the
+        // seeded strategies; the Lamport-merged trace must still land in
+        // the reference envelope. A missing node binary downgrades the
+        // column to a skip so `cargo test` without `--bins` still passes.
+        let mut udp = BackendReport::new("net:udp");
+        let udp_settle = Duration::from_millis(config.settle_ms.max(5_000));
+        for i in 0..config.udp_runs {
+            if let Err(e) = sfs::udp_node_binary() {
+                eprintln!("net:udp: skipping remaining runs ({e})");
+                break;
+            }
+            match self
+                .spec
+                .clone()
+                .seed(config.seed.wrapping_add(i as u64))
+                .net(NetSpec::faultless())
+                .try_run_udp(udp_settle)
+            {
+                Ok((trace, complete)) => {
+                    udp.absorb_run(complete, oracle.check("net:udp", &trace, complete));
+                }
+                Err(e) => {
+                    eprintln!("net:udp: run {i} failed to execute ({e})");
+                    break;
+                }
+            }
+        }
+        backends.push(udp);
 
         // Minimize every reference witness.
         let shrunk = reference
@@ -1281,6 +1327,10 @@ mod tests {
             random_runs: 4,
             threaded_runs: 1,
             transport_runs: 1,
+            // Deterministic totals for the assertions below: the UDP leg
+            // depends on a separately built binary, so the cheap budget
+            // leaves it to the dedicated `udp_backend` integration tests.
+            udp_runs: 0,
             settle_ms: 250,
             seed: 7,
             shrink: ShrinkConfig {
@@ -1303,13 +1353,15 @@ mod tests {
         );
         assert!(out.replay_checks >= 5, "{}", out.replay_checks);
         // time-ordered + random + replay + threaded:event +
-        // threaded:event+net + transport + transport-adaptive.
+        // threaded:event+net + transport + transport-adaptive; the
+        // net:udp column is present but budgeted to zero runs here.
         assert_eq!(
             out.total_runs(),
             1 + 4 + 5 + 1 + 1 + 1 + 1,
             "{:#?}",
             out.backends
         );
+        assert!(out.backends.iter().any(|b| b.backend == "net:udp"));
         // Nothing was violated, so nothing was shrunk.
         assert!(out.shrunk.is_empty());
     }

@@ -51,6 +51,10 @@ pub type LinkDelay = Box<dyn Fn(ProcessId, ProcessId) -> u64 + Send>;
 /// `SimBuilder::classify`.
 pub type Classify<M> = Box<dyn Fn(&M) -> bool + Send>;
 
+/// Per-payload wire-byte measure; the threaded mirror of
+/// `SimBuilder::measure`.
+pub type Measure<M> = Box<dyn Fn(&M) -> u64 + Send>;
+
 /// Configuration for the threaded runtime.
 pub struct RuntimeConfig<M = ()> {
     /// Seed feeding each node's deterministic rng (node `i` uses
@@ -72,6 +76,10 @@ pub struct RuntimeConfig<M = ()> {
     /// Optional classifier marking payloads as infrastructure (`true`)
     /// vs model-level application messages; see `SimBuilder::classify`.
     pub classify: Option<Classify<M>>,
+    /// Optional wire-byte measure, charged to `SimStats::wire_bytes` once
+    /// per send on the sender's side (duplicated and dropped copies are
+    /// the network's doing); the threaded mirror of `SimBuilder::measure`.
+    pub measure: Option<Measure<M>>,
     /// Optional live crash view. When set, the router marks every crash
     /// in it — the threaded mirror of the simulator's built-in registry,
     /// so oracle-configured processes (which poll a
@@ -114,6 +122,7 @@ impl<M> Default for RuntimeConfig<M> {
             link: None,
             record_payloads: false,
             classify: None,
+            measure: None,
             registry: None,
             batch: false,
             faults: FaultPlan::new(),
@@ -515,6 +524,7 @@ struct RouterState<M> {
     /// are independent, so link draws never perturb process behaviour).
     link_rng: StdRng,
     classify: Option<Classify<M>>,
+    measure: Option<Measure<M>>,
     registry: Option<CrashRegistry>,
     filters: Vec<Option<ReceiveFilter<M>>>,
     /// Per-channel FIFO queues of messages the receiver's filter refused,
@@ -562,6 +572,17 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
         }
         self.record(TraceEventKind::Crash { pid });
         self.stats.crashes += 1;
+        // Copies parked behind the crashed process's receive filter will
+        // never be admitted (`drain_parked_to` stops at a crashed target
+        // and the filter is frozen): consume them as messages-to-crashed
+        // now so `channels_drained()` stays exact. In-wheel deliveries to
+        // `pid` are counted one by one by `admit_due`.
+        for from in 0..self.n {
+            let ch = from * self.n + pid.index();
+            if let Some(queue) = self.parked.remove(&ch) {
+                self.stats.messages_to_crashed += queue.len() as u64;
+            }
+        }
         let _ = self.node_txs[pid.index()].send(NodeEvent::Halt);
     }
 
@@ -593,6 +614,9 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
                         payload: repr.clone(),
                     });
                     self.stats.messages_sent += 1;
+                    if let Some(measure) = &self.measure {
+                        self.stats.wire_bytes += measure(&msg);
+                    }
                     // The link seam, mirroring the simulator: a LinkModel
                     // verdict (delays in virtual ticks on the wheel) when
                     // one is installed, else the legacy per-link delay fn.
@@ -947,6 +971,7 @@ fn router_main<M: Clone + fmt::Debug + Send + 'static>(
         link: config.link,
         link_rng: StdRng::seed_from_u64(config.seed ^ 0x11AC_C01D),
         classify: config.classify,
+        measure: config.measure,
         registry: config.registry,
         filters: (0..n).map(|_| None).collect(),
         parked: std::collections::HashMap::new(),
@@ -1195,6 +1220,101 @@ mod tests {
             vec![0, 1, 2],
             "FIFO preserved through router parking"
         );
+    }
+
+    #[test]
+    fn parked_messages_to_a_crashed_receiver_count_as_consumed() {
+        use crate::process::ReceiveFilter;
+        // p1 refuses everything, so p0's two messages sit in the router's
+        // parked map; the fault plan then crashes p1. The parked copies
+        // must be consumed as messages_to_crashed (the filter is frozen
+        // forever) so the finished run reports its channels drained.
+        struct S(usize);
+        impl Process<u32> for S {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                if self.0 == 0 {
+                    ctx.send(ProcessId::new(1), 7);
+                    ctx.send(ProcessId::new(1), 8);
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+        }
+        struct Refuser;
+        impl Process<u32> for Refuser {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_receive_filter(Some(ReceiveFilter::new(|_: &u32| false)));
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+        }
+        let config: RuntimeConfig<u32> = RuntimeConfig {
+            faults: FaultPlan::new().crash_at(ProcessId::new(1), VirtualTime::from_ticks(20)),
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::spawn(2, config, |pid| {
+            if pid.index() == 0 {
+                Box::new(S(0)) as Box<dyn Process<u32> + Send>
+            } else {
+                Box::new(Refuser)
+            }
+        });
+        assert!(rt.drain(Duration::from_secs(5)), "must quiesce");
+        let trace = rt.shutdown();
+        assert_eq!(trace.stats().messages_sent, 2);
+        assert_eq!(trace.stats().messages_delivered, 0);
+        assert_eq!(
+            trace.stats().messages_to_crashed,
+            2,
+            "{}",
+            trace.to_pretty_string()
+        );
+        assert!(trace.channels_drained(), "{}", trace.to_pretty_string());
+    }
+
+    #[test]
+    fn duplicate_copies_outlive_a_partition_cut_after_the_verdict() {
+        use crate::latency::FixedLatency;
+        use crate::link::{FaultyLink, PartitionSchedule};
+        // The router consults the link once per send (tick 0); the link
+        // is severed from tick 1 forever. Both duplicate copies are
+        // already in flight on the wheel and must deliver across the cut,
+        // leaving the accounting balanced.
+        struct S(usize);
+        impl Process<u32> for S {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                if self.0 == 0 {
+                    ctx.send(ProcessId::new(1), 7);
+                }
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+        }
+        let link = FaultyLink::new(FixedLatency(30)).duplicate(1.0).partitions(
+            PartitionSchedule::new().split(
+                VirtualTime::from_ticks(1),
+                VirtualTime::MAX,
+                &[ProcessId::new(0)],
+            ),
+        );
+        let config: RuntimeConfig<u32> = RuntimeConfig {
+            link: Some(Box::new(link)),
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::spawn(2, config, |pid| Box::new(S(pid.index())));
+        assert!(rt.drain(Duration::from_secs(5)), "must quiesce");
+        let trace = rt.shutdown();
+        assert_eq!(trace.stats().messages_sent, 1);
+        assert_eq!(trace.stats().messages_duplicated, 1);
+        assert_eq!(
+            trace.stats().messages_delivered,
+            2,
+            "{}",
+            trace.to_pretty_string()
+        );
+        assert!(trace.channels_drained());
+        for e in trace.events() {
+            if matches!(e.kind, TraceEventKind::Recv { .. }) {
+                assert!(e.time >= VirtualTime::from_ticks(1), "{e}");
+            }
+        }
     }
 
     #[test]

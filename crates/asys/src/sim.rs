@@ -231,6 +231,9 @@ impl<M> Ord for QueueEntry<M> {
 /// Predicate marking payloads as infrastructure; see [`SimBuilder::classify`].
 type Classifier<M> = Box<dyn Fn(&M) -> bool>;
 
+/// Per-payload wire-byte measure; see [`SimBuilder::measure`].
+type Measure<M> = Box<dyn Fn(&M) -> u64>;
+
 /// The simulation engine. Construct via [`SimBuilder`].
 pub struct Sim<M> {
     n: usize,
@@ -245,6 +248,7 @@ pub struct Sim<M> {
     parked: Vec<bool>,
     link: Box<dyn LinkModel>,
     classifier: Option<Classifier<M>>,
+    measure: Option<Measure<M>>,
     registry: CrashRegistry,
     rng: StdRng,
     now: VirtualTime,
@@ -283,6 +287,7 @@ pub struct SimBuilder<M> {
     config: SimConfig,
     link: Box<dyn LinkModel>,
     classifier: Option<Classifier<M>>,
+    measure: Option<Measure<M>>,
     plan: FaultPlan<M>,
     registry: CrashRegistry,
     strategy: Option<Box<dyn Strategy>>,
@@ -383,6 +388,17 @@ impl<M: Clone + fmt::Debug + 'static> SimBuilder<M> {
         self
     }
 
+    /// Installs a wire-byte measure: the number of bytes sending this
+    /// payload would put on a real wire (e.g. `sfs_wire::frame::wire_cost`).
+    /// Charged to [`SimStats::wire_bytes`] once per send, on the sender's
+    /// side — duplicated and dropped copies are the network's doing, not
+    /// the protocol's spend — which makes simulated byte budgets directly
+    /// comparable to the UDP backend's datagram accounting.
+    pub fn measure(mut self, f: impl Fn(&M) -> u64 + 'static) -> Self {
+        self.measure = Some(Box::new(f));
+        self
+    }
+
     /// The crash registry for this run, for wiring oracle detectors into
     /// process constructors before the sim is built.
     pub fn crash_registry(&self) -> CrashRegistry {
@@ -413,6 +429,7 @@ impl<M: Clone + fmt::Debug + 'static> SimBuilder<M> {
             parked: vec![false; n * n],
             link: self.link,
             classifier: self.classifier,
+            measure: self.measure,
             registry: self.registry,
             rng: StdRng::seed_from_u64(self.config.seed),
             now: VirtualTime::ZERO,
@@ -447,6 +464,7 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
             config: SimConfig::default(),
             link: Box::new(crate::latency::UniformLatency::new(1, 10)),
             classifier: None,
+            measure: None,
             plan: FaultPlan::new(),
             registry: CrashRegistry::with_capacity(n),
             strategy: None,
@@ -622,6 +640,9 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
             payload: repr,
         });
         self.stats.messages_sent += 1;
+        if let Some(measure) = &self.measure {
+            self.stats.wire_bytes += measure(&payload);
+        }
         match self.link.verdict(from, to, self.now, &mut self.rng) {
             LinkVerdict::Deliver(delay) => self.enqueue(from, to, msg, payload, delay, infra),
             LinkVerdict::Drop => {
@@ -671,6 +692,21 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
         self.registry.mark(pid);
         self.record(TraceEventKind::Crash { pid });
         self.stats.crashes += 1;
+        // Channels parked behind the crashed process's receive filter
+        // have no scheduled delivery attempt left, and the filter that
+        // refused them can never change again: consume their copies as
+        // messages-to-crashed here, or `channels_drained()` would report
+        // a genuinely finished run as undrained. (Non-parked channels
+        // into `pid` keep their pending delivery entries and are counted
+        // one by one through the normal path.)
+        for from in 0..self.n {
+            let ch = from * self.n + pid.index();
+            if self.parked[ch] {
+                self.parked[ch] = false;
+                self.stats.messages_to_crashed += self.channels[ch].len() as u64;
+                self.channels[ch].clear();
+            }
+        }
     }
 
     fn do_declare_failed(&mut self, by: ProcessId, of: ProcessId) {
@@ -1487,6 +1523,124 @@ mod tests {
             .collect();
         assert_eq!(from_p0, vec![0, 1, 2], "FIFO preserved through parking");
         let _ = recvs;
+    }
+
+    #[test]
+    fn parked_messages_to_a_crashed_receiver_count_as_consumed() {
+        use crate::process::ReceiveFilter;
+        // p1 refuses everything, so p0's two messages park their channel
+        // (no pending delivery attempt remains); p1 then crashes. The
+        // parked copies must be consumed as messages_to_crashed — the
+        // filter can never change again — so the quiescent run reports
+        // its channels drained.
+        struct Refuser;
+        impl Process<u32> for Refuser {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_receive_filter(Some(ReceiveFilter::new(|_: &u32| false)));
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+        }
+        let plan = FaultPlan::new().crash_at(ProcessId::new(1), VirtualTime::from_ticks(20));
+        let sim = Sim::<u32>::builder(2)
+            .latency(FixedLatency(1))
+            .faults(plan)
+            .build(|pid| {
+                if pid.index() == 0 {
+                    Box::new(Flooder {
+                        count: 2,
+                        target: ProcessId::new(1),
+                    }) as Box<dyn Process<u32>>
+                } else {
+                    Box::new(Refuser)
+                }
+            });
+        let trace = sim.run();
+        assert_eq!(trace.stop_reason(), StopReason::Quiescent);
+        assert_eq!(trace.stats().messages_sent, 2);
+        assert_eq!(trace.stats().messages_delivered, 0);
+        assert_eq!(
+            trace.stats().messages_to_crashed,
+            2,
+            "{}",
+            trace.to_pretty_string()
+        );
+        assert!(trace.channels_drained(), "{}", trace.to_pretty_string());
+    }
+
+    #[test]
+    fn duplicate_copies_outlive_a_partition_cut_after_the_verdict() {
+        use crate::link::{FaultyLink, PartitionSchedule};
+        // The Duplicate verdict is drawn once, at send time (tick 0); the
+        // link is severed from tick 1 forever. A partition drops *new*
+        // traffic at the cut, not the queue: both in-flight copies must
+        // still deliver, and the accounting must balance.
+        let link = FaultyLink::new(FixedLatency(30)).duplicate(1.0).partitions(
+            PartitionSchedule::new().split(
+                VirtualTime::from_ticks(1),
+                VirtualTime::MAX,
+                &[ProcessId::new(0)],
+            ),
+        );
+        let sim = Sim::<u32>::builder(2).link(link).build(|pid| {
+            Box::new(Flooder {
+                count: if pid.index() == 0 { 1 } else { 0 },
+                target: ProcessId::new(1 - pid.index()),
+            })
+        });
+        let trace = sim.run();
+        assert_eq!(trace.stats().messages_sent, 1);
+        assert_eq!(trace.stats().messages_duplicated, 1);
+        assert_eq!(
+            trace.stats().messages_delivered,
+            2,
+            "{}",
+            trace.to_pretty_string()
+        );
+        assert!(trace.channels_drained());
+        // Both copies arrived while the link was already severed.
+        for e in trace.events() {
+            if matches!(e.kind, TraceEventKind::Recv { .. }) {
+                assert!(e.time >= VirtualTime::from_ticks(1), "{e}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicated_parked_copies_at_a_crashed_receiver_still_balance() {
+        use crate::link::FaultyLink;
+        use crate::process::ReceiveFilter;
+        // Duplicate verdict -> two parked copies -> receiver crashes.
+        // Both copies are consumed at the crash:
+        // sent + duplicated == to_crashed.
+        struct Refuser;
+        impl Process<u32> for Refuser {
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                ctx.set_receive_filter(Some(ReceiveFilter::new(|_: &u32| false)));
+            }
+            fn on_message(&mut self, _: &mut Context<'_, u32>, _: ProcessId, _: u32) {}
+        }
+        let link = FaultyLink::new(FixedLatency(1)).duplicate(1.0);
+        let plan = FaultPlan::new().crash_at(ProcessId::new(1), VirtualTime::from_ticks(20));
+        let sim = Sim::<u32>::builder(2).link(link).faults(plan).build(|pid| {
+            if pid.index() == 0 {
+                Box::new(Flooder {
+                    count: 1,
+                    target: ProcessId::new(1),
+                }) as Box<dyn Process<u32>>
+            } else {
+                Box::new(Refuser)
+            }
+        });
+        let trace = sim.run();
+        assert_eq!(trace.stats().messages_sent, 1);
+        assert_eq!(trace.stats().messages_duplicated, 1);
+        assert_eq!(
+            trace.stats().messages_to_crashed,
+            2,
+            "{}",
+            trace.to_pretty_string()
+        );
+        assert!(trace.channels_drained());
     }
 
     /// Per-process projection of a trace: the sequence of events each

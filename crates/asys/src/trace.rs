@@ -190,6 +190,13 @@ pub struct SimStats {
     /// there. Zero when batching is off; purely an engine-mechanics
     /// counter — batching never changes any of the other counters.
     pub delivery_batches: u64,
+    /// Total bytes the run's sends would put on a real wire, under the
+    /// measure installed via `SimBuilder::measure` (the engines) or
+    /// counted from actual datagrams (the UDP backend). Charged once per
+    /// send, on the sender's side: duplicated and dropped copies are the
+    /// network's doing, not the protocol's spend. Zero when no measure
+    /// is installed.
+    pub wire_bytes: u64,
 }
 
 /// The full record of one run: every event in order, plus outcome metadata.
@@ -266,7 +273,12 @@ impl Trace {
     /// do, so its finite prefix is maximal and comparable to a
     /// [`StopReason::Quiescent`] simulator run. A message parked behind a
     /// receive filter counts as undrained, as it should: the system was
-    /// still waiting on it.
+    /// still waiting on it — unless the receiver has crashed, in which
+    /// case both engines consume the parked copies as
+    /// [`SimStats::messages_to_crashed`] (the filter can never change
+    /// again). Duplicate copies are unaffected by partitions that begin
+    /// after the verdict: the link is consulted once per send, so both
+    /// copies stay in flight and are consumed like any others.
     pub fn channels_drained(&self) -> bool {
         // Each send puts 0 (dropped), 1, or 2 (duplicated) copies on a
         // channel; drained means every copy was consumed.

@@ -1,7 +1,9 @@
 //! E10 — differential conformance: run every E9 instance family through
-//! all three runtimes (simulator strategies, schedule replay, real
-//! threads), cross-check them against the exploration's envelope, and
-//! minimize every violating witness (see EXPERIMENTS.md §E10).
+//! all the runtimes (simulator strategies, schedule replay, real
+//! threads, transport legs, and — when the `sfs-udp-node` binary is
+//! built — multi-process UDP over localhost), cross-check them against
+//! the exploration's envelope, and minimize every violating witness
+//! (see EXPERIMENTS.md §E10).
 //!
 //! The optional CLI argument bounds the reference exploration (schedule
 //! cap per instance). Exits nonzero on any backend divergence — this is
@@ -13,7 +15,7 @@ fn main() {
     let mut summary = None;
     sfs_bench::run_with_report(
         "E10",
-        "5 E9 instance families x (time-ordered + 24 random + replay + 2 threaded)",
+        "5 E9 instance families x (time-ordered + 24 random + replay + 2 threaded + udp)",
         budget,
         || {
             let (table, s) = sfs_bench::run_e10(budget);

@@ -50,6 +50,15 @@ pub struct E12Cell {
     pub detect_latency: f64,
     /// Mean wire frames sent per run (the transport's message cost).
     pub frames: f64,
+    /// Mean wire **bytes** sent per run: every frame charged its real
+    /// encoded datagram size (`sfs-wire` header + body) on the sender's
+    /// side — the same accounting the UDP backend reports, so these
+    /// columns are comparable across emulated and real wires.
+    pub wire_bytes: f64,
+    /// Wire bytes per detection event across the cell (total bytes /
+    /// total detections; 0 when nothing was detected) — the paper-level
+    /// "cost of a failure notification" figure.
+    pub bytes_per_detection: f64,
     /// Mean frames lost by the link per run.
     pub dropped: f64,
     /// Mean frames duplicated by the link per run.
@@ -79,6 +88,7 @@ fn ingest(cell: &mut E12Cell, scenario: &NetScenario, trace: &Trace) {
     cell.runs += 1;
     let stats = trace.stats();
     cell.frames += stats.messages_sent as f64;
+    cell.wire_bytes += stats.wire_bytes as f64;
     cell.dropped += stats.messages_dropped as f64;
     cell.duplicated += stats.messages_duplicated as f64;
 
@@ -168,7 +178,10 @@ pub fn e12_cell(scenario: &NetScenario, n: usize, t: usize, seeds: u64) -> E12Ce
         .map(|seed| {
             scenario
                 .spec(n, t, 0xE12 ^ seed)
-                .try_run_net(|_| sfs::NullApp)
+                // The measured net leg: identical schedule to
+                // `try_run_net`, plus real encoded frame sizes charged
+                // to the byte ledger for the bytes/detection columns.
+                .try_run_net_measured()
                 .expect("E12 scenarios are feasible by construction")
         })
         .collect();
@@ -183,6 +196,8 @@ pub fn e12_cell(scenario: &NetScenario, n: usize, t: usize, seeds: u64) -> E12Ce
         endogenous_kills: 0,
         detect_latency: 0.0,
         frames: 0.0,
+        wire_bytes: 0.0,
+        bytes_per_detection: 0.0,
         dropped: 0.0,
         duplicated: 0.0,
         false_susp: 0.0,
@@ -197,7 +212,14 @@ pub fn e12_cell(scenario: &NetScenario, n: usize, t: usize, seeds: u64) -> E12Ce
         .count()
         .max(1);
     cell.detect_latency /= detected_runs as f64;
+    let total_detections: usize = traces.iter().map(|tr| tr.detections().len()).sum();
+    cell.bytes_per_detection = if total_detections > 0 {
+        cell.wire_bytes / total_detections as f64
+    } else {
+        0.0
+    };
     cell.frames /= cell.runs.max(1) as f64;
+    cell.wire_bytes /= cell.runs.max(1) as f64;
     cell.dropped /= cell.runs.max(1) as f64;
     cell.duplicated /= cell.runs.max(1) as f64;
     cell.false_susp /= cell.runs.max(1) as f64;
@@ -259,6 +281,8 @@ pub fn run_e12(seeds: u64) -> (Table, Vec<E12Cell>) {
             "endog",
             "det lat",
             "frames/run",
+            "bytes/run",
+            "bytes/det",
             "drop/run",
             "dup/run",
             "f-susp/run",
@@ -277,6 +301,8 @@ pub fn run_e12(seeds: u64) -> (Table, Vec<E12Cell>) {
             c.endogenous_kills.to_string(),
             format!("{:.0}", c.detect_latency),
             format!("{:.0}", c.frames),
+            format!("{:.0}", c.wire_bytes),
+            format!("{:.0}", c.bytes_per_detection),
             format!("{:.0}", c.dropped),
             format!("{:.1}", c.duplicated),
             format!("{:.1}", c.false_susp),
@@ -290,7 +316,10 @@ pub fn run_e12(seeds: u64) -> (Table, Vec<E12Cell>) {
          timeouts alone (the cut-[50,100) row is deliberately sub-timeout: no trigger, \
          no kill, nothing to certify beyond safety); f-susp counts suspicions of \
          still-live targets (the partition rows' islanded victims), retx the ARQ \
-         frames resent against the link.",
+         frames resent against the link. bytes/run charges every sent frame its real \
+         encoded datagram size (sfs-wire header + body) on the sender's side; bytes/det \
+         divides the cell's total bytes by its detection events — the cost of one \
+         failure notification, comparable to the UDP backend's accounting.",
     );
     (table, cells)
 }
@@ -313,6 +342,14 @@ mod tests {
             assert_eq!(cell.runs, 2);
             assert_eq!(cell.suite_ok, 2, "{}: suite violated", cell.scenario);
             assert_eq!(cell.all_detect, 2, "{}: FS1 missed", cell.scenario);
+            // Real frame sizes are charged to the ledger, and every cell
+            // here detects a failure, so both byte figures are live.
+            assert!(cell.wire_bytes > 0.0, "{}: no bytes charged", cell.scenario);
+            assert!(
+                cell.bytes_per_detection > 0.0,
+                "{}: detections but no per-detection cost",
+                cell.scenario
+            );
         }
     }
 

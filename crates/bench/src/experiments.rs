@@ -1013,6 +1013,10 @@ fn e10_conformance_config(seed: u64) -> ConformanceConfig {
     ConformanceConfig {
         random_runs: 24,
         threaded_runs: 2,
+        // One multi-process run per instance: real sockets are the slow
+        // column (wall-clock ticks), and one run per instance across the
+        // whole E9 family set is already a broad sweep.
+        udp_runs: 1,
         settle_ms: 300,
         seed,
         ..ConformanceConfig::default()
@@ -1043,8 +1047,9 @@ pub fn e10_cell(instance: &E9Instance, budget: u64, seed: u64) -> ConformanceOut
 
 /// E10 — differential conformance: every runtime (simulator strategies,
 /// schedule replay, event-driven threaded — bare and over the link seam —
-/// and the transport-backed legs) cross-checked per instance, with
-/// counterexample shrinking. One rayon task per instance.
+/// the transport-backed legs, and the multi-process UDP socket backend)
+/// cross-checked per instance, with counterexample shrinking. One rayon
+/// task per instance.
 pub fn run_e10(budget: u64) -> (Table, E10Summary) {
     let mut table = Table::new(
         "E10 — differential conformance across backends (envelope oracle + ddmin shrinking)",
@@ -1052,7 +1057,7 @@ pub fn run_e10(budget: u64) -> (Table, E10Summary) {
             "instance",
             "ref classes",
             "ref complete",
-            "runs to/rnd/rpl/thr/thr+net/tp/tpa",
+            "runs to/rnd/rpl/thr/thr+net/tp/tpa/udp",
             "complete runs",
             "divergent",
             "agreement",
@@ -1125,13 +1130,14 @@ pub fn run_e10(budget: u64) -> (Table, E10Summary) {
     }
     table.note(
         "each instance is explored into a reference envelope (class fingerprints + \
-         certified/universal property bounds), then cross-checked against seven \
+         certified/universal property bounds), then cross-checked against eight \
          backends: the time-ordered strategy (the default engine's schedule), 24 \
          random-strategy campaigns, strict byte-compare replay of every recording, \
          2 executions each on the event-driven threaded runtime (threaded:event) and \
          on its link-seam variant with ARQ-wrapped processes (threaded:event+net), \
-         and the simulated transport legs (fixed and adaptive timeouts). A \
-         divergence is any certified \
+         the simulated transport legs (fixed and adaptive timeouts), and one run per \
+         instance on the UDP socket backend (net:udp) — one OS process per node over \
+         real localhost datagrams. A divergence is any certified \
          property violated, any universal violation missed, any unknown happens-before \
          class on a complete run, or any replay that is not byte-identical — each \
          reported with both traces attached. Witness columns show the delta-debugging \

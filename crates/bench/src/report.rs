@@ -54,6 +54,11 @@ pub struct BenchRecord {
     pub threads: usize,
     /// Data rows in the produced table.
     pub rows: usize,
+    /// The full table as a JSON object (title, columns, rows, notes),
+    /// produced by [`Table::to_json`], so `BENCH_*.json` carries every
+    /// column of the experiment — not just the row count. Empty string
+    /// when no table was attached (hand-built records in tests).
+    pub table_json: String,
 }
 
 impl BenchRecord {
@@ -69,10 +74,15 @@ impl BenchRecord {
     /// The record as one JSON object (hand-rolled: the workspace's serde
     /// is a no-op stand-in; see vendor/README.md).
     pub fn to_json(&self) -> String {
+        let table = if self.table_json.is_empty() {
+            "null".to_owned()
+        } else {
+            self.table_json.clone()
+        };
         format!(
             "{{\n  \"experiment\": \"{}\",\n  \"configs\": \"{}\",\n  \"seeds\": {},\n  \
              \"wall_ms\": {:.3},\n  \"events\": {},\n  \"events_per_sec\": {:.1},\n  \
-             \"threads\": {},\n  \"rows\": {}\n}}",
+             \"threads\": {},\n  \"rows\": {},\n  \"table\": {}\n}}",
             self.experiment,
             self.configs.escape_default(),
             self.seeds,
@@ -81,6 +91,7 @@ impl BenchRecord {
             self.events_per_sec(),
             self.threads,
             self.rows,
+            table,
         )
     }
 }
@@ -114,6 +125,7 @@ pub fn run_with_report(
         events: take_events(),
         threads: std::thread::available_parallelism().map_or(1, |p| p.get()),
         rows: table.len(),
+        table_json: table.to_json(),
     };
     let path = out_dir().join(format!("BENCH_{experiment}.json"));
     match std::fs::write(&path, record.to_json() + "\n") {
@@ -144,6 +156,7 @@ mod tests {
             events: 3_000_000,
             threads: 8,
             rows: 3,
+            table_json: String::new(),
         };
         let json = r.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
@@ -154,13 +167,41 @@ mod tests {
             "wall_ms",
             "events_per_sec",
             "threads",
+            "table",
         ] {
             assert!(
                 json.contains(&format!("\"{key}\"")),
                 "missing {key} in {json}"
             );
         }
+        // No table attached -> explicit null, still valid JSON.
+        assert!(json.contains("\"table\": null"), "{json}");
         assert!((r.events_per_sec() - 2_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn record_embeds_the_full_table() {
+        let mut t = Table::new("cells", &["scenario", "bytes/det"]);
+        t.row(["loss 20%", "5120"]);
+        let r = BenchRecord {
+            experiment: "E0",
+            configs: "(5,2)".into(),
+            seeds: 1,
+            wall_ms: 1.0,
+            events: 0,
+            threads: 1,
+            rows: t.len(),
+            table_json: t.to_json(),
+        };
+        let json = r.to_json();
+        assert!(
+            json.contains("\"columns\": [\"scenario\", \"bytes/det\"]"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"rows\": [[\"loss 20%\", \"5120\"]]"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -95,6 +95,45 @@ impl Table {
     pub fn print(&self) {
         print!("{}", self.render());
     }
+
+    /// The table as one JSON object (hand-rolled: the workspace's serde
+    /// is a no-op stand-in), embedded verbatim in `BENCH_*.json` so the
+    /// machine-readable record carries every column, not just row counts.
+    pub fn to_json(&self) -> String {
+        // JSON string escaping by hand (`escape_default` emits Rust's
+        // `\u{..}` form, which JSON parsers reject); non-ASCII passes
+        // through untouched — the file is UTF-8.
+        let quote = |s: &str| {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        };
+        let list = |cells: &[String]| {
+            let quoted: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            format!("[{}]", quoted.join(", "))
+        };
+        let rows: Vec<String> = self.rows.iter().map(|r| list(r)).collect();
+        let notes: Vec<String> = self.notes.iter().map(|n| quote(n)).collect();
+        format!(
+            "{{\"title\": {}, \"columns\": {}, \"rows\": [{}], \"notes\": [{}]}}",
+            quote(&self.title),
+            list(&self.headers),
+            rows.join(", "),
+            notes.join(", "),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +151,18 @@ mod tests {
         assert!(s.contains("| n  | result  |"));
         assert!(s.contains("| 16 | also ok |"));
         assert!(s.contains("note: a footnote"));
+    }
+
+    #[test]
+    fn json_embeds_every_column_and_escapes_quotes() {
+        let mut t = Table::new("demo \"quoted\"", &["n", "bytes/det"]);
+        t.row(["4", "1234"]);
+        t.note("a note");
+        let j = t.to_json();
+        assert!(j.contains("\"title\": \"demo \\\"quoted\\\"\""), "{j}");
+        assert!(j.contains("\"columns\": [\"n\", \"bytes/det\"]"), "{j}");
+        assert!(j.contains("\"rows\": [[\"4\", \"1234\"]]"), "{j}");
+        assert!(j.contains("\"notes\": [\"a note\"]"), "{j}");
     }
 
     #[test]

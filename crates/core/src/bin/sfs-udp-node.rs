@@ -1,0 +1,17 @@
+//! One node of the UDP backend: spawned by `ClusterSpec::try_run_udp`
+//! (via `sfs_wire::run_cluster`) with its protocol stack described in
+//! the `SFS_UDP_NODE_SPEC` environment blob and its parent's control
+//! listener in `SFS_WIRE_CTRL_ADDR`. All logic lives in
+//! [`sfs::udp_node_main`] so the spawn protocol is unit-testable.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match sfs::udp_node_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(why) => {
+            eprintln!("sfs-udp-node: {why}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -33,6 +33,8 @@ pub enum SpecError {
     /// The transport configuration is malformed (e.g. a zero ARQ window
     /// or inverted adaptive RTO bounds).
     Transport(TransportError),
+    /// The spec cannot run (or failed to run) on the UDP backend.
+    Udp(crate::udp::UdpError),
 }
 
 impl fmt::Display for SpecError {
@@ -41,6 +43,7 @@ impl fmt::Display for SpecError {
             SpecError::Quorum(e) => write!(f, "{e}"),
             SpecError::Latency(e) => write!(f, "{e}"),
             SpecError::Transport(e) => write!(f, "{e}"),
+            SpecError::Udp(e) => write!(f, "{e}"),
         }
     }
 }
@@ -62,6 +65,12 @@ impl From<LatencyError> for SpecError {
 impl From<TransportError> for SpecError {
     fn from(e: TransportError) -> Self {
         SpecError::Transport(e)
+    }
+}
+
+impl From<crate::udp::UdpError> for SpecError {
+    fn from(e: crate::udp::UdpError) -> Self {
+        SpecError::Udp(e)
     }
 }
 
@@ -615,6 +624,7 @@ impl ClusterSpec {
             link: None,
             record_payloads: false,
             classify: Some(Box::new(|m: &SfsMsg<A::Msg>| !m.is_app())),
+            measure: None,
             registry: Some(registry.clone()),
             batch: self.batch,
             faults: self.fault_plan::<A::Msg>(),
@@ -767,11 +777,35 @@ impl ClusterSpec {
     /// Whatever [`ClusterSpec::validate`] reports ([`SpecError`]).
     pub fn try_build_net<A, F>(
         &self,
+        make_app: F,
+    ) -> Result<Sim<TransportMsg<SfsMsg<A::Msg>>>, SpecError>
+    where
+        A: Application,
+        F: FnMut(ProcessId) -> A,
+    {
+        self.try_build_net_with(|b| b, make_app)
+    }
+
+    /// [`ClusterSpec::try_build_net`] with a builder-tuning hook: `tune`
+    /// receives the fully configured [`SimBuilder`](sfs_asys::SimBuilder)
+    /// right before processes are constructed, for instrumentation the
+    /// spec itself does not model — e.g. the wire-byte measure behind
+    /// [`ClusterSpec::try_run_net_measured`](crate::udp).
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ClusterSpec::validate`] reports ([`SpecError`]).
+    pub fn try_build_net_with<A, F, G>(
+        &self,
+        tune: G,
         mut make_app: F,
     ) -> Result<Sim<TransportMsg<SfsMsg<A::Msg>>>, SpecError>
     where
         A: Application,
         F: FnMut(ProcessId) -> A,
+        G: FnOnce(
+            sfs_asys::SimBuilder<TransportMsg<SfsMsg<A::Msg>>>,
+        ) -> sfs_asys::SimBuilder<TransportMsg<SfsMsg<A::Msg>>>,
     {
         self.validate()?;
         let net = self.net.clone().unwrap_or_default();
@@ -786,6 +820,7 @@ impl ClusterSpec {
             // alphabet is reconstructed from the wrapper's logical events.
             .classify(|_| true)
             .faults(self.fault_plan_net());
+        let builder = tune(builder);
         let registry = builder.crash_registry();
         Ok(builder.build(|pid| Box::new(self.wrap_process(&net, &registry, make_app(pid)))))
     }
@@ -843,6 +878,7 @@ impl ClusterSpec {
             link: Some(Box::new(self.link_model()?)),
             record_payloads: false,
             classify: Some(Box::new(|_: &TransportMsg<SfsMsg<A::Msg>>| true)),
+            measure: None,
             registry: Some(registry.clone()),
             batch: self.batch,
             faults: self.fault_plan_net::<A::Msg>(),

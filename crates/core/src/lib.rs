@@ -68,10 +68,12 @@ mod harness;
 mod msg;
 mod protocol;
 pub mod quorum;
+pub mod udp;
 
 pub use app::{AppApi, Application, NullApp};
 pub use config::{DetectionMode, HeartbeatConfig, SfsConfig};
 pub use harness::{ClusterSpec, ModeSpec, NetSpec, SpecError};
+pub use udp::{udp_node_binary, udp_node_main, UdpError, UdpNodeSpec};
 // Re-exported so harness users can parameterize a `NetSpec` without
 // depending on `sfs-transport` directly.
 pub use msg::{Control, SfsMsg};

@@ -708,8 +708,9 @@ where
     /// Adaptive mode: this channel's current retransmission timeout —
     /// Jacobson `srtt + 4·rttvar` clamped into `[min_rto, max_rto]`,
     /// doubled per unproductive retransmission (capped at `max_rto`),
-    /// plus seeded jitter. Before the first RTT sample, the fixed
-    /// `retransmit_after` seeds the estimate.
+    /// plus seeded jitter — the result never exceeds `max_rto`, even
+    /// for ceilings near `u64::MAX`. Before the first RTT sample, the
+    /// fixed `retransmit_after` seeds the estimate.
     fn channel_rto(&mut self, peer: usize) -> u64 {
         use rand::Rng;
         let Some(acfg) = self.adaptive else {
@@ -717,7 +718,7 @@ where
         };
         let ch = &self.out[peer];
         let base = match ch.srtt {
-            Some(srtt) => srtt + 4 * ch.rttvar.max(1),
+            Some(srtt) => srtt.saturating_add(ch.rttvar.max(1).saturating_mul(4)),
             None => self.config.retransmit_after,
         };
         let backed = base
@@ -728,7 +729,10 @@ where
             Some(rng) if acfg.jitter > 0 => rng.gen_range(0..=acfg.jitter),
             _ => 0,
         };
-        backed + jitter
+        // Clamp at the source: jitter must not push the RTO past
+        // `max_rto` (the configured ceiling is a promise to the timer
+        // wheel), and near-`u64::MAX` configurations must not overflow.
+        backed.saturating_add(jitter).min(acfg.max_rto)
     }
 
     /// Adaptive mode: points the shared retx timer at the earliest
@@ -956,7 +960,10 @@ where
                 let gs = self.gap_stats[j];
                 let learned = match gs.srtt {
                     None => probe.timeout,
-                    Some(srtt) => (srtt + 4 * gs.var.max(1) + probe.interval).max(2 * gs.max),
+                    Some(srtt) => srtt
+                        .saturating_add(gs.var.max(1).saturating_mul(4))
+                        .saturating_add(probe.interval)
+                        .max(gs.max.saturating_mul(2)),
                 };
                 learned.clamp(probe.timeout, acfg.max_suspicion)
             }
@@ -1584,6 +1591,75 @@ mod tests {
             0,
             "the trained adaptive threshold must ride out the storm"
         );
+    }
+
+    #[test]
+    fn adaptive_rto_is_clamped_at_the_source_even_near_u64_max() {
+        // A ceiling two below u64::MAX: the backed-off base saturates at
+        // the ceiling, and the old `backed + jitter` would overflow the
+        // u64 (panicking in debug) or escape past `max_rto` (in release).
+        let acfg = AdaptiveConfig {
+            min_rto: 20,
+            max_rto: u64::MAX - 2,
+            jitter: 5,
+            max_suspicion: 1_000,
+        };
+        let mut r = Reliable::new(Quiet, ArqConfig::default()).adaptive(acfg);
+        r.ensure_init(2, VirtualTime::ZERO, p(0));
+        let ch = &mut r.out[1];
+        ch.srtt = Some(u64::MAX / 2);
+        ch.rttvar = u64::MAX / 4;
+        ch.backoff = 40;
+        for _ in 0..32 {
+            let rto = r.channel_rto(1);
+            assert!(rto <= acfg.max_rto, "rto {rto} exceeds max_rto");
+        }
+        // With the default ceiling, jitter must not leak past it either
+        // once backoff has pinned the base at the ceiling.
+        let acfg = AdaptiveConfig::default();
+        let mut r = Reliable::new(Quiet, ArqConfig::default()).adaptive(acfg);
+        r.ensure_init(2, VirtualTime::ZERO, p(0));
+        let ch = &mut r.out[1];
+        ch.srtt = Some(acfg.max_rto);
+        ch.backoff = 3;
+        for _ in 0..64 {
+            assert!(r.channel_rto(1) <= acfg.max_rto);
+        }
+    }
+
+    #[test]
+    fn retransmit_arms_cleanly_near_the_overflow_boundary() {
+        // End to end: a never-healing cut forces repeated unproductive
+        // retransmissions (backoff ratchets up) under an RTO ceiling near
+        // u64::MAX. Deadlines must stay on the wheel without overflow and
+        // the run must end at its horizon, not in a panic.
+        let acfg = AdaptiveConfig {
+            min_rto: 20,
+            max_rto: u64::MAX - 1,
+            jitter: 5,
+            max_suspicion: 1_000,
+        };
+        let link = FaultyLink::new(FixedLatency(1)).partitions(PartitionSchedule::new().split(
+            VirtualTime::ZERO,
+            VirtualTime::MAX,
+            &[p(0)],
+        ));
+        let sim = Sim::<TransportMsg<u32>>::builder(2)
+            .seed(8)
+            .link(link)
+            .classify(|_| true)
+            .build(move |pid| {
+                let arq = ArqConfig::default();
+                if pid.index() == 0 {
+                    Box::new(Reliable::new(Flood { count: 3 }, arq).adaptive(acfg))
+                        as Box<dyn Process<TransportMsg<u32>>>
+                } else {
+                    Box::new(Reliable::new(Quiet, arq).adaptive(acfg))
+                }
+            });
+        let trace = sim.run();
+        assert_eq!(trace.stop_reason(), StopReason::MaxTime);
+        assert!(model_recvs(&trace, p(1)).is_empty());
     }
 
     #[test]

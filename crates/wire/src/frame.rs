@@ -1,0 +1,195 @@
+//! The datagram frame: a versioned header around one encoded message.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     2  magic     = 0xA5F5
+//!      2     1  version   = 1
+//!      3     2  src       sender process index
+//!      5     2  dst       destination process index
+//!      7     8  seq       per-sender datagram sequence (the engine-level
+//!                         MsgId numbering: duplicate copies share it)
+//!     15     8  lamport   sender's Lamport clock at transmission
+//!     23     4  len       body length in bytes
+//!     27   len  body      one WireCodec-encoded message
+//! ```
+//!
+//! One datagram carries exactly one frame; trailing bytes after the body
+//! are rejected, as is any body length that exceeds [`MAX_BODY`] or the
+//! bytes actually present. Decoding never panics — corrupt datagrams
+//! come back as typed [`WireError`]s and are dropped by the node loop
+//! (indistinguishable from link loss, which the ARQ layer already
+//! absorbs).
+
+use crate::codec::{WireCodec, WireError, WireReader, WireWriter};
+
+/// First two bytes of every frame.
+pub const MAGIC: u16 = 0xA5F5;
+
+/// The wire-format version this codec speaks.
+pub const VERSION: u8 = 1;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 27;
+
+/// Maximum body size: one frame must fit a single localhost UDP datagram
+/// with headroom for the header.
+pub const MAX_BODY: usize = 60_000;
+
+/// The decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Sender process index.
+    pub src: u16,
+    /// Destination process index.
+    pub dst: u16,
+    /// Per-sender datagram sequence number (duplicated copies share it).
+    pub seq: u64,
+    /// Sender's Lamport clock at transmission.
+    pub lamport: u64,
+}
+
+/// Encodes `msg` into one datagram-sized frame under `header`.
+///
+/// # Panics
+///
+/// Panics if the encoded body exceeds [`MAX_BODY`] — a protocol-design
+/// error, not a runtime input: every message type this workspace puts on
+/// the wire is a few dozen bytes.
+pub fn encode_frame<M: WireCodec>(header: FrameHeader, msg: &M) -> Vec<u8> {
+    let body = msg.to_wire_bytes();
+    assert!(
+        body.len() <= MAX_BODY,
+        "frame body of {} bytes exceeds MAX_BODY",
+        body.len()
+    );
+    let mut w = WireWriter::new();
+    w.u16(MAGIC);
+    w.u8(VERSION);
+    w.u16(header.src);
+    w.u16(header.dst);
+    w.u64(header.seq);
+    w.u64(header.lamport);
+    w.u32(body.len() as u32);
+    w.raw(&body);
+    w.into_bytes()
+}
+
+/// Decodes one frame, returning its header and message.
+///
+/// # Errors
+///
+/// [`WireError::BadMagic`] / [`WireError::BadVersion`] on foreign bytes;
+/// [`WireError::Truncated`] when the datagram ends inside the header or
+/// body; [`WireError::OversizedLength`] when the length field exceeds
+/// [`MAX_BODY`] or the bytes present; [`WireError::TrailingBytes`] when
+/// the datagram continues past the body; plus whatever the body decoder
+/// reports. Never panics, never reads past `bytes`.
+pub fn decode_frame<M: WireCodec>(bytes: &[u8]) -> Result<(FrameHeader, M), WireError> {
+    let mut r = WireReader::new(bytes);
+    let magic = r.u16()?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let header = FrameHeader {
+        src: r.u16()?,
+        dst: r.u16()?,
+        seq: r.u64()?,
+        lamport: r.u64()?,
+    };
+    let len = r.u32()? as usize;
+    if len > MAX_BODY || len > r.remaining() {
+        return Err(WireError::OversizedLength {
+            claimed: len as u64,
+            max: r.remaining().min(MAX_BODY) as u64,
+        });
+    }
+    let body = r.raw(len)?;
+    r.finish()?;
+    let msg = M::from_wire_bytes(body)?;
+    Ok((header, msg))
+}
+
+/// The full on-wire cost of sending `msg` as one frame, in bytes — the
+/// honest per-datagram byte counter behind E12's bytes/detection column.
+pub fn wire_cost<M: WireCodec>(msg: &M) -> u64 {
+    (HEADER_LEN + msg.encoded_len()) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> FrameHeader {
+        FrameHeader {
+            src: 1,
+            dst: 2,
+            seq: 41,
+            lamport: 99,
+        }
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let frame = encode_frame(header(), &0xAB54_A98C_EB1F_0AD2u64);
+        assert_eq!(frame.len(), HEADER_LEN + 8);
+        assert_eq!(wire_cost(&0u64), (HEADER_LEN + 8) as u64);
+        let (h, msg) = decode_frame::<u64>(&frame).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(msg, 0xAB54_A98C_EB1F_0AD2);
+    }
+
+    #[test]
+    fn every_truncation_point_is_an_error_not_a_panic() {
+        let frame = encode_frame(header(), &7u64);
+        for cut in 0..frame.len() {
+            let err = decode_frame::<u64>(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    WireError::Truncated { .. } | WireError::OversizedLength { .. }
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_magic_and_future_versions_are_rejected() {
+        let mut frame = encode_frame(header(), &7u64);
+        frame[0] ^= 0xFF;
+        assert!(matches!(
+            decode_frame::<u64>(&frame).unwrap_err(),
+            WireError::BadMagic(_)
+        ));
+        let mut frame = encode_frame(header(), &7u64);
+        frame[2] = VERSION + 1;
+        assert_eq!(
+            decode_frame::<u64>(&frame).unwrap_err(),
+            WireError::BadVersion(VERSION + 1)
+        );
+    }
+
+    #[test]
+    fn length_field_is_validated_before_the_body_is_touched() {
+        let mut frame = encode_frame(header(), &7u64);
+        // Claim a body far past the datagram's end.
+        frame[23..27].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_frame::<u64>(&frame).unwrap_err(),
+            WireError::OversizedLength { .. }
+        ));
+        // A datagram longer than header + body is not a valid frame.
+        let mut frame = encode_frame(header(), &7u64);
+        frame.push(0);
+        assert_eq!(
+            decode_frame::<u64>(&frame).unwrap_err(),
+            WireError::TrailingBytes { extra: 1 }
+        );
+    }
+}

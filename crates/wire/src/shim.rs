@@ -1,0 +1,144 @@
+//! A deterministic sender-side fault shim.
+//!
+//! Real localhost UDP rarely drops and never duplicates, so the shim
+//! re-introduces those faults *deterministically* from a seed, on the
+//! sending side, before the datagram reaches the kernel. This keeps the
+//! UDP backend honest twice over: the wire is real (bytes cross a real
+//! socket, the kernel is free to add its own loss on top), and the fault
+//! schedule is reproducible enough for the conformance harness to compare
+//! runs across seeds.
+
+use crate::codec::{WireCodec, WireError, WireReader, WireWriter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of one node's [`FaultShim`], carried inside the node's
+/// spawn blob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShimConfig {
+    /// Seed for the shim's private RNG stream.
+    pub seed: u64,
+    /// Probability a datagram copy is silently withheld.
+    pub drop_p: f64,
+    /// Probability a delivered datagram is transmitted twice.
+    pub dup_p: f64,
+}
+
+impl WireCodec for ShimConfig {
+    fn encode(&self, w: &mut WireWriter) {
+        w.u64(self.seed);
+        w.f64(self.drop_p);
+        w.f64(self.dup_p);
+    }
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let cfg = ShimConfig {
+            seed: r.u64()?,
+            drop_p: r.f64()?,
+            dup_p: r.f64()?,
+        };
+        if !(0.0..=1.0).contains(&cfg.drop_p) || !(0.0..=1.0).contains(&cfg.dup_p) {
+            return Err(WireError::BadValue {
+                what: "ShimConfig probability",
+            });
+        }
+        Ok(cfg)
+    }
+}
+
+/// What the shim decided for one outgoing datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShimVerdict {
+    /// Transmit one copy.
+    Deliver,
+    /// Transmit nothing; the send counts as dropped.
+    Drop,
+    /// Transmit two copies sharing the same frame sequence.
+    Duplicate,
+}
+
+/// The per-node shim: one seeded RNG, one verdict per send.
+#[derive(Debug)]
+pub struct FaultShim {
+    rng: StdRng,
+    drop_p: f64,
+    dup_p: f64,
+}
+
+impl FaultShim {
+    /// Builds the shim from its config.
+    pub fn new(cfg: &ShimConfig) -> Self {
+        FaultShim {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            drop_p: cfg.drop_p,
+            dup_p: cfg.dup_p,
+        }
+    }
+
+    /// Rolls the dice for the next outgoing datagram. Drop is checked
+    /// first, so `drop_p = 1.0` silences the node regardless of
+    /// `dup_p` — the same precedence [`FaultyLink`](sfs_asys::FaultyLink)
+    /// uses in the simulator.
+    pub fn verdict(&mut self) -> ShimVerdict {
+        if self.drop_p > 0.0 && self.rng.gen_bool(self.drop_p) {
+            ShimVerdict::Drop
+        } else if self.dup_p > 0.0 && self.rng.gen_bool(self.dup_p) {
+            ShimVerdict::Duplicate
+        } else {
+            ShimVerdict::Deliver
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shim_is_deterministic_per_seed() {
+        let cfg = ShimConfig {
+            seed: 42,
+            drop_p: 0.3,
+            dup_p: 0.2,
+        };
+        let a: Vec<_> = {
+            let mut s = FaultShim::new(&cfg);
+            (0..64).map(|_| s.verdict()).collect()
+        };
+        let b: Vec<_> = {
+            let mut s = FaultShim::new(&cfg);
+            (0..64).map(|_| s.verdict()).collect()
+        };
+        assert_eq!(a, b);
+        assert!(a.contains(&ShimVerdict::Drop));
+        assert!(a.contains(&ShimVerdict::Duplicate));
+        assert!(a.contains(&ShimVerdict::Deliver));
+    }
+
+    #[test]
+    fn faultless_shim_always_delivers() {
+        let mut s = FaultShim::new(&ShimConfig {
+            seed: 7,
+            drop_p: 0.0,
+            dup_p: 0.0,
+        });
+        assert!((0..256).all(|_| s.verdict() == ShimVerdict::Deliver));
+    }
+
+    #[test]
+    fn config_rejects_probabilities_outside_unit_interval() {
+        let mut bad = ShimConfig {
+            seed: 1,
+            drop_p: 1.5,
+            dup_p: 0.0,
+        }
+        .to_wire_bytes();
+        assert!(ShimConfig::from_wire_bytes(&bad).is_err());
+        bad = ShimConfig {
+            seed: 1,
+            drop_p: 0.1,
+            dup_p: -0.1,
+        }
+        .to_wire_bytes();
+        assert!(ShimConfig::from_wire_bytes(&bad).is_err());
+    }
+}
