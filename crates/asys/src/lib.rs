@@ -67,6 +67,7 @@ mod id;
 mod latency;
 mod link;
 mod note;
+pub mod observe;
 mod process;
 mod sim;
 pub mod strategy;
@@ -84,6 +85,7 @@ pub use latency::{
 };
 pub use link::{FaultyLink, FnLink, LinkModel, LinkVerdict, PartitionSchedule, StormSchedule};
 pub use note::{Note, NOTE_LEADER, NOTE_QUORUM};
+pub use observe::{MsgClass, ObsEvent, ObsHandle, ObsSink};
 pub use process::{Action, Context, Process, ReceiveFilter};
 pub use sim::{CrashRegistry, Sim, SimBuilder, SimConfig};
 pub use strategy::{

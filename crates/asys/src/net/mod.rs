@@ -50,4 +50,4 @@
 
 mod router;
 
-pub use router::{Injector, Runtime, RuntimeConfig};
+pub use router::{Injector, Measure, Runtime, RuntimeConfig};

@@ -1,0 +1,223 @@
+//! The telemetry seam: a pluggable, **execution-neutral** observer every
+//! engine can feed without changing what it executes.
+//!
+//! The contract mirrors the classifier and measure hooks: an attached
+//! [`ObsSink`] is *called* from the engines' hot paths but has no channel
+//! back into them — it receives copies of already-decided facts (a send
+//! happened, a delivery cost `k` ticks, the wheel holds `m` deadlines)
+//! and may not touch the shared rng, virtual time, or any scheduling
+//! state. An obs-enabled run is therefore byte-identical to a bare run
+//! on the simulator and HB-fingerprint-identical on every backend; the
+//! `sfs-apps` equivalence tests and the E10 `sim:obs` conformance leg
+//! pin exactly that.
+//!
+//! The event alphabet is deliberately small and type-erased: engines
+//! report `(node, message-class, metric name, value)` triples and the
+//! `sfs-obs` crate gives them meaning (counters, gauges, log-bucketed
+//! histograms, flight-recorder rings). Keeping the vocabulary here — in
+//! the substrate crate — lets the simulator, the threaded router, and
+//! the wire backends share one seam without depending on the telemetry
+//! implementation.
+
+use crate::id::ProcessId;
+use std::fmt;
+use std::sync::Arc;
+
+/// Message-class attribution for a metric sample, mirroring the
+/// engines' infrastructure classifier: [`MsgClass::App`] is model-level
+/// traffic, [`MsgClass::Infra`] is detector/transport machinery, and
+/// [`MsgClass::None`] tags samples that are not about a message at all
+/// (timers, queue depths, wall-time splits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MsgClass {
+    /// Application (model-level) traffic.
+    App,
+    /// Infrastructure traffic (heartbeats, obituaries, wire frames).
+    Infra,
+    /// Not message-attributed.
+    None,
+}
+
+impl MsgClass {
+    /// The class the engines' boolean `infra` flag denotes.
+    pub fn from_infra(infra: bool) -> Self {
+        if infra {
+            MsgClass::Infra
+        } else {
+            MsgClass::App
+        }
+    }
+
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgClass::App => "app",
+            MsgClass::Infra => "infra",
+            MsgClass::None => "-",
+        }
+    }
+}
+
+/// One telemetry fact, emitted by an engine into the attached sink.
+///
+/// The three shapes cover the registry's instrument kinds: monotonic
+/// counters, last-write gauges, and histogram observations. `node` is
+/// the process the sample is attributed to ([`ProcessId::new`] of
+/// `usize::MAX`.. never appears; engine-global samples use node 0 by
+/// convention and a [`MsgClass::None`] class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsEvent {
+    /// Add `delta` to the counter `name` at `(node, class)`.
+    Counter {
+        /// Attributed process.
+        node: ProcessId,
+        /// Message-class attribution.
+        class: MsgClass,
+        /// Metric name (a `'static` vocabulary; see `sfs-obs::metrics`).
+        name: &'static str,
+        /// Increment.
+        delta: u64,
+    },
+    /// Set the gauge `name` at `(node, class)` to `value`.
+    Gauge {
+        /// Attributed process.
+        node: ProcessId,
+        /// Message-class attribution.
+        class: MsgClass,
+        /// Metric name.
+        name: &'static str,
+        /// New value.
+        value: u64,
+    },
+    /// Record `value` into the histogram `name` at `(node, class)`.
+    Observe {
+        /// Attributed process.
+        node: ProcessId,
+        /// Message-class attribution.
+        class: MsgClass,
+        /// Metric name.
+        name: &'static str,
+        /// Observed sample (ticks, bytes, nanoseconds — the name says).
+        value: u64,
+    },
+}
+
+impl ObsEvent {
+    /// The metric name, whatever the shape.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ObsEvent::Counter { name, .. }
+            | ObsEvent::Gauge { name, .. }
+            | ObsEvent::Observe { name, .. } => name,
+        }
+    }
+}
+
+/// A telemetry sink engines report into.
+///
+/// Implementations must be cheap, lock-light, and — the invariant the
+/// conformance suite enforces — **side-effect-free toward the engine**:
+/// `record` takes `&self`, draws no randomness from the engine's rng,
+/// and cannot influence scheduling. The `sfs-obs` crate provides the
+/// registry and flight-recorder implementations.
+pub trait ObsSink: Send + Sync {
+    /// Absorb one fact.
+    fn record(&self, event: ObsEvent);
+}
+
+/// A cloneable, `Debug`-friendly handle to an [`ObsSink`], so specs that
+/// derive `Clone`/`Debug` (e.g. `ClusterSpec`) can carry one.
+#[derive(Clone)]
+pub struct ObsHandle(Arc<dyn ObsSink>);
+
+impl ObsHandle {
+    /// Wraps a sink.
+    pub fn new(sink: Arc<dyn ObsSink>) -> Self {
+        ObsHandle(sink)
+    }
+
+    /// The underlying sink.
+    pub fn sink(&self) -> &Arc<dyn ObsSink> {
+        &self.0
+    }
+
+    /// Report one fact.
+    pub fn record(&self, event: ObsEvent) {
+        self.0.record(event);
+    }
+}
+
+impl fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObsHandle").finish_non_exhaustive()
+    }
+}
+
+/// Metric names the engines emit. Centralised so the registry, the
+/// engines, and the reports agree on spelling; the `sfs-obs` crate
+/// re-exports them.
+pub mod metric {
+    /// Counter: send actions executed.
+    pub const SENT: &str = "sent";
+    /// Counter: messages admitted to a live process.
+    pub const DELIVERED: &str = "delivered";
+    /// Counter: copies withheld by the link/shim.
+    pub const DROPPED: &str = "dropped";
+    /// Counter: extra copies minted by the link/shim.
+    pub const DUPLICATED: &str = "duplicated";
+    /// Counter: messages consumed at a crashed receiver.
+    pub const TO_CRASHED: &str = "to_crashed";
+    /// Counter: sender-paid encoded frame bytes.
+    pub const WIRE_BYTES: &str = "wire_bytes";
+    /// Counter: timer firings delivered.
+    pub const TIMERS: &str = "timers_fired";
+    /// Counter: failure detections declared.
+    pub const DETECTIONS: &str = "detections";
+    /// Counter: process crashes.
+    pub const CRASHES: &str = "crashes";
+    /// Histogram: send→deliver latency in virtual ticks.
+    pub const DELIVERY_LATENCY: &str = "delivery_latency_ticks";
+    /// Histogram: router inbox depth sampled at each dispatch.
+    pub const QUEUE_DEPTH: &str = "queue_depth";
+    /// Histogram: timer-wheel occupancy sampled at each advance.
+    pub const WHEEL_OCCUPANCY: &str = "wheel_occupancy";
+    /// Counter: wall nanoseconds the router spent blocked on its inbox.
+    pub const STALL_NS: &str = "stall_ns";
+    /// Counter: wall nanoseconds the router spent dispatching events.
+    pub const COMPUTE_NS: &str = "compute_ns";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    struct Capture(Mutex<Vec<ObsEvent>>);
+    impl ObsSink for Capture {
+        fn record(&self, event: ObsEvent) {
+            self.0.lock().unwrap().push(event);
+        }
+    }
+
+    #[test]
+    fn handle_forwards_and_is_debuggable() {
+        let sink = Arc::new(Capture(Mutex::new(Vec::new())));
+        let handle = ObsHandle::new(sink.clone());
+        let cloned = handle.clone();
+        cloned.record(ObsEvent::Counter {
+            node: ProcessId::new(3),
+            class: MsgClass::Infra,
+            name: metric::SENT,
+            delta: 2,
+        });
+        assert_eq!(sink.0.lock().unwrap().len(), 1);
+        assert!(format!("{handle:?}").contains("ObsHandle"));
+    }
+
+    #[test]
+    fn class_round_trips_the_infra_flag() {
+        assert_eq!(MsgClass::from_infra(true), MsgClass::Infra);
+        assert_eq!(MsgClass::from_infra(false), MsgClass::App);
+        assert_eq!(MsgClass::None.label(), "-");
+    }
+}

@@ -1,0 +1,215 @@
+//! obs-smoke — the CI gate for the telemetry layer (ISSUE 9).
+//!
+//! Four checks, each fatal:
+//!
+//! 1. **E11 epoch with telemetry**: runs the N=64 E11 cell (sim backend,
+//!    batched) through `sfs-service` and requires the merged per-shard
+//!    registries to carry live op-latency and message-class data —
+//!    `op_p99 > 0`, sends attributed, detections counted. Writes the
+//!    merged [`RunReport`] to `OBS_REPORT.json`.
+//! 2. **Four engines, one instance**: runs a common 6-process detection
+//!    instance on the simulator, the event-driven threaded runtime, the
+//!    ARQ transport leg, and (when the node binary is present) the UDP
+//!    backend, folding every engine into one merged [`RunReport`]
+//!    (`OBS_FOUR_ENGINES.json`). Set `SFS_OBS_SMOKE_REQUIRE_UDP=1` to
+//!    make a missing node binary fatal (CI does).
+//! 3. **Chrome trace export**: converts the obs-enabled sim run to
+//!    Chrome trace-event JSON (`OBS_TRACE.json`), re-parses it with the
+//!    crate's own JSON reader, and requires a non-empty `traceEvents`
+//!    array — the same artifact `sfs-trace-export` emits for Perfetto.
+//! 4. **Fingerprint drift**: the obs-enabled sim run must be
+//!    byte-identical (serialized trace) to the bare run, and the
+//!    obs-enabled threaded run must land in the bare threaded run's HB
+//!    class. Any drift exits nonzero.
+//!
+//! Artifacts land in `SFS_BENCH_OUT` (default `.`).
+
+use sfs::{ClusterSpec, HeartbeatConfig, NetSpec, NullApp};
+use sfs_asys::ProcessId;
+use sfs_explore::class_fingerprint;
+use sfs_history::History;
+use sfs_obs::{metrics, Json, Registry, RunReport};
+use sfs_service::{plan_shards, run_service, Backend, LoadProfile, ServiceSpec};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn p(i: usize) -> ProcessId {
+    ProcessId::new(i)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("[obs-smoke] FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn out_dir() -> PathBuf {
+    std::env::var_os("SFS_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn write_artifact(name: &str, body: String) {
+    let path = out_dir().join(name);
+    match std::fs::write(&path, body + "\n") {
+        Ok(()) => eprintln!("[obs-smoke] wrote {}", path.display()),
+        Err(e) => fail(&format!("could not write {}: {e}", path.display())),
+    }
+}
+
+/// The N=64 E11 cell (sim, batched): 4 shards of 16, t=2, shard 0
+/// exhausted by two scripted crashes, two epochs of closed-loop ops.
+fn e11_cell() -> ServiceSpec {
+    let plan = plan_shards(64, 2, 16, 11).expect("E11 shape is feasible");
+    let victims: Vec<usize> = plan.shards[0].members.iter().take(2).copied().collect();
+    ServiceSpec::new(64, 2, 16)
+        .seed(11)
+        .backend(Backend::Sim)
+        .batched(true)
+        .heartbeat(Some(HeartbeatConfig {
+            interval: 10,
+            timeout: 60,
+            check_every: 15,
+        }))
+        .max_time(600)
+        .load(LoadProfile::closed(2 * 64, 8))
+        .crash(victims[0], 40)
+        .crash(victims[1], 55)
+}
+
+/// The common cross-engine instance (shared shape with the
+/// `obs_equiv` / `transport_equiv` integration tests).
+fn common_spec(seed: u64) -> ClusterSpec {
+    ClusterSpec::new(6, 2)
+        .seed(seed)
+        .latency(1, 1)
+        .suspect(p(1), p(0), 10)
+        .suspect(p(4), p(3), 25)
+}
+
+fn main() {
+    // ---- 1. E11 epoch with telemetry --------------------------------
+    let report = run_service(&e11_cell()).unwrap_or_else(|e| fail(&format!("E11 cell: {e}")));
+    let obs = report.obs_report();
+    if report.op_p99() == 0 {
+        fail("op_p99 is zero — op latencies never reached the registry");
+    }
+    if obs.counter_total(metrics::SENT) == 0 {
+        fail("registry saw no sends from the service epoch loop");
+    }
+    if obs.counter_total(metrics::DETECTIONS) == 0 {
+        fail("registry counted no detections despite scripted crashes");
+    }
+    eprintln!(
+        "[obs-smoke] E11 N=64: op_p99={} ticks, {} sends, {} detections, {:.1} msgs/detection",
+        report.op_p99(),
+        obs.counter_total(metrics::SENT),
+        obs.counter_total(metrics::DETECTIONS),
+        report.msgs_per_detection(),
+    );
+    write_artifact("OBS_REPORT.json", obs.to_json());
+
+    // ---- 2. Four engines, one RunReport -----------------------------
+    let seed = 7u64;
+    let mut merged = RunReport::empty("");
+
+    let sim_reg = Registry::for_shard("sim", 0);
+    let sim_obs_trace = common_spec(seed).observe(sim_reg.handle()).run();
+    sim_reg.ingest_trace(&sim_obs_trace);
+    merged.merge(&sim_reg.report());
+
+    let thr_reg = Registry::for_shard("threaded", 0);
+    let thr_obs_trace = common_spec(seed)
+        .observe(thr_reg.handle())
+        .try_run_threaded(|_| NullApp, Duration::from_millis(500))
+        .unwrap_or_else(|e| fail(&format!("threaded leg: {e}")));
+    thr_reg.ingest_trace(&thr_obs_trace);
+    merged.merge(&thr_reg.report());
+
+    let net_reg = Registry::for_shard("sim+net", 0);
+    let net_trace = common_spec(seed)
+        .net(NetSpec::faultless())
+        .observe(net_reg.handle())
+        .run_net();
+    net_reg.ingest_trace(&net_trace);
+    merged.merge(&net_reg.report());
+
+    let mut engines = 3;
+    match sfs::udp_node_binary() {
+        Ok(_) => {
+            let udp_reg = Registry::for_shard("udp", 0);
+            let run = common_spec(seed)
+                .net(NetSpec::faultless())
+                .try_run_udp_full(Duration::from_secs(20))
+                .unwrap_or_else(|e| fail(&format!("udp leg: {e}")));
+            if !run.quiesced {
+                fail("udp leg did not quiesce");
+            }
+            // The UDP engine's counters arrive as per-node Status-frame
+            // ledgers, not through an in-process sink.
+            udp_reg.ingest_node_status(&run.node_status);
+            udp_reg.ingest_trace(&run.trace);
+            merged.merge(&udp_reg.report());
+            engines = 4;
+        }
+        Err(e) if std::env::var_os("SFS_OBS_SMOKE_REQUIRE_UDP").is_some() => {
+            fail(&format!("udp node binary required but missing: {e}"))
+        }
+        Err(e) => eprintln!("[obs-smoke] udp leg skipped ({e})"),
+    }
+    if merged.counter_total(metrics::SENT) == 0 {
+        fail("merged four-engine report carries no sends");
+    }
+    eprintln!(
+        "[obs-smoke] merged report from {engines} engines [{}]: {} rows, {} sends",
+        merged.engine(),
+        merged.len(),
+        merged.counter_total(metrics::SENT),
+    );
+    write_artifact("OBS_FOUR_ENGINES.json", merged.to_json());
+    eprint!("{}", merged.to_table());
+
+    // ---- 3. Chrome trace export -------------------------------------
+    let chrome = sfs_obs::chrome::chrome_trace(&sim_obs_trace);
+    match Json::parse(&chrome) {
+        Ok(doc) => {
+            let events = doc
+                .get("traceEvents")
+                .and_then(Json::as_arr)
+                .unwrap_or_else(|| fail("chrome trace has no traceEvents array"));
+            if events.is_empty() {
+                fail("chrome trace exported zero events");
+            }
+            eprintln!("[obs-smoke] chrome trace: {} events", events.len());
+        }
+        Err(e) => fail(&format!("chrome trace does not parse: {e}")),
+    }
+    write_artifact("OBS_TRACE.json", chrome);
+    // The interchange-format twin, consumable by `sfs-trace-export`
+    // (and by `trace_from_json` anywhere else).
+    write_artifact(
+        "OBS_TRACE_RAW.json",
+        sfs_obs::trace_json::trace_to_json(&sim_obs_trace),
+    );
+
+    // ---- 4. Fingerprint drift gate ----------------------------------
+    let bare_sim = common_spec(seed).run();
+    if sfs_obs::trace_json::trace_to_json(&bare_sim)
+        != sfs_obs::trace_json::trace_to_json(&sim_obs_trace)
+    {
+        fail("telemetry changed the simulator's trace bytes");
+    }
+    let bare_thr = common_spec(seed)
+        .try_run_threaded(|_| NullApp, Duration::from_millis(500))
+        .unwrap_or_else(|e| fail(&format!("bare threaded leg: {e}")));
+    let (fp_bare, fp_obs) = (
+        class_fingerprint(&History::from_trace(&bare_thr)),
+        class_fingerprint(&History::from_trace(&thr_obs_trace)),
+    );
+    if fp_bare != fp_obs {
+        fail(&format!(
+            "telemetry moved the threaded HB class: bare {fp_bare:#018x} vs obs {fp_obs:#018x}"
+        ));
+    }
+    eprintln!("[obs-smoke] fingerprints clean: sim byte-identical, threaded class {fp_obs:#018x}");
+    eprintln!("[obs-smoke] OK");
+}

@@ -18,9 +18,7 @@
 use crate::report::note_events;
 use crate::table::Table;
 use sfs::HeartbeatConfig;
-use sfs_service::{
-    percentile, plan_shards, run_service, Backend, LoadProfile, ServiceReport, ServiceSpec,
-};
+use sfs_service::{plan_shards, run_service, Backend, LoadProfile, ServiceReport, ServiceSpec};
 
 /// One measured E11 cell.
 #[derive(Debug, Clone)]
@@ -53,6 +51,11 @@ pub struct E11Row {
     pub det_p95: u64,
     /// Maximum.
     pub det_max: u64,
+    /// 99th-percentile client-op latency across both epochs (ticks),
+    /// from the telemetry registry's log-bucket histogram.
+    pub op_p99: u64,
+    /// Messages sent per detection event, from the registry counters.
+    pub msgs_per_det: f64,
     /// Coalesced delivery batches (0 when batching is off).
     pub delivery_batches: u64,
     /// Shards that exhausted their budget (must be exactly shard 0).
@@ -61,7 +64,6 @@ pub struct E11Row {
 
 impl E11Row {
     fn from_report(r: &ServiceReport) -> Self {
-        let lat = r.detection_latencies();
         E11Row {
             n: r.total,
             shards: r.shard_count,
@@ -74,9 +76,13 @@ impl E11Row {
             messages: r.messages(),
             msgs_per_sec: r.msgs_per_sec(),
             serving_ticks: r.serving_ticks(),
-            det_p50: percentile(&lat, 50),
-            det_p95: percentile(&lat, 95),
-            det_max: lat.last().copied().unwrap_or(0),
+            // Nearest-rank via linear-time selection — no full sort of
+            // the latency distribution.
+            det_p50: r.detection_p(50),
+            det_p95: r.detection_p(95),
+            det_max: r.detection_max(),
+            op_p99: r.op_p99(),
+            msgs_per_det: r.msgs_per_detection(),
             delivery_batches: r.delivery_batches(),
             exhausted: r.exhausted.len(),
         }
@@ -89,6 +95,7 @@ impl E11Row {
              \"ops_completed\": {}, \"ops_per_sec\": {:.1}, \"messages\": {}, \
              \"msgs_per_sec\": {:.1}, \"wall_ms\": {:.1}, \"serving_ticks\": {}, \
              \"det_p50\": {}, \"det_p95\": {}, \"det_max\": {}, \
+             \"op_p99\": {}, \"msgs_per_det\": {:.1}, \
              \"delivery_batches\": {}, \"speedup_wall\": {:.3}, \
              \"speedup_serving\": {:.3}}}",
             self.n,
@@ -104,6 +111,8 @@ impl E11Row {
             self.det_p50,
             self.det_p95,
             self.det_max,
+            self.op_p99,
+            self.msgs_per_det,
             self.delivery_batches,
             speedup_wall,
             speedup_serving,
@@ -144,7 +153,7 @@ pub fn run_e11(max_n: usize, ops_per_proc: u64) -> (Table, Vec<(E11Row, f64, f64
         "E11 — sharded service scale (t=2 per shard, shard 0 exhausted, 2 epochs)",
         &[
             "N", "shards", "backend", "batch", "ops", "ops/s", "msgs", "msg/s", "det p50",
-            "det p95", "det max", "batches", "speedup",
+            "det p95", "det max", "op p99", "msg/det", "batches", "speedup",
         ],
     );
     let mut rows = Vec::new();
@@ -194,6 +203,8 @@ pub fn run_e11(max_n: usize, ops_per_proc: u64) -> (Table, Vec<(E11Row, f64, f64
                     row.det_p50.to_string(),
                     row.det_p95.to_string(),
                     row.det_max.to_string(),
+                    row.op_p99.to_string(),
+                    format!("{:.0}", row.msgs_per_det),
                     row.delivery_batches.to_string(),
                     speedup_cell,
                 ]);
@@ -211,6 +222,12 @@ pub fn run_e11(max_n: usize, ops_per_proc: u64) -> (Table, Vec<(E11Row, f64, f64
          directly (~2x on the threaded legs)",
     );
     table.note("detection latency in virtual ticks on both backends");
+    table.note(
+        "op p99 is the 99th-percentile client-op latency (ticks, both epochs) from the \
+         telemetry registry's log-bucket histogram; msg/det divides messages sent by \
+         detection events — both read off the per-shard registries merged across the \
+         rayon fan-out",
+    );
     (table, rows)
 }
 
@@ -238,6 +255,8 @@ mod tests {
         assert_eq!(row.exhausted, 1);
         assert_eq!(row.ops_completed, 2 * 64, "both epochs complete");
         assert!(row.det_p50 > 0, "detections were measured");
+        assert!(row.op_p99 > 0, "op latencies flowed through the registry");
+        assert!(row.msgs_per_det > 0.0, "message cost per detection is live");
         assert!(row.delivery_batches > 0, "batching engaged");
         let json = row.to_json(1.0, 1.0);
         assert!(json.contains("\"backend\": \"sim\""));

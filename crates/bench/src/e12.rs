@@ -70,6 +70,16 @@ pub struct E12Cell {
     /// Mean frames retransmitted by the ARQ layer per run (summed from
     /// the `retx` burst annotations).
     pub retx: f64,
+    /// Mean wire bytes per run on the **real** UDP wire, for scenarios
+    /// whose fault vocabulary the real-wire backend can express (crash
+    /// scripts; loss/duplication/partitions live on the sim link seam
+    /// and have no real-wire counterpart). Summed from the per-node
+    /// `NodeStatus` byte ledgers piggybacked on the control protocol's
+    /// Status frames — the same sender-side
+    /// `wire_cost` ruler as the emulated `wire_bytes` column, so the two
+    /// figures are directly comparable. `None` when the scenario is not
+    /// expressible on the real wire or the node binary is not built.
+    pub udp_wire_bytes: Option<f64>,
 }
 
 /// When this scenario's environment first misbehaves — the latency
@@ -137,7 +147,21 @@ fn ingest(cell: &mut E12Cell, scenario: &NetScenario, trace: &Trace) {
     // within the horizon shows up as a violation here.
     let h = History::from_trace(trace);
     let reports = properties::check_sfs_suite(&h, true);
-    cell.suite_ok += usize::from(properties::suite_ok(&reports));
+    let ok = properties::suite_ok(&reports);
+    if !ok {
+        // Black-box postmortem: dump the tail of the offending trace
+        // (plus the failed verdicts) when SFS_FLIGHT_DIR is set.
+        let mut body = format!("E12 certification failure: {}\n", cell.scenario);
+        for r in &reports {
+            body.push_str(&format!("{}: {:?}\n", r.property, r.verdict));
+        }
+        body.push_str(&sfs_obs::flight::trace_tail(trace, 64));
+        sfs_obs::flight::dump_to_dir(
+            &format!("e12-cert-{}-run{}", cell.scenario, cell.runs),
+            &body,
+        );
+    }
+    cell.suite_ok += usize::from(ok);
 
     // Endogenous trigger: a detection that precedes every scripted
     // crash means the suspicion came from a heartbeat timeout alone.
@@ -202,6 +226,7 @@ pub fn e12_cell(scenario: &NetScenario, n: usize, t: usize, seeds: u64) -> E12Ce
         duplicated: 0.0,
         false_susp: 0.0,
         retx: 0.0,
+        udp_wire_bytes: None,
     };
     for trace in &traces {
         ingest(&mut cell, scenario, trace);
@@ -225,6 +250,35 @@ pub fn e12_cell(scenario: &NetScenario, n: usize, t: usize, seeds: u64) -> E12Ce
     cell.false_susp /= cell.runs.max(1) as f64;
     cell.retx /= cell.runs.max(1) as f64;
     cell
+}
+
+/// The real-wire reference for the bytes columns: runs `scenario` on
+/// the UDP backend — every process its own OS process, every frame a
+/// real localhost datagram — and reports mean wire bytes per run,
+/// summed from the per-node byte ledgers the control protocol's Status
+/// frames piggyback. Eligible scenarios are those whose fault
+/// vocabulary the real wire can express (crash scripts; emulated
+/// loss/duplication/partitions live on the sim link seam); for the
+/// rest, or when the `sfs-udp-node` binary is not built, returns
+/// `None` and the table shows `-`.
+pub fn e12_udp_bytes(scenario: &NetScenario, n: usize, t: usize, seeds: u64) -> Option<f64> {
+    let expressible = matches!(scenario, NetScenario::Loss(p) if *p == 0.0)
+        || matches!(scenario, NetScenario::Churn { .. });
+    if !expressible || sfs::udp_node_binary().is_err() {
+        return None;
+    }
+    // UDP ticks are real milliseconds, so cap the leg at two seeds: the
+    // figure is a byte-accounting cross-check, not a distribution.
+    let runs = seeds.clamp(1, 2);
+    let mut total = 0u64;
+    for seed in 0..runs {
+        let run = scenario
+            .spec(n, t, 0xE12 ^ seed)
+            .try_run_udp_full(std::time::Duration::from_secs(10))
+            .ok()?;
+        total += run.node_status.iter().map(|s| s.wire_bytes).sum::<u64>();
+    }
+    Some(total as f64 / runs as f64)
 }
 
 /// The scenario grid of the E12 sweep: loss rates up to 20%,
@@ -263,10 +317,16 @@ pub fn e12_scenarios() -> Vec<NetScenario> {
 pub fn run_e12(seeds: u64) -> (Table, Vec<E12Cell>) {
     let (n, t) = (6usize, 2usize);
     let scenarios = e12_scenarios();
-    let cells: Vec<E12Cell> = scenarios
+    let mut cells: Vec<E12Cell> = scenarios
         .par_iter()
         .map(|s| e12_cell(s, n, t, seeds))
         .collect();
+    // The real-wire byte reference runs sequentially after the sweep:
+    // each eligible run spawns n OS processes, which would fight the
+    // rayon pool for cores.
+    for (cell, scenario) in cells.iter_mut().zip(&scenarios) {
+        cell.udp_wire_bytes = e12_udp_bytes(scenario, n, t, seeds);
+    }
     let mut table = Table::new(
         "E12 — the §5 protocol over a faulty network (channels emulated by \
          sfs-transport, suspicions endogenous via heartbeat probing)",
@@ -282,6 +342,7 @@ pub fn run_e12(seeds: u64) -> (Table, Vec<E12Cell>) {
             "det lat",
             "frames/run",
             "bytes/run",
+            "udp B/run",
             "bytes/det",
             "drop/run",
             "dup/run",
@@ -302,6 +363,8 @@ pub fn run_e12(seeds: u64) -> (Table, Vec<E12Cell>) {
             format!("{:.0}", c.detect_latency),
             format!("{:.0}", c.frames),
             format!("{:.0}", c.wire_bytes),
+            c.udp_wire_bytes
+                .map_or_else(|| "-".to_owned(), |b| format!("{b:.0}")),
             format!("{:.0}", c.bytes_per_detection),
             format!("{:.0}", c.dropped),
             format!("{:.1}", c.duplicated),
@@ -319,7 +382,10 @@ pub fn run_e12(seeds: u64) -> (Table, Vec<E12Cell>) {
          frames resent against the link. bytes/run charges every sent frame its real \
          encoded datagram size (sfs-wire header + body) on the sender's side; bytes/det \
          divides the cell's total bytes by its detection events — the cost of one \
-         failure notification, comparable to the UDP backend's accounting.",
+         failure notification, comparable to the UDP backend's accounting. udp B/run \
+         re-runs the crash-expressible scenarios on the real UDP wire (one OS process \
+         per node) and sums the per-node byte ledgers from the control protocol's \
+         Status frames — the same wire_cost ruler, measured on real datagrams.",
     );
     (table, cells)
 }

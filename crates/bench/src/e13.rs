@@ -85,6 +85,10 @@ pub struct E13Cell {
     pub rescued_ops: u64,
     /// Shard-exhaustion events across runs (shards marked degraded).
     pub degraded: usize,
+    /// Issue→completion latency of every completed client op across all
+    /// runs, from the telemetry registries' log-bucket histograms (the
+    /// merge is element-wise, so folding per run loses nothing).
+    pub op_hist: sfs_obs::LogHistogram,
 }
 
 impl E13Cell {
@@ -97,6 +101,13 @@ impl E13Cell {
     /// failure-detection work.
     pub fn msgs_per_detection(&self) -> f64 {
         self.frames as f64 / self.detections.max(1) as f64
+    }
+
+    /// 99th-percentile client-op latency (ticks) across every run of
+    /// the cell — how much the chaos (and the timeout discipline riding
+    /// it) cost the served load's tail.
+    pub fn op_p99(&self) -> u64 {
+        self.op_hist.p99()
     }
 }
 
@@ -137,7 +148,28 @@ fn ingest(cell: &mut E13Cell, report: &ServiceReport) {
         note_trace(trace);
         cell.shard_runs += 1;
         let h = History::from_trace(trace);
-        all_ok &= properties::suite_ok(&properties::check_sfs_suite(&h, true));
+        let reports = properties::check_sfs_suite(&h, true);
+        let ok = properties::suite_ok(&reports);
+        if !ok {
+            // Black-box postmortem: when SFS_FLIGHT_DIR is set, dump the
+            // failed verdicts and the tail of the offending shard trace.
+            let mut body = format!(
+                "E13 certification failure: n={} shard={} adaptive={}\n",
+                report.total, s.shard, cell.adaptive
+            );
+            for r in &reports {
+                body.push_str(&format!("{}: {:?}\n", r.property, r.verdict));
+            }
+            body.push_str(&sfs_obs::flight::trace_tail(trace, 64));
+            sfs_obs::flight::dump_to_dir(
+                &format!(
+                    "e13-cert-n{}-shard{}-run{}",
+                    report.total, s.shard, cell.runs
+                ),
+                &body,
+            );
+        }
+        all_ok &= ok;
         cell.kills += trace.crashed().len();
         cell.detections += trace.detections().len();
         cell.frames += trace.stats().messages_sent;
@@ -163,6 +195,7 @@ fn ingest(cell: &mut E13Cell, report: &ServiceReport) {
         }
     }
     cell.suite_ok += usize::from(all_ok);
+    cell.op_hist.merge(&report.op_latency_hist());
     cell.ops_completed += report.ops_completed();
     cell.rescued_ops += report.epochs.iter().map(|e| e.rescued_ops).sum::<u64>();
     cell.degraded += report.exhausted.len();
@@ -190,6 +223,7 @@ pub fn e13_cell(n: usize, adaptive: bool, seeds: u64) -> E13Cell {
         ops_completed: 0,
         rescued_ops: 0,
         degraded: 0,
+        op_hist: sfs_obs::LogHistogram::new(),
     };
     for report in &reports {
         ingest(&mut cell, report);
@@ -218,6 +252,7 @@ pub fn run_e13(seeds: u64) -> (Table, Vec<E13Cell>) {
             "kills",
             "f-susp/run",
             "msgs/det",
+            "op p99",
             "ops done",
             "rescued",
             "degraded",
@@ -233,6 +268,7 @@ pub fn run_e13(seeds: u64) -> (Table, Vec<E13Cell>) {
             c.kills.to_string(),
             format!("{:.1}", c.false_susp_rate()),
             format!("{:.0}", c.msgs_per_detection()),
+            c.op_p99().to_string(),
             c.ops_completed.to_string(),
             c.rescued_ops.to_string(),
             c.degraded.to_string(),
@@ -244,7 +280,9 @@ pub fn run_e13(seeds: u64) -> (Table, Vec<E13Cell>) {
          suspicions of still-live targets (the delay storm pushes the heartbeat gap past \
          the fixed 100-tick timeout, while the adaptive prober, trained by the earlier \
          sub-timeout flap, rides it out); degraded counts shards that exhausted their \
-         budget and were shed by the directory, their stranded ops rescued onto donors.",
+         budget and were shed by the directory, their stranded ops rescued onto donors. \
+         op p99 is the 99th-percentile client-op latency (ticks) from the telemetry \
+         registries' log-bucket histograms, merged across every seed.",
     );
     (table, cells)
 }
@@ -269,6 +307,7 @@ mod tests {
                 if c.adaptive { "adaptive" } else { "fixed" }
             );
             assert!(c.ops_completed > 0);
+            assert!(c.op_p99() > 0, "op latencies flowed through the registry");
         }
         assert!(
             fixed.false_suspicions >= fixed.shards,

@@ -1079,6 +1079,18 @@ pub fn run_e10(budget: u64) -> (Table, E10Summary) {
                     .push(format!("{}: {}", instance.label, d));
             }
         }
+        if !out.agreement() {
+            // Black-box postmortem: when SFS_FLIGHT_DIR is set, leave a
+            // per-instance dump of every divergence next to the CI
+            // artifacts before the binary exits nonzero.
+            let mut body = format!("E10 divergence on instance \"{}\"\n", instance.label);
+            for backend in &out.backends {
+                for d in &backend.divergences {
+                    body.push_str(&format!("{}: {d}\n", backend.backend));
+                }
+            }
+            sfs_obs::flight::dump_to_dir(&format!("e10-divergence-{}", instance.label), &body);
+        }
         summary.divergences += out.divergences().count();
         summary.runs += out.total_runs();
         let runs: Vec<String> = out.backends.iter().map(|b| b.runs.to_string()).collect();

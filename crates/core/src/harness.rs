@@ -12,8 +12,8 @@ use crate::protocol::SfsProcess;
 use crate::quorum::{QuorumError, QuorumPolicy};
 use sfs_asys::net::{Runtime, RuntimeConfig};
 use sfs_asys::{
-    CrashRegistry, FaultPlan, FaultyLink, LatencyError, LinkModel, PartitionSchedule, ProcessId,
-    Sim, StormSchedule, Trace, UniformLatency, VirtualTime,
+    CrashRegistry, FaultPlan, FaultyLink, LatencyError, LinkModel, ObsHandle, PartitionSchedule,
+    ProcessId, Sim, StormSchedule, Trace, UniformLatency, VirtualTime,
 };
 use sfs_transport::{
     AdaptiveConfig, ArqConfig, ProbeConfig, Reliable, TransportError, TransportMsg,
@@ -226,6 +226,12 @@ pub struct ClusterSpec {
     /// Ignored by the bare (`run`/`run_threaded`/...) legs, which assume
     /// the §2 channel axioms directly.
     pub net: Option<NetSpec>,
+    /// Telemetry sink threaded into whichever engine the spec runs on
+    /// (the simulator's dispatch seams or the threaded router's). Strictly
+    /// execution-neutral — the `obs_equiv` conformance suite pins that an
+    /// observed run is fingerprint-identical to a bare one. `None` (the
+    /// default) costs nothing.
+    pub obs: Option<ObsHandle>,
 }
 
 impl ClusterSpec {
@@ -247,7 +253,15 @@ impl ClusterSpec {
             suspicions: Vec::new(),
             batch: false,
             net: None,
+            obs: None,
         }
+    }
+
+    /// Installs a telemetry sink (e.g. an `sfs-obs` registry handle or a
+    /// flight-recorder fanout) on whichever engine the spec runs on.
+    pub fn observe(mut self, obs: ObsHandle) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Installs the network description for the `*_net` legs (see
@@ -563,6 +577,10 @@ impl ClusterSpec {
             // model-level events.
             .classify(|m: &SfsMsg<A::Msg>| !m.is_app())
             .faults(self.fault_plan());
+        let builder = match &self.obs {
+            Some(obs) => builder.observe(obs.clone()),
+            None => builder,
+        };
         let registry = builder.crash_registry();
         Ok(builder.build(|pid| {
             let config = self.sfs_config(&registry);
@@ -625,6 +643,7 @@ impl ClusterSpec {
             record_payloads: false,
             classify: Some(Box::new(|m: &SfsMsg<A::Msg>| !m.is_app())),
             measure: None,
+            obs: self.obs.clone(),
             registry: Some(registry.clone()),
             batch: self.batch,
             faults: self.fault_plan::<A::Msg>(),
@@ -820,6 +839,10 @@ impl ClusterSpec {
             // alphabet is reconstructed from the wrapper's logical events.
             .classify(|_| true)
             .faults(self.fault_plan_net());
+        let builder = match &self.obs {
+            Some(obs) => builder.observe(obs.clone()),
+            None => builder,
+        };
         let builder = tune(builder);
         let registry = builder.crash_registry();
         Ok(builder.build(|pid| Box::new(self.wrap_process(&net, &registry, make_app(pid)))))
@@ -862,6 +885,31 @@ impl ClusterSpec {
     /// Whatever [`ClusterSpec::validate`] reports ([`SpecError`]).
     pub fn try_spawn_net_runtime<A, F>(
         &self,
+        make_app: F,
+    ) -> Result<Runtime<TransportMsg<SfsMsg<A::Msg>>>, SpecError>
+    where
+        A: Application + Send + 'static,
+        A::Msg: Send,
+        F: FnMut(ProcessId) -> A,
+    {
+        self.try_spawn_net_runtime_measured(None, make_app)
+    }
+
+    /// [`ClusterSpec::try_spawn_net_runtime`] with an optional wire-byte
+    /// measure, the threaded mirror of the simulator's
+    /// `SimBuilder::measure` tuning in
+    /// [`ClusterSpec::try_run_net_measured`](crate::udp): every sent
+    /// frame is charged `measure(frame)` bytes to
+    /// [`SimStats::wire_bytes`](sfs_asys::SimStats), making the threaded
+    /// leg's byte accounting directly comparable to the simulator's and
+    /// the UDP backend's.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ClusterSpec::validate`] reports ([`SpecError`]).
+    pub fn try_spawn_net_runtime_measured<A, F>(
+        &self,
+        measure: Option<sfs_asys::net::Measure<TransportMsg<SfsMsg<A::Msg>>>>,
         mut make_app: F,
     ) -> Result<Runtime<TransportMsg<SfsMsg<A::Msg>>>, SpecError>
     where
@@ -878,7 +926,8 @@ impl ClusterSpec {
             link: Some(Box::new(self.link_model()?)),
             record_payloads: false,
             classify: Some(Box::new(|_: &TransportMsg<SfsMsg<A::Msg>>| true)),
-            measure: None,
+            measure,
+            obs: self.obs.clone(),
             registry: Some(registry.clone()),
             batch: self.batch,
             faults: self.fault_plan_net::<A::Msg>(),

@@ -471,6 +471,25 @@ impl ClusterSpec {
     /// [`UdpError::NodeBinary`]/[`UdpError::Io`] for spawn and socket
     /// failures.
     pub fn try_run_udp(&self, settle: Duration) -> Result<(Trace, bool), SpecError> {
+        let run = self.try_run_udp_full(settle)?;
+        Ok((run.trace, run.quiesced))
+    }
+
+    /// [`ClusterSpec::try_run_udp`] returning the full
+    /// [`UdpRun`](sfs_wire::UdpRun) — trace, quiescence verdict, and each
+    /// node's final [`NodeStatus`](sfs_wire::NodeStatus) wire accounting
+    /// (the per-node, per-message-class counters `sfs-obs` folds into a
+    /// `RunReport`).
+    ///
+    /// When the control channel misses quiescence and the run ends at its
+    /// deadline ([`MaxTime`](sfs_asys::StopReason::MaxTime)), a flight
+    /// dump (trace tail plus per-node counters) is written under
+    /// `SFS_FLIGHT_DIR`, if that variable names a directory.
+    ///
+    /// # Errors
+    ///
+    /// As [`ClusterSpec::try_run_udp`].
+    pub fn try_run_udp_full(&self, settle: Duration) -> Result<sfs_wire::UdpRun, SpecError> {
         self.validate()?;
         if matches!(self.mode, ModeSpec::Oracle) {
             return Err(UdpError::OracleUnsupported.into());
@@ -533,7 +552,14 @@ impl ClusterSpec {
         let cluster = ClusterConfig::new(self.n, settle);
         let run = run_cluster(&cluster, commands, &faults)
             .map_err(|e| SpecError::from(UdpError::Io(e.to_string())))?;
-        Ok((run.trace, run.quiesced))
+        if run.trace.stop_reason() == sfs_asys::StopReason::MaxTime {
+            let mut body = sfs_obs::flight::trace_tail(&run.trace, 64);
+            for (pid, status) in run.node_status.iter().enumerate() {
+                body.push_str(&format!("node p{pid}: {status:?}\n"));
+            }
+            sfs_obs::flight::dump_to_dir(&format!("udp-maxtime-seed{}", self.seed), &body);
+        }
+        Ok(run)
     }
 
     /// [`ClusterSpec::try_run_net`] with the wire-byte measure
@@ -553,6 +579,29 @@ impl ClusterSpec {
             |_| NullApp,
         )?;
         Ok(sim.run())
+    }
+
+    /// The threaded-runtime twin of
+    /// [`ClusterSpec::try_run_net_measured`]: the same wire-byte measure
+    /// ([`sfs_wire::wire_cost`]) on the router's send seam, so all three
+    /// in-process engines account bytes with one ruler. Returns the trace
+    /// and whether the run quiesced.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`ClusterSpec::validate`] reports ([`SpecError`]).
+    pub fn try_run_threaded_net_measured(
+        &self,
+        settle: std::time::Duration,
+    ) -> Result<(Trace, bool), SpecError> {
+        let rt = self.try_spawn_net_runtime_measured(
+            Some(Box::new(|m: &TransportMsg<SfsMsg<()>>| {
+                sfs_wire::wire_cost(m)
+            })),
+            |_| NullApp,
+        )?;
+        let quiesced = rt.drain(settle);
+        Ok((rt.shutdown(), quiesced))
     }
 }
 

@@ -1,0 +1,81 @@
+//! `sfs-trace-export` — convert a saved trace (the `trace_json`
+//! interchange format any engine can dump) into Chrome trace-event JSON
+//! for Perfetto / `chrome://tracing`.
+//!
+//! ```text
+//! sfs-trace-export <trace.json | -> [-o out.json] [--report]
+//! ```
+//!
+//! `-` reads the trace from stdin; without `-o` the Chrome JSON goes to
+//! stdout. `--report` additionally prints (to stderr) the metrics table
+//! re-derived from the trace's execution-neutral annotations — detection
+//! and suspicion latency, retransmission totals, RTO evolution.
+
+use sfs_obs::chrome::chrome_trace;
+use sfs_obs::trace_json::trace_from_json;
+use sfs_obs::Registry;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn run() -> Result<(), String> {
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut report = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" | "--output" => {
+                output = Some(args.next().ok_or("-o needs a path")?);
+            }
+            "--report" => report = true,
+            "-h" | "--help" => {
+                eprintln!("usage: sfs-trace-export <trace.json | -> [-o out.json] [--report]");
+                return Ok(());
+            }
+            _ if input.is_none() => input = Some(arg),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let input = input.ok_or("usage: sfs-trace-export <trace.json | -> [-o out.json] [--report]")?;
+
+    let text = if input == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(&input).map_err(|e| format!("reading {input}: {e}"))?
+    };
+
+    let trace = trace_from_json(&text).map_err(|e| format!("parsing {input}: {e}"))?;
+    let doc = chrome_trace(&trace);
+    match &output {
+        Some(path) => {
+            std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {} events ({} bytes) to {path}",
+                trace.events().len(),
+                doc.len()
+            );
+        }
+        None => println!("{doc}"),
+    }
+
+    if report {
+        let reg = Registry::new("trace");
+        reg.ingest_trace(&trace);
+        eprint!("{}", reg.report().to_table());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sfs-trace-export: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

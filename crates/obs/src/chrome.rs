@@ -1,0 +1,260 @@
+//! Causal span export: [`Trace`] → Chrome trace-event JSON.
+//!
+//! The emitted document loads directly in Perfetto (ui.perfetto.dev) or
+//! `chrome://tracing`: one process, one thread track per simulated
+//! process, virtual ticks rendered as microseconds. Mapping:
+//!
+//! * `Send` / `Recv` / `TimerFired` / `External` → instant events on the
+//!   acting process's track;
+//! * `Crash` → an instant plus a track-wide marker;
+//! * `Failed { by, of }` → an instant on `by`'s track **and**, when the
+//!   victim's crash is in the trace, a `detect p<of>` duration slice on
+//!   `by`'s track spanning crash → detection — the detection-latency
+//!   span the paper's FS2 analysis is about;
+//! * notes with key [`metrics::SPAN_BEGIN`] / [`metrics::SPAN_END`] →
+//!   native `B`/`E` slices (the execution-neutral span vocabulary used
+//!   for detection rounds, epoch phases, and quiescence handshakes);
+//! * every other note → an instant named `key=val`.
+//!
+//! All export happens post-run on an immutable trace, so it cannot
+//! perturb execution by construction.
+
+use crate::json;
+use crate::metrics;
+use sfs_asys::{Note, Trace, TraceEventKind};
+use std::fmt::Write as _;
+
+/// Converts `trace` into a Chrome trace-event JSON document.
+pub fn chrome_trace(trace: &Trace) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |ev: String, out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push_str(&ev);
+    };
+
+    // Thread-name metadata: one named track per process.
+    for pid in 0..trace.n() {
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{pid},\"args\":{{\"name\":\"p{pid}\"}}}}"
+            ),
+            &mut out,
+        );
+    }
+
+    // Crash times, for detection spans.
+    let mut crash_at: Vec<Option<u64>> = vec![None; trace.n()];
+    for e in trace.events() {
+        if let TraceEventKind::Crash { pid } = e.kind {
+            if crash_at[pid.index()].is_none() {
+                crash_at[pid.index()] = Some(e.time.ticks());
+            }
+        }
+    }
+
+    for e in trace.events() {
+        let ts = e.time.ticks();
+        match &e.kind {
+            TraceEventKind::Send {
+                from,
+                to,
+                msg,
+                infra,
+                ..
+            } => {
+                push(
+                    instant(
+                        &format!("send\u{2192}p{}", to.index()),
+                        ts,
+                        from.index(),
+                        &format!(
+                            "{{\"msg\":\"{}#{}\",\"infra\":{infra}}}",
+                            msg.source(),
+                            msg.seq()
+                        ),
+                    ),
+                    &mut out,
+                );
+            }
+            TraceEventKind::Recv {
+                by,
+                from,
+                msg,
+                infra,
+                ..
+            } => {
+                push(
+                    instant(
+                        &format!("recv\u{2190}p{}", from.index()),
+                        ts,
+                        by.index(),
+                        &format!(
+                            "{{\"msg\":\"{}#{}\",\"infra\":{infra}}}",
+                            msg.source(),
+                            msg.seq()
+                        ),
+                    ),
+                    &mut out,
+                );
+            }
+            TraceEventKind::Crash { pid } => {
+                push(instant("crash", ts, pid.index(), "{}"), &mut out);
+            }
+            TraceEventKind::Failed { by, of } => {
+                push(
+                    instant(&format!("failed(p{})", of.index()), ts, by.index(), "{}"),
+                    &mut out,
+                );
+                if let Some(crashed) = crash_at[of.index()] {
+                    if crashed <= ts {
+                        push(
+                            format!(
+                                "{{\"ph\":\"X\",\"name\":\"detect p{}\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{}}}",
+                                of.index(),
+                                by.index(),
+                                crashed,
+                                ts - crashed
+                            ),
+                            &mut out,
+                        );
+                    }
+                }
+            }
+            TraceEventKind::TimerFired { pid, timer } => {
+                push(
+                    instant(
+                        "timer",
+                        ts,
+                        pid.index(),
+                        &format!("{{\"id\":{}}}", timer.raw()),
+                    ),
+                    &mut out,
+                );
+            }
+            TraceEventKind::External { pid, .. } => {
+                push(instant("external", ts, pid.index(), "{}"), &mut out);
+            }
+            TraceEventKind::Note { pid, note } => match note {
+                Note::KeyVal { key, val } if key == metrics::SPAN_BEGIN => {
+                    let mut name = String::new();
+                    json::write_str(&mut name, val);
+                    push(
+                        format!(
+                            "{{\"ph\":\"B\",\"name\":{name},\"pid\":0,\"tid\":{},\"ts\":{ts}}}",
+                            pid.index()
+                        ),
+                        &mut out,
+                    );
+                }
+                Note::KeyVal { key, val } if key == metrics::SPAN_END => {
+                    let mut name = String::new();
+                    json::write_str(&mut name, val);
+                    push(
+                        format!(
+                            "{{\"ph\":\"E\",\"name\":{name},\"pid\":0,\"tid\":{},\"ts\":{ts}}}",
+                            pid.index()
+                        ),
+                        &mut out,
+                    );
+                }
+                note => {
+                    push(instant(&note.to_string(), ts, pid.index(), "{}"), &mut out);
+                }
+            },
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn instant(name: &str, ts: u64, tid: usize, args: &str) -> String {
+    let mut quoted = String::new();
+    json::write_str(&mut quoted, name);
+    let mut ev = String::new();
+    let _ = write!(
+        ev,
+        "{{\"ph\":\"i\",\"s\":\"t\",\"name\":{quoted},\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"args\":{args}}}"
+    );
+    ev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use sfs_asys::{MsgId, ProcessId, SimStats, StopReason, TraceEvent, VirtualTime};
+
+    #[test]
+    fn export_parses_and_contains_detection_span() {
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        let t = |k| VirtualTime::from_ticks(k);
+        let events = vec![
+            TraceEvent {
+                seq: 0,
+                time: t(1),
+                kind: TraceEventKind::Send {
+                    from: p0,
+                    to: p1,
+                    msg: MsgId::new(p0, 0),
+                    infra: false,
+                    payload: None,
+                },
+            },
+            TraceEvent {
+                seq: 1,
+                time: t(5),
+                kind: TraceEventKind::Crash { pid: p1 },
+            },
+            TraceEvent {
+                seq: 2,
+                time: t(40),
+                kind: TraceEventKind::Failed { by: p0, of: p1 },
+            },
+            TraceEvent {
+                seq: 3,
+                time: t(41),
+                kind: TraceEventKind::Note {
+                    pid: p0,
+                    note: Note::key_val(metrics::SPAN_BEGIN, "epoch-1"),
+                },
+            },
+            TraceEvent {
+                seq: 4,
+                time: t(50),
+                kind: TraceEventKind::Note {
+                    pid: p0,
+                    note: Note::key_val(metrics::SPAN_END, "epoch-1"),
+                },
+            },
+        ];
+        let trace = Trace::from_parts(2, events, StopReason::MaxTime, t(50), SimStats::default());
+        let doc = chrome_trace(&trace);
+        let parsed = Json::parse(&doc).expect("chrome JSON must parse");
+        let evs = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert!(!evs.is_empty());
+        let find = |ph: &str, name_part: &str| {
+            evs.iter().any(|e| {
+                e.get("ph").and_then(Json::as_str) == Some(ph)
+                    && e.get("name")
+                        .and_then(Json::as_str)
+                        .is_some_and(|n| n.contains(name_part))
+            })
+        };
+        assert!(find("X", "detect p1"), "missing detection span");
+        assert!(
+            find("B", "epoch-1") && find("E", "epoch-1"),
+            "missing phase span"
+        );
+        assert!(find("i", "crash"), "missing crash instant");
+        // The detection span's duration is crash→failed.
+        let span = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(span.get("dur").unwrap().as_u64(), Some(35));
+    }
+}

@@ -1,0 +1,303 @@
+//! Log-bucketed histograms: quantiles without stored samples.
+//!
+//! A [`LogHistogram`] spends a fixed 496 `u64` buckets to answer
+//! p50/p95/p99/max queries over any stream of `u64` samples with bounded
+//! relative error. Values `0..=15` get exact unit buckets; larger values
+//! land in octave buckets split into 8 sub-buckets each (the value's top
+//! three bits after the leading one), so a reported quantile overstates
+//! the true sample by at most one sub-bucket width — a relative error of
+//! at most 1/8 = 12.5%, usually far less. The maximum is tracked exactly.
+//!
+//! Merging is element-wise addition and therefore associative and
+//! commutative — the property that lets per-shard and per-process
+//! registries collapse into one [`RunReport`](crate::RunReport) in any
+//! order. The `hist` unit tests and the `sfs-obs` property suite pin
+//! bucket boundaries, merge associativity, and the quantile error bound.
+
+/// Number of exact unit buckets (values `0..=EXACT-1` map to themselves).
+const EXACT: usize = 16;
+/// Sub-buckets per octave: top `SUB_BITS` bits after the leading one.
+const SUB_BITS: u32 = 3;
+const SUBS: usize = 1 << SUB_BITS;
+/// Octaves covered: values `16..=u64::MAX` span octaves 4..=63.
+const OCTAVES: usize = 60;
+/// Total bucket count.
+const BUCKETS: usize = EXACT + OCTAVES * SUBS;
+
+/// A fixed-size log-bucketed histogram over `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use sfs_obs::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// assert_eq!(h.max(), 1000);
+/// let p50 = h.quantile(0.50);
+/// assert!((450..=563).contains(&p50), "p50={p50}");
+/// ```
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("max", &self.max)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: Box::new([0; BUCKETS]),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index `value` falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        if value < EXACT as u64 {
+            return value as usize;
+        }
+        let octave = 63 - value.leading_zeros(); // >= 4
+        let sub = (value >> (octave - SUB_BITS)) & (SUBS as u64 - 1);
+        EXACT + (octave as usize - 4) * SUBS + sub as usize
+    }
+
+    /// The largest value mapping to bucket `idx` — what quantile queries
+    /// report, making them conservative (never under the true sample).
+    pub fn bucket_upper(idx: usize) -> u64 {
+        if idx < EXACT {
+            return idx as u64;
+        }
+        let octave = 4 + ((idx - EXACT) / SUBS) as u32;
+        let sub = ((idx - EXACT) % SUBS) as u64;
+        let width = 1u64 << (octave - SUB_BITS);
+        // Lowest value of the octave, plus (sub+1) sub-bucket widths,
+        // minus one; the topmost bucket's bound overflows 2^64 and pins
+        // to u64::MAX.
+        match (1u64 << octave).checked_add((sub + 1).saturating_mul(width)) {
+            Some(v) => v - 1,
+            None => u64::MAX,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the upper bound of the bucket
+    /// holding the sample of that rank, clamped to the exact maximum.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based: ceil(q * count), at least 1.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`LogHistogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds `other` into `self` (element-wise bucket addition, so merge
+    /// order never matters).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl PartialEq for LogHistogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count
+            && self.sum == other.sum
+            && self.max == other.max
+            && self.counts[..] == other.counts[..]
+    }
+}
+impl Eq for LogHistogram {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_buckets_are_exact() {
+        for v in 0..EXACT as u64 {
+            assert_eq!(LogHistogram::bucket_index(v), v as usize);
+            assert_eq!(LogHistogram::bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_are_monotone_and_cover() {
+        // Every bucket's upper bound is at least as large as any value in
+        // it, and bucket indices are monotone in the value.
+        let mut prev_idx = 0usize;
+        for &v in &[
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            100,
+            1000,
+            65_535,
+            65_536,
+            1 << 40,
+            u64::MAX,
+        ] {
+            let idx = LogHistogram::bucket_index(v);
+            assert!(idx >= prev_idx, "index not monotone at {v}");
+            assert!(
+                LogHistogram::bucket_upper(idx) >= v,
+                "upper({idx}) = {} < {v}",
+                LogHistogram::bucket_upper(idx)
+            );
+            prev_idx = idx;
+        }
+        assert!(LogHistogram::bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // The reported bucket upper bound overstates the sample by at
+        // most one sub-bucket width: (upper - v) / v <= 1/8.
+        for shift in 4..63u32 {
+            for off in [0u64, 1, 7, 1 << (shift - 1)] {
+                let v = (1u64 << shift) + off;
+                let upper = LogHistogram::bucket_upper(LogHistogram::bucket_index(v));
+                assert!(upper >= v);
+                let err = (upper - v) as f64 / v as f64;
+                assert!(err <= 0.125, "err {err} at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_track_a_uniform_stream() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, want) in [(0.5, 5_000u64), (0.95, 9_500), (0.99, 9_900)] {
+            let got = h.quantile(q);
+            assert!(got >= want, "q{q}: {got} < {want}");
+            assert!(
+                got as f64 <= want as f64 * 1.125 + 1.0,
+                "q{q}: {got} overshoots {want}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 10_000);
+        assert_eq!(h.max(), 10_000);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |lo: u64, hi: u64| {
+            let mut h = LogHistogram::new();
+            for v in lo..hi {
+                h.record(v * v % 7919);
+            }
+            h
+        };
+        let (a, b, c) = (mk(0, 100), mk(100, 300), mk(300, 1000));
+        // (a + b) + c == a + (b + c)
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        // a + b == b + a
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab_c.count(), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+    }
+}

@@ -1,0 +1,381 @@
+//! The metrics registry: an [`ObsSink`] that aggregates engine-emitted
+//! facts into typed instruments keyed by `(node, shard, message-class,
+//! name)`.
+//!
+//! One registry serves one engine run (or one rayon shard of one); the
+//! per-shard registries then collapse into a single
+//! [`RunReport`](crate::RunReport) via [`Registry::report`] +
+//! [`RunReport::merge`](crate::RunReport::merge) — an order-insensitive
+//! fold, because counters add, gauges take the latest-by-max, and the
+//! log-bucket histograms merge element-wise.
+//!
+//! Engines that cannot host a sink in their hot path (the transport
+//! wrappers run *inside* processes, the UDP nodes in other OS processes)
+//! are covered by [`Registry::ingest_trace`], which re-derives transport
+//! metrics — retransmission bursts, RTO evolution, suspicion and
+//! detection latency — from the execution-neutral annotations those
+//! layers already leave in the [`Trace`].
+
+use crate::hist::LogHistogram;
+use crate::metrics;
+use sfs_asys::{MsgClass, ObsEvent, ObsHandle, ObsSink, Trace, TraceEventKind, VirtualTime};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// The identity of one instrument in a registry or report.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (see [`crate::metrics`]).
+    pub name: String,
+    /// Shard the sample came from (0 for unsharded engines).
+    pub shard: u32,
+    /// Process the sample is attributed to.
+    pub node: u32,
+    /// Message-class attribution.
+    pub class: MsgClass,
+}
+
+/// One aggregated instrument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Metric {
+    /// A monotonic counter.
+    Counter(u64),
+    /// A last-write-wins gauge (merged by max).
+    Gauge(u64),
+    /// A log-bucketed histogram.
+    Hist(LogHistogram),
+}
+
+impl Metric {
+    /// Folds `other` into `self`; shape mismatches keep `self`'s shape
+    /// and fold what they can (counters/gauges add/max their scalars).
+    pub fn merge(&mut self, other: &Metric) {
+        match (self, other) {
+            (Metric::Counter(a), Metric::Counter(b)) => *a += b,
+            (Metric::Gauge(a), Metric::Gauge(b)) => *a = (*a).max(*b),
+            (Metric::Hist(a), Metric::Hist(b)) => a.merge(b),
+            (Metric::Counter(a), Metric::Gauge(b)) | (Metric::Gauge(a), Metric::Counter(b)) => {
+                *a = (*a).max(*b)
+            }
+            (Metric::Hist(a), Metric::Counter(b)) | (Metric::Hist(a), Metric::Gauge(b)) => {
+                a.record(*b)
+            }
+            (Metric::Counter(a), Metric::Hist(b)) | (Metric::Gauge(a), Metric::Hist(b)) => {
+                *a += b.count()
+            }
+        }
+    }
+}
+
+/// A thread-safe metrics registry; implements [`ObsSink`] so engines can
+/// feed it through [`SimBuilder::observe`](sfs_asys::SimBuilder) or
+/// `RuntimeConfig::obs`.
+#[derive(Debug)]
+pub struct Registry {
+    engine: String,
+    shard: u32,
+    inner: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+impl Registry {
+    /// A fresh registry for the named engine (`"sim"`, `"threaded"`,
+    /// `"transport"`, `"udp"`).
+    pub fn new(engine: impl Into<String>) -> Arc<Self> {
+        Self::for_shard(engine, 0)
+    }
+
+    /// A fresh registry labelled with a shard index, for sharded sweeps
+    /// whose per-shard reports merge afterwards.
+    pub fn for_shard(engine: impl Into<String>, shard: u32) -> Arc<Self> {
+        Arc::new(Registry {
+            engine: engine.into(),
+            shard,
+            inner: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// An [`ObsHandle`] feeding this registry, for engine builders.
+    pub fn handle(self: &Arc<Self>) -> ObsHandle {
+        ObsHandle::new(self.clone() as Arc<dyn ObsSink>)
+    }
+
+    fn key(&self, node: u32, class: MsgClass, name: &str) -> MetricKey {
+        MetricKey {
+            name: name.to_owned(),
+            shard: self.shard,
+            node,
+            class,
+        }
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn add(&self, node: u32, class: MsgClass, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        match inner
+            .entry(self.key(node, class, name))
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += delta,
+            other => other.merge(&Metric::Counter(delta)),
+        }
+    }
+
+    /// Sets a gauge.
+    pub fn set(&self, node: u32, class: MsgClass, name: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        inner.insert(self.key(node, class, name), Metric::Gauge(value));
+    }
+
+    /// Records a histogram sample.
+    pub fn observe(&self, node: u32, class: MsgClass, name: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        match inner
+            .entry(self.key(node, class, name))
+            .or_insert_with(|| Metric::Hist(LogHistogram::new()))
+        {
+            Metric::Hist(h) => h.record(value),
+            other => {
+                let mut h = LogHistogram::new();
+                h.record(value);
+                other.merge(&Metric::Hist(h));
+            }
+        }
+    }
+
+    /// Snapshots this registry into a report (the registry keeps
+    /// accumulating; the snapshot is independent).
+    pub fn report(&self) -> crate::RunReport {
+        let inner = self.inner.lock().expect("registry poisoned");
+        crate::RunReport::from_rows(self.engine.clone(), inner.clone())
+    }
+
+    /// Folds the UDP backend's per-node wire accounting — the
+    /// [`NodeStatus`](sfs_wire::NodeStatus) counters piggybacked on the
+    /// control protocol's Status/Dump frames — into this registry, with
+    /// the app/infra message-class split the node loop tracks per send
+    /// and per delivery.
+    pub fn ingest_node_status(&self, statuses: &[sfs_wire::NodeStatus]) {
+        for (pid, s) in statuses.iter().enumerate() {
+            let node = pid as u32;
+            self.add(node, MsgClass::App, metrics::SENT, s.app_sent);
+            self.add(
+                node,
+                MsgClass::Infra,
+                metrics::SENT,
+                s.sent.saturating_sub(s.app_sent),
+            );
+            self.add(node, MsgClass::App, metrics::DELIVERED, s.app_delivered);
+            self.add(
+                node,
+                MsgClass::Infra,
+                metrics::DELIVERED,
+                s.delivered.saturating_sub(s.app_delivered),
+            );
+            self.add(node, MsgClass::None, metrics::DROPPED, s.dropped);
+            self.add(node, MsgClass::None, metrics::DUPLICATED, s.duplicated);
+            self.add(node, MsgClass::None, metrics::TO_CRASHED, s.to_crashed);
+            self.add(node, MsgClass::None, metrics::WIRE_BYTES, s.wire_bytes);
+            self.add(node, MsgClass::None, metrics::CRASHES, u64::from(s.halted));
+        }
+    }
+
+    /// Re-derives transport-layer metrics from the execution-neutral
+    /// annotations a finished run left in its trace:
+    ///
+    /// * `retx` notes (one per retransmission burst, value = burst size)
+    ///   → the [`metrics::RETX`] counter, attributed to the annotating
+    ///   node as infrastructure traffic;
+    /// * `rto` notes (current retransmission timeout in ticks) → the
+    ///   [`metrics::RTO_TICKS`] histogram — the RTO's evolution over the
+    ///   run;
+    /// * `probe-suspect` notes naming a previously crashed victim → the
+    ///   [`metrics::SUSPICION_LATENCY`] histogram (crash → first
+    ///   suspicion, in ticks);
+    /// * `Failed` events for a previously crashed victim → the
+    ///   [`metrics::DETECTION_LATENCY`] histogram (crash → detection, in
+    ///   ticks).
+    ///
+    /// Works uniformly on traces from all four engines, since all of
+    /// them record the same note/event vocabulary.
+    pub fn ingest_trace(&self, trace: &Trace) {
+        let mut crash_at: BTreeMap<u32, VirtualTime> = BTreeMap::new();
+        let mut suspected: BTreeMap<(u32, u32), ()> = BTreeMap::new();
+        for e in trace.events() {
+            match &e.kind {
+                TraceEventKind::Crash { pid } => {
+                    crash_at.entry(pid.index() as u32).or_insert(e.time);
+                }
+                TraceEventKind::Failed { by, of } => {
+                    if let Some(&at) = crash_at.get(&(of.index() as u32)) {
+                        self.observe(
+                            by.index() as u32,
+                            MsgClass::None,
+                            metrics::DETECTION_LATENCY,
+                            e.time.ticks().saturating_sub(at.ticks()),
+                        );
+                    }
+                }
+                TraceEventKind::Note { pid, note } => {
+                    let sfs_asys::Note::KeyVal { key, val } = note else {
+                        continue;
+                    };
+                    let node = pid.index() as u32;
+                    match key.as_str() {
+                        metrics::NOTE_RETX => {
+                            if let Ok(burst) = val.parse::<u64>() {
+                                self.add(node, MsgClass::Infra, metrics::RETX, burst);
+                            }
+                        }
+                        metrics::NOTE_RTO => {
+                            if let Ok(rto) = val.parse::<u64>() {
+                                self.observe(node, MsgClass::Infra, metrics::RTO_TICKS, rto);
+                            }
+                        }
+                        metrics::NOTE_PROBE_SUSPECT => {
+                            // val is the suspect's Display form, "p<k>".
+                            let Some(victim) =
+                                val.strip_prefix('p').and_then(|s| s.parse::<u32>().ok())
+                            else {
+                                continue;
+                            };
+                            if suspected.insert((node, victim), ()).is_none() {
+                                if let Some(&at) = crash_at.get(&victim) {
+                                    self.observe(
+                                        node,
+                                        MsgClass::None,
+                                        metrics::SUSPICION_LATENCY,
+                                        e.time.ticks().saturating_sub(at.ticks()),
+                                    );
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl ObsSink for Registry {
+    fn record(&self, event: ObsEvent) {
+        match event {
+            ObsEvent::Counter {
+                node,
+                class,
+                name,
+                delta,
+            } => self.add(node.index() as u32, class, name, delta),
+            ObsEvent::Gauge {
+                node,
+                class,
+                name,
+                value,
+            } => self.set(node.index() as u32, class, name, value),
+            ObsEvent::Observe {
+                node,
+                class,
+                name,
+                value,
+            } => self.observe(node.index() as u32, class, name, value),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_asys::{MsgId, Note, ProcessId, SimStats, StopReason, TraceEvent};
+
+    #[test]
+    fn sink_routes_shapes_to_instruments() {
+        let reg = Registry::new("sim");
+        let handle = reg.handle();
+        let node = ProcessId::new(2);
+        handle.record(ObsEvent::Counter {
+            node,
+            class: MsgClass::App,
+            name: "sent",
+            delta: 3,
+        });
+        handle.record(ObsEvent::Counter {
+            node,
+            class: MsgClass::App,
+            name: "sent",
+            delta: 2,
+        });
+        handle.record(ObsEvent::Observe {
+            node,
+            class: MsgClass::App,
+            name: "lat",
+            value: 40,
+        });
+        let report = reg.report();
+        assert_eq!(report.counter_total("sent"), 5);
+        assert_eq!(report.hist("lat").count(), 1);
+    }
+
+    #[test]
+    fn ingest_derives_latencies_and_retx_from_a_trace() {
+        let p0 = ProcessId::new(0);
+        let p1 = ProcessId::new(1);
+        let t = |k| VirtualTime::from_ticks(k);
+        let mut events = vec![
+            TraceEvent {
+                seq: 0,
+                time: t(10),
+                kind: TraceEventKind::Crash { pid: p1 },
+            },
+            TraceEvent {
+                seq: 1,
+                time: t(25),
+                kind: TraceEventKind::Note {
+                    pid: p0,
+                    note: Note::key_val(metrics::NOTE_PROBE_SUSPECT, p1),
+                },
+            },
+            TraceEvent {
+                seq: 2,
+                time: t(60),
+                kind: TraceEventKind::Failed { by: p0, of: p1 },
+            },
+            TraceEvent {
+                seq: 3,
+                time: t(61),
+                kind: TraceEventKind::Note {
+                    pid: p0,
+                    note: Note::key_val(metrics::NOTE_RETX, 4u64),
+                },
+            },
+            TraceEvent {
+                seq: 4,
+                time: t(62),
+                kind: TraceEventKind::Note {
+                    pid: p0,
+                    note: Note::key_val(metrics::NOTE_RTO, 128u64),
+                },
+            },
+        ];
+        // A send/recv pair just to keep the trace shaped like a real one.
+        events.push(TraceEvent {
+            seq: 5,
+            time: t(63),
+            kind: TraceEventKind::Send {
+                from: p0,
+                to: p0,
+                msg: MsgId::new(p0, 0),
+                infra: false,
+                payload: None,
+            },
+        });
+        let trace = Trace::from_parts(2, events, StopReason::MaxTime, t(70), SimStats::default());
+        let reg = Registry::new("any");
+        reg.ingest_trace(&trace);
+        let report = reg.report();
+        assert_eq!(report.hist(metrics::SUSPICION_LATENCY).max(), 15);
+        assert_eq!(report.hist(metrics::DETECTION_LATENCY).max(), 50);
+        assert_eq!(report.counter_total(metrics::RETX), 4);
+        assert_eq!(report.hist(metrics::RTO_TICKS).max(), 128);
+    }
+}

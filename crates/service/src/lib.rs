@@ -49,10 +49,10 @@ pub use directory::{
 };
 pub use load::{
     analyze_load, LoadGenApp, LoadMode, LoadMsg, LoadOutcome, LoadProfile, NOTE_LOAD_COMPLETE,
-    NOTE_OP_DONE, NOTE_OP_EXEC, NOTE_OP_ISSUED,
+    NOTE_OP_DONE, NOTE_OP_EXEC, NOTE_OP_ISSUED, SPAN_LOAD,
 };
 pub use plan::{plan_shards, PlanError, ShardId, ShardPlan, ShardSpec};
 pub use service::{
-    percentile, run_service, Backend, EpochOutcome, ServiceError, ServiceReport, ServiceSpec,
-    ShardOutcome,
+    nearest_rank, percentile, run_service, Backend, EpochOutcome, ServiceError, ServiceReport,
+    ServiceSpec, ShardOutcome,
 };

@@ -37,6 +37,15 @@ pub const NOTE_OP_DONE: &str = "op-done";
 /// Trace-note key: the driver observed every op complete.
 pub const NOTE_LOAD_COMPLETE: &str = "load-complete";
 
+/// The span name each driver opens when it starts driving and closes at
+/// full completion, via the execution-neutral
+/// [`sfs_obs::metrics::SPAN_BEGIN`]/[`SPAN_END`](sfs_obs::metrics::SPAN_END)
+/// note vocabulary — rendered as a named interval per driving process by
+/// the Chrome trace exporter. A driver that crashes mid-load leaves its
+/// span open (its successor opens a fresh one), which the trace viewer
+/// renders as an unclosed interval — exactly what happened.
+pub const SPAN_LOAD: &str = "load";
+
 /// The issue discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LoadMode {
@@ -219,6 +228,7 @@ impl LoadGenApp {
         if self.done.len() as u64 == self.profile.ops && !self.complete_announced {
             self.complete_announced = true;
             api.annotate(Note::key_val(NOTE_LOAD_COMPLETE, self.done.len()));
+            api.annotate(Note::key_val(sfs_obs::metrics::SPAN_END, SPAN_LOAD));
         } else {
             self.refill(api);
         }
@@ -229,6 +239,7 @@ impl LoadGenApp {
             return;
         }
         self.driving = true;
+        api.annotate(Note::key_val(sfs_obs::metrics::SPAN_BEGIN, SPAN_LOAD));
         // A take-over driver restarts issuance from the lowest op not yet
         // known complete — at-least-once, like the work-pool app. It also
         // re-announces every completion it knows of: the dead driver may
@@ -250,6 +261,7 @@ impl LoadGenApp {
         if self.done.len() as u64 == self.profile.ops && !self.complete_announced {
             self.complete_announced = true;
             api.annotate(Note::key_val(NOTE_LOAD_COMPLETE, self.done.len()));
+            api.annotate(Note::key_val(sfs_obs::metrics::SPAN_END, SPAN_LOAD));
         }
     }
 }

@@ -36,6 +36,7 @@ use rayon::prelude::*;
 use sfs::{ClusterSpec, HeartbeatConfig, NetSpec, QuorumError, SpecError};
 use sfs_asys::{ProcessId, SimStats, Trace, TraceEventKind, VirtualTime};
 use sfs_chaos::{ChaosPlan, ChaosSpec, ShardChaos};
+use sfs_obs::{metrics, LogHistogram, MsgClass, Registry, RunReport};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -277,6 +278,13 @@ pub struct ShardOutcome {
     pub detected: usize,
     /// Crash→detection latencies in ticks (one per detector per crash).
     pub detection_latencies: Vec<u64>,
+    /// The shard run's telemetry: engine counters, the op-latency and
+    /// detection-latency histograms, and the transport diagnostics
+    /// re-derived from the trace's execution-neutral annotations. Folded
+    /// per shard so the rayon fan-out stays contention-free; merging is
+    /// associative, so [`ServiceReport::obs_report`] never depends on
+    /// completion order.
+    pub obs: RunReport,
     /// The full run trace, when [`ServiceSpec::keep_traces`] is on —
     /// downstream consumers (the E13 bench) certify FS1/sFS2a–d on it.
     pub trace: Option<Trace>,
@@ -366,16 +374,80 @@ impl ServiceReport {
             .sum()
     }
 
-    /// All crash→detection latencies, ascending.
+    /// All crash→detection latencies, in shard/epoch order (unsorted).
     pub fn detection_latencies(&self) -> Vec<u64> {
-        let mut all: Vec<u64> = self
-            .epochs
+        self.epochs
             .iter()
             .flat_map(|e| &e.shards)
             .flat_map(|s| s.detection_latencies.iter().copied())
-            .collect();
-        all.sort_unstable();
-        all
+            .collect()
+    }
+
+    /// The `q`-th percentile (0–100) of the crash→detection latency
+    /// distribution, by nearest rank. Uses a linear-time selection
+    /// ([`nearest_rank`]) rather than sorting the whole distribution.
+    pub fn detection_p(&self, q: u64) -> u64 {
+        nearest_rank(&mut self.detection_latencies(), q)
+    }
+
+    /// The largest crash→detection latency.
+    pub fn detection_max(&self) -> u64 {
+        self.epochs
+            .iter()
+            .flat_map(|e| &e.shards)
+            .flat_map(|s| s.detection_latencies.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Detection events across the run (one per surviving detector per
+    /// crash).
+    pub fn detection_count(&self) -> u64 {
+        self.epochs
+            .iter()
+            .flat_map(|e| &e.shards)
+            .map(|s| s.detection_latencies.len() as u64)
+            .sum()
+    }
+
+    /// Messages sent per detection event — the message cost of one unit
+    /// of failure-detection work (0 when nothing was detected).
+    pub fn msgs_per_detection(&self) -> f64 {
+        let det = self.detection_count();
+        if det == 0 {
+            return 0.0;
+        }
+        self.messages() as f64 / det as f64
+    }
+
+    /// The run's merged telemetry: every shard registry folded into one
+    /// [`RunReport`]. The merge is associative and commutative, so the
+    /// result is independent of the rayon completion order.
+    pub fn obs_report(&self) -> RunReport {
+        let mut out = RunReport::empty(self.backend.to_string());
+        for s in self.epochs.iter().flat_map(|e| &e.shards) {
+            out.merge(&s.obs);
+        }
+        out
+    }
+
+    /// Issue→first-completion latency histogram over every completed op
+    /// in the run (log-bucket; quantiles are bucket upper bounds, within
+    /// 12.5% of exact).
+    pub fn op_latency_hist(&self) -> LogHistogram {
+        let mut out = LogHistogram::new();
+        for s in self.epochs.iter().flat_map(|e| &e.shards) {
+            for &l in &s.load.op_latencies {
+                out.record(l);
+            }
+        }
+        out
+    }
+
+    /// The 99th-percentile op latency in ticks, from the log-bucket
+    /// histogram (E11's and E13's `op p99` column).
+    pub fn op_p99(&self) -> u64 {
+        self.op_latency_hist().p99()
     }
 
     /// Total serving time in ticks, summed over shard runs: each shard's
@@ -421,6 +493,18 @@ pub fn percentile(sorted: &[u64], q: u64) -> u64 {
     }
     let rank = (q as usize * sorted.len()).div_ceil(100).max(1) - 1;
     sorted[rank.min(sorted.len() - 1)]
+}
+
+/// The `q`-th percentile (0–100) of an *unsorted* sample, by nearest
+/// rank — same answer as [`percentile`] on the sorted sample, but via
+/// `select_nth_unstable`, so extracting one quantile is O(n) instead of
+/// the O(n log n) full sort. Reorders `values` in place.
+pub fn nearest_rank(values: &mut [u64], q: u64) -> u64 {
+    if values.is_empty() {
+        return 0;
+    }
+    let rank = (q as usize * values.len()).div_ceil(100).max(1) - 1;
+    *values.select_nth_unstable(rank.min(values.len() - 1)).1
 }
 
 /// Runs one service deployment; see the module docs for the epoch
@@ -695,7 +779,7 @@ fn run_shard(
                 .0
         }
     };
-    let mut out = summarize_shard(shard.id, n, ops, &trace);
+    let mut out = summarize_shard(shard.id, n, ops, &trace, spec.backend);
     if spec.keep_traces {
         out.trace = Some(trace);
     }
@@ -704,8 +788,47 @@ fn run_shard(
 
 /// Folds one shard trace into its outcome. `n` is the size the group
 /// actually ran at (survivors only, in epochs after losses).
-fn summarize_shard(shard: ShardId, n: usize, ops: u64, trace: &Trace) -> ShardOutcome {
+fn summarize_shard(
+    shard: ShardId,
+    n: usize,
+    ops: u64,
+    trace: &Trace,
+    backend: Backend,
+) -> ShardOutcome {
     let load = analyze_load(trace);
+    // Each shard folds its own registry — contention-free under the
+    // rayon fan-out — and the outcome carries the snapshot; the
+    // associative merge happens lazily in `ServiceReport::obs_report`.
+    let registry = Registry::for_shard(backend.to_string(), shard as u32);
+    registry.ingest_trace(trace);
+    for &l in &load.op_latencies {
+        registry.observe(0, MsgClass::App, metrics::OP_LATENCY, l);
+    }
+    let stats = trace.stats();
+    registry.add(0, MsgClass::None, metrics::SENT, stats.messages_sent);
+    registry.add(0, MsgClass::None, metrics::DROPPED, stats.messages_dropped);
+    registry.add(
+        0,
+        MsgClass::None,
+        metrics::DUPLICATED,
+        stats.messages_duplicated,
+    );
+    registry.add(0, MsgClass::None, metrics::WIRE_BYTES, stats.wire_bytes);
+    registry.add(
+        0,
+        MsgClass::None,
+        metrics::DELIVERED,
+        stats.messages_delivered,
+    );
+    registry.add(
+        0,
+        MsgClass::None,
+        metrics::TO_CRASHED,
+        stats.messages_to_crashed,
+    );
+    registry.add(0, MsgClass::None, metrics::TIMERS, stats.timers_fired);
+    registry.add(0, MsgClass::None, metrics::CRASHES, stats.crashes);
+    registry.add(0, MsgClass::None, metrics::DETECTIONS, stats.detections);
     // Crash → detection latency: every Failed{of = v} after Crash{v}.
     let mut crash_at: BTreeMap<usize, u64> = BTreeMap::new();
     let mut latencies = Vec::new();
@@ -729,10 +852,11 @@ fn summarize_shard(shard: ShardId, n: usize, ops: u64, trace: &Trace) -> ShardOu
         n,
         ops_routed: ops,
         load,
-        stats: trace.stats(),
+        stats,
         events: trace.events().len() as u64,
         detected: detected.len(),
         detection_latencies: latencies,
+        obs: registry.report(),
         trace: None,
     }
 }
@@ -749,6 +873,22 @@ mod tests {
         assert_eq!(percentile(&v, 100), 40);
         assert_eq!(percentile(&[], 50), 0);
         assert_eq!(percentile(&[7], 50), 7);
+    }
+
+    #[test]
+    fn selection_agrees_with_sorted_percentile() {
+        // `nearest_rank` on the shuffled sample must equal `percentile`
+        // on the sorted one, for every q — the selection is a drop-in
+        // replacement for the full sort.
+        let sorted: Vec<u64> = (0..97).map(|i| i * 3 + 1).collect();
+        let shuffled: Vec<u64> = (0..97).map(|i| sorted[(i * 53) % sorted.len()]).collect();
+        assert_eq!(shuffled.len(), sorted.len());
+        for q in 0..=100 {
+            let mut v = shuffled.clone();
+            assert_eq!(nearest_rank(&mut v, q), percentile(&sorted, q), "q={q}");
+        }
+        assert_eq!(nearest_rank(&mut [], 50), 0);
+        assert_eq!(nearest_rank(&mut [7], 99), 7);
     }
 
     #[test]

@@ -355,6 +355,12 @@ pub const NOTE_PROBE_SUSPECT: &str = "probe-suspect";
 /// burst: `retx = <frames resent>`.
 pub const NOTE_RETX: &str = "retx";
 
+/// Trace-note key under which the adaptive ARQ annotates its per-channel
+/// retransmission timeout each time backoff re-arms it: `rto = <ticks>`.
+/// The `sfs-obs` registry folds these into an RTO-evolution histogram;
+/// like all notes, they never perturb HB fingerprints.
+pub const NOTE_RTO: &str = "rto";
+
 /// Outbound ARQ state of one channel `self -> peer`.
 #[derive(Debug)]
 struct OutChannel<M> {
@@ -1082,6 +1088,7 @@ where
                         // Karn: a retransmitted frame's ack is ambiguous.
                         ch.pending_sample = None;
                         let rto = self.channel_rto(peer);
+                        ctx.annotate(Note::key_val(NOTE_RTO, rto));
                         self.out[peer].deadline = Some(now.saturating_add(rto));
                     } else {
                         self.out[peer].deadline = None;

@@ -39,6 +39,13 @@ pub struct NodeStatus {
     /// Sender-paid frame bytes: one full frame per send, regardless of
     /// the shim's verdict (matching `SimStats::wire_bytes`).
     pub wire_bytes: u64,
+    /// Of [`NodeStatus::sent`], the sends carrying application
+    /// (model-level) payloads; the rest are infrastructure. This is the
+    /// message-class split the `sfs-obs` registry keys on, piggybacked on
+    /// the Status frames the quiescence handshake already exchanges.
+    pub app_sent: u64,
+    /// Of [`NodeStatus::delivered`], the application-payload deliveries.
+    pub app_delivered: u64,
     /// No armed timers and no pending scripted injections remain.
     pub idle: bool,
     /// The node has crashed (and now only drains its socket).
@@ -66,6 +73,8 @@ impl WireCodec for NodeStatus {
         w.u64(self.delivered);
         w.u64(self.to_crashed);
         w.u64(self.wire_bytes);
+        w.u64(self.app_sent);
+        w.u64(self.app_delivered);
         w.bool(self.idle);
         w.bool(self.halted);
     }
@@ -77,6 +86,8 @@ impl WireCodec for NodeStatus {
             delivered: r.u64()?,
             to_crashed: r.u64()?,
             wire_bytes: r.u64()?,
+            app_sent: r.u64()?,
+            app_delivered: r.u64()?,
             idle: r.bool()?,
             halted: r.bool()?,
         })

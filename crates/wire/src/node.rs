@@ -131,6 +131,8 @@ struct NodeState<M, P, C> {
     delivered: u64,
     to_crashed: u64,
     wire_bytes: u64,
+    app_sent: u64,
+    app_delivered: u64,
     timers_fired: u64,
     detections: u64,
 }
@@ -161,6 +163,8 @@ where
             delivered: self.delivered,
             to_crashed: self.to_crashed,
             wire_bytes: self.wire_bytes,
+            app_sent: self.app_sent,
+            app_delivered: self.app_delivered,
             idle: self.halted
                 || (self.armed.is_empty()
                     && self.injections.is_empty()
@@ -270,6 +274,9 @@ where
             infra,
         });
         self.sent += 1;
+        if !infra {
+            self.app_sent += 1;
+        }
         let frame = encode_frame(
             FrameHeader {
                 src: self.me as u16,
@@ -342,6 +349,9 @@ where
             infra,
         });
         self.delivered += 1;
+        if !infra {
+            self.app_delivered += 1;
+        }
         let sender = ProcessId::new(from as usize);
         self.invoke(|p, ctx| p.on_message(ctx, sender, msg));
     }
@@ -525,6 +535,8 @@ where
         delivered: 0,
         to_crashed: 0,
         wire_bytes: 0,
+        app_sent: 0,
+        app_delivered: 0,
         timers_fired: 0,
         detections: 0,
     };

@@ -85,6 +85,11 @@ pub struct UdpRun {
     /// Whether the run reached confirmed quiescence within the settle
     /// budget (mirrors the threaded runtime's drain handshake result).
     pub quiesced: bool,
+    /// Each node's final wire accounting, indexed by process — the
+    /// per-node, per-message-class counters the `sfs-obs` registry folds
+    /// into a `RunReport`, piggybacked on the same Status/Dump frames
+    /// the control protocol already carries.
+    pub node_status: Vec<NodeStatus>,
 }
 
 /// Child processes that must not outlive the run, whatever happens.
@@ -250,6 +255,7 @@ pub fn run_cluster(
     Ok(UdpRun {
         trace: assemble(config.n, &dumps, quiesced),
         quiesced,
+        node_status: dumps.iter().map(|d| d.status).collect(),
     })
 }
 

@@ -5,15 +5,17 @@
 
 /// Multi-producer channels, mirroring `crossbeam::channel`.
 pub mod channel {
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::mpsc;
+    use std::sync::Arc;
     use std::time::Duration;
 
     /// The sending half of an unbounded channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Sender<T>(mpsc::Sender<T>, Arc<AtomicUsize>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            Sender(self.0.clone(), self.1.clone())
         }
     }
 
@@ -24,7 +26,7 @@ pub mod channel {
     }
 
     /// The receiving half of an unbounded channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    pub struct Receiver<T>(mpsc::Receiver<T>, Arc<AtomicUsize>);
 
     impl<T> std::fmt::Debug for Receiver<T> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -62,37 +64,67 @@ pub mod channel {
     /// Creates an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        let depth = Arc::new(AtomicUsize::new(0));
+        (Sender(tx, depth.clone()), Receiver(rx, depth))
     }
 
     impl<T> Sender<T> {
         /// Enqueues `msg`; fails only if every receiver was dropped.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+            let sent = self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m));
+            if sent.is_ok() {
+                self.1.fetch_add(1, Ordering::Relaxed);
+            }
+            sent
         }
     }
 
     impl<T> Receiver<T> {
         /// Blocks until a message arrives or all senders are gone.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv().map_err(|_| RecvError)
+            let got = self.0.recv().map_err(|_| RecvError);
+            if got.is_ok() {
+                self.1.fetch_sub(1, Ordering::Relaxed);
+            }
+            got
         }
 
         /// Blocks up to `timeout` for a message.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.0.recv_timeout(timeout).map_err(|e| match e {
+            let got = self.0.recv_timeout(timeout).map_err(|e| match e {
                 mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
                 mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
-            })
+            });
+            if got.is_ok() {
+                self.1.fetch_sub(1, Ordering::Relaxed);
+            }
+            got
         }
 
         /// Returns a buffered message immediately, or reports an empty or
         /// disconnected channel without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv().map_err(|e| match e {
+            let got = self.0.try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
-            })
+            });
+            if got.is_ok() {
+                self.1.fetch_sub(1, Ordering::Relaxed);
+            }
+            got
+        }
+
+        /// The number of messages currently buffered, mirroring
+        /// `crossbeam::channel::Receiver::len`. Approximate under
+        /// concurrent sends — good for queue-depth telemetry, not for
+        /// synchronization.
+        pub fn len(&self) -> usize {
+            self.1.load(Ordering::Relaxed)
+        }
+
+        /// Whether the buffer is currently empty (see [`Receiver::len`]).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 }
