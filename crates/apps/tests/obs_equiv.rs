@@ -143,6 +143,109 @@ fn obs_is_hb_invisible_through_the_transport() {
     }
 }
 
+// ---- the streaming-monitor seam (ISSUE 10) ------------------------------
+//
+// Same neutrality pins for the `EventSink` seam the online sFS monitors
+// ride: a monitored run must be byte-identical (sim) or
+// HB-fingerprint-identical (threaded, transport) to the bare run, while
+// the monitor demonstrably consumed every event and reached the same
+// verdicts as the post-hoc checker.
+
+use sfs_obs::{SfsMonitor, SuiteVerdicts};
+use sfs_tlogic::properties;
+
+fn posthoc(trace: &sfs_asys::Trace) -> SuiteVerdicts {
+    let complete = trace.stop_reason().is_complete();
+    SuiteVerdicts::from_reports(&properties::check_sfs_suite(
+        &History::from_trace(trace),
+        complete,
+    ))
+}
+
+#[test]
+fn sfs_monitor_is_byte_invisible_on_sim() {
+    for seed in 0..10 {
+        let bare = detect_spec(seed).run();
+        let monitor = SfsMonitor::new(6);
+        let monitored = detect_spec(seed).event_sink(monitor.handle()).run();
+        assert_eq!(
+            sfs_obs::trace_json::trace_to_json(&bare),
+            sfs_obs::trace_json::trace_to_json(&monitored),
+            "seed {seed}: the monitor changed the simulator's trace"
+        );
+        assert_eq!(
+            monitor.events_seen(),
+            monitored.events().len() as u64,
+            "seed {seed}: the monitor missed events"
+        );
+        let online = monitor.finish(monitored.stop_reason().is_complete());
+        assert_eq!(online, posthoc(&monitored), "seed {seed}");
+        assert!(online.all_ok(), "seed {seed}: {online}");
+    }
+}
+
+#[test]
+fn sfs_monitor_is_hb_invisible_on_the_threaded_runtime() {
+    for seed in 0..6 {
+        let bare = detect_spec(seed)
+            .try_run_threaded(|_| NullApp, Duration::from_millis(400))
+            .expect("bare threaded run");
+        let monitor = SfsMonitor::new(6);
+        let monitored = detect_spec(seed)
+            .event_sink(monitor.handle())
+            .try_run_threaded(|_| NullApp, Duration::from_millis(400))
+            .expect("monitored threaded run");
+        assert_eq!(
+            model_fingerprint(&bare),
+            model_fingerprint(&monitored),
+            "seed {seed}: the monitor changed the threaded HB class"
+        );
+        let online = monitor.finish(monitored.stop_reason().is_complete());
+        assert_eq!(online, posthoc(&monitored), "seed {seed}");
+    }
+}
+
+#[test]
+fn sfs_monitor_is_hb_invisible_through_the_transport() {
+    for seed in 0..6 {
+        let bare = detect_spec(seed).net(NetSpec::faultless()).run_net();
+        let monitor = SfsMonitor::new(6);
+        let monitored = detect_spec(seed)
+            .net(NetSpec::faultless())
+            .event_sink(monitor.handle())
+            .run_net();
+        assert_eq!(
+            model_fingerprint(&bare),
+            model_fingerprint(&monitored),
+            "seed {seed}: the monitor changed the transport-backed HB class"
+        );
+        let online = monitor.finish(monitored.stop_reason().is_complete());
+        assert_eq!(online, posthoc(&monitored), "seed {seed}");
+    }
+}
+
+#[test]
+fn monitor_and_registry_stack_without_interference() {
+    // Both seams attached at once — the telemetry registry on `ObsSink`,
+    // the monitor on `EventSink` — still byte-identical to bare.
+    for seed in 0..4 {
+        let bare = detect_spec(seed).run();
+        let registry = Registry::for_shard("sim", 0);
+        let monitor = SfsMonitor::new(6);
+        let both = detect_spec(seed)
+            .observe(registry.handle())
+            .event_sink(monitor.handle())
+            .run();
+        assert_eq!(
+            sfs_obs::trace_json::trace_to_json(&bare),
+            sfs_obs::trace_json::trace_to_json(&both),
+            "seed {seed}"
+        );
+        assert!(registry.report().counter_total(metrics::SENT) > 0);
+        assert!(monitor.events_seen() > 0);
+    }
+}
+
 mod prop {
     use super::*;
     use proptest::prelude::*;
@@ -173,6 +276,31 @@ mod prop {
                 sfs_obs::trace_json::trace_to_json(&bare),
                 sfs_obs::trace_json::trace_to_json(&observed)
             );
+        }
+
+        /// Same property for the monitor seam: an `SfsMonitor` on the
+        /// event sink never changes a byte of the simulator's trace.
+        #[test]
+        fn monitor_never_changes_a_sim_trace(
+            n in 3usize..7,
+            seed in 0u64..1000,
+            s1 in 5u64..60,
+            s2 in 5u64..60,
+        ) {
+            let t = if n > 4 { 2 } else { 1 };
+            let spec = ClusterSpec::new(n, t)
+                .seed(seed)
+                .latency(1, 2)
+                .suspect(p(1), p(0), s1)
+                .suspect(p(n - 1), p(n - 2), s2);
+            let bare = spec.clone().run();
+            let monitor = sfs_obs::SfsMonitor::new(n);
+            let monitored = spec.event_sink(monitor.handle()).run();
+            prop_assert_eq!(
+                sfs_obs::trace_json::trace_to_json(&bare),
+                sfs_obs::trace_json::trace_to_json(&monitored)
+            );
+            prop_assert_eq!(monitor.events_seen(), monitored.events().len() as u64);
         }
     }
 }

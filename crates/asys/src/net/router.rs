@@ -30,7 +30,7 @@
 use crate::fault::{FaultPlan, Injection};
 use crate::id::{MsgId, ProcessId, TimerId};
 use crate::link::{LinkModel, LinkVerdict};
-use crate::observe::{metric, MsgClass, ObsEvent, ObsHandle};
+use crate::observe::{metric, EventSinkHandle, MsgClass, ObsEvent, ObsHandle};
 use crate::process::{Action, Context, Process, ReceiveFilter};
 use crate::sim::CrashRegistry;
 use crate::time::VirtualTime;
@@ -94,6 +94,13 @@ pub struct RuntimeConfig<M = ()> {
     /// and has no path back into scheduling, and the wall-clock reads
     /// that feed it are only taken when a sink is installed.
     pub obs: Option<ObsHandle>,
+    /// Optional trace-event sink (see [`crate::observe::EventSink`]); the
+    /// threaded mirror of `SimBuilder::event_sink`. Every event the
+    /// router appends to its trace is also handed, by reference, to the
+    /// sink — the live feed the streaming sFS property monitors consume.
+    /// Execution-neutral under the same contract as `obs`: the sink sees
+    /// already-recorded events and has no path back into scheduling.
+    pub sink: Option<EventSinkHandle>,
     /// Batching fast path: when the router dispatches a due instant,
     /// deliveries and timer fires aimed at the same destination are
     /// coalesced into a single node-event batch — one channel send and one
@@ -134,6 +141,7 @@ impl<M> Default for RuntimeConfig<M> {
             measure: None,
             registry: None,
             obs: None,
+            sink: None,
             batch: false,
             faults: FaultPlan::new(),
             max_time: VirtualTime::MAX,
@@ -150,6 +158,7 @@ impl<M> fmt::Debug for RuntimeConfig<M> {
             .field("has_link", &self.link.is_some())
             .field("record_payloads", &self.record_payloads)
             .field("has_obs", &self.obs.is_some())
+            .field("has_sink", &self.sink.is_some())
             .field("batch", &self.batch)
             .field("faults", &self.faults.len())
             .field("max_time", &self.max_time)
@@ -540,6 +549,7 @@ struct RouterState<M> {
     measure: Option<Measure<M>>,
     registry: Option<CrashRegistry>,
     obs: Option<ObsHandle>,
+    sink: Option<EventSinkHandle>,
     filters: Vec<Option<ReceiveFilter<M>>>,
     /// Per-channel FIFO queues of messages the receiver's filter refused,
     /// indexed `from * n + to`.
@@ -569,6 +579,9 @@ impl<M: Clone + fmt::Debug + Send + 'static> RouterState<M> {
         let seq = self.events.len();
         let time = self.now();
         self.events.push(TraceEvent { seq, time, kind });
+        if let Some(sink) = &self.sink {
+            sink.on_event(&self.events[seq]);
+        }
     }
 
     fn push(&mut self, delay_ticks: u64, due: Due<M>) {
@@ -1044,6 +1057,7 @@ fn router_main<M: Clone + fmt::Debug + Send + 'static>(
         measure: config.measure,
         registry: config.registry,
         obs: config.obs,
+        sink: config.sink,
         filters: (0..n).map(|_| None).collect(),
         parked: std::collections::HashMap::new(),
         staged: (0..n).map(|_| Vec::new()).collect(),

@@ -153,6 +153,52 @@ impl fmt::Debug for ObsHandle {
     }
 }
 
+/// A trace-event sink: the second half of the telemetry seam, carrying
+/// **structural** facts (the [`crate::trace::TraceEvent`]s the engines
+/// append to their traces) instead of numeric samples.
+///
+/// Where [`ObsSink`] feeds metric registries, an `EventSink` feeds
+/// *property monitors*: the `sfs-obs` streaming sFS monitors consume
+/// exactly the event stream a post-hoc checker would read off the
+/// finished trace, one event at a time, as each engine records it. The
+/// execution-neutrality contract is identical to [`ObsSink`]'s — the
+/// sink is handed an immutable borrow of an already-recorded event,
+/// draws no randomness, and has no channel back into scheduling — so a
+/// monitored run is byte-identical to a bare run on the simulator and
+/// HB-fingerprint-identical on every backend.
+pub trait EventSink: Send + Sync {
+    /// Absorb one just-recorded trace event.
+    fn on_event(&self, event: &crate::trace::TraceEvent);
+}
+
+/// A cloneable, `Debug`-friendly handle to an [`EventSink`], mirroring
+/// [`ObsHandle`] so specs that derive `Clone`/`Debug` can carry one.
+#[derive(Clone)]
+pub struct EventSinkHandle(Arc<dyn EventSink>);
+
+impl EventSinkHandle {
+    /// Wraps a sink.
+    pub fn new(sink: Arc<dyn EventSink>) -> Self {
+        EventSinkHandle(sink)
+    }
+
+    /// The underlying sink.
+    pub fn sink(&self) -> &Arc<dyn EventSink> {
+        &self.0
+    }
+
+    /// Report one just-recorded trace event.
+    pub fn on_event(&self, event: &crate::trace::TraceEvent) {
+        self.0.on_event(event);
+    }
+}
+
+impl fmt::Debug for EventSinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventSinkHandle").finish_non_exhaustive()
+    }
+}
+
 /// Metric names the engines emit. Centralised so the registry, the
 /// engines, and the reports agree on spelling; the `sfs-obs` crate
 /// re-exports them.

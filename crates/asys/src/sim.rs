@@ -40,7 +40,7 @@ use crate::fault::{FaultPlan, Injection};
 use crate::id::{MsgId, ProcessId, TimerId};
 use crate::latency::LatencyModel;
 use crate::link::{LinkModel, LinkVerdict};
-use crate::observe::{metric, MsgClass, ObsEvent, ObsHandle};
+use crate::observe::{metric, EventSinkHandle, MsgClass, ObsEvent, ObsHandle};
 use crate::process::{Action, Context, Process, ReceiveFilter};
 use crate::strategy::{EnabledStep, ScheduleLog, StepKind, StepLog, Strategy, TimeOrderedStrategy};
 use crate::time::VirtualTime;
@@ -252,6 +252,7 @@ pub struct Sim<M> {
     classifier: Option<Classifier<M>>,
     measure: Option<Measure<M>>,
     obs: Option<ObsHandle>,
+    sink: Option<EventSinkHandle>,
     registry: CrashRegistry,
     rng: StdRng,
     now: VirtualTime,
@@ -292,6 +293,7 @@ pub struct SimBuilder<M> {
     classifier: Option<Classifier<M>>,
     measure: Option<Measure<M>>,
     obs: Option<ObsHandle>,
+    sink: Option<EventSinkHandle>,
     plan: FaultPlan<M>,
     registry: CrashRegistry,
     strategy: Option<Box<dyn Strategy>>,
@@ -413,6 +415,17 @@ impl<M: Clone + fmt::Debug + 'static> SimBuilder<M> {
         self
     }
 
+    /// Attaches a trace-event sink (see [`crate::observe::EventSink`]):
+    /// every event appended to the trace is also handed, by reference, to
+    /// the sink — the live feed the streaming sFS monitors run on. The
+    /// sink sees each event *after* it is recorded and has no path back
+    /// into the rng, the clock, or the queue, so a monitored run is
+    /// byte-identical to a bare one.
+    pub fn event_sink(mut self, sink: EventSinkHandle) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
     /// The crash registry for this run, for wiring oracle detectors into
     /// process constructors before the sim is built.
     pub fn crash_registry(&self) -> CrashRegistry {
@@ -445,6 +458,7 @@ impl<M: Clone + fmt::Debug + 'static> SimBuilder<M> {
             classifier: self.classifier,
             measure: self.measure,
             obs: self.obs,
+            sink: self.sink,
             registry: self.registry,
             rng: StdRng::seed_from_u64(self.config.seed),
             now: VirtualTime::ZERO,
@@ -481,6 +495,7 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
             classifier: None,
             measure: None,
             obs: None,
+            sink: None,
             plan: FaultPlan::new(),
             registry: CrashRegistry::with_capacity(n),
             strategy: None,
@@ -537,6 +552,9 @@ impl<M: Clone + fmt::Debug + 'static> Sim<M> {
             time: self.now,
             kind,
         });
+        if let Some(sink) = &self.sink {
+            sink.on_event(&self.events[seq]);
+        }
     }
 
     fn payload_repr(&self, payload: &M) -> Option<String> {

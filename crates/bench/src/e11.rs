@@ -14,10 +14,18 @@
 //! proportional to events executed — not to the virtual horizon or a
 //! drain budget — and the batching win (fewer channel handovers per
 //! event) reads directly off its wall column.
+//!
+//! Every cell also certifies **online**: a streaming `SfsMonitor` rides
+//! each shard run's write-only event sink and the `cert` column counts
+//! shard runs whose full suite (FS1, sFS2a–d, Conditions 1–3) held —
+//! including the N = 1024 cells, whose traces were never affordable to
+//! retain. `mon ns/ev` reads the monitor-overhead gauge off the merged
+//! telemetry.
 
 use crate::report::note_events;
 use crate::table::Table;
 use sfs::HeartbeatConfig;
+use sfs_obs::metrics;
 use sfs_service::{plan_shards, run_service, Backend, LoadProfile, ServiceReport, ServiceSpec};
 
 /// One measured E11 cell.
@@ -60,6 +68,14 @@ pub struct E11Row {
     pub delivery_batches: u64,
     /// Shards that exhausted their budget (must be exactly shard 0).
     pub exhausted: usize,
+    /// Shard runs across both epochs (main + rescue passes).
+    pub shard_runs: usize,
+    /// Shard runs whose streaming monitor certified the full sFS suite
+    /// online (no traces retained).
+    pub certified: usize,
+    /// Monitor overhead: worst per-shard cost of one monitored event,
+    /// nanoseconds (the `monitor_ns_per_event` gauge, merged by max).
+    pub monitor_ns_per_event: u64,
 }
 
 impl E11Row {
@@ -85,6 +101,14 @@ impl E11Row {
             msgs_per_det: r.msgs_per_detection(),
             delivery_batches: r.delivery_batches(),
             exhausted: r.exhausted.len(),
+            shard_runs: r.epochs.iter().flat_map(|e| &e.shards).count(),
+            certified: r
+                .epochs
+                .iter()
+                .flat_map(|e| &e.shards)
+                .filter(|s| s.verdicts.as_ref().is_some_and(|v| v.all_ok()))
+                .count(),
+            monitor_ns_per_event: r.obs_report().gauge_max(metrics::MONITOR_NS_PER_EVENT),
         }
     }
 
@@ -96,7 +120,8 @@ impl E11Row {
              \"msgs_per_sec\": {:.1}, \"wall_ms\": {:.1}, \"serving_ticks\": {}, \
              \"det_p50\": {}, \"det_p95\": {}, \"det_max\": {}, \
              \"op_p99\": {}, \"msgs_per_det\": {:.1}, \
-             \"delivery_batches\": {}, \"speedup_wall\": {:.3}, \
+             \"delivery_batches\": {}, \"shard_runs\": {}, \"certified\": {}, \
+             \"monitor_ns_per_event\": {}, \"speedup_wall\": {:.3}, \
              \"speedup_serving\": {:.3}}}",
             self.n,
             self.shards,
@@ -114,6 +139,9 @@ impl E11Row {
             self.op_p99,
             self.msgs_per_det,
             self.delivery_batches,
+            self.shard_runs,
+            self.certified,
+            self.monitor_ns_per_event,
             speedup_wall,
             speedup_serving,
         )
@@ -139,6 +167,9 @@ fn e11_spec(n: usize, backend: Backend, batch: bool, ops_per_proc: u64) -> Servi
             check_every: 15,
         }))
         .max_time(600)
+        // Online certification, no trace retention: the monitors carry
+        // the suite verdicts even at N = 1024.
+        .certify_online(true)
         .load(LoadProfile::closed(ops_per_proc * n as u64, 8))
         .crash(victims[0], 40)
         .crash(victims[1], 55)
@@ -152,8 +183,23 @@ pub fn run_e11(max_n: usize, ops_per_proc: u64) -> (Table, Vec<(E11Row, f64, f64
     let mut table = Table::new(
         "E11 — sharded service scale (t=2 per shard, shard 0 exhausted, 2 epochs)",
         &[
-            "N", "shards", "backend", "batch", "ops", "ops/s", "msgs", "msg/s", "det p50",
-            "det p95", "det max", "op p99", "msg/det", "batches", "speedup",
+            "N",
+            "shards",
+            "backend",
+            "batch",
+            "ops",
+            "ops/s",
+            "msgs",
+            "msg/s",
+            "det p50",
+            "det p95",
+            "det max",
+            "op p99",
+            "msg/det",
+            "batches",
+            "cert",
+            "mon ns/ev",
+            "speedup",
         ],
     );
     let mut rows = Vec::new();
@@ -206,6 +252,8 @@ pub fn run_e11(max_n: usize, ops_per_proc: u64) -> (Table, Vec<(E11Row, f64, f64
                     row.op_p99.to_string(),
                     format!("{:.0}", row.msgs_per_det),
                     row.delivery_batches.to_string(),
+                    format!("{}/{}", row.certified, row.shard_runs),
+                    row.monitor_ns_per_event.to_string(),
                     speedup_cell,
                 ]);
                 if !batch {
@@ -227,6 +275,12 @@ pub fn run_e11(max_n: usize, ops_per_proc: u64) -> (Table, Vec<(E11Row, f64, f64
          telemetry registry's log-bucket histogram; msg/det divides messages sent by \
          detection events — both read off the per-shard registries merged across the \
          rayon fan-out",
+    );
+    table.note(
+        "cert: shard runs whose streaming sFS monitor certified the full suite \
+         (FS1 + sFS2a-d + Conditions 1-3) online, over the runs executed — no traces \
+         retained, so the N=1024 cells certify for the first time; mon ns/ev is the \
+         worst per-shard monitor cost per event from the telemetry gauges",
     );
     (table, rows)
 }
@@ -258,7 +312,13 @@ mod tests {
         assert!(row.op_p99 > 0, "op latencies flowed through the registry");
         assert!(row.msgs_per_det > 0.0, "message cost per detection is live");
         assert!(row.delivery_batches > 0, "batching engaged");
+        assert!(row.shard_runs > 0);
+        assert_eq!(
+            row.certified, row.shard_runs,
+            "every shard run must certify the suite online"
+        );
         let json = row.to_json(1.0, 1.0);
         assert!(json.contains("\"backend\": \"sim\""));
+        assert!(json.contains("\"certified\""));
     }
 }

@@ -17,8 +17,16 @@
 //! adaptive rows ride the storm out. Every kept shard trace is certified
 //! against FS1/sFS2a–d on every seed, in both modes — chaos changes the
 //! cost, never the properties.
+//!
+//! Every run also attaches the streaming [`sfs_obs::SfsMonitor`] to each shard
+//! (`certify_online`): on the kept-trace rows its verdict vector is
+//! asserted equal, clause by clause, to the post-hoc `check_sfs_suite`
+//! on the same trace; the **certify-online** rows then drop trace
+//! retention entirely (`keep_traces: false`) and certify from the
+//! monitors alone — the soak's memory footprint no longer scales with
+//! the event count.
 
-use crate::report::note_trace;
+use crate::report::{note_events, note_trace};
 use crate::table::Table;
 use rayon::prelude::*;
 use sfs::{AdaptiveConfig, NetSpec, ProbeConfig, NOTE_PROBE_SUSPECT};
@@ -61,10 +69,15 @@ pub struct E13Cell {
     /// `true` = adaptive (Jacobson RTO + learned suspicion threshold),
     /// `false` = fixed `ProbeConfig` timeouts.
     pub adaptive: bool,
+    /// `true` = the certify-online mode: `keep_traces: false`, suite
+    /// verdicts from the streaming monitors alone.
+    pub online: bool,
     /// Seeds run.
     pub runs: usize,
-    /// Runs on which *every* kept shard trace certified the full suite
-    /// (FS1, sFS2a–d, Conditions 1–3) with eventualities discharged.
+    /// Runs on which *every* shard run certified the full suite (FS1,
+    /// sFS2a–d, Conditions 1–3) — from its kept trace (with the
+    /// streaming verdicts asserted equal), or, on certify-online rows,
+    /// from the streaming monitor alone.
     pub suite_ok: usize,
     /// Shard traces certified across all runs (main + rescue passes).
     pub shard_runs: usize,
@@ -134,65 +147,100 @@ pub fn e13_spec(n: usize, adaptive: bool, seed: u64) -> ServiceSpec {
         .epochs(EPOCHS)
         .max_time(2_000)
         .keep_traces(true)
+        .certify_online(true)
+        // Anomaly watermarks armed: a queue-depth, RTO, or
+        // suspicion-rate excursion past its learned baseline dumps the
+        // shard's flight ring (under SFS_FLIGHT_DIR) before the
+        // certification gate below ever sees a failed verdict.
+        .watermarks(true)
         .load(LoadProfile::closed(2 * n as u64, 8))
         .net(net)
         .chaos(chaos)
 }
 
-/// Folds one service run (all epochs, all shard traces) into the cell.
+/// Folds one service run (all epochs, all shard runs) into the cell.
+/// Kept-trace rows certify post-hoc *and* assert the streaming monitor
+/// agrees clause by clause; trace-free rows certify from the monitor
+/// alone.
 fn ingest(cell: &mut E13Cell, report: &ServiceReport) {
     cell.runs += 1;
     let mut all_ok = true;
     for s in report.epochs.iter().flat_map(|e| &e.shards) {
-        let trace = s.trace.as_ref().expect("E13 runs keep traces");
-        note_trace(trace);
+        let online = s.verdicts.as_ref().expect("E13 runs certify online");
         cell.shard_runs += 1;
-        let h = History::from_trace(trace);
-        let reports = properties::check_sfs_suite(&h, true);
-        let ok = properties::suite_ok(&reports);
-        if !ok {
-            // Black-box postmortem: when SFS_FLIGHT_DIR is set, dump the
-            // failed verdicts and the tail of the offending shard trace.
-            let mut body = format!(
-                "E13 certification failure: n={} shard={} adaptive={}\n",
-                report.total, s.shard, cell.adaptive
-            );
-            for r in &reports {
-                body.push_str(&format!("{}: {:?}\n", r.property, r.verdict));
-            }
-            body.push_str(&sfs_obs::flight::trace_tail(trace, 64));
-            sfs_obs::flight::dump_to_dir(
-                &format!(
-                    "e13-cert-n{}-shard{}-run{}",
-                    report.total, s.shard, cell.runs
-                ),
-                &body,
-            );
-        }
-        all_ok &= ok;
-        cell.kills += trace.crashed().len();
-        cell.detections += trace.detections().len();
-        cell.frames += trace.stats().messages_sent;
-        // A suspicion is false when its target had not crashed yet at
-        // the moment the prober annotated it (event order is causal).
-        let mut crashed_so_far: BTreeSet<usize> = BTreeSet::new();
-        for e in trace.events() {
-            match &e.kind {
-                TraceEventKind::Crash { pid } => {
-                    crashed_so_far.insert(pid.index());
+        let ok = match s.trace.as_ref() {
+            Some(trace) => {
+                note_trace(trace);
+                let h = History::from_trace(trace);
+                let reports = properties::check_sfs_suite(&h, true);
+                // The write-only monitor saw the same events the trace
+                // recorded, so its verdict vector and the post-hoc
+                // checker's must be *equal*, not merely consistent.
+                assert_eq!(
+                    online,
+                    &sfs_obs::SuiteVerdicts::from_reports(&reports),
+                    "online/post-hoc verdict divergence on shard {}",
+                    s.shard
+                );
+                let ok = properties::suite_ok(&reports);
+                if !ok {
+                    // Black-box postmortem: when SFS_FLIGHT_DIR is set,
+                    // dump the failed verdicts and the tail of the
+                    // offending shard trace.
+                    let mut body = format!(
+                        "E13 certification failure: n={} shard={} adaptive={}\n",
+                        report.total, s.shard, cell.adaptive
+                    );
+                    for r in &reports {
+                        body.push_str(&format!("{}: {:?}\n", r.property, r.verdict));
+                    }
+                    body.push_str(&sfs_obs::flight::trace_tail(trace, 64));
+                    sfs_obs::flight::dump_to_dir(
+                        &format!(
+                            "e13-cert-n{}-shard{}-run{}",
+                            report.total, s.shard, cell.runs
+                        ),
+                        &body,
+                    );
                 }
-                TraceEventKind::Note {
-                    note: Note::KeyVal { key, val },
-                    ..
-                } if key == NOTE_PROBE_SUSPECT => {
-                    let target = val.strip_prefix('p').and_then(|v| v.parse::<usize>().ok());
-                    if target.is_none_or(|g| !crashed_so_far.contains(&g)) {
-                        cell.false_suspicions += 1;
+                // A suspicion is false when its target had not crashed
+                // yet at the moment the prober annotated it (event order
+                // is causal).
+                let mut crashed_so_far: BTreeSet<usize> = BTreeSet::new();
+                for e in trace.events() {
+                    match &e.kind {
+                        TraceEventKind::Crash { pid } => {
+                            crashed_so_far.insert(pid.index());
+                        }
+                        TraceEventKind::Note {
+                            note: Note::KeyVal { key, val },
+                            ..
+                        } if key == NOTE_PROBE_SUSPECT => {
+                            let target =
+                                val.strip_prefix('p').and_then(|v| v.parse::<usize>().ok());
+                            if target.is_none_or(|g| !crashed_so_far.contains(&g)) {
+                                cell.false_suspicions += 1;
+                            }
+                        }
+                        _ => {}
                     }
                 }
-                _ => {}
+                ok
             }
-        }
+            // Certify-online row: no trace was retained; the streaming
+            // verdicts are the certificate. (False suspicions need the
+            // probe annotations, which live on the trace — those rows
+            // display `-`.) The shard still simulated `s.events` events,
+            // so the throughput record counts them like any other row.
+            None => {
+                note_events(s.events);
+                online.all_ok()
+            }
+        };
+        all_ok &= ok;
+        cell.kills += s.stats.crashes as usize;
+        cell.detections += s.stats.detections as usize;
+        cell.frames += s.stats.messages_sent;
     }
     cell.suite_ok += usize::from(all_ok);
     cell.op_hist.merge(&report.op_latency_hist());
@@ -201,18 +249,23 @@ fn ingest(cell: &mut E13Cell, report: &ServiceReport) {
     cell.degraded += report.exhausted.len();
 }
 
-/// Runs one `(n, mode)` cell: `seeds` independent soaks, one rayon task
-/// per seed (each soak fans out its own shard runs), folded in seed
-/// order.
-pub fn e13_cell(n: usize, adaptive: bool, seeds: u64) -> E13Cell {
+/// Runs one `(n, timeout mode, cert mode)` cell: `seeds` independent
+/// soaks, one rayon task per seed (each soak fans out its own shard
+/// runs), folded in seed order. `online` drops trace retention and
+/// certifies from the streaming monitors alone.
+pub fn e13_cell(n: usize, adaptive: bool, online: bool, seeds: u64) -> E13Cell {
     let reports: Vec<ServiceReport> = (0..seeds)
         .into_par_iter()
-        .map(|seed| run_service(&e13_spec(n, adaptive, seed)).expect("E13 specs are feasible"))
+        .map(|seed| {
+            run_service(&e13_spec(n, adaptive, seed).keep_traces(!online))
+                .expect("E13 specs are feasible")
+        })
         .collect();
     let mut cell = E13Cell {
         n,
         shards: n / SHARD,
         adaptive,
+        online,
         runs: 0,
         suite_ok: 0,
         shard_runs: 0,
@@ -231,22 +284,37 @@ pub fn e13_cell(n: usize, adaptive: bool, seeds: u64) -> E13Cell {
     cell
 }
 
-/// Runs the full E13 table: `{64, 256} × {fixed, adaptive}`, every cell
-/// over the same seeds (and so the same chaos plans — the comparison
-/// isolates the timeout discipline).
+/// Runs the full E13 table: `{64, 256} × {fixed, adaptive}` with kept
+/// traces (streaming verdicts asserted equal to the post-hoc checker on
+/// every shard run), plus `{64, 256} × {fixed, adaptive}` in
+/// certify-online mode (`keep_traces: false`, verdicts from the
+/// monitors alone). Every cell runs the same seeds, and so the same
+/// chaos plans — the comparisons isolate the timeout discipline and the
+/// certification mode.
 pub fn run_e13(seeds: u64) -> (Table, Vec<E13Cell>) {
-    let grid = [(64usize, false), (64, true), (256, false), (256, true)];
+    let grid = [
+        (64usize, false, false),
+        (64, true, false),
+        (256, false, false),
+        (256, true, false),
+        (64, false, true),
+        (64, true, true),
+        (256, false, true),
+        (256, true, true),
+    ];
     let cells: Vec<E13Cell> = grid
         .par_iter()
-        .map(|&(n, adaptive)| e13_cell(n, adaptive, seeds))
+        .map(|&(n, adaptive, online)| e13_cell(n, adaptive, online, seeds))
         .collect();
     let mut table = Table::new(
         "E13 — chaos soak: Poisson crashes + flapping partitions + delay storms + 2% loss, \
-         fixed vs adaptive transport timeouts, FS1/sFS2a-d certified on every seed",
+         fixed vs adaptive transport timeouts, FS1/sFS2a-d certified on every seed \
+         (trace-based and online-monitor rows)",
         &[
             "n",
             "shards",
             "timeouts",
+            "cert",
             "runs",
             "suite ok",
             "kills",
@@ -263,10 +331,15 @@ pub fn run_e13(seeds: u64) -> (Table, Vec<E13Cell>) {
             c.n.to_string(),
             c.shards.to_string(),
             if c.adaptive { "adaptive" } else { "fixed" }.to_string(),
+            if c.online { "online" } else { "trace" }.to_string(),
             c.runs.to_string(),
             format!("{}/{}", c.suite_ok, c.runs),
             c.kills.to_string(),
-            format!("{:.1}", c.false_susp_rate()),
+            if c.online {
+                "-".to_string()
+            } else {
+                format!("{:.1}", c.false_susp_rate())
+            },
             format!("{:.0}", c.msgs_per_detection()),
             c.op_p99().to_string(),
             c.ops_completed.to_string(),
@@ -275,14 +348,17 @@ pub fn run_e13(seeds: u64) -> (Table, Vec<E13Cell>) {
         ]);
     }
     table.note(
-        "suite ok counts soaks on which every shard trace (main and rescue passes, all \
-         epochs) certified FS1 + sFS2a-d with eventualities discharged; f-susp counts \
-         suspicions of still-live targets (the delay storm pushes the heartbeat gap past \
-         the fixed 100-tick timeout, while the adaptive prober, trained by the earlier \
-         sub-timeout flap, rides it out); degraded counts shards that exhausted their \
-         budget and were shed by the directory, their stranded ops rescued onto donors. \
-         op p99 is the 99th-percentile client-op latency (ticks) from the telemetry \
-         registries' log-bucket histograms, merged across every seed.",
+        "suite ok counts soaks on which every shard run (main and rescue passes, all \
+         epochs) certified FS1 + sFS2a-d with eventualities discharged — on `trace` rows \
+         from the kept trace, with the streaming monitor's verdicts asserted equal clause \
+         by clause; on `online` rows from the streaming monitors alone, with no trace \
+         retained at all. f-susp counts suspicions of still-live targets (the delay storm \
+         pushes the heartbeat gap past the fixed 100-tick timeout, while the adaptive \
+         prober, trained by the earlier sub-timeout flap, rides it out); the probe \
+         annotations live on the trace, so online rows show `-`. degraded counts shards \
+         that exhausted their budget and were shed by the directory, their stranded ops \
+         rescued onto donors. op p99 is the 99th-percentile client-op latency (ticks) \
+         from the telemetry registries' log-bucket histograms, merged across every seed.",
     );
     (table, cells)
 }
@@ -296,8 +372,8 @@ mod tests {
         // One seed at N = 64 in both modes: everything certifies, the
         // storm costs the fixed prober false suspicions (one per shard),
         // and the adaptive prober strictly fewer.
-        let fixed = e13_cell(64, false, 1);
-        let adaptive = e13_cell(64, true, 1);
+        let fixed = e13_cell(64, false, false, 1);
+        let adaptive = e13_cell(64, true, false, 1);
         for c in [&fixed, &adaptive] {
             assert_eq!(c.runs, 1);
             assert_eq!(
@@ -323,6 +399,26 @@ mod tests {
             adaptive.false_suspicions,
             fixed.false_suspicions
         );
+    }
+
+    #[test]
+    fn e13_certify_online_matches_the_trace_based_cell() {
+        // The certify-online cell keeps no traces, yet must reach the
+        // same verdict and the same engine counters as the kept-trace
+        // cell on the same seed — certification without retention.
+        let traced = e13_cell(64, true, false, 1);
+        let online = e13_cell(64, true, true, 1);
+        assert_eq!(online.runs, 1);
+        assert_eq!(
+            online.suite_ok, 1,
+            "certify-online must certify without traces"
+        );
+        assert_eq!(online.suite_ok, traced.suite_ok);
+        assert_eq!(online.shard_runs, traced.shard_runs);
+        assert_eq!(online.kills, traced.kills);
+        assert_eq!(online.detections, traced.detections);
+        assert_eq!(online.frames, traced.frames);
+        assert_eq!(online.ops_completed, traced.ops_completed);
     }
 
     #[test]

@@ -12,8 +12,8 @@ use crate::protocol::SfsProcess;
 use crate::quorum::{QuorumError, QuorumPolicy};
 use sfs_asys::net::{Runtime, RuntimeConfig};
 use sfs_asys::{
-    CrashRegistry, FaultPlan, FaultyLink, LatencyError, LinkModel, ObsHandle, PartitionSchedule,
-    ProcessId, Sim, StormSchedule, Trace, UniformLatency, VirtualTime,
+    CrashRegistry, EventSinkHandle, FaultPlan, FaultyLink, LatencyError, LinkModel, ObsHandle,
+    PartitionSchedule, ProcessId, Sim, StormSchedule, Trace, UniformLatency, VirtualTime,
 };
 use sfs_transport::{
     AdaptiveConfig, ArqConfig, ProbeConfig, Reliable, TransportError, TransportMsg,
@@ -232,6 +232,15 @@ pub struct ClusterSpec {
     /// observed run is fingerprint-identical to a bare one. `None` (the
     /// default) costs nothing.
     pub obs: Option<ObsHandle>,
+    /// Trace-event sink threaded into whichever engine the spec runs on:
+    /// every event an engine appends to its trace is also handed, live,
+    /// to the sink — the feed the `sfs-obs` streaming sFS monitors
+    /// certify on without retaining the trace. Execution-neutral under
+    /// the same contract as [`ClusterSpec::obs`]; the UDP leg, whose
+    /// nodes run in separate OS processes, replays the Lamport-merged
+    /// trace through the sink at the parent after the run. `None` (the
+    /// default) costs nothing.
+    pub sink: Option<EventSinkHandle>,
 }
 
 impl ClusterSpec {
@@ -254,6 +263,7 @@ impl ClusterSpec {
             batch: false,
             net: None,
             obs: None,
+            sink: None,
         }
     }
 
@@ -261,6 +271,13 @@ impl ClusterSpec {
     /// flight-recorder fanout) on whichever engine the spec runs on.
     pub fn observe(mut self, obs: ObsHandle) -> Self {
         self.obs = Some(obs);
+        self
+    }
+
+    /// Installs a trace-event sink (e.g. an `sfs-obs` streaming sFS
+    /// monitor) on whichever engine the spec runs on.
+    pub fn event_sink(mut self, sink: EventSinkHandle) -> Self {
+        self.sink = Some(sink);
         self
     }
 
@@ -581,6 +598,10 @@ impl ClusterSpec {
             Some(obs) => builder.observe(obs.clone()),
             None => builder,
         };
+        let builder = match &self.sink {
+            Some(sink) => builder.event_sink(sink.clone()),
+            None => builder,
+        };
         let registry = builder.crash_registry();
         Ok(builder.build(|pid| {
             let config = self.sfs_config(&registry);
@@ -644,6 +665,7 @@ impl ClusterSpec {
             classify: Some(Box::new(|m: &SfsMsg<A::Msg>| !m.is_app())),
             measure: None,
             obs: self.obs.clone(),
+            sink: self.sink.clone(),
             registry: Some(registry.clone()),
             batch: self.batch,
             faults: self.fault_plan::<A::Msg>(),
@@ -843,6 +865,10 @@ impl ClusterSpec {
             Some(obs) => builder.observe(obs.clone()),
             None => builder,
         };
+        let builder = match &self.sink {
+            Some(sink) => builder.event_sink(sink.clone()),
+            None => builder,
+        };
         let builder = tune(builder);
         let registry = builder.crash_registry();
         Ok(builder.build(|pid| Box::new(self.wrap_process(&net, &registry, make_app(pid)))))
@@ -928,6 +954,7 @@ impl ClusterSpec {
             classify: Some(Box::new(|_: &TransportMsg<SfsMsg<A::Msg>>| true)),
             measure,
             obs: self.obs.clone(),
+            sink: self.sink.clone(),
             registry: Some(registry.clone()),
             batch: self.batch,
             faults: self.fault_plan_net::<A::Msg>(),

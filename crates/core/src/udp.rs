@@ -552,6 +552,13 @@ impl ClusterSpec {
         let cluster = ClusterConfig::new(self.n, settle);
         let run = run_cluster(&cluster, commands, &faults)
             .map_err(|e| SpecError::from(UdpError::Io(e.to_string())))?;
+        if let Some(sink) = &self.sink {
+            // The nodes ran in separate OS processes, so the sink could
+            // not observe events live; replay the per-node fragments of
+            // the Lamport-merged trace in merged order — the same feed
+            // the in-process engines deliver event-by-event.
+            sfs_obs::monitor::replay_fragments(sink, &sfs_obs::monitor::fragments_of(&run.trace));
+        }
         if run.trace.stop_reason() == sfs_asys::StopReason::MaxTime {
             let mut body = sfs_obs::flight::trace_tail(&run.trace, 64);
             for (pid, status) in run.node_status.iter().enumerate() {

@@ -1,0 +1,340 @@
+//! Bench-trajectory diffing: compares `BENCH_*.json` records across
+//! commits with noise-aware thresholds — the library behind the
+//! `sfs-bench-diff` binary and CI's `bench-regression` job.
+//!
+//! Every experiment binary writes a `BENCH_<name>.json` record (see
+//! `sfs-bench::report`) whose envelope is stable: `experiment`,
+//! `wall_ms`, `events`, `events_per_sec`, `rows`. This module parses
+//! that envelope with the crate's hand-rolled [`Json`] parser, pairs
+//! records by experiment across a baseline and a candidate directory,
+//! and judges each pair:
+//!
+//! * **Regressed** — candidate throughput (`events_per_sec`) fell more
+//!   than the configured fraction below baseline, *and* the baseline
+//!   was big enough to trust (absolute floors on `events` and
+//!   `wall_ms`). Smoke-sized runs on shared CI runners jitter by tens
+//!   of percent; the floors keep the gate quiet where the signal is
+//!   noise.
+//! * **SmallSample** — the pair differs but the baseline is under the
+//!   floors; reported, never fatal.
+//! * **Improved / Ok** — informational.
+//!
+//! The job fails (nonzero exit from the binary) only on `Regressed`.
+
+use crate::json::Json;
+use std::fmt;
+use std::path::Path;
+
+/// The stable envelope of one `BENCH_*.json` record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSummary {
+    /// Experiment name (`"E11"`, `"E13"`, ...).
+    pub experiment: String,
+    /// Wall-clock of the measured section, milliseconds.
+    pub wall_ms: f64,
+    /// Trace events executed across the experiment's runs.
+    pub events: u64,
+    /// Events per wall second — the throughput the gate judges.
+    pub events_per_sec: f64,
+    /// Table rows produced.
+    pub rows: u64,
+}
+
+/// Parses one record's JSON text into its envelope.
+///
+/// # Errors
+///
+/// A message naming the missing or malformed field.
+pub fn parse_summary(text: &str) -> Result<BenchSummary, String> {
+    let json = Json::parse(text)?;
+    let field = |key: &str| -> Result<&Json, String> {
+        json.get(key)
+            .ok_or_else(|| format!("record is missing `{key}`"))
+    };
+    Ok(BenchSummary {
+        experiment: field("experiment")?
+            .as_str()
+            .ok_or("`experiment` is not a string")?
+            .to_owned(),
+        wall_ms: field("wall_ms")?
+            .as_f64()
+            .ok_or("`wall_ms` is not a number")?,
+        events: field("events")?
+            .as_u64()
+            .ok_or("`events` is not an integer")?,
+        events_per_sec: field("events_per_sec")?
+            .as_f64()
+            .ok_or("`events_per_sec` is not a number")?,
+        rows: field("rows")?.as_u64().ok_or("`rows` is not an integer")?,
+    })
+}
+
+/// Noise-aware judging thresholds; see the module docs.
+#[derive(Debug, Clone)]
+pub struct DiffThresholds {
+    /// Fractional throughput drop that counts as a regression (0.35 =
+    /// anything slower than 65% of baseline).
+    pub drop: f64,
+    /// Baselines with fewer events than this are too small to judge.
+    pub min_events: u64,
+    /// Baselines that ran shorter than this (ms) are too small to judge.
+    pub min_wall_ms: f64,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        DiffThresholds {
+            drop: 0.35,
+            min_events: 10_000,
+            min_wall_ms: 50.0,
+        }
+    }
+}
+
+/// Verdict for one baseline/candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffStatus {
+    /// Within thresholds.
+    Ok,
+    /// Candidate faster than baseline by more than the drop fraction.
+    Improved,
+    /// Baseline under the size floors: differences reported, not judged.
+    SmallSample,
+    /// Past-threshold throughput drop on a trustworthy baseline.
+    Regressed,
+}
+
+impl fmt::Display for DiffStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DiffStatus::Ok => "ok",
+            DiffStatus::Improved => "improved",
+            DiffStatus::SmallSample => "small-sample",
+            DiffStatus::Regressed => "REGRESSED",
+        })
+    }
+}
+
+/// One row of the regression table.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// Experiment name.
+    pub experiment: String,
+    /// Baseline envelope.
+    pub baseline: BenchSummary,
+    /// Candidate envelope.
+    pub candidate: BenchSummary,
+    /// `candidate.events_per_sec / baseline.events_per_sec`.
+    pub throughput_ratio: f64,
+    /// The judgement.
+    pub status: DiffStatus,
+}
+
+/// Judges one baseline/candidate pair.
+pub fn diff_summaries(
+    baseline: BenchSummary,
+    candidate: BenchSummary,
+    t: &DiffThresholds,
+) -> DiffRow {
+    let ratio = if baseline.events_per_sec > 0.0 {
+        candidate.events_per_sec / baseline.events_per_sec
+    } else {
+        1.0
+    };
+    let trustworthy = baseline.events >= t.min_events && baseline.wall_ms >= t.min_wall_ms;
+    let status = if ratio < 1.0 - t.drop {
+        if trustworthy {
+            DiffStatus::Regressed
+        } else {
+            DiffStatus::SmallSample
+        }
+    } else if ratio > 1.0 + t.drop {
+        DiffStatus::Improved
+    } else {
+        DiffStatus::Ok
+    };
+    DiffRow {
+        experiment: baseline.experiment.clone(),
+        baseline,
+        candidate,
+        throughput_ratio: ratio,
+        status,
+    }
+}
+
+/// The result of diffing two directories of `BENCH_*.json` records.
+#[derive(Debug, Clone, Default)]
+pub struct DirDiff {
+    /// One judged row per record present on both sides, sorted by name.
+    pub rows: Vec<DiffRow>,
+    /// Record files present only in the baseline directory.
+    pub only_baseline: Vec<String>,
+    /// Record files present only in the candidate directory.
+    pub only_candidate: Vec<String>,
+}
+
+impl DirDiff {
+    /// Whether any judged pair regressed.
+    pub fn any_regression(&self) -> bool {
+        self.rows.iter().any(|r| r.status == DiffStatus::Regressed)
+    }
+
+    /// Renders the regression table, one line per pair plus unmatched
+    /// files — the artifact the CI job uploads.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<14} {:>12} {:>12} {:>7} {:>10} {:>10}  status\n",
+            "experiment", "base ev/s", "cand ev/s", "ratio", "base ms", "cand ms"
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<14} {:>12.0} {:>12.0} {:>6.2}x {:>10.1} {:>10.1}  {}\n",
+                r.experiment,
+                r.baseline.events_per_sec,
+                r.candidate.events_per_sec,
+                r.throughput_ratio,
+                r.baseline.wall_ms,
+                r.candidate.wall_ms,
+                r.status,
+            ));
+        }
+        for name in &self.only_baseline {
+            out.push_str(&format!("{name}: missing from candidate\n"));
+        }
+        for name in &self.only_candidate {
+            out.push_str(&format!("{name}: new (no baseline)\n"));
+        }
+        out
+    }
+}
+
+fn bench_files(dir: &Path) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| e.to_string())?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            names.push(name);
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+fn load_summary(dir: &Path, name: &str) -> Result<BenchSummary, String> {
+    let path = dir.join(name);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_summary(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Diffs every `BENCH_*.json` record present in both directories.
+///
+/// # Errors
+///
+/// Unreadable directories or malformed records.
+pub fn diff_dirs(
+    baseline_dir: &Path,
+    candidate_dir: &Path,
+    t: &DiffThresholds,
+) -> Result<DirDiff, String> {
+    let base_names = bench_files(baseline_dir)?;
+    let cand_names = bench_files(candidate_dir)?;
+    let mut diff = DirDiff::default();
+    for name in &base_names {
+        if !cand_names.contains(name) {
+            diff.only_baseline.push(name.clone());
+            continue;
+        }
+        let baseline = load_summary(baseline_dir, name)?;
+        let candidate = load_summary(candidate_dir, name)?;
+        diff.rows.push(diff_summaries(baseline, candidate, t));
+    }
+    diff.only_candidate = cand_names
+        .into_iter()
+        .filter(|n| !base_names.contains(n))
+        .collect();
+    Ok(diff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(experiment: &str, wall_ms: f64, events: u64) -> String {
+        let eps = events as f64 / (wall_ms / 1000.0);
+        format!(
+            "{{\"experiment\": \"{experiment}\", \"configs\": \"x\", \"seeds\": 1, \
+             \"wall_ms\": {wall_ms:.3}, \"events\": {events}, \
+             \"events_per_sec\": {eps:.1}, \"threads\": 4, \"rows\": 8, \"table\": null}}"
+        )
+    }
+
+    #[test]
+    fn parses_the_bench_envelope() {
+        let s = parse_summary(&record("E11", 120.0, 50_000)).unwrap();
+        assert_eq!(s.experiment, "E11");
+        assert_eq!(s.events, 50_000);
+        assert!(s.events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn judges_drops_improvements_and_noise() {
+        let t = DiffThresholds::default();
+        let base = parse_summary(&record("E11", 200.0, 100_000)).unwrap();
+
+        // 2x slower on a trustworthy baseline: regression.
+        let slow = parse_summary(&record("E11", 400.0, 100_000)).unwrap();
+        assert_eq!(
+            diff_summaries(base.clone(), slow, &t).status,
+            DiffStatus::Regressed
+        );
+
+        // 2x faster: improvement, never fatal.
+        let fast = parse_summary(&record("E11", 100.0, 100_000)).unwrap();
+        assert_eq!(
+            diff_summaries(base.clone(), fast, &t).status,
+            DiffStatus::Improved
+        );
+
+        // Within the band: ok.
+        let close_run = parse_summary(&record("E11", 220.0, 100_000)).unwrap();
+        assert_eq!(
+            diff_summaries(base.clone(), close_run, &t).status,
+            DiffStatus::Ok
+        );
+
+        // Tiny baseline: the same 2x drop is only a small-sample note.
+        let small_base = parse_summary(&record("E11", 10.0, 500)).unwrap();
+        let small_slow = parse_summary(&record("E11", 20.0, 500)).unwrap();
+        assert_eq!(
+            diff_summaries(small_base, small_slow, &t).status,
+            DiffStatus::SmallSample
+        );
+    }
+
+    #[test]
+    fn dir_diff_pairs_by_name_and_flags_regressions() {
+        let base = tempdir("benchdiff-base");
+        let cand = tempdir("benchdiff-cand");
+        std::fs::write(base.join("BENCH_E11.json"), record("E11", 200.0, 100_000)).unwrap();
+        std::fs::write(cand.join("BENCH_E11.json"), record("E11", 800.0, 100_000)).unwrap();
+        std::fs::write(base.join("BENCH_E12.json"), record("E12", 100.0, 50_000)).unwrap();
+        let diff = diff_dirs(&base, &cand, &DiffThresholds::default()).unwrap();
+        assert_eq!(diff.rows.len(), 1);
+        assert!(diff.any_regression());
+        assert_eq!(diff.only_baseline, vec!["BENCH_E12.json"]);
+        let table = diff.render();
+        assert!(table.contains("REGRESSED"), "{table}");
+        assert!(table.contains("BENCH_E12.json: missing from candidate"));
+        std::fs::remove_dir_all(&base).ok();
+        std::fs::remove_dir_all(&cand).ok();
+    }
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sfs-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+}

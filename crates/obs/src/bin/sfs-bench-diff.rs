@@ -1,0 +1,82 @@
+//! `sfs-bench-diff` — the bench-trajectory regression gate.
+//!
+//! ```text
+//! sfs-bench-diff <baseline-dir> <candidate-dir> \
+//!     [--drop 0.35] [--min-events 10000] [--min-wall-ms 50] [-o table.txt]
+//! ```
+//!
+//! Pairs every `BENCH_*.json` record present in both directories,
+//! judges each pair with the noise-aware thresholds of
+//! `sfs_obs::benchdiff`, prints the regression table, optionally writes
+//! it to `-o`, and exits nonzero iff any pair regressed past the
+//! threshold on a trustworthy baseline — the contract CI's
+//! `bench-regression` job relies on.
+
+use sfs_obs::benchdiff::{diff_dirs, DiffThresholds};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sfs-bench-diff <baseline-dir> <candidate-dir> \
+         [--drop F] [--min-events N] [--min-wall-ms F] [-o FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut thresholds = DiffThresholds::default();
+    let mut out_file: Option<PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--drop" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                thresholds.drop = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--min-events" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                thresholds.min_events = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--min-wall-ms" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                thresholds.min_wall_ms = v.parse().unwrap_or_else(|_| usage());
+            }
+            "-o" | "--out" => {
+                out_file = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "-h" | "--help" => usage(),
+            _ => dirs.push(PathBuf::from(arg)),
+        }
+    }
+    let [baseline, candidate] = dirs.as_slice() else {
+        usage();
+    };
+
+    let diff = match diff_dirs(baseline, candidate, &thresholds) {
+        Ok(diff) => diff,
+        Err(e) => {
+            eprintln!("sfs-bench-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let table = diff.render();
+    print!("{table}");
+    if let Some(path) = out_file {
+        if let Err(e) = std::fs::write(&path, &table) {
+            eprintln!("sfs-bench-diff: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if diff.any_regression() {
+        eprintln!(
+            "sfs-bench-diff: throughput regression past {:.0}% on a \
+             trustworthy baseline",
+            thresholds.drop * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -173,6 +173,44 @@ mod tests {
     }
 
     #[test]
+    fn dump_after_wraparound_is_contiguous_and_ordered() {
+        // Wrap the ring several times over, then check the dump is
+        // exactly the final window — every retained seq contiguous,
+        // strictly increasing, ending at the last event recorded.
+        let capacity = 7;
+        let total = 7 * 3 + 4; // lands mid-window, off the wrap boundary
+        let rec = FlightRecorder::new(capacity);
+        let h = rec.handle();
+        for i in 0..total as u64 {
+            h.record(ObsEvent::Gauge {
+                node: ProcessId::new((i % 3) as usize),
+                class: MsgClass::Infra,
+                name: "depth",
+                value: i,
+            });
+        }
+        assert_eq!(rec.recorded(), total as u64);
+        let dump = rec.dump();
+        let seqs: Vec<u64> = dump
+            .lines()
+            .skip(1) // header
+            .map(|l| {
+                l.trim_start_matches('#')
+                    .split_whitespace()
+                    .next()
+                    .expect("seq field")
+                    .parse()
+                    .expect("numeric seq")
+            })
+            .collect();
+        let expect: Vec<u64> = (total as u64 - capacity as u64..total as u64).collect();
+        assert_eq!(
+            seqs, expect,
+            "dump after wraparound is not the ordered final window:\n{dump}"
+        );
+    }
+
+    #[test]
     fn trace_tail_formats_last_events() {
         use sfs_asys::{SimStats, StopReason, TraceEvent, TraceEventKind, VirtualTime};
         let events = (0..20)

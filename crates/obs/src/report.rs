@@ -104,6 +104,20 @@ impl RunReport {
             .sum()
     }
 
+    /// The largest value over every gauge row named `name` (gauges
+    /// merge by max, so this is the fold's natural read; 0 when none).
+    pub fn gauge_max(&self, name: &str) -> u64 {
+        self.rows
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .filter_map(|(_, m)| match m {
+                Metric::Gauge(g) => Some(*g),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
     /// The merge of every histogram row named `name` (empty when none).
     pub fn hist(&self, name: &str) -> LogHistogram {
         let mut out = LogHistogram::new();

@@ -1,0 +1,140 @@
+//! Verdict vectors for the streaming sFS monitors: the fixed-order
+//! suite the online monitor emits, comparable clause-by-clause against
+//! the post-hoc `check_sfs_suite` reports.
+//!
+//! The monitor and the trace-based checker must agree *exactly* — the
+//! differential proptest in `sfs-apps` and the kept-trace rows of the
+//! E13 soak pin `SuiteVerdicts::from_reports(&check_sfs_suite(..)) ==
+//! monitor.finish(..)` on every instance — so this module fixes the
+//! property names and their order once, in the order `check_sfs_suite`
+//! returns them.
+
+use sfs_tlogic::{PropertyReport, Verdict};
+use std::fmt;
+
+/// The eight suite properties, in `check_sfs_suite` order.
+pub const SUITE_PROPERTIES: [&str; 8] = [
+    "FS1",
+    "sFS2a",
+    "sFS2b",
+    "sFS2c",
+    "sFS2d",
+    "Condition1",
+    "Condition2",
+    "Condition3",
+];
+
+/// One verdict per suite property, in [`SUITE_PROPERTIES`] order.
+///
+/// Equality is clause-by-clause verdict equality — the relation the
+/// online/post-hoc differential tests assert. Violation *details* are
+/// deliberately not part of the vector: the streaming monitor keeps
+/// O(n + active failures) state and cannot afford the post-hoc
+/// checkers' exhaustive violation enumerations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteVerdicts {
+    verdicts: [Verdict; 8],
+}
+
+impl SuiteVerdicts {
+    /// Builds the vector from explicit verdicts in suite order.
+    pub fn new(verdicts: [Verdict; 8]) -> Self {
+        SuiteVerdicts { verdicts }
+    }
+
+    /// Projects a post-hoc `check_sfs_suite` report list onto its
+    /// verdict vector. Reports beyond the eight suite properties (e.g.
+    /// a Theorem 5 entry appended by callers) are ignored; a missing
+    /// suite property panics, since comparing misaligned suites would
+    /// silently certify nothing.
+    pub fn from_reports(reports: &[PropertyReport]) -> Self {
+        let verdicts = SUITE_PROPERTIES.map(|name| {
+            reports
+                .iter()
+                .find(|r| r.property == name)
+                .unwrap_or_else(|| panic!("suite report list is missing {name}"))
+                .verdict
+        });
+        SuiteVerdicts { verdicts }
+    }
+
+    /// The verdict for a named suite property.
+    pub fn verdict_of(&self, property: &str) -> Option<Verdict> {
+        SUITE_PROPERTIES
+            .iter()
+            .position(|&p| p == property)
+            .map(|i| self.verdicts[i])
+    }
+
+    /// Iterates `(property, verdict)` pairs in suite order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, Verdict)> + '_ {
+        SUITE_PROPERTIES
+            .iter()
+            .zip(self.verdicts.iter())
+            .map(|(&p, &v)| (p, v))
+    }
+
+    /// Whether no property is violated (the `suite_ok` mirror: `Holds`
+    /// and `Vacuous` both pass).
+    pub fn all_ok(&self) -> bool {
+        self.verdicts.iter().all(|v| *v != Verdict::Violated)
+    }
+
+    /// The first violated property, if any.
+    pub fn first_violation(&self) -> Option<&'static str> {
+        self.iter()
+            .find(|&(_, v)| v == Verdict::Violated)
+            .map(|(p, _)| p)
+    }
+}
+
+impl fmt::Display for SuiteVerdicts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (p, v)) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{p}={v:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_reports_projects_and_ignores_extras() {
+        let mut reports: Vec<PropertyReport> = SUITE_PROPERTIES
+            .iter()
+            .map(|&p| PropertyReport::holds(p))
+            .collect();
+        reports.push(PropertyReport::vacuous("Theorem5"));
+        let v = SuiteVerdicts::from_reports(&reports);
+        assert!(v.all_ok());
+        assert_eq!(v.verdict_of("sFS2d"), Some(Verdict::Holds));
+        assert_eq!(v.verdict_of("Theorem5"), None);
+        assert_eq!(v.first_violation(), None);
+    }
+
+    #[test]
+    fn display_and_violation_ordering() {
+        let mut verdicts = [Verdict::Holds; 8];
+        verdicts[2] = Verdict::Violated; // sFS2b
+        verdicts[7] = Verdict::Violated; // Condition3
+        let v = SuiteVerdicts::new(verdicts);
+        assert!(!v.all_ok());
+        assert_eq!(v.first_violation(), Some("sFS2b"));
+        let line = v.to_string();
+        assert!(line.contains("sFS2b=Violated"));
+        assert!(line.contains("FS1=Holds"));
+    }
+
+    #[test]
+    #[should_panic(expected = "missing sFS2a")]
+    fn from_reports_panics_on_missing_property() {
+        let reports = vec![PropertyReport::holds("FS1")];
+        let _ = SuiteVerdicts::from_reports(&reports);
+    }
+}

@@ -36,7 +36,7 @@ use rayon::prelude::*;
 use sfs::{ClusterSpec, HeartbeatConfig, NetSpec, QuorumError, SpecError};
 use sfs_asys::{ProcessId, SimStats, Trace, TraceEventKind, VirtualTime};
 use sfs_chaos::{ChaosPlan, ChaosSpec, ShardChaos};
-use sfs_obs::{metrics, LogHistogram, MsgClass, Registry, RunReport};
+use sfs_obs::{metrics, LogHistogram, MsgClass, Registry, RunReport, SfsMonitor, SuiteVerdicts};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -96,6 +96,20 @@ pub struct ServiceSpec {
     /// downstream certification of the sFS properties). Off by default
     /// to keep large sweeps lean.
     pub keep_traces: bool,
+    /// Certify the sFS suite **online**: attach a streaming
+    /// [`SfsMonitor`] to every shard run (O(n + active failures) state,
+    /// fed event-by-event through the write-only trace sink) and carry
+    /// its [`SuiteVerdicts`] on each [`ShardOutcome`]. Orthogonal to
+    /// [`ServiceSpec::keep_traces`] — this is how a soak certifies
+    /// without retaining traces at all.
+    pub certify_online: bool,
+    /// Arm anomaly watermarks on every shard run: a flight recorder and
+    /// an [`sfs_obs::AnomalyWatermarks`] sink ride the obs seam, and a
+    /// signal inflating past its learned baseline (queue depth, RTO,
+    /// suspicion rate) dumps the ring under `SFS_FLIGHT_DIR` *before*
+    /// any certification gate fails. Trips are carried on each
+    /// [`ShardOutcome`]; the soak benches arm this.
+    pub watermarks: bool,
     /// Virtual-time horizon per shard run.
     pub max_time: u64,
     /// Threaded-backend drain budget per shard run, in wall-clock
@@ -130,6 +144,8 @@ impl ServiceSpec {
             epochs: 2,
             chaos: None,
             keep_traces: false,
+            certify_online: false,
+            watermarks: false,
             max_time: 5_000,
             settle_ms: 5_000,
             net: None,
@@ -202,6 +218,19 @@ impl ServiceSpec {
     /// Toggles trace carrying (see [`ServiceSpec::keep_traces`]).
     pub fn keep_traces(mut self, on: bool) -> Self {
         self.keep_traces = on;
+        self
+    }
+
+    /// Toggles online certification (see
+    /// [`ServiceSpec::certify_online`]).
+    pub fn certify_online(mut self, on: bool) -> Self {
+        self.certify_online = on;
+        self
+    }
+
+    /// Toggles anomaly watermarks (see [`ServiceSpec::watermarks`]).
+    pub fn watermarks(mut self, on: bool) -> Self {
+        self.watermarks = on;
         self
     }
 }
@@ -288,6 +317,15 @@ pub struct ShardOutcome {
     /// The full run trace, when [`ServiceSpec::keep_traces`] is on —
     /// downstream consumers (the E13 bench) certify FS1/sFS2a–d on it.
     pub trace: Option<Trace>,
+    /// The streaming monitor's suite verdicts, when
+    /// [`ServiceSpec::certify_online`] is on. Pinned (by the service
+    /// tests and the E13 kept-trace rows) to equal
+    /// `check_sfs_suite` on the same run's trace, clause by clause.
+    pub verdicts: Option<SuiteVerdicts>,
+    /// Anomaly-watermark signals that tripped during the run, in trip
+    /// order (empty when [`ServiceSpec::watermarks`] is off — or when
+    /// the run stayed inside its learned baselines).
+    pub watermark_trips: Vec<&'static str>,
 }
 
 /// One epoch: the table it ran under and every shard's outcome.
@@ -717,6 +755,27 @@ fn run_shard(
     if let Some(hb) = spec.heartbeat {
         cluster = cluster.heartbeat(hb);
     }
+    // The online monitor rides the write-only event sink: it observes
+    // every recorded event live but cannot perturb the run, so
+    // monitored executions stay identical to bare ones.
+    let monitor = spec.certify_online.then(|| SfsMonitor::new(n));
+    if let Some(m) = &monitor {
+        cluster = cluster.event_sink(m.handle());
+    }
+    // Watermarks ride the (equally write-only) obs seam, paired with a
+    // flight recorder so a trip ships the recent telemetry ring as its
+    // own post-mortem — before any certification gate gets to fail.
+    let watermarks = if spec.watermarks {
+        let recorder = sfs_obs::FlightRecorder::new(512);
+        let wm = sfs_obs::AnomalyWatermarks::with_flight(
+            &format!("shard{}-epoch{epoch}", shard.id),
+            recorder.clone(),
+        );
+        cluster = cluster.observe(sfs_obs::fanout(vec![recorder.handle(), wm.handle()]));
+        Some(wm)
+    } else {
+        None
+    };
     for &(local, tick) in &crashes {
         cluster = cluster.crash(ProcessId::new(local), tick.max(1));
     }
@@ -779,7 +838,10 @@ fn run_shard(
                 .0
         }
     };
-    let mut out = summarize_shard(shard.id, n, ops, &trace, spec.backend);
+    let mut out = summarize_shard(shard.id, n, ops, &trace, spec.backend, monitor.as_deref());
+    if let Some(wm) = &watermarks {
+        out.watermark_trips = wm.trips();
+    }
     if spec.keep_traces {
         out.trace = Some(trace);
     }
@@ -794,6 +856,7 @@ fn summarize_shard(
     ops: u64,
     trace: &Trace,
     backend: Backend,
+    monitor: Option<&SfsMonitor>,
 ) -> ShardOutcome {
     let load = analyze_load(trace);
     // Each shard folds its own registry — contention-free under the
@@ -829,6 +892,24 @@ fn summarize_shard(
     registry.add(0, MsgClass::None, metrics::TIMERS, stats.timers_fired);
     registry.add(0, MsgClass::None, metrics::CRASHES, stats.crashes);
     registry.add(0, MsgClass::None, metrics::DETECTIONS, stats.detections);
+    // Monitor overhead gauges: how much the online certification cost.
+    if let Some(m) = monitor {
+        let events = m.events_seen();
+        let spent = m.spent_ns();
+        registry.set(0, MsgClass::None, metrics::MONITOR_EVENTS, events);
+        registry.set(
+            0,
+            MsgClass::None,
+            metrics::MONITOR_NS_PER_EVENT,
+            m.ns_per_event(),
+        );
+        let per_sec = if spent > 0 {
+            (events as u128 * 1_000_000_000 / spent as u128) as u64
+        } else {
+            0
+        };
+        registry.set(0, MsgClass::None, metrics::MONITOR_EVENTS_PER_SEC, per_sec);
+    }
     // Crash → detection latency: every Failed{of = v} after Crash{v}.
     let mut crash_at: BTreeMap<usize, u64> = BTreeMap::new();
     let mut latencies = Vec::new();
@@ -858,6 +939,13 @@ fn summarize_shard(
         detection_latencies: latencies,
         obs: registry.report(),
         trace: None,
+        // Liveness clauses are judged with all obligations due
+        // (`complete = true`): a shard run's horizon is its discharge
+        // deadline — transport-backed groups under probes never
+        // formally quiesce, and the E11/E13 certification convention is
+        // that every crash must be detected *within the run*.
+        verdicts: monitor.map(|m| m.finish(true)),
+        watermark_trips: Vec::new(),
     }
 }
 
@@ -1251,5 +1339,89 @@ mod tests {
             checked += 1;
         }
         assert!(checked >= 2, "both epochs carried certifiable traces");
+    }
+
+    #[test]
+    fn online_verdicts_match_the_post_hoc_checker() {
+        use sfs_history::History;
+        use sfs_tlogic::properties;
+
+        // certify_online + keep_traces on the same run: the streaming
+        // monitor's verdict vector must equal `check_sfs_suite` on the
+        // carried trace, clause by clause, for every shard run — the
+        // equivalence E13's certify-online mode rests on.
+        let plan = plan_shards(10, 2, 10, 5).unwrap();
+        let victim = plan.shards[0].members[0];
+        let spec = ServiceSpec::new(10, 2, 10)
+            .seed(5)
+            .keep_traces(true)
+            .certify_online(true)
+            .max_time(1_500)
+            .load(LoadProfile::closed(16, 4))
+            .crash(victim, 40);
+        let report = run_service(&spec).unwrap();
+        let mut checked = 0;
+        for s in report.epochs.iter().flat_map(|e| &e.shards) {
+            let trace = s.trace.as_ref().expect("keep_traces carries traces");
+            let online = s
+                .verdicts
+                .as_ref()
+                .expect("certify_online carries verdicts");
+            let history = History::from_trace(trace);
+            let posthoc = SuiteVerdicts::from_reports(&properties::check_sfs_suite(&history, true));
+            assert_eq!(online, &posthoc, "shard {} diverged", s.shard);
+            assert!(online.all_ok(), "shard {}: {online}", s.shard);
+            checked += 1;
+        }
+        assert!(checked >= 2);
+        // The overhead gauges landed in the merged telemetry.
+        let obs = report.obs_report().to_json();
+        assert!(obs.contains(metrics::MONITOR_EVENTS), "{obs}");
+    }
+
+    #[test]
+    fn online_certification_perturbs_nothing() {
+        // The monitor rides a write-only sink: a certified run must be
+        // observably identical to the bare run — same events, same
+        // messages, same detection latencies.
+        let plan = plan_shards(20, 2, 10, 7).unwrap();
+        let victim = plan.shards[0].members[0];
+        let spec = ServiceSpec::new(20, 2, 10)
+            .seed(7)
+            .max_time(1_500)
+            .load(LoadProfile::closed(24, 4))
+            .crash(victim, 40);
+        let bare = run_service(&spec).unwrap();
+        let certified = run_service(&spec.clone().certify_online(true)).unwrap();
+        assert_eq!(bare.events(), certified.events());
+        assert_eq!(bare.messages(), certified.messages());
+        assert_eq!(bare.detection_latencies(), certified.detection_latencies());
+    }
+
+    #[test]
+    fn watermarks_stay_silent_on_a_healthy_run_and_perturb_nothing() {
+        // Armed watermarks are a smoke alarm: on a clean run (one
+        // scripted crash, no chaos) every signal stays inside its
+        // learned baseline, and the extra obs sinks change nothing the
+        // shard outcomes can observe.
+        let plan = plan_shards(20, 2, 10, 7).unwrap();
+        let victim = plan.shards[0].members[0];
+        let spec = ServiceSpec::new(20, 2, 10)
+            .seed(7)
+            .max_time(1_500)
+            .load(LoadProfile::closed(24, 4))
+            .crash(victim, 40);
+        let bare = run_service(&spec).unwrap();
+        let armed = run_service(&spec.clone().watermarks(true)).unwrap();
+        assert_eq!(bare.events(), armed.events());
+        assert_eq!(bare.messages(), armed.messages());
+        for s in armed.epochs.iter().flat_map(|e| &e.shards) {
+            assert!(
+                s.watermark_trips.is_empty(),
+                "shard {} tripped {:?} on a healthy run",
+                s.shard,
+                s.watermark_trips
+            );
+        }
     }
 }
